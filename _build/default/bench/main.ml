@@ -1,0 +1,150 @@
+(* Benchmark harness.
+
+   With no arguments: regenerate every table and figure of the paper
+   (experiments E1-E11 of DESIGN.md) plus the ablations, then run the
+   Bechamel micro-benchmarks quantifying the cost of the transformation
+   itself (paper §6: the flattening overhead is "negligible").
+
+   With [--experiment NAME]: run one experiment (see DESIGN.md's index:
+   fig4 fig6 bounds transforms fig18 table1 table2 fig19 sparc nmax
+   ablation-variants ablation-layout ablation-workloads all).
+
+   With [--no-micro]: skip the Bechamel micro-benchmarks.
+   With [--csv DIR]: additionally write table1.csv / table2.csv /
+   fig18.csv into DIR for external plotting. *)
+
+open Lf_lang
+
+let example_nest_src =
+  {|
+  DO i = 1, k
+    DO j = 1, l(i)
+      x(i,j) = i * j
+    ENDDO
+  ENDDO
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let block = Parser.block_of_string example_nest_src in
+  let nbforce_prog = Lf_kernels.Nbforce_src.program () in
+  let mol = Lf_md.Workload.sod ~n:512 () in
+  let pl = Lf_md.Workload.pairlist mol ~cutoff:8.0 in
+  let machine = Lf_simd.Machine.decmpp ~p:64 in
+  let flatten_opts =
+    { Lf_core.Pipeline.default_options with assume_inner_nonempty = true }
+  in
+  let simd_opts =
+    {
+      flatten_opts with
+      Lf_core.Pipeline.target =
+        Lf_core.Pipeline.Simd
+          { decomp = Lf_core.Simdize.Cyclic; p = Ast.EInt 64 };
+    }
+  in
+  [
+    Test.make ~name:"parse-example"
+      (Staged.stage (fun () -> Parser.block_of_string example_nest_src));
+    Test.make ~name:"normalize+flatten (Fig. 12)"
+      (Staged.stage (fun () ->
+           let fresh = Lf_core.Fresh.of_block block in
+           match Lf_core.Normalize.of_nest ~fresh (List.hd block) with
+           | Ok nest ->
+               Lf_core.Flatten.flatten ~fresh ~assume_inner_nonempty:true
+                 Lf_core.Flatten.DoneTest nest
+               |> Result.is_ok
+           | Error _ -> false));
+    Test.make ~name:"full pipeline: flatten NBFORCE (seq)"
+      (Staged.stage (fun () ->
+           Lf_core.Pipeline.flatten_program ~opts:flatten_opts nbforce_prog
+           |> Result.is_ok));
+    Test.make ~name:"full pipeline: flatten+SIMDize NBFORCE"
+      (Staged.stage (fun () ->
+           Lf_core.Pipeline.flatten_program ~opts:simd_opts nbforce_prog
+           |> Result.is_ok));
+    Test.make ~name:"safety analysis (dependence test)"
+      (Staged.stage (fun () ->
+           Lf_analysis.Parallel.check_loop (List.hd block)));
+    Test.make ~name:"kernel Lf (N=512, Gran=64, 8A)"
+      (Staged.stage (fun () ->
+           Lf_kernels.Nbforce.run ~compute_forces:false Lf_kernels.Nbforce.Flat
+             machine mol pl ~nmax:512));
+    Test.make ~name:"kernel Lu2 (N=512, Gran=64, 8A)"
+      (Staged.stage (fun () ->
+           Lf_kernels.Nbforce.run ~compute_forces:false Lf_kernels.Nbforce.L2
+             machine mol pl ~nmax:512));
+    Test.make ~name:"pairlist build (N=512, 8A)"
+      (Staged.stage (fun () -> Lf_md.Pairlist.build mol ~cutoff:8.0));
+  ]
+
+let run_micro ppf =
+  let open Bechamel in
+  Fmt.pf ppf "@.=== Micro-benchmarks (Bechamel; ns per run) ===@.@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw =
+    Benchmark.all cfg [ instance ]
+      (Test.make_grouped ~name:"lf" ~fmt:"%s %s" (micro_tests ()))
+  in
+  let results = Analyze.all ols instance raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (e :: _) -> Printf.sprintf "%.0f" e
+          | _ -> "-"
+        in
+        (name, est) :: acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, est) -> Fmt.pf ppf "  %-45s %12s ns@." name est) rows
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let ppf = Fmt.stdout in
+  let args = Array.to_list Sys.argv in
+  let experiment =
+    match args with
+    | _ :: "--experiment" :: name :: _ -> Some name
+    | _ -> None
+  in
+  let no_micro = List.mem "--no-micro" args in
+  let csv_dir =
+    let rec find = function
+      | "--csv" :: dir :: _ -> Some dir
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  Option.iter
+    (fun dir ->
+      Lf_report.Experiments.write_csvs ~dir;
+      Fmt.pf ppf "wrote table1.csv, table2.csv, fig18.csv to %s@." dir)
+    csv_dir;
+  (match experiment with
+  | Some name -> (
+      match List.assoc_opt name Lf_report.Experiments.by_name with
+      | Some f -> f ppf
+      | None ->
+          Fmt.pf ppf "unknown experiment %s; available: %s@." name
+            (String.concat ", " (List.map fst Lf_report.Experiments.by_name));
+          exit 1)
+  | None ->
+      Lf_report.Experiments.all ppf;
+      if not no_micro then run_micro ppf);
+  Fmt.flush ppf ()

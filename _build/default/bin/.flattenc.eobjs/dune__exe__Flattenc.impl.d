@@ -1,0 +1,1 @@
+bin/flattenc.ml: Arg Buffer Cmd Cmdliner Fmt Lf_analysis Lf_core Lf_lang List String Term

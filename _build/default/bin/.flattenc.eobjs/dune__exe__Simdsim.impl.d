@@ -1,0 +1,1 @@
+bin/simdsim.ml: Arg Array Buffer Cmd Cmdliner Env Fmt Interp Lf_lang Lf_simd List Nd Parser String Term Values

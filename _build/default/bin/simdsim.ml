@@ -1,0 +1,139 @@
+(* simdsim: run a pseudo-Fortran program on the simulated machines.
+
+   Scalars are seeded with --set name=value; arrays are allocated from the
+   program's declarations (whose dimensions may reference seeded scalars)
+   and zero-initialized, or filled with --fill name=v0,v1,... .  After the
+   run, --dump name prints a variable, and the execution metrics are
+   reported.
+
+   Examples:
+     dune exec bin/simdsim.exe -- --lanes 4 --set k=8 \
+       --fill l=4,1,2,1,1,3,1,3 --dump x example_simd.f
+     dune exec bin/simdsim.exe -- --seq --set k=8 example.f *)
+
+open Cmdliner
+open Lf_lang
+
+let read_source path =
+  let ic = if path = "-" then stdin else open_in path in
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  if path <> "-" then close_in ic;
+  Buffer.contents buf
+
+let parse_binding s =
+  match String.index_opt s '=' with
+  | None -> failwith (s ^ ": expected name=value")
+  | Some i ->
+      ( String.lowercase_ascii (String.sub s 0 i),
+        String.sub s (i + 1) (String.length s - i - 1) )
+
+let scalar_value v =
+  match int_of_string_opt v with
+  | Some n -> Values.VInt n
+  | None -> (
+      match float_of_string_opt v with
+      | Some f -> Values.VReal f
+      | None -> Values.VBool (String.lowercase_ascii v = "true"))
+
+let fill_array v =
+  let items = String.split_on_char ',' v in
+  let ints = List.filter_map int_of_string_opt items in
+  if List.length ints = List.length items then
+    Values.AInt (Nd.of_array (Array.of_list ints))
+  else
+    Values.AReal
+      (Nd.of_array (Array.of_list (List.map float_of_string items)))
+
+let run path seq lanes sets fills dumps =
+  let prog = Parser.program_of_string (read_source path) in
+  let sets = List.map parse_binding sets in
+  let fills = List.map parse_binding fills in
+  if seq then begin
+    let ctx =
+      Interp.run
+        ~params:(List.map (fun (k, v) -> (k, scalar_value v)) sets)
+        ~setup:(fun ctx ->
+          List.iter
+            (fun (k, v) -> Env.set ctx.Interp.env k (Values.VArr (fill_array v)))
+            fills)
+        prog
+    in
+    Fmt.pr "sequential run: %d interpreter steps@." ctx.Interp.steps;
+    List.iter
+      (fun name ->
+        Fmt.pr "%s = %a@." name Values.pp (Env.find ctx.Interp.env name))
+      dumps;
+    0
+  end
+  else begin
+    let vm =
+      Lf_simd.Vm.run ~p:lanes
+        ~setup:(fun vm ->
+          Lf_simd.Vm.bind_scalar vm "p" (Values.VInt lanes);
+          List.iter
+            (fun (k, v) -> Lf_simd.Vm.bind_scalar vm k (scalar_value v))
+            sets;
+          List.iter
+            (fun (k, v) -> Lf_simd.Vm.bind_global vm k (fill_array v))
+            fills)
+        prog
+    in
+    Fmt.pr "SIMD run on %d lanes: %a@." lanes Lf_simd.Metrics.pp
+      vm.Lf_simd.Vm.metrics;
+    List.iter
+      (fun name ->
+        match Lf_simd.Vm.find vm name with
+        | Lf_simd.Vm.VScalar r -> Fmt.pr "%s = %a@." name Values.pp !r
+        | Lf_simd.Vm.VPlural vs ->
+            Fmt.pr "%s = %a@." name Lf_simd.Pval.pp (Lf_simd.Pval.Plural vs)
+        | Lf_simd.Vm.VGlobal a | Lf_simd.Vm.VPluralArr a ->
+            Fmt.pr "%s = %a@." name Values.pp (Values.VArr a))
+      dumps;
+    0
+  end
+
+let cmd =
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Program to run ('-' for stdin).")
+  in
+  let seq =
+    Arg.(
+      value & flag
+      & info [ "seq" ] ~doc:"Run on the sequential interpreter instead.")
+  in
+  let lanes =
+    Arg.(value & opt int 4 & info [ "lanes" ] ~doc:"SIMD lane count (P).")
+  in
+  let sets =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "set" ] ~docv:"NAME=VALUE" ~doc:"Seed a scalar variable.")
+  in
+  let fills =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "fill" ] ~docv:"NAME=V0,V1,..."
+          ~doc:"Seed a one-dimensional array.")
+  in
+  let dumps =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "dump" ] ~docv:"NAME" ~doc:"Print a variable after the run.")
+  in
+  Cmd.v
+    (Cmd.info "simdsim" ~version:"1.0"
+       ~doc:"run pseudo-Fortran programs on the simulated SIMD machine")
+    Term.(const run $ path $ seq $ lanes $ sets $ fills $ dumps)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/dusty_deck.ml: Array Ast Env Fmt Interp Lf_core Lf_lang Lf_simd Nd Parser Pretty Values

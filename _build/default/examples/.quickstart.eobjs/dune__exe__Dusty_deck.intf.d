@@ -1,0 +1,1 @@
+examples/dusty_deck.mli:

@@ -1,0 +1,1 @@
+examples/mandelbrot.ml: Array Ast Env Fmt Interp Lf_core Lf_lang Lf_md Lf_simd Nd Parser Pretty Values

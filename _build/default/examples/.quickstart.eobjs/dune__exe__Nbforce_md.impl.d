@@ -1,0 +1,1 @@
+examples/nbforce_md.ml: Array Fmt Lf_core Lf_kernels Lf_lang Lf_md Lf_simd List

@@ -1,0 +1,1 @@
+examples/nbforce_md.mli:

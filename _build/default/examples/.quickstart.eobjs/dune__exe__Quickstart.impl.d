@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ast Env Fmt Interp Lf_analysis Lf_core Lf_kernels Lf_lang Lf_simd List Nd Parser Pretty Values

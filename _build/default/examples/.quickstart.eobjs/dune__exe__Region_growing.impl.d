@@ -1,0 +1,1 @@
+examples/region_growing.ml: Array Ast Env Float Fmt Interp Lf_core Lf_lang Lf_md Lf_simd Nd Parser Values

@@ -1,0 +1,95 @@
+(* A "dusty deck": classic fixed-form F77 with GOTO loops (the paper's §2
+   explicitly targets such programs).
+
+   Run with:  dune exec examples/dusty_deck.exe
+
+   The pipeline restructures the GOTO loops into WHILEs
+   (Lf_analysis.Loop_info), proves the outer loop parallelizable through
+   its induction variable, flattens, SIMDizes, and runs the result on the
+   simulated machine — no FORALL annotations or trust flags needed. *)
+
+open Lf_lang
+
+(* a histogram-flavored kernel: per row, accumulate a variable-length
+   prefix of a table into the row's bucket *)
+let source =
+  {|
+PROGRAM dusty
+C     CLASSIC GOTO LOOPS, COLUMN-1 COMMENTS, DOTTED OPERATORS
+      INTEGER k, bucket(k), len(k), tab(k, 8)
+      i = 1
+10    CONTINUE
+      IF (i .GT. k) GOTO 40
+      j = 1
+20    CONTINUE
+      IF (j .GT. len(i)) GOTO 30
+      bucket(i) = bucket(i) + tab(i, j)
+      j = j + 1
+      GOTO 20
+30    CONTINUE
+      i = i + 1
+      GOTO 10
+40    CONTINUE
+END
+|}
+
+let k = 8
+let lens = [| 3; 1; 5; 2; 1; 4; 2; 6 |]
+
+let bind set =
+  set "k" (Values.VInt k);
+  set "len" (Values.VArr (Values.AInt (Nd.of_array lens)));
+  set "tab"
+    (Values.VArr
+       (Values.AInt (Nd.init [| k; 8 |] (fun ix -> (10 * ix.(0)) + ix.(1)))));
+  set "bucket" (Values.VArr (Values.AInt (Nd.create [| k |] 0)))
+
+let read_buckets find =
+  match find "bucket" with
+  | Values.VArr (Values.AInt a) -> Nd.to_array a
+  | _ -> failwith "bucket missing"
+
+let () =
+  let prog = Parser.program_of_string source in
+  Fmt.pr "=== the dusty deck ===@.%s@." (Pretty.program_to_string prog);
+
+  (* sequential reference *)
+  let ctx = Interp.run ~setup:(fun c -> bind (Env.set c.Interp.env)) prog in
+  let reference = read_buckets (Env.find ctx.Interp.env) in
+
+  (* the compiler sees through the GOTOs *)
+  let p_lanes = 4 in
+  let opts =
+    {
+      Lf_core.Pipeline.default_options with
+      assume_inner_nonempty = true;
+      target =
+        Lf_core.Pipeline.Simd
+          { decomp = Lf_core.Simdize.Cyclic; p = Ast.EInt p_lanes };
+    }
+  in
+  match Lf_core.Pipeline.flatten_program ~opts prog with
+  | Error e -> failwith e
+  | Ok o ->
+      Fmt.pr
+        "safety: proved parallelizable through the GOTO loops' induction \
+         variables (no annotations)@.";
+      Fmt.pr "variant: %s@.@."
+        (Lf_core.Flatten.variant_to_string o.Lf_core.Pipeline.variant_used);
+      Fmt.pr "=== flattened + SIMDized ===@.%s@."
+        (Pretty.program_to_string o.Lf_core.Pipeline.program);
+      let vm =
+        Lf_simd.Vm.run ~p:p_lanes
+          ~setup:(fun vm ->
+            Lf_simd.Vm.bind_scalar vm "p" (Values.VInt p_lanes);
+            bind (fun name v ->
+                match v with
+                | Values.VArr a -> Lf_simd.Vm.bind_global vm name a
+                | v -> Lf_simd.Vm.bind_scalar vm name v))
+          o.Lf_core.Pipeline.program
+      in
+      let got =
+        read_buckets (fun n -> Values.VArr (Lf_simd.Vm.read_global vm n))
+      in
+      Fmt.pr "buckets agree with the sequential deck: %b@." (got = reference);
+      Fmt.pr "%a@." Lf_simd.Metrics.pp vm.Lf_simd.Vm.metrics

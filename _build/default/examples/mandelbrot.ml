@@ -1,0 +1,136 @@
+(* Mandelbrot escape times on a SIMD machine.
+
+   Run with:  dune exec examples/mandelbrot.exe
+
+   The paper's §7 points to Tomboulian & Pappas, who sped up Mandelbrot on
+   SIMD machines by replacing direct with indirect addressing — which the
+   paper identifies as a special case of loop flattening.  The kernel is a
+   parallel loop over pixels whose inner escape loop has wildly varying
+   trip counts: ideal flattening territory.
+
+   The nest also exercises the *general* flattening variant (Figure 10):
+   the inner loop is preceded by real work (z = 0, it = 0) and followed by
+   a store (iters(p) = it), so the Figure 11/12 preconditions fail and the
+   compiler must fall back to the conservative form. *)
+
+open Lf_lang
+
+let source =
+  {|
+PROGRAM mandelbrot
+  INTEGER n, maxiter, iters(n)
+  REAL cx(n), cy(n)
+  DO px = 1, n
+    zx = 0.0
+    zy = 0.0
+    it = 0
+    WHILE (zx * zx + zy * zy <= 4.0 .AND. it < maxiter)
+      tmp = zx * zx - zy * zy + cx(px)
+      zy = 2.0 * zx * zy + cy(px)
+      zx = tmp
+      it = it + 1
+    ENDWHILE
+    iters(px) = it
+  ENDDO
+END
+|}
+
+let n = 64
+let maxiter = 64
+
+(* random sample points over the interesting rectangle: escape times are
+   heavy-tailed and uncorrelated between neighbouring indices, so each
+   lockstep batch of P pixels is dominated by its slowest member *)
+let cs =
+  let rng = Lf_md.Rng.create 42 in
+  Array.init n (fun _ ->
+      ( Lf_md.Rng.range rng (-2.2) 0.6,
+        Lf_md.Rng.range rng (-1.2) 1.2 ))
+
+let bind set =
+  set "n" (Values.VInt n);
+  set "maxiter" (Values.VInt maxiter);
+  set "cx" (Values.VArr (Values.AReal (Nd.of_array (Array.map fst cs))));
+  set "cy" (Values.VArr (Values.AReal (Nd.of_array (Array.map snd cs))));
+  set "iters" (Values.VArr (Values.AInt (Nd.create [| n |] 0)))
+
+let read_iters find =
+  match find "iters" with
+  | Values.VArr (Values.AInt a) -> Nd.to_array a
+  | _ -> failwith "iters missing"
+
+let () =
+  let prog = Parser.program_of_string source in
+
+  (* sequential reference *)
+  let ctx = Interp.run ~setup:(fun c -> bind (Env.set c.Interp.env)) prog in
+  let reference = read_iters (Env.find ctx.Interp.env) in
+  Fmt.pr "escape times: min %d, max %d@."
+    (Array.fold_left min max_int reference)
+    (Array.fold_left max 0 reference);
+
+  (* flatten: the pre/post work forces the general variant *)
+  let p_lanes = 8 in
+  let opts =
+    {
+      Lf_core.Pipeline.default_options with
+      assume_inner_nonempty = true;
+      target =
+        Lf_core.Pipeline.Simd
+          { decomp = Lf_core.Simdize.Cyclic; p = Ast.EInt p_lanes };
+    }
+  in
+  let flat =
+    match Lf_core.Pipeline.flatten_program ~opts prog with
+    | Ok o -> o
+    | Error e -> failwith e
+  in
+  Fmt.pr "variant chosen: %s@.@."
+    (Lf_core.Flatten.variant_to_string flat.Lf_core.Pipeline.variant_used);
+  Fmt.pr "=== flattened SIMD escape-time kernel ===@.%s@."
+    (Pretty.program_to_string flat.Lf_core.Pipeline.program);
+
+  let run_simd label prog =
+    let vm =
+      Lf_simd.Vm.run ~p:p_lanes
+        ~setup:(fun vm ->
+          Lf_simd.Vm.bind_scalar vm "p" (Values.VInt p_lanes);
+          bind (fun name v ->
+              match v with
+              | Values.VArr a -> Lf_simd.Vm.bind_global vm name a
+              | v -> Lf_simd.Vm.bind_scalar vm name v))
+        prog
+    in
+    let got =
+      match Lf_simd.Vm.read_global vm "iters" with
+      | Values.AInt a -> Nd.to_array a
+      | _ -> failwith "iters missing"
+    in
+    Fmt.pr "%-16s correct=%b  %a@." label (got = reference)
+      Lf_simd.Metrics.pp vm.Lf_simd.Vm.metrics;
+    vm.Lf_simd.Vm.metrics
+  in
+  let naive =
+    match Lf_core.Pipeline.simdize_program_naive ~opts prog with
+    | Ok o -> o
+    | Error e -> failwith e
+  in
+  let m_naive = run_simd "naive SIMD:" naive.Lf_core.Pipeline.program in
+  let m_flat = run_simd "flattened SIMD:" flat.Lf_core.Pipeline.program in
+  Fmt.pr
+    "@.raw vector instructions on %d lanes: naive %d, flattened %d.@.The \
+     flattened loop spends ~2x more instructions on control per escape \
+     step; it wins when the body dominates (the paper's force routine), \
+     and the escape-step counts below show the schedule-level gain:@."
+    p_lanes m_naive.Lf_simd.Metrics.steps m_flat.Lf_simd.Metrics.steps;
+
+  (* the analytic bounds for this workload *)
+  let pad = (p_lanes - (n mod p_lanes)) mod p_lanes in
+  let trips =
+    Lf_core.Bounds.distribute ~p:p_lanes `Cyclic
+      (Array.append reference (Array.make pad 0))
+  in
+  Fmt.pr "escape-step bounds: MIMD/flattened %d (Eq. 1), unflattened SIMD %d \
+          (Eq. 2)@."
+    (Lf_core.Bounds.time_mimd trips)
+    (Lf_core.Bounds.time_simd trips)

@@ -1,0 +1,1 @@
+lib/analysis/depend.ml: Ast_util Fmt Lf_lang List Option Pretty

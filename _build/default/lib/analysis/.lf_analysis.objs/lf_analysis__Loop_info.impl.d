@@ -1,0 +1,1 @@
+lib/analysis/loop_info.ml: Array Ast_util Hashtbl Lf_lang List Option

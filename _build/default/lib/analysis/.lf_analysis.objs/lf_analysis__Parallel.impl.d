@@ -1,0 +1,1 @@
+lib/analysis/parallel.ml: Ast_util Depend Fmt Lf_lang List Loop_info Option Set String

@@ -1,0 +1,1 @@
+lib/analysis/side_effects.ml: Ast_util Lf_lang List

@@ -1,0 +1,218 @@
+(** Data-dependence testing for loop parallelization.
+
+    Loop flattening is safe when the loop receiving the inner body can be
+    run in parallel (paper §6: "A sufficient condition is that the loop into
+    which we lift an inner loop body can be parallelized").  This module
+    provides the classical subscript tests used to decide that condition:
+    affine-subscript extraction, the ZIV test, and the strong-SIV test with
+    dependence distances; everything else is answered conservatively.
+
+    The reference point is the Fortran D / ParaScope analysis the paper
+    cites [13, 14]; we implement the standard single-subscript fragment. *)
+
+open Lf_lang
+open Lf_lang.Ast
+
+(** A subscript expression in canonical affine form with respect to one
+    loop variable: [coeff * var + const + sym], where [sym] is an optional
+    loop-invariant symbolic remainder (kept as an expression and compared
+    structurally). *)
+type affine = {
+  coeff : int;
+  const : int;
+  sym : expr option;
+}
+
+let pp_affine ppf a =
+  Fmt.pf ppf "%d*i + %d%a" a.coeff a.const
+    (Fmt.option (fun ppf e -> Fmt.pf ppf " + %s" (Pretty.expr_to_string e)))
+    a.sym
+
+let affine_const c = { coeff = 0; const = c; sym = None }
+
+let add_sym s1 s2 =
+  match (s1, s2) with
+  | None, s | s, None -> (s, true)
+  | Some a, Some b -> (Some (EBin (Add, a, b)), true)
+
+(** [extract var invariants e] puts [e] into affine form with respect to
+    [var].  Variables listed in [invariants] (and any variable other than
+    [var] that is not assigned in the loop — the caller decides) may appear
+    in the symbolic part.  Returns [None] for non-affine forms (products of
+    [var], indexing through [var], calls involving [var]...). *)
+let rec extract var (invariant : string -> bool) (e : expr) : affine option =
+  match e with
+  | EInt n -> Some (affine_const n)
+  | EVar v when v = var -> Some { coeff = 1; const = 0; sym = None }
+  | EVar v when invariant v -> Some { coeff = 0; const = 0; sym = Some e }
+  | EUn (Neg, a) ->
+      Option.map
+        (fun x ->
+          {
+            coeff = -x.coeff;
+            const = -x.const;
+            sym = Option.map (fun s -> EUn (Neg, s)) x.sym;
+          })
+        (extract var invariant a)
+  | EBin (Add, a, b) -> (
+      match (extract var invariant a, extract var invariant b) with
+      | Some x, Some y ->
+          let sym, _ = add_sym x.sym y.sym in
+          Some { coeff = x.coeff + y.coeff; const = x.const + y.const; sym }
+      | _ -> None)
+  | EBin (Sub, a, b) ->
+      extract var invariant (EBin (Add, a, EUn (Neg, b)))
+  | EBin (Mul, EInt n, b) | EBin (Mul, b, EInt n) ->
+      Option.map
+        (fun x ->
+          {
+            coeff = n * x.coeff;
+            const = n * x.const;
+            sym = Option.map (fun s -> EBin (Mul, EInt n, s)) x.sym;
+          })
+        (extract var invariant b)
+  | EIdx _ | ECall _ ->
+      (* loop-invariant lookup tables are allowed in the symbolic part *)
+      let vars = Ast_util.expr_vars e in
+      if List.mem var vars then None
+      else if List.for_all invariant vars then
+        Some { coeff = 0; const = 0; sym = Some e }
+      else None
+  | e ->
+      let vars = Ast_util.expr_vars e in
+      if List.mem var vars then None
+      else if List.for_all invariant vars then
+        Some { coeff = 0; const = 0; sym = Some e }
+      else None
+
+let sym_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> x = y
+  | Some _, None | None, Some _ -> false
+
+(** Result of a dependence test between two subscripts of the same array
+    dimension. *)
+type verdict =
+  | Independent  (** never the same element across different iterations *)
+  | Distance of int  (** dependence with this constant iteration distance *)
+  | Unknown  (** assume dependence *)
+
+let pp_verdict ppf = function
+  | Independent -> Fmt.string ppf "independent"
+  | Distance d -> Fmt.pf ppf "distance %d" d
+  | Unknown -> Fmt.string ppf "unknown"
+
+(** Test one subscript pair in one dimension.  [a] is the subscript of the
+    first reference, [b] of the second, both affine in the shared loop
+    variable. *)
+let siv_test (a : affine) (b : affine) : verdict =
+  if not (sym_equal a.sym b.sym) then Unknown
+  else if a.coeff = 0 && b.coeff = 0 then
+    (* ZIV: constants — equal constants touch the same element in every
+       iteration (distance unconstrained), different never collide *)
+    if a.const = b.const then Unknown else Independent
+  else if a.coeff = b.coeff then begin
+    (* strong SIV: a*i1 + c1 = a*i2 + c2  =>  i1 - i2 = (c2 - c1)/a *)
+    let diff = b.const - a.const in
+    if diff mod a.coeff = 0 then Distance (diff / a.coeff) else Independent
+  end
+  else begin
+    (* weak SIV / MIV territory: fall back to a GCD feasibility test *)
+    let rec gcd a b = if b = 0 then abs a else gcd b (a mod b) in
+    let g = gcd a.coeff b.coeff in
+    if g <> 0 && (b.const - a.const) mod g <> 0 then Independent else Unknown
+  end
+
+(** Combine per-dimension verdicts for one reference pair: the pair is
+    independent if any dimension proves independence; otherwise the most
+    precise common distance is reported. *)
+let combine (vs : verdict list) : verdict =
+  if List.mem Independent vs then Independent
+  else
+    let distances =
+      List.filter_map (function Distance d -> Some d | _ -> None) vs
+    in
+    match distances with
+    | [] -> Unknown
+    | d :: rest ->
+        if List.for_all (( = ) d) rest then Distance d
+        else if List.exists (fun d' -> d' <> d) rest then
+          (* contradictory required distances: no common solution *)
+          Independent
+        else Unknown
+
+(** An array reference: name, subscripts, and whether it writes. *)
+type ref_info = {
+  r_array : string;
+  r_subs : expr list;
+  r_is_write : bool;
+}
+
+(** Collect all array references in a block (reads and writes). *)
+let references (b : block) : ref_info list =
+  let refs = ref [] in
+  let expr_refs (e : expr) =
+    Ast_util.fold_expr
+      (fun () -> function
+        | EIdx (a, subs) ->
+            refs := { r_array = a; r_subs = subs; r_is_write = false } :: !refs
+        | _ -> ())
+      () e
+  in
+  let stmt_collect _ s =
+    match s with
+    | SAssign (l, e) ->
+        if l.lv_index <> [] then
+          refs :=
+            { r_array = l.lv_name; r_subs = l.lv_index; r_is_write = true }
+            :: !refs;
+        List.iter expr_refs l.lv_index;
+        expr_refs e
+    | SDo (c, _) | SForall (c, _) ->
+        expr_refs c.d_lo;
+        expr_refs c.d_hi;
+        Option.iter expr_refs c.d_step
+    | SWhile (e, _) | SDoWhile (_, e) | SIf (e, _, _) | SWhere (e, _, _)
+    | SCondGoto (e, _) ->
+        expr_refs e
+    | SCall (_, args) -> List.iter expr_refs args
+    | SGoto _ | SLabel _ | SComment _ -> ()
+  in
+  Ast_util.fold_stmts stmt_collect () b;
+  List.rev !refs
+
+(** [loop_carried_array_dependence var invariant body] — true when some
+    pair of references to the same array (at least one a write) may touch
+    the same element in *different* iterations of the loop over [var]. *)
+let loop_carried_array_dependence var invariant (body : block) : bool =
+  let refs = references body in
+  let pairs_conflict r1 r2 =
+    r1.r_array = r2.r_array
+    && (r1.r_is_write || r2.r_is_write)
+    &&
+    if List.length r1.r_subs <> List.length r2.r_subs then true
+    else
+      let verdicts =
+        List.map2
+          (fun s1 s2 ->
+            match (extract var invariant s1, extract var invariant s2) with
+            | Some a, Some b -> siv_test a b
+            | _ -> Unknown)
+          r1.r_subs r2.r_subs
+      in
+      match combine verdicts with
+      | Independent -> false
+      | Distance 0 -> false  (* same iteration only *)
+      | Distance _ | Unknown -> true
+  in
+  let rec any_pair = function
+    | [] -> false
+    | r :: rest ->
+        (* compare r with itself too: a single write ref can conflict with
+           itself across iterations (e.g. A(1) = ... every iteration) *)
+        pairs_conflict r r && r.r_is_write
+        || List.exists (pairs_conflict r) rest
+        || any_pair rest
+  in
+  any_pair refs

@@ -1,0 +1,184 @@
+(** Loop-nest discovery and classification.
+
+    The applicability condition of the paper (§6): loop flattening applies
+    "whenever there are multiple loops fully contained in each other, i.e.,
+    there are not several loops on the same nesting level."  This module
+    walks the AST, finds loops, and classifies nests as *perfect towers*
+    (each level contains exactly one loop, the innermost holds the body).
+
+    It also recognizes the classic F77 GOTO-loop idiom
+
+    {v
+        i = 1
+    10  IF (.NOT. test) GOTO 20     ! or IF (exit-test) GOTO 20
+          body
+          i = i + 1
+          GOTO 10
+    20  CONTINUE
+    v}
+
+    and restructures it into a [SWhile], so that all later passes need to
+    handle only structured loops (§6, "GOTO loops: ... we can identify the
+    phases by their position between labels and jumps"). *)
+
+open Lf_lang
+open Lf_lang.Ast
+
+type loop_kind =
+  | KDo of do_control
+  | KWhile of expr
+  | KDoWhile of expr
+  | KForall of do_control
+
+type loop = {
+  kind : loop_kind;
+  body : block;
+}
+
+(** The loops appearing at the top level of a block (not inside other
+    loops), together with the statements around them. *)
+let top_level_loops (b : block) : loop list =
+  List.filter_map
+    (function
+      | SDo (c, body) -> Some { kind = KDo c; body }
+      | SWhile (e, body) -> Some { kind = KWhile e; body }
+      | SDoWhile (body, e) -> Some { kind = KDoWhile e; body }
+      | SForall (c, body) -> Some { kind = KForall c; body }
+      | _ -> None)
+    b
+
+(** A nest tower: the outermost loop plus the chain of single inner loops.
+    [tower b] returns the longest chain [l1; l2; ...] such that each [l_i]'s
+    body contains exactly one loop [l_{i+1}] (plus possibly straight-line
+    statements), and no loops beside it. *)
+let rec tower (l : loop) : loop list =
+  match top_level_loops l.body with
+  | [ inner ] -> l :: tower inner
+  | _ -> [ l ]
+
+(** Depth of the perfect tower rooted at the unique top-level loop of [b],
+    or [None] if [b] does not contain exactly one top-level loop. *)
+let tower_of_block (b : block) : loop list option =
+  match top_level_loops b with
+  | [ l ] -> Some (tower l)
+  | _ -> None
+
+(** Split an inner-loop body around the unique nested loop:
+    [pre, inner, post].  [None] when there is not exactly one loop. *)
+let split_around_loop (b : block) : (block * loop * block) option =
+  let is_loop = function
+    | SDo _ | SWhile _ | SDoWhile _ | SForall _ -> true
+    | _ -> false
+  in
+  match List.filter is_loop b with
+  | [ _ ] ->
+      let rec go pre = function
+        | [] -> None
+        | s :: rest when is_loop s ->
+            let l =
+              match s with
+              | SDo (c, body) -> { kind = KDo c; body }
+              | SWhile (e, body) -> { kind = KWhile e; body }
+              | SDoWhile (body, e) -> { kind = KDoWhile e; body }
+              | SForall (c, body) -> { kind = KForall c; body }
+              | _ -> assert false
+            in
+            Some (List.rev pre, l, rest)
+        | s :: rest -> go (s :: pre) rest
+      in
+      go [] b
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* GOTO-loop restructuring                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Recognize, within a statement list, the pattern
+
+    [SLabel top; IF (c) GOTO exit; body...; GOTO top; SLabel exit]
+
+    where [body] contains neither jumps out of the region nor other labels,
+    and rewrite it to [WHILE (.NOT. c) body].  Applied repeatedly, innermost
+    first, until no pattern remains. *)
+let rec restructure_gotos (b : block) : block =
+  let b = List.map restructure_in_stmt b in
+  match find_goto_loop b with
+  | Some (pre, cond, body, post) ->
+      restructure_gotos (pre @ [ SWhile (EUn (Not, cond), body) ] @ post)
+  | None -> b
+
+and restructure_in_stmt = function
+  | SDo (c, b) -> SDo (c, restructure_gotos b)
+  | SWhile (e, b) -> SWhile (e, restructure_gotos b)
+  | SDoWhile (b, e) -> SDoWhile (restructure_gotos b, e)
+  | SForall (c, b) -> SForall (c, restructure_gotos b)
+  | SIf (e, t, f) -> SIf (e, restructure_gotos t, restructure_gotos f)
+  | SWhere (e, t, f) -> SWhere (e, restructure_gotos t, restructure_gotos f)
+  | s -> s
+
+and find_goto_loop (b : block) =
+  let arr = Array.of_list b in
+  let n = Array.length arr in
+  let result = ref None in
+  let i = ref 0 in
+  while !result = None && !i < n - 3 do
+    (match (arr.(!i), arr.(!i + 1)) with
+    | SLabel top, SCondGoto (cond, exit_lbl) ->
+        (* find [GOTO top] followed directly by [SLabel exit] *)
+        let j = ref (!i + 2) in
+        let found = ref None in
+        while !found = None && !j < n - 1 do
+          (match (arr.(!j), arr.(!j + 1)) with
+          | SGoto t, SLabel e when t = top && e = exit_lbl ->
+              found := Some !j
+          | _ -> ());
+          incr j
+        done;
+        (match !found with
+        | Some j ->
+            let body = Array.to_list (Array.sub arr (!i + 2) (j - !i - 2)) in
+            let clean =
+              List.for_all
+                (fun s ->
+                  match s with
+                  | SLabel _ | SGoto _ | SCondGoto _ -> false
+                  | _ ->
+                      Ast_util.fold_stmt
+                        (fun ok -> function
+                          | SGoto _ | SCondGoto _ | SLabel _ -> false
+                          | _ -> ok)
+                        true s)
+                body
+            in
+            if clean then
+              result :=
+                Some
+                  ( Array.to_list (Array.sub arr 0 !i),
+                    cond,
+                    body,
+                    Array.to_list (Array.sub arr (j + 2) (n - j - 2)) )
+        | None -> ())
+    | _ -> ());
+    incr i
+  done;
+  !result
+
+(* ------------------------------------------------------------------ *)
+(* Induction variables                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** For a WHILE loop, detect the basic induction variable: a variable [v]
+    updated exactly once in the body as [v = v + c] or [v = v - c], where
+    [c] is loop-invariant, and appearing in the loop test. *)
+let induction_candidates (test : expr) (body : block) : string list =
+  let test_vars = Ast_util.expr_vars test in
+  let updates = Hashtbl.create 4 in
+  List.iter
+    (fun s ->
+      match s with
+      | SAssign ({ lv_name = v; lv_index = [] }, EBin ((Add | Sub), EVar v', _))
+        when v = v' ->
+          Hashtbl.replace updates v (1 + Option.value ~default:0 (Hashtbl.find_opt updates v))
+      | _ -> ())
+    body;
+  List.filter (fun v -> Hashtbl.find_opt updates v = Some 1) test_vars

@@ -1,0 +1,65 @@
+(** Side-effect analysis.
+
+    The general flattening transformation (paper Fig. 10) re-evaluates the
+    loop guards [test_l] and re-runs [init_2] under different control flow
+    than the original nest; this is only an *optimization-enabling* question
+    — the general transformation is safe because it stores guard results in
+    flags first (Fig. 9) — but the optimized variants (Figs. 11–12) need
+    [test_1], [test_2] and [init_2] to be side-effect free (§4, condition 1).
+
+    A *function* (used in expressions) is pure unless registered otherwise;
+    a *subroutine* call is always treated as effectful. *)
+
+open Lf_lang
+open Lf_lang.Ast
+
+type purity_env = {
+  impure_funcs : string list;  (** functions known to have side effects *)
+}
+
+let default_env = { impure_funcs = [] }
+
+let env ?(impure_funcs = []) () = { impure_funcs }
+
+(** [expr_pure env e] — true when evaluating [e] cannot modify any state.
+    Intrinsics and unregistered functions are pure; array references are
+    pure reads. *)
+let expr_pure penv (e : expr) =
+  Ast_util.expr_calls e
+  |> List.for_all (fun f -> not (List.mem f penv.impure_funcs))
+
+(** Variables an expression evaluation may modify: none, if pure. *)
+let expr_writes penv e = if expr_pure penv e then [] else [ "*" ]
+
+(** [stmt_pure env s] — true when [s] neither assigns any variable nor
+    calls a subroutine; used for classifying guard phases. *)
+let rec stmt_pure penv (s : stmt) =
+  match s with
+  | SComment _ | SLabel _ -> true
+  | SGoto _ | SCondGoto _ -> true
+  | SAssign _ | SCall _ -> false
+  | SIf (e, t, f) | SWhere (e, t, f) ->
+      expr_pure penv e && block_pure penv t && block_pure penv f
+  | SDo (_, _) | SForall (_, _) -> false
+  | SWhile (e, b) -> expr_pure penv e && block_pure penv b
+  | SDoWhile (b, e) -> expr_pure penv e && block_pure penv b
+
+and block_pure penv b = List.for_all (stmt_pure penv) b
+
+(** A block is *observably pure up to* [vars]: it writes only variables in
+    [vars] and performs no subroutine calls.  Used to accept [init]/
+    [increment] phases that only touch their own control variables. *)
+let block_writes_only penv vars (b : block) =
+  Ast_util.called_subroutines b = []
+  && List.for_all (fun v -> List.mem v vars) (Ast_util.assigned_vars b)
+  && List.for_all
+       (fun f -> not (List.mem f penv.impure_funcs))
+       (Ast_util.fold_stmts
+          (fun acc s ->
+            match s with
+            | SAssign (_, e) -> Ast_util.expr_calls e @ acc
+            | SWhile (e, _) | SDoWhile (_, e) | SIf (e, _, _)
+            | SWhere (e, _, _) | SCondGoto (e, _) ->
+                Ast_util.expr_calls e @ acc
+            | _ -> acc)
+          [] b)

@@ -1,0 +1,1 @@
+lib/core/coalesce.ml: Ast Ast_util Fmt Fresh Lf_lang List Simplify

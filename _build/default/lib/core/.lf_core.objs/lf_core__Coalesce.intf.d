@@ -1,0 +1,1 @@
+lib/core/coalesce.mli: Ast Fmt Fresh Lf_lang

@@ -1,0 +1,1 @@
+lib/core/flatten.ml: Ast Fmt Fresh Lf_analysis Lf_lang List Normalize Option

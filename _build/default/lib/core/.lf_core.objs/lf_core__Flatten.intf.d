@@ -1,0 +1,1 @@
+lib/core/flatten.mli: Ast Fmt Fresh Lf_analysis Lf_lang Normalize

@@ -1,0 +1,1 @@
+lib/core/fresh.ml: Ast Ast_util Lf_lang List Printf String

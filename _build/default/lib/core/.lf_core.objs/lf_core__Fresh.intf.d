@@ -1,0 +1,1 @@
+lib/core/fresh.mli: Lf_lang

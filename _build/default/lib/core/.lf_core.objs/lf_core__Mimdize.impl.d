@@ -1,0 +1,1 @@
+lib/core/mimdize.ml: Ast Ast_util Fmt Fresh Lf_lang List Option Pipeline Pretty Simdize Simplify Stdlib

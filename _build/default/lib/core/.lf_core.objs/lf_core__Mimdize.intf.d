@@ -1,0 +1,1 @@
+lib/core/mimdize.mli: Ast Fresh Lf_lang Simdize Stdlib

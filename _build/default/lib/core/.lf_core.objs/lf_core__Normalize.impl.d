@@ -1,0 +1,1 @@
+lib/core/normalize.ml: Ast Ast_util Fresh Lf_analysis Lf_lang List Option Simplify

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Ast Ast_util Flatten Fmt Fresh Fun Lf_analysis Lf_lang List Normalize Pretty Simdize String

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Ast Flatten Lf_analysis Lf_lang Normalize Simdize

@@ -1,0 +1,1 @@
+lib/core/simdize.ml: Ast Ast_util Errors Fresh Hashtbl Lf_lang List Option Pretty Set Simplify String

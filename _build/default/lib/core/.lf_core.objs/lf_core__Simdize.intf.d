@@ -1,0 +1,1 @@
+lib/core/simdize.mli: Ast Fresh Lf_lang Set

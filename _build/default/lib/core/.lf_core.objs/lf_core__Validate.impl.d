@@ -1,0 +1,1 @@
+lib/core/validate.ml: Ast Env Fmt Interp Lf_lang List Values

@@ -1,0 +1,1 @@
+lib/core/validate.mli: Ast Fmt Interp Lf_lang Values

@@ -1,0 +1,64 @@
+(** The paper's analytical time bounds (Equations 1, 2, 1′, 2′, 1″, 2″).
+
+    Given the per-processor trip-count structure of a two-level nest —
+    processor [p] executes [K_p] outer iterations whose i-th inner loop
+    runs [L_p^i] times — the bounds on inner-iteration steps are:
+
+    - MIMD (Eq. 1):         [max_p Σ_{i=1..K_p} L_p^i]
+    - unflattened SIMD (Eq. 2): [Σ_{i=1..max_p K_p} max_p L_p^i]
+      (a processor whose [K_p] is exhausted contributes 0)
+    - flattened SIMD (Eq. 1′ = Eq. 1): the MIMD bound — the point of the
+      transformation.
+
+    "Roughly speaking, our time bound has increased from a maximum over
+    sums to a sum over maxima." *)
+
+(** Trip structure: [trips.(p)] lists the inner trip counts of processor
+    [p]'s outer iterations. *)
+type t = int array array
+
+let of_lists (ls : int list list) : t = Array.of_list (List.map Array.of_list ls)
+
+(** Eq. 1 / Eq. 1′ / Eq. 1″: the MIMD (= flattened SIMD) bound. *)
+let time_mimd (trips : t) : int =
+  Array.fold_left
+    (fun acc per_proc -> max acc (Array.fold_left ( + ) 0 per_proc))
+    0 trips
+
+(** Eq. 2 / Eq. 2′ / Eq. 2″: the unflattened (SIMDized) bound. *)
+let time_simd (trips : t) : int =
+  let kmax = Array.fold_left (fun m a -> max m (Array.length a)) 0 trips in
+  let total = ref 0 in
+  for i = 0 to kmax - 1 do
+    let step =
+      Array.fold_left
+        (fun m a -> if i < Array.length a then max m a.(i) else m)
+        0 trips
+    in
+    total := !total + step
+  done;
+  !total
+
+let flattened_time = time_mimd
+
+(** Speedup bound of flattening: [time_simd / time_mimd]; paper §5.4 —
+    bounded above by [pCnt_max / pCnt_avg] for the balanced NBFORCE
+    decomposition. *)
+let speedup (trips : t) : float =
+  let s = time_simd trips and m = time_mimd trips in
+  if m = 0 then 1.0 else float_of_int s /. float_of_int m
+
+(** Distribute the trip counts [l] of [k] outer iterations over [p]
+    processors; blockwise ([`Block]) or cyclically ([`Cyclic]), mirroring
+    the data layouts of §5.2.  [l] is indexed 0-based over the global
+    iteration space. *)
+let distribute ~(p : int) (layout : [ `Block | `Cyclic ]) (l : int array) : t =
+  let k = Array.length l in
+  if k mod p <> 0 then
+    invalid_arg "Bounds.distribute: processor count must divide iterations";
+  let per = k / p in
+  match layout with
+  | `Block ->
+      Array.init p (fun pr -> Array.init per (fun i -> l.((pr * per) + i)))
+  | `Cyclic ->
+      Array.init p (fun pr -> Array.init per (fun i -> l.(pr + (i * p))))

@@ -1,0 +1,29 @@
+(** The paper's analytical time bounds (Equations 1, 2, 1′, 2′, 1″, 2″):
+    "our time bound has increased from a maximum over sums to a sum over
+    maxima." *)
+
+(** Trip structure: [trips.(p)] lists the inner trip counts of processor
+    [p]'s outer iterations. *)
+type t = int array array
+
+val of_lists : int list list -> t
+
+(** Eq. 1 (= Eq. 1′ = Eq. 1″): the MIMD bound [max_p Σ_i L_p^i] — also the
+    flattened SIMD bound. *)
+val time_mimd : t -> int
+
+(** Eq. 2 (= Eq. 2′ = Eq. 2″): the unflattened SIMD bound
+    [Σ_i max_p L_p^i]; processors whose outer iterations are exhausted
+    contribute nothing. *)
+val time_simd : t -> int
+
+(** Alias of [time_mimd]: what the flattened version achieves. *)
+val flattened_time : t -> int
+
+(** [time_simd / time_mimd] — the flattening speedup bound, ≥ 1. *)
+val speedup : t -> float
+
+(** Distribute global per-iteration trip counts over [p] processors,
+    blockwise or cyclically.  The processor count must divide the
+    iteration count. *)
+val distribute : p:int -> [ `Block | `Cyclic ] -> int array -> t

@@ -1,0 +1,87 @@
+(** Loop coalescing (Polychronopoulos 1987) — the related transformation
+    the paper contrasts with in §7: "Loop coalescing merges iteration
+    variables to achieve a higher degree of parallelism ... Although loop
+    flattening can also simplify load balancing, the transformation per se
+    does not change which loop iterations a processor executes.  Instead,
+    it gives it more freedom as to when it executes them."
+
+    Coalescing rewrites a {e rectangular} two-level nest
+
+    {v DO i = 1, N { DO j = 1, M { BODY } } v}
+
+    into the single loop
+
+    {v DO t = 0, N*M - 1 { i = t/M + 1; j = MOD(t, M) + 1; BODY } v}
+
+    exposing N×M-way parallelism in one iteration space.  Unlike
+    flattening it {e requires} the inner bound to be loop-invariant —
+    exactly what the paper's irregular workloads violate — so this module
+    also serves as the executable half of the §7 comparison: the benches
+    show coalescing matching flattening on rectangular nests and being
+    inapplicable on EXAMPLE/NBFORCE. *)
+
+open Lf_lang
+open Lf_lang.Ast
+
+type rejection = { reason : string }
+
+let pp_rejection ppf r = Fmt.pf ppf "coalescing rejected: %s" r.reason
+
+(** A two-level nest is rectangular when both loops are unit-stride counted
+    loops with lower bound 1 and the inner bounds do not depend on
+    anything the outer loop changes. *)
+let rectangular (s : stmt) : (do_control * do_control * block, rejection) result
+    =
+  let reject reason = Error { reason } in
+  match s with
+  | SDo (outer, body) | SForall (outer, body) -> (
+      if not (outer.d_step = None || outer.d_step = Some (EInt 1)) then
+        reject "outer loop must have unit stride"
+      else if outer.d_lo <> EInt 1 then
+        reject "outer loop must start at 1"
+      else
+        match body with
+        | [ (SDo (inner, ibody) | SForall (inner, ibody)) ] ->
+            if not (inner.d_step = None || inner.d_step = Some (EInt 1))
+            then reject "inner loop must have unit stride"
+            else if inner.d_lo <> EInt 1 then
+              reject "inner loop must start at 1"
+            else if
+              List.mem outer.d_var (Ast_util.expr_vars inner.d_hi)
+              || List.exists
+                   (fun v -> List.mem v (Ast_util.expr_vars inner.d_hi))
+                   (Ast_util.assigned_vars ibody)
+            then
+              reject
+                "inner bound varies with the outer iteration (the nest is \
+                 not rectangular); use loop flattening"
+            else Ok (outer, inner, ibody)
+        | _ -> reject "outer body must contain exactly the inner loop")
+  | _ -> reject "not a counted loop"
+
+(** Coalesce a rectangular nest into a single loop over the product space.
+    The result is a FORALL when both input loops were FORALLs (independence
+    of the product space follows). *)
+let coalesce ~(fresh : Fresh.t) (s : stmt) : (block, rejection) result =
+  match rectangular s with
+  | Error r -> Error r
+  | Ok (outer, inner, ibody) ->
+      let t = Fresh.fresh fresh "t" in
+      let m = inner.d_hi in
+      let recover =
+        [
+          Ast.assign outer.d_var
+            (EBin (Add, EBin (Div, EVar t, m), EInt 1));
+          Ast.assign inner.d_var
+            (EBin (Add, EBin (Mod, EVar t, m), EInt 1));
+        ]
+      in
+      let total = EBin (Sub, EBin (Mul, outer.d_hi, m), EInt 1) in
+      let control = Ast.do_control t (EInt 0) (Simplify.simplify total) in
+      let body = recover @ ibody in
+      let loop =
+        match s with
+        | SForall _ -> SForall (control, body)
+        | _ -> SDo (control, body)
+      in
+      Ok [ loop ]

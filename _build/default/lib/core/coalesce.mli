@@ -1,0 +1,20 @@
+(** Loop coalescing (Polychronopoulos 1987) — the §7 comparison
+    transformation.  Rewrites a {e rectangular} two-level counted nest into
+    one loop over the product space with div/mod index recovery; rejects
+    the irregular nests that loop flattening is designed for. *)
+
+open Lf_lang
+
+type rejection = { reason : string }
+
+val pp_rejection : rejection Fmt.t
+
+(** Classify a statement as a rectangular nest:
+    (outer control, inner control, inner body). *)
+val rectangular :
+  Ast.stmt ->
+  (Ast.do_control * Ast.do_control * Ast.block, rejection) result
+
+(** Coalesce into a single loop; FORALL nests stay FORALL. *)
+val coalesce :
+  fresh:Fresh.t -> Ast.stmt -> (Ast.block, rejection) result

@@ -1,0 +1,275 @@
+(** Loop flattening (paper §4, Figures 9–12) — the paper's contribution.
+
+    Input: a normalized two-level nest ([Normalize.nest], GENNEST of
+    Figure 8).  Output: a block in which BODY has been lifted out of the
+    inner loop, so that (after SIMDization, [Simdize]) each processor can
+    advance independently to its next iteration containing useful work.
+
+    Three variants, in increasing order of required preconditions:
+
+    - {b General} (Figure 10): always semantics-preserving — the same
+      instructions execute in the same order the same number of times; loop
+      guards are first latched into flags ([with_guards], Figure 9) so that
+      even side-effecting tests are evaluated exactly as often as before.
+    - {b Optimized} (Figure 11): requires [test_1], [test_2] and [init_2]
+      side-effect free (condition 1) and every inner loop to execute at
+      least once per outer iteration (condition 2).
+    - {b Done-test} (Figure 12): additionally requires a
+      "last-inner-iteration" test [done_2] (condition 3, derivable for
+      counted loops), saving the final [increment_2]. *)
+
+open Lf_lang
+open Lf_lang.Ast
+open Normalize
+
+type variant =
+  | General
+  | Optimized
+  | DoneTest
+
+let variant_to_string = function
+  | General -> "general (Fig. 10)"
+  | Optimized -> "optimized (Fig. 11)"
+  | DoneTest -> "done-test (Fig. 12)"
+
+(** The guard-flag form of Figure 9: control flow still unchanged, but
+    every [test_l] result is latched into a flag [t_l].  Returns the block
+    together with the two flag names. *)
+let with_guards ~(fresh : Fresh.t) (n : nest) : block * string * string =
+  let t1 = Fresh.fresh fresh "t1" and t2 = Fresh.fresh fresh "t2" in
+  let latch1 = Ast.assign t1 n.outer.n_test in
+  let latch2 = Ast.assign t2 n.inner.n_test in
+  let blk =
+    n.outer.n_init
+    @ [ latch1 ]
+    @ [
+        SWhile
+          ( EVar t1,
+            n.inner.n_init
+            @ [ latch2 ]
+            @ [
+                SWhile
+                  (EVar t2, n.body @ n.inner.n_increment @ [ latch2 ]);
+              ]
+            @ n.outer.n_increment
+            @ [ latch1 ] );
+      ]
+  in
+  (blk, t1, t2)
+
+(** Figure 10: the general, conservative flattening. *)
+let flatten_general ~(fresh : Fresh.t) (n : nest) : block =
+  let t1 = Fresh.fresh fresh "t1" and t2 = Fresh.fresh fresh "t2" in
+  let latch1 = Ast.assign t1 n.outer.n_test in
+  let latch2 = Ast.assign t2 n.inner.n_test in
+  n.outer.n_init
+  @ [ latch1 ]
+  @ [ SIf (EVar t1, n.inner.n_init, []) ]
+  @ [
+      SWhile
+        ( EVar t1,
+          [ latch2 ]
+          @ [
+              SWhile
+                ( EBin (And, EVar t1, EUn (Not, EVar t2)),
+                  n.outer.n_increment
+                  @ [ latch1 ]
+                  @ [ SIf (EVar t1, n.inner.n_init @ [ latch2 ], []) ] );
+            ]
+          @ [ SIf (EVar t1, n.body @ n.inner.n_increment, []) ] );
+    ]
+
+(** Figure 11: optimized flattening (see preconditions in [check]). *)
+let flatten_optimized (n : nest) : block =
+  n.outer.n_init @ n.inner.n_init
+  @ [
+      SWhile
+        ( n.outer.n_test,
+          n.body @ n.inner.n_increment
+          @ [
+              SIf
+                ( EUn (Not, n.inner.n_test),
+                  n.outer.n_increment @ n.inner.n_init,
+                  [] );
+            ] );
+    ]
+
+(** Figure 12: done-test flattening; [done_] must be the inner loop's
+    "currently in the last iteration" predicate. *)
+let flatten_done_test (n : nest) (done_ : expr) : block =
+  n.outer.n_init @ n.inner.n_init
+  @ [
+      SWhile
+        ( n.outer.n_test,
+          n.body
+          @ [
+              SIf
+                ( done_,
+                  n.outer.n_increment @ n.inner.n_init,
+                  n.inner.n_increment );
+            ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Precondition checking                                               *)
+(* ------------------------------------------------------------------ *)
+
+type rejection = {
+  rej_variant : variant;
+  rej_reason : string;
+}
+
+let pp_rejection ppf r =
+  Fmt.pf ppf "%s rejected: %s" (variant_to_string r.rej_variant) r.rej_reason
+
+(** Is [init_2] side-effect free in the sense of condition 1?
+
+    The optimized variants run [init_2] once more than the original (after
+    the final outer iteration, and once before the loop even when it never
+    runs), so its writes must be unobservable there: plain assignments to
+    {e scalars} with pure right-hand sides, targeting only variables that
+    are not read after the nest ([live_out]).  Array writes are excluded —
+    a degenerate extra run would store through control variables that have
+    already run off the iteration space.  Induction variables and other
+    nest-local control scalars (whatever the flattening composition
+    introduced) qualify automatically since they are dead after the nest. *)
+let init2_harmless purity ~live_out (n : nest) =
+  List.for_all
+    (fun s ->
+      match s with
+      | SComment _ | SLabel _ -> true
+      | SAssign ({ lv_index = []; lv_name = v }, e) ->
+          Lf_analysis.Side_effects.expr_pure purity e
+          && not (List.mem v live_out)
+      | _ -> false)
+    n.inner.n_init
+
+(** Check the preconditions of [variant] (paper §4, conditions 1–3).
+    [assume_inner_nonempty] is the user assertion that every outer
+    iteration runs the inner loop at least once (condition 2), e.g. the
+    paper's "each atom has at least one interaction partner".  [live_out]
+    lists variables read after the nest (see [init2_harmless]). *)
+let check ?(purity = Lf_analysis.Side_effects.default_env)
+    ?(assume_inner_nonempty = false) ?(live_out = []) (variant : variant)
+    (n : nest) : (unit, rejection) result =
+  let reject reason = Error { rej_variant = variant; rej_reason = reason } in
+  match variant with
+  | General -> Ok ()
+  | Optimized | DoneTest ->
+      let pure_tests =
+        Lf_analysis.Side_effects.expr_pure purity n.outer.n_test
+        && Lf_analysis.Side_effects.expr_pure purity n.inner.n_test
+      in
+      if not pure_tests then
+        reject "loop tests may have side effects (condition 1)"
+      else if not (init2_harmless purity ~live_out n) then
+        reject
+          "inner initialization has observable effects (condition 1); use \
+           the general variant"
+      else if not assume_inner_nonempty then
+        reject
+          "cannot prove the inner loop executes at least once per outer \
+           iteration (condition 2); assert it or use the general variant"
+      else if variant = DoneTest && n.inner.n_done = None then
+        reject "no last-iteration test derivable for the inner loop \
+                (condition 3)"
+      else Ok ()
+
+(** Flatten with an explicitly chosen variant, after checking its
+    preconditions. *)
+let flatten ~(fresh : Fresh.t) ?purity ?assume_inner_nonempty ?live_out
+    (variant : variant) (n : nest) : (block, rejection) result =
+  match check ?purity ?assume_inner_nonempty ?live_out variant n with
+  | Error r -> Error r
+  | Ok () -> (
+      match variant with
+      | General -> Ok (flatten_general ~fresh n)
+      | Optimized -> Ok (flatten_optimized n)
+      | DoneTest -> Ok (flatten_done_test n (Option.get n.inner.n_done)))
+
+(** Choose the most optimized applicable variant (Fig. 12 ≻ Fig. 11 ≻
+    Fig. 10) and flatten.  Never fails: the general variant is always
+    applicable. *)
+let flatten_auto ~(fresh : Fresh.t) ?purity ?assume_inner_nonempty ?live_out
+    (n : nest) : block * variant =
+  match flatten ~fresh ?purity ?assume_inner_nonempty ?live_out DoneTest n with
+  | Ok b -> (b, DoneTest)
+  | Error _ -> (
+      match
+        flatten ~fresh ?purity ?assume_inner_nonempty ?live_out Optimized n
+      with
+      | Ok b -> (b, Optimized)
+      | Error _ -> (flatten_general ~fresh n, General))
+
+(* ------------------------------------------------------------------ *)
+(* Deeper nests (§4: "an extension ... to deeper loop nests is          *)
+(* straightforward")                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Flatten a loop tower of any depth, innermost pair first.  Each
+    flattening step leaves exactly one loop at the top level of the
+    produced block (all three variants have this shape), so the next
+    outer level again sees a perfect two-level nest whose inner-loop
+    initialization absorbs the synthetic control-variable setup.
+
+    Returns the flattened block and the variants used, outermost first.
+    A depth-1 "tower" is returned unchanged. *)
+let rec flatten_deep ~(fresh : Fresh.t) ?purity ?assume_inner_nonempty
+    ?(variant : variant option) (s : stmt) :
+    (block * variant list, rejection) result =
+  let body_of = function
+    | SDo (_, b) | SWhile (_, b) | SDoWhile (b, _) | SForall (_, b) -> Some b
+    | _ -> None
+  in
+  let with_body s b =
+    match s with
+    | SDo (c, _) -> SDo (c, b)
+    | SWhile (e, _) -> SWhile (e, b)
+    | SDoWhile (_, e) -> SDoWhile (b, e)
+    | SForall (c, _) -> SForall (c, b)
+    | s -> s
+  in
+  match body_of s with
+  | None ->
+      Error
+        { rej_variant = General; rej_reason = "not a loop statement" }
+  | Some body -> (
+      match Lf_analysis.Loop_info.split_around_loop body with
+      | None -> Ok ([ s ], [])  (* innermost level: nothing to flatten *)
+      | Some (pre, inner, post) -> (
+          let inner_stmt =
+            match inner.Lf_analysis.Loop_info.kind with
+            | Lf_analysis.Loop_info.KDo c ->
+                SDo (c, inner.Lf_analysis.Loop_info.body)
+            | Lf_analysis.Loop_info.KWhile e ->
+                SWhile (e, inner.Lf_analysis.Loop_info.body)
+            | Lf_analysis.Loop_info.KDoWhile e ->
+                SDoWhile (inner.Lf_analysis.Loop_info.body, e)
+            | Lf_analysis.Loop_info.KForall c ->
+                SForall (c, inner.Lf_analysis.Loop_info.body)
+          in
+          (* flatten the deeper levels inside the inner loop first *)
+          match
+            flatten_deep ~fresh ?purity ?assume_inner_nonempty ?variant
+              inner_stmt
+          with
+          | Error r -> Error r
+          | Ok (inner_block, inner_variants) -> (
+              let s' = with_body s (pre @ inner_block @ post) in
+              match Normalize.of_nest ~fresh s' with
+              | Error e ->
+                  Error { rej_variant = General; rej_reason = e }
+              | Ok nest -> (
+                  match variant with
+                  | Some v -> (
+                      match
+                        flatten ~fresh ?purity ?assume_inner_nonempty v nest
+                      with
+                      | Ok b -> Ok (b, v :: inner_variants)
+                      | Error r -> Error r)
+                  | None ->
+                      let b, v =
+                        flatten_auto ~fresh ?purity ?assume_inner_nonempty
+                          nest
+                      in
+                      Ok (b, v :: inner_variants)))))

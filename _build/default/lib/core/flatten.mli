@@ -1,0 +1,102 @@
+(** Loop flattening (paper §4, Figures 9–12) — the paper's contribution.
+
+    Input: a normalized two-level nest ([Normalize.nest], GENNEST of
+    Figure 8).  Output: a block in which BODY has been lifted out of the
+    inner loop, so that (after SIMDization, [Simdize]) each processor can
+    advance independently to its next iteration containing useful work. *)
+
+open Lf_lang
+
+(** The three forms of the transformation, in increasing order of required
+    preconditions (and decreasing run-time overhead). *)
+type variant =
+  | General  (** Figure 10: always applicable, guards latched into flags *)
+  | Optimized
+      (** Figure 11: needs side-effect-free tests and inner initialization
+          (condition 1) and at-least-once inner loops (condition 2) *)
+  | DoneTest
+      (** Figure 12: additionally needs a last-iteration test
+          (condition 3), saving the final increment *)
+
+val variant_to_string : variant -> string
+
+(** The guard-flag form of Figure 9: control flow still unchanged, but
+    every [test_l] result is latched into a flag.  Returns the block and
+    the two flag names (t1, t2). *)
+val with_guards :
+  fresh:Fresh.t -> Normalize.nest -> Ast.block * string * string
+
+(** Figure 10, unconditionally (see [flatten] for the checked entry
+    point). *)
+val flatten_general : fresh:Fresh.t -> Normalize.nest -> Ast.block
+
+(** Figure 11, unconditionally. *)
+val flatten_optimized : Normalize.nest -> Ast.block
+
+(** Figure 12, unconditionally; the expression is the inner loop's
+    "currently in the last iteration" predicate. *)
+val flatten_done_test : Normalize.nest -> Ast.expr -> Ast.block
+
+(** Why a variant was refused. *)
+type rejection = {
+  rej_variant : variant;
+  rej_reason : string;
+}
+
+val pp_rejection : rejection Fmt.t
+
+(** Is the inner initialization harmless to re-execute once after the
+    final outer iteration (condition 1)?  True when it consists only of
+    scalar assignments with pure right-hand sides to variables not in
+    [live_out]. *)
+val init2_harmless :
+  Lf_analysis.Side_effects.purity_env ->
+  live_out:string list ->
+  Normalize.nest ->
+  bool
+
+(** Check the preconditions of a variant (paper §4, conditions 1–3).
+    [assume_inner_nonempty] asserts condition 2 (e.g. the paper's "each
+    atom has at least one interaction partner"); [live_out] lists
+    variables read after the nest. *)
+val check :
+  ?purity:Lf_analysis.Side_effects.purity_env ->
+  ?assume_inner_nonempty:bool ->
+  ?live_out:string list ->
+  variant ->
+  Normalize.nest ->
+  (unit, rejection) result
+
+(** Flatten with an explicitly chosen variant, after checking its
+    preconditions. *)
+val flatten :
+  fresh:Fresh.t ->
+  ?purity:Lf_analysis.Side_effects.purity_env ->
+  ?assume_inner_nonempty:bool ->
+  ?live_out:string list ->
+  variant ->
+  Normalize.nest ->
+  (Ast.block, rejection) result
+
+(** Choose the most optimized applicable variant (Fig. 12 ≻ Fig. 11 ≻
+    Fig. 10) and flatten.  Never fails: the general variant always
+    applies. *)
+val flatten_auto :
+  fresh:Fresh.t ->
+  ?purity:Lf_analysis.Side_effects.purity_env ->
+  ?assume_inner_nonempty:bool ->
+  ?live_out:string list ->
+  Normalize.nest ->
+  Ast.block * variant
+
+(** Flatten a loop tower of any depth, innermost pair first (§4's
+    extension to "deeper loop nests").  Returns the flattened block and
+    the variants used, outermost first; a depth-1 tower is returned
+    unchanged with an empty variant list. *)
+val flatten_deep :
+  fresh:Fresh.t ->
+  ?purity:Lf_analysis.Side_effects.purity_env ->
+  ?assume_inner_nonempty:bool ->
+  ?variant:variant ->
+  Ast.stmt ->
+  (Ast.block * variant list, rejection) result

@@ -1,0 +1,220 @@
+(** MIMD code generation (paper §3, Figure 3): derive the per-processor
+    F77_MIMD program from an F77D program — the baseline the paper's
+    Fortran D compiler produces for message-passing machines.
+
+    Each processor executes the same program over its own name space: the
+    outer parallel loop shrinks to the local iteration count, arrays
+    DISTRIBUTEd (dim 1) by the program's Fortran D directives are accessed
+    through the {e local} index, and every other occurrence of the
+    induction variable is replaced by the reconstructed {e global} index
+    (Figure 3's "L'(i) corresponds to L(i + 4(p-1))").
+
+    References into a distributed array whose first subscript is anything
+    but the plain induction variable would require communication, which
+    the paper excludes (§5.2) — they are rejected.
+
+    The runtime contract: [Lf_mimd.Mimd_vm]'s per-processor setup binds
+    the local array slices under the original names and the 1-based
+    processor id under [myproc]. *)
+
+open Lf_lang
+open Lf_lang.Ast
+
+(** The per-processor id variable the generated program reads. *)
+let myproc = "myproc"
+
+type result = {
+  program : program;
+  distributed : string list;  (** arrays accessed through local indices *)
+  local_count : expr;  (** iterations per processor (K/P) *)
+  decomp : Simdize.decomp;
+}
+
+(** Arrays distributed in their first dimension, per the F77D directives:
+    ALIGNed to a DECOMPOSITION whose first distribution is BLOCK/CYCLIC,
+    or directly DISTRIBUTEd under their own name. *)
+let distributed_arrays (p : program) : (string * Simdize.decomp) list =
+  let dist_of = function
+    | DistBlock -> Some Simdize.Block
+    | DistCyclic -> Some Simdize.Cyclic
+    | DistSerial -> None
+  in
+  let decomp_dist =
+    List.filter_map
+      (function
+        | DDistribute (d, first :: _) ->
+            Option.map (fun k -> (d, k)) (dist_of first)
+        | _ -> None)
+      p.p_directives
+  in
+  let aligned =
+    List.filter_map
+      (function
+        | DAlign (a, d) ->
+            Option.map (fun k -> (a, k)) (List.assoc_opt d decomp_dist)
+        | _ -> None)
+      p.p_directives
+  in
+  (* DISTRIBUTE directly naming a declared array *)
+  let direct =
+    List.filter
+      (fun (d, _) -> List.exists (fun dc -> dc.dc_name = d) p.p_decls)
+      decomp_dist
+  in
+  aligned @ direct
+
+(** Rewrite the loop body for processor-local execution: distributed
+    arrays keep the plain [var] in dimension 1; every other occurrence of
+    [var] becomes the global-index variable [gvar]. *)
+let localize_body ~var ~gvar ~(distributed : string list) (b : block) :
+    (block, string) Stdlib.result =
+  let bad = ref None in
+  let rec fix_expr (e : expr) : expr =
+    match e with
+    | EIdx (a, d1 :: rest) when List.mem a distributed ->
+        (match d1 with
+        | EVar v when v = var -> ()
+        | d1 when not (List.mem var (Ast_util.expr_vars d1)) ->
+            (* loop-invariant subscript into a distributed dimension:
+               owned by some other processor in general *)
+            bad := Some (Fmt.str "%s(%s, ...)" a (Pretty.expr_to_string d1))
+        | d1 ->
+            bad := Some (Fmt.str "%s(%s, ...)" a (Pretty.expr_to_string d1)));
+        EIdx (a, d1 :: List.map fix_expr rest)
+    | EIdx (a, idxs) -> EIdx (a, List.map fix_expr idxs)
+    | ECall (f, args) -> ECall (f, List.map fix_expr args)
+    | EUn (op, a) -> EUn (op, fix_expr a)
+    | EBin (op, a, b) -> EBin (op, fix_expr a, fix_expr b)
+    | ERange (a, b) -> ERange (fix_expr a, fix_expr b)
+    | EVar v when v = var -> EVar gvar
+    | e -> e
+  in
+  (* assignment targets need the same dimension-1 treatment as reads:
+     a distributed array keeps the local index, everything else is fixed
+     expression-wise *)
+  let fix_lvalue (l : lvalue) : lvalue =
+    if List.mem l.lv_name distributed then
+      match l.lv_index with
+      | d1 :: rest ->
+          (match d1 with
+          | EVar v when v = var -> ()
+          | d1 ->
+              bad :=
+                Some
+                  (Fmt.str "%s(%s, ...)" l.lv_name (Pretty.expr_to_string d1)));
+          { l with lv_index = d1 :: List.map fix_expr rest }
+      | [] -> l
+    else { l with lv_index = List.map fix_expr l.lv_index }
+  in
+  let rec walk (s : stmt) : stmt =
+    match s with
+    | SAssign (l, e) -> SAssign (fix_lvalue l, fix_expr e)
+    | SDo (c, b) ->
+        SDo
+          ( { c with d_lo = fix_expr c.d_lo; d_hi = fix_expr c.d_hi;
+              d_step = Option.map fix_expr c.d_step },
+            List.map walk b )
+    | SForall (c, b) ->
+        SForall
+          ( { c with d_lo = fix_expr c.d_lo; d_hi = fix_expr c.d_hi;
+              d_step = Option.map fix_expr c.d_step },
+            List.map walk b )
+    | SWhile (e, b) -> SWhile (fix_expr e, List.map walk b)
+    | SDoWhile (b, e) -> SDoWhile (List.map walk b, fix_expr e)
+    | SIf (e, t, f) -> SIf (fix_expr e, List.map walk t, List.map walk f)
+    | SWhere (e, t, f) ->
+        SWhere (fix_expr e, List.map walk t, List.map walk f)
+    | SCall (n, args) -> SCall (n, List.map fix_expr args)
+    | SCondGoto (e, lbl) -> SCondGoto (fix_expr e, lbl)
+    | SGoto _ | SLabel _ | SComment _ -> s
+  in
+  let fixed = List.map walk b in
+  match !bad with
+  | Some r ->
+      Error
+        (Fmt.str
+           "reference %s needs communication (non-local subscript into a \
+            distributed dimension)"
+           r)
+  | None -> Ok fixed
+
+(** Derive the F77_MIMD program.  The program body must start (after any
+    straight-line prelude) with the counted parallel loop; [p] is the
+    processor-count expression; divisibility of the extent by [p] is
+    assumed, as in the paper. *)
+let mimdize ~(fresh : Fresh.t) ~(p : expr) (prog : program) :
+    (result, string) Stdlib.result =
+  let dists = distributed_arrays prog in
+  match Pipeline.split_first_loop prog.p_body with
+  | None -> Error "no loop found in program body"
+  | Some (pre, loop_stmt, post) -> (
+      match loop_stmt with
+      | SDo (c, body) | SForall (c, body) ->
+          if not (c.d_step = None || c.d_step = Some (EInt 1)) then
+            Error "outer loop must have unit stride"
+          else
+            let decomp =
+              match dists with
+              | (_, k) :: _ -> k
+              | [] -> Simdize.Block
+            in
+            if
+              List.exists (fun (_, k) -> k <> decomp) dists
+            then Error "mixed block/cyclic distributions are not supported"
+            else
+              let gvar = Fresh.fresh fresh (c.d_var ^ "_g") in
+              let extent =
+                Simplify.simplify
+                  (EBin (Add, EBin (Sub, c.d_hi, c.d_lo), EInt 1))
+              in
+              let local_count = Simplify.simplify (EBin (Div, extent, p)) in
+              let global_index =
+                match decomp with
+                | Simdize.Block ->
+                    (* g = lo + (i-1) + (myproc-1) * (extent/P) *)
+                    EBin
+                      ( Add,
+                        EBin (Add, c.d_lo, EBin (Sub, EVar c.d_var, EInt 1)),
+                        EBin
+                          (Mul, EBin (Sub, EVar myproc, EInt 1), local_count)
+                      )
+                | Simdize.Cyclic ->
+                    (* g = lo + (i-1)*P + (myproc-1) *)
+                    EBin
+                      ( Add,
+                        EBin
+                          ( Add,
+                            c.d_lo,
+                            EBin (Mul, EBin (Sub, EVar c.d_var, EInt 1), p) ),
+                        EBin (Sub, EVar myproc, EInt 1) )
+              in
+              (match
+                 localize_body ~var:c.d_var ~gvar
+                   ~distributed:(List.map fst dists)
+                   body
+               with
+              | Error e -> Error e
+              | Ok body ->
+                  let body =
+                    Ast.assign gvar (Simplify.simplify global_index) :: body
+                  in
+                  let loop =
+                    SDo (Ast.do_control c.d_var (EInt 1) local_count, body)
+                  in
+                  let decls =
+                    prog.p_decls
+                    @ [ Ast.scalar TInt gvar; Ast.scalar TInt myproc ]
+                  in
+                  Ok
+                    {
+                      program =
+                        {
+                          prog with
+                          p_decls = decls;
+                          p_body = pre @ [ loop ] @ post;
+                        };
+                      distributed = List.map fst dists;
+                      local_count;
+                      decomp;
+                    })
+      | _ -> Error "outer loop must be a counted DO/FORALL")

@@ -1,0 +1,39 @@
+(** MIMD code generation (paper §3, Figure 3): derive the per-processor
+    F77_MIMD program from an F77D program with DECOMPOSITION / ALIGN /
+    DISTRIBUTE directives.  References needing communication are rejected
+    (the paper excludes communication, §5.2). *)
+
+open Lf_lang
+
+(** The per-processor id variable the generated program reads (bound by
+    the driver, 1-based). *)
+val myproc : string
+
+type result = {
+  program : Ast.program;
+  distributed : string list;  (** arrays accessed through local indices *)
+  local_count : Ast.expr;  (** iterations per processor (K/P) *)
+  decomp : Simdize.decomp;
+}
+
+(** Arrays distributed in their first dimension, per the program's
+    Fortran D directives. *)
+val distributed_arrays :
+  Ast.program -> (string * Simdize.decomp) list
+
+(** Rewrite a loop body for processor-local execution: distributed arrays
+    keep the plain induction variable in dimension 1; its other
+    occurrences become the global-index variable. *)
+val localize_body :
+  var:string ->
+  gvar:string ->
+  distributed:string list ->
+  Ast.block ->
+  (Ast.block, string) Stdlib.result
+
+(** Derive the F77_MIMD program for [p] processors. *)
+val mimdize :
+  fresh:Fresh.t ->
+  p:Ast.expr ->
+  Ast.program ->
+  (result, string) Stdlib.result

@@ -1,0 +1,215 @@
+(** Loop normalization (paper §4, Figure 8).
+
+    Every supported loop form is broken into three phases per nesting
+    level l:
+
+    - an initialization phase [init_l],
+    - a guard [test_l] (evaluated *before* the body — "GENNEST conservatively
+      tests for loop completion before entering the loop body, [so] all loops
+      can be brought into this normal form"), and
+    - an incrementing step [increment_l].
+
+    For [DO var = lo, hi, stride] the phases are [var = lo],
+    [var <= hi] and [var = var + stride] (§6).  WHILE loops keep their
+    increment fused with the body ("since increment_l and BODY stay together
+    throughout the transformation, we actually do not need to separate these
+    two phases"), except that a trailing basic-induction update is peeled
+    when recognizable, which enables the Fig. 12 done-test optimization.
+    GOTO loops are first restructured into WHILEs by
+    [Lf_analysis.Loop_info.restructure_gotos]. *)
+
+open Lf_lang
+open Lf_lang.Ast
+
+(** A loop in normal form. *)
+type norm = {
+  n_init : block;
+  n_test : expr;
+  n_increment : block;
+  n_body : block;
+  n_var : string option;  (** induction variable for counted loops *)
+  n_done : expr option;
+      (** "currently in the last iteration" test, when derivable (§4,
+          condition 3: for [DO var = lo, hi, 1] this is [var = hi]) *)
+  n_parallel : bool;  (** loop was a FORALL (user-asserted parallel) *)
+}
+
+(** A normalized two-level nest: GENNEST of Figure 8.  [outer.n_body] is
+    *not* used — the structure between the loops is folded into the phases:
+    statements before the inner loop extend [inner.n_init] and statements
+    after it extend [outer.n_increment] (they run exactly when the inner
+    loop has completed). *)
+type nest = {
+  outer : norm;
+  inner : norm;
+  body : block;  (** BODY of Figure 8 *)
+}
+
+let counted_norm (c : do_control) (body : block) ~parallel : norm =
+  let step =
+    Simplify.simplify (Option.value ~default:(EInt 1) c.d_step)
+  in
+  let v = EVar c.d_var in
+  let test, done_ =
+    match step with
+    | EInt 1 -> (EBin (Le, v, c.d_hi), Some (EBin (Eq, v, c.d_hi)))
+    | EInt n when n > 1 ->
+        (EBin (Le, v, c.d_hi), Some (EBin (Gt, EBin (Add, v, step), c.d_hi)))
+    | EInt n when n < 0 ->
+        (EBin (Ge, v, c.d_hi), Some (EBin (Lt, EBin (Add, v, step), c.d_hi)))
+    | _ ->
+        (* symbolic stride: assume positive, no done-test *)
+        (EBin (Le, v, c.d_hi), None)
+  in
+  {
+    n_init = [ Ast.assign c.d_var c.d_lo ];
+    n_test = test;
+    n_increment = [ Ast.assign c.d_var (EBin (Add, v, step)) ];
+    n_body = body;
+    n_var = Some c.d_var;
+    n_done = done_;
+    n_parallel = parallel;
+  }
+
+(** Peel a trailing [v = v + c] / [v = v - c] update off a WHILE body when
+    [v] occurs in the test and is updated nowhere else in the body; the
+    peeled statement becomes the increment phase. *)
+let peel_increment (test : expr) (body : block) : block * block * string option
+    =
+  match List.rev body with
+  | SAssign (({ lv_name = v; lv_index = [] } as lvx), EBin ((Add | Sub), EVar v', _))
+    :: rev_rest
+    when v = v'
+         && List.mem v (Ast_util.expr_vars test)
+         && not
+              (List.exists
+                 (fun s ->
+                   List.mem v
+                     (Ast_util.assigned_vars [ s ]))
+                 rev_rest) ->
+      let incr_stmt =
+        match List.rev body with s :: _ -> s | [] -> assert false
+      in
+      ignore (lvx : lvalue);
+      (List.rev rev_rest, [ incr_stmt ], Some v)
+  | _ -> (body, [], None)
+
+(** Normalize one loop statement.  [fresh] supplies names for synthetic
+    control variables (needed for post-test loops). *)
+let of_loop ~(fresh : Fresh.t) (s : stmt) : norm option =
+  match s with
+  | SDo (c, body) -> Some (counted_norm c body ~parallel:false)
+  | SForall (c, body) -> Some (counted_norm c body ~parallel:true)
+  | SWhile (test, body) ->
+      let body, increment, var = peel_increment test body in
+      Some
+        {
+          n_init = [];
+          n_test = test;
+          n_increment = increment;
+          n_body = body;
+          n_var = var;
+          n_done = None;
+          n_parallel = false;
+        }
+  | SDoWhile (body, test) ->
+      (* post-test loop: the pre-test normal form needs a first-iteration
+         flag:  first = .TRUE.; WHILE (first .OR. test) { first = .FALSE.;
+         body }.  Requires [test] to be evaluable before the first
+         iteration (Fortran's eager .OR.). *)
+      let first = Fresh.fresh fresh "first" in
+      Some
+        {
+          n_init = [ Ast.assign first (EBool true) ];
+          n_test = EBin (Or, EVar first, test);
+          n_increment = [];
+          n_body = Ast.assign first (EBool false) :: body;
+          n_var = None;
+          n_done = None;
+          n_parallel = false;
+        }
+  | _ -> None
+
+(** Reconstruct an executable loop from a normal form:
+    [init; WHILE test { body; increment }] — Figure 8's right-hand shape. *)
+let to_while (n : norm) : block =
+  n.n_init @ [ SWhile (n.n_test, n.n_body @ n.n_increment) ]
+
+(** Normalize a perfect two-level nest.  [stmt] must be a loop whose body
+    contains exactly one loop; statements before the inner loop join
+    [inner.n_init], statements after it join [outer.n_increment] (Figure 8's
+    GENNEST shape, see the module comment). *)
+let of_nest ~(fresh : Fresh.t) (s : stmt) : (nest, string) result =
+  match of_loop ~fresh s with
+  | None -> Error "not a loop statement"
+  | Some outer0 -> (
+      match Lf_analysis.Loop_info.split_around_loop outer0.n_body with
+      | None -> Error "outer loop body must contain exactly one inner loop"
+      | Some (pre, inner_loop, post) -> (
+          let inner_stmt =
+            match inner_loop.Lf_analysis.Loop_info.kind with
+            | Lf_analysis.Loop_info.KDo c ->
+                SDo (c, inner_loop.Lf_analysis.Loop_info.body)
+            | Lf_analysis.Loop_info.KWhile e ->
+                SWhile (e, inner_loop.Lf_analysis.Loop_info.body)
+            | Lf_analysis.Loop_info.KDoWhile e ->
+                SDoWhile (inner_loop.Lf_analysis.Loop_info.body, e)
+            | Lf_analysis.Loop_info.KForall c ->
+                SForall (c, inner_loop.Lf_analysis.Loop_info.body)
+          in
+          match of_loop ~fresh inner_stmt with
+          | None -> Error "unsupported inner loop form"
+          | Some inner ->
+              let inner = { inner with n_init = pre @ inner.n_init } in
+              let outer =
+                {
+                  outer0 with
+                  n_increment = post @ outer0.n_increment;
+                  n_body = [];
+                }
+              in
+              Ok { outer; inner; body = inner.n_body }))
+
+(** Recognize a WHILE loop that is really a counted loop — the shape the
+    GOTO restructurer produces: the preceding block ends with [var = lo],
+    the test simplifies to [var <= hi] (or [var < hi]), and the body's
+    trailing update is [var = var + 1].  Returns the shortened prefix and
+    the equivalent [DO] statement, enabling the counted-loop-only passes
+    (SIMD partitioning, coalescing) on dusty-deck inputs. *)
+let recognize_counted ~(pre : block) (s : stmt) : (block * stmt) option =
+  match s with
+  | SWhile (test, body) -> (
+      match peel_increment test body with
+      | body', [ SAssign (_, EBin (Add, EVar v', EInt 1)) ], Some v
+        when v = v' -> (
+          let hi =
+            match Simplify.simplify test with
+            | EBin (Le, EVar x, hi) when x = v -> Some hi
+            | EBin (Lt, EVar x, hi) when x = v ->
+                Some (Simplify.simplify (EBin (Sub, hi, EInt 1)))
+            | EBin (Ge, hi, EVar x) when x = v -> Some hi
+            | EBin (Gt, hi, EVar x) when x = v ->
+                Some (Simplify.simplify (EBin (Sub, hi, EInt 1)))
+            | _ -> None
+          in
+          match (hi, List.rev pre) with
+          | Some hi, SAssign ({ lv_name = v''; lv_index = [] }, lo) :: rest
+            when v'' = v
+                 && not (List.mem v (Ast_util.expr_vars hi))
+                 && not (List.mem v (Ast_util.expr_vars lo)) ->
+              Some (List.rev rest, SDo (Ast.do_control v lo hi, body'))
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(** Reconstruct GENNEST (Figure 8's left column) from a normalized nest:
+    the original program up to loop-form normalization. *)
+let nest_to_block (n : nest) : block =
+  n.outer.n_init
+  @ [
+      SWhile
+        ( n.outer.n_test,
+          n.inner.n_init
+          @ [ SWhile (n.inner.n_test, n.body @ n.inner.n_increment) ]
+          @ n.outer.n_increment );
+    ]

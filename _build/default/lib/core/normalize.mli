@@ -1,0 +1,60 @@
+(** Loop normalization (paper §4, Figure 8): break every loop form into
+    [init] / [test] / [increment] phases, and normalize perfect two-level
+    nests into the GENNEST shape that [Flatten] consumes. *)
+
+open Lf_lang
+
+(** A loop in normal form. *)
+type norm = {
+  n_init : Ast.block;
+  n_test : Ast.expr;  (** evaluated before each body execution *)
+  n_increment : Ast.block;
+  n_body : Ast.block;
+  n_var : string option;  (** induction variable for counted loops *)
+  n_done : Ast.expr option;
+      (** "currently in the last iteration" test, when derivable (for
+          [DO var = lo, hi, 1] this is [var = hi], §4 condition 3) *)
+  n_parallel : bool;  (** loop was a FORALL (user-asserted parallel) *)
+}
+
+(** A normalized two-level nest (GENNEST of Figure 8).  Statements before
+    the inner loop extend [inner.n_init]; statements after it extend
+    [outer.n_increment]; [outer.n_body] is unused. *)
+type nest = {
+  outer : norm;
+  inner : norm;
+  body : Ast.block;  (** BODY of Figure 8 *)
+}
+
+(** Normalize one counted loop header. *)
+val counted_norm : Ast.do_control -> Ast.block -> parallel:bool -> norm
+
+(** Peel a trailing basic-induction update ([v = v ± c]) off a WHILE body;
+    returns (body without it, increment phase, induction variable). *)
+val peel_increment :
+  Ast.expr -> Ast.block -> Ast.block * Ast.block * string option
+
+(** Normalize one loop statement ([None] for non-loops).  [fresh] supplies
+    names for synthetic control variables (post-test loops need a
+    first-iteration flag). *)
+val of_loop : fresh:Fresh.t -> Ast.stmt -> norm option
+
+(** Reconstruct an executable loop from a normal form:
+    [init; WHILE test {body; increment}]. *)
+val to_while : norm -> Ast.block
+
+(** Normalize a perfect two-level nest; the statement must be a loop whose
+    body contains exactly one loop. *)
+val of_nest : fresh:Fresh.t -> Ast.stmt -> (nest, string) result
+
+(** Recognize a WHILE loop that is really a counted loop (the GOTO
+    restructurer's output shape): the preceding block ends with
+    [var = lo], the test simplifies to a bound on [var], and the trailing
+    update is [var = var + 1].  Returns the shortened prefix and the
+    equivalent DO statement. *)
+val recognize_counted :
+  pre:Ast.block -> Ast.stmt -> (Ast.block * Ast.stmt) option
+
+(** Reconstruct GENNEST (Figure 8's left column) from a normalized nest —
+    the original program up to loop-form normalization. *)
+val nest_to_block : nest -> Ast.block

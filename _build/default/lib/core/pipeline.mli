@@ -1,0 +1,53 @@
+(** The compiler pipeline (paper §6): applicability, safety, profitability,
+    and the program-level driver that rewrites a whole [Ast.program]. *)
+
+open Lf_lang
+
+type target =
+  | Sequential  (** flatten only, stay at the F77 level *)
+  | Simd of {
+      decomp : Simdize.decomp;
+      p : Ast.expr;  (** processor-count expression *)
+    }
+
+type options = {
+  variant : Flatten.variant option;  (** [None] = choose automatically *)
+  assume_inner_nonempty : bool;  (** §4 condition 2, asserted by the user *)
+  trusted_parallel : bool;  (** user asserts outer-loop independence *)
+  pure_subroutines : string list;
+      (** calls certified free of cross-iteration effects *)
+  impure_funcs : string list;  (** functions with side effects *)
+  deep : bool;  (** flatten towers deeper than two levels (§4) *)
+  target : target;
+}
+
+val default_options : options
+
+type outcome = {
+  program : Ast.program;
+  variant_used : Flatten.variant;
+  safety : Lf_analysis.Parallel.result;
+  profitable : bool;
+      (** §6: inner bounds vary across outer iterations / processors *)
+  plural_vars : string list;  (** SIMD targets: replicated variables *)
+  notes : string list;
+}
+
+(** Split a block around its first top-level loop statement. *)
+val split_first_loop :
+  Ast.block -> (Ast.block * Ast.stmt * Ast.block) option
+
+(** Profitability heuristic (§6): do the inner trip counts vary with the
+    outer iteration? *)
+val profitable : Normalize.nest -> bool
+
+(** Flatten (and, for a SIMD target, SIMDize) the first loop nest of the
+    program body.  GOTO loops are restructured first.  Fails with an
+    explanatory message when the nest is not applicable or not safe. *)
+val flatten_program :
+  ?opts:options -> Ast.program -> (outcome, string) result
+
+(** SIMDize the first nest {e without} flattening — the naive SIMD version
+    of Figures 5/14, the evaluation's baseline.  Requires a SIMD target. *)
+val simdize_program_naive :
+  ?opts:options -> Ast.program -> (outcome, string) result

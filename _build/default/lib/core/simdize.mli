@@ -1,0 +1,103 @@
+(** Loop SIMDization (paper §3): deriving F90simd programs from F77/F77D —
+    the Figure 5 (naive) and Figure 7/15 (flattened) code shapes. *)
+
+open Lf_lang
+
+(** Data decomposition of the parallel iteration space (paper §5.2:
+    cyclic "cut-and-stack" on the DECmpp, blockwise on the CM-2). *)
+type decomp =
+  | Block
+  | Cyclic
+
+val decomp_to_string : decomp -> string
+
+(** The predefined plural processor-index variable (the vector [1:P]);
+    bound automatically by [Lf_simd.Vm]. *)
+val iproc : string
+
+module SS : Set.S with type elt = string
+
+(** Is [e]'s value plural (per-processor), given the plural-variable set?
+    A gather through a plural subscript is plural; a reduction over a
+    plural operand is front-end scalar. *)
+val expr_is_plural : SS.t -> Ast.expr -> bool
+
+(** Fixed-point inference of plural variables: seeds plus every scalar
+    assigned from a plural expression or under a plural condition.
+    Arrays stay global (distributed) storage. *)
+val infer_plural : seeds:string list -> Ast.block -> SS.t
+
+(** Rewrite control flow over plural state: IF → WHERE, WHILE over a
+    plural condition → [WHILE ANY(c) {WHERE (c) ...}]. *)
+val vectorize_control : SS.t -> Ast.block -> Ast.block
+
+(** [partition_init decomp ~p ~lo ~hi var] — plural initialization of
+    [var], its per-processor last value, and the per-processor stride
+    (cyclic: start [lo + iproc - 1], bound [hi], stride [p]; block: chunked,
+    with the extent assumed divisible by [p]). *)
+val partition_init :
+  decomp ->
+  p:Ast.expr ->
+  lo:Ast.expr ->
+  hi:Ast.expr ->
+  string ->
+  Ast.block * Ast.expr * Ast.expr
+
+type flattened_simd = {
+  fs_block : Ast.block;
+  fs_plural : string list;  (** variables that must be declared plural *)
+  fs_decomp : decomp;
+}
+
+(** SIMDize a flattened loop (output of [Flatten]) whose outer loop was
+    counted over [var] in [lo..hi]: replaces the init with the partitioned
+    plural init, rewrites the per-processor bound (block) or stride
+    (cyclic, Figure 15's [At1 = At1 + P]), infers plural variables, and
+    vectorizes control flow — yielding the Figure 7 / Figure 15 shape. *)
+val simdize_flattened :
+  fresh:Fresh.t ->
+  decomp:decomp ->
+  p:Ast.expr ->
+  var:string ->
+  lo:Ast.expr ->
+  hi:Ast.expr ->
+  Ast.block ->
+  flattened_simd
+
+type nest_simd = {
+  ns_block : Ast.block;
+  ns_plural : string list;
+  ns_decomp : decomp;
+}
+
+(** SIMDize an unflattened two-level nest whose outer loop is the counted
+    parallel loop (Figure 5's derivation): uniform front-end outer count,
+    plural auxiliary induction variable, inner bounds raised to
+    MAXVAL/MINVAL with a WHERE guard.  [divisible] asserts that [p]
+    divides the outer extent (otherwise a guard wraps the body). *)
+val simdize_nest :
+  fresh:Fresh.t ->
+  decomp:decomp ->
+  p:Ast.expr ->
+  ?divisible:bool ->
+  Ast.stmt ->
+  (nest_simd, string) result
+
+(** {2 Sum reductions (extension)}
+
+    Not in the paper — its §6 safety condition rejects reductions — but
+    the standard vectorizer treatment: per-lane partial sums combined
+    after the loop. *)
+
+(** Scalars accumulated only as [v = v + e] (and read nowhere else) inside
+    the block; [exclude] lists control variables. *)
+val sum_reduction_candidates : exclude:string list -> Ast.block -> string list
+
+(** Rewrite each reduction scalar to a per-lane partial accumulator
+    ([vp = 0] before, [v -> vp] inside, [v = v + SUM(vp)] after); returns
+    the rewritten block and the (scalar, partial) pairs. *)
+val lower_sum_reductions :
+  fresh:Fresh.t ->
+  string list ->
+  Ast.block ->
+  Ast.block * (string * string) list

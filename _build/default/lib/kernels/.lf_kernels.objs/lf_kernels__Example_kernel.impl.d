@@ -1,0 +1,1 @@
+lib/kernels/example_kernel.ml: Array Fmt List Option

@@ -1,0 +1,1 @@
+lib/kernels/example_kernel.mli: Fmt

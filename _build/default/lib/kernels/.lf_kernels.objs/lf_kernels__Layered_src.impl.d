@@ -1,0 +1,1 @@
+lib/kernels/layered_src.ml: Array Ast Errors Lf_lang Lf_md Lf_simd Parser Values

@@ -1,0 +1,1 @@
+lib/kernels/nbforce.ml: Array Fun Layout Lf_md Lf_simd List Machine

@@ -1,0 +1,1 @@
+lib/kernels/nbforce.mli: Lf_md Lf_simd Machine

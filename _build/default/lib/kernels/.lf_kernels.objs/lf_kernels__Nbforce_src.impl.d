@@ -1,0 +1,1 @@
+lib/kernels/nbforce_src.ml: Array Ast Env Errors Interp Lf_lang Lf_md Lf_simd Nd Parser Values

@@ -1,0 +1,37 @@
+(** The paper's EXAMPLE loop nest (§3) as executable trace kernels,
+    reproducing the execution traces of Figures 4 and 6. *)
+
+type cell = (int * int) option
+(** (local outer index, inner index) at that time step; [None] = idle. *)
+
+type trace = {
+  label : string;
+  cells : cell array array;  (** [cells.(processor).(time)] *)
+  time : int;
+}
+
+(** Per-processor streams of (local_i, j) pairs under a block
+    decomposition; P must divide the length of [l]. *)
+val pair_streams : l:int array -> p:int -> (int * int) list array
+
+(** Figure 4: the MIMD execution trace — [max_p Σ L] steps (Eq. 1). *)
+val mimd_trace : l:int array -> p:int -> trace
+
+(** The flattened SIMD trace: identical occupancy to MIMD. *)
+val flattened_trace : l:int array -> p:int -> trace
+
+(** Figure 6: the unflattened SIMDized trace — [Σ_i max_p L] steps
+    (Eq. 2), with idle slots. *)
+val simd_unflattened_trace : l:int array -> p:int -> trace
+
+(** The paper's concrete data: K = 8, L = 4,1,2,1,1,3,1,3 (P = 2). *)
+val paper_l : int array
+
+val paper_mimd : unit -> trace
+val paper_simd : unit -> trace
+val paper_flattened : unit -> trace
+
+(** Render in the paper's tabular style. *)
+val pp : trace Fmt.t
+
+val to_string : trace -> string

@@ -1,0 +1,242 @@
+(** Native lockstep simulations of the three NBFORCE loop versions of the
+    paper's §5.3 — the engines behind Tables 1 and 2:
+
+    - [L1] ("Lu¹"): unflattened, selecting the [Lrs] memory layers in use
+      (Figure 17 with explicit 1:Lrs subscripts);
+    - [L2] ("Lu²"): unflattened, sweeping all [maxLrs] layers;
+    - [Flat] ("Lf"): flattened (Figure 16) — each lane walks its own
+      (atom, partner) stream via indirect addressing.
+
+    Each kernel walks the same pairlist, accumulates real Lennard-Jones +
+    Coulomb forces (so numerical agreement across versions is testable),
+    counts force-routine steps, and prices them with the machine cost
+    model.  Atoms are laid out over the [Gran] lanes by the machine's
+    layout (cut-and-stack on the DECmpp, blockwise on the CM-2). *)
+
+open Lf_simd
+
+type variant =
+  | L1
+  | L2
+  | Flat
+
+let variant_to_string = function
+  | L1 -> "Lu1"
+  | L2 -> "Lu2"
+  | Flat -> "Lf"
+
+type result = {
+  variant : variant;
+  machine : Machine.t;
+  n : int;  (** atoms *)
+  nmax : int;  (** compiled-for maximum (sizes maxLrs) *)
+  lrs : int;
+  max_lrs : int;
+  force_steps : int;
+      (** vector invocations of the force routine — the dominant cost *)
+  table2_count : int;
+      (** Table 2 normalization: Lu = maxPCnt * Lrs; Lf = force_steps *)
+  useful_pairs : int;  (** Σ pCnt — identical across variants *)
+  busy_lanes : int;  (** lane-steps that computed a real pair *)
+  time : float;  (** modeled seconds on [machine] *)
+  forces : Lf_md.Force.vec array;  (** accumulated owner-side forces *)
+}
+
+let utilization r =
+  if r.force_steps = 0 then 1.0
+  else
+    float_of_int r.busy_lanes
+    /. (float_of_int r.force_steps *. float_of_int r.machine.Machine.gran)
+
+(** Lane assignment: [lane_atoms.(q)] lists the (0-based) atoms of lane
+    [q] in layer order; derived from the machine layout. *)
+let lane_atoms (m : Machine.t) ~n : int array array =
+  Layout.partition m.Machine.layout ~gran:m.Machine.gran ~n
+  |> Array.map (fun l -> Array.of_list (List.map (fun g -> g - 1) l))
+
+let max_pcnt (pl : Lf_md.Pairlist.t) = Lf_md.Pairlist.max_pcnt pl
+
+(** Shared force accumulation for one (atom, partner-rank) slot. *)
+let do_pair (mol : Lf_md.Molecule.t) (pl : Lf_md.Pairlist.t) forces atom pr =
+  let j = pl.Lf_md.Pairlist.partners.(atom).(pr - 1) in
+  let f =
+    Lf_md.Force.pair mol.Lf_md.Molecule.atoms.(atom)
+      mol.Lf_md.Molecule.atoms.(j)
+  in
+  forces.(atom) <- Lf_md.Force.add forces.(atom) f
+
+(** The unflattened kernels.  One vector force step per (pr, layer); a
+    lane is busy in that step when its atom in that layer exists and has
+    at least [pr] partners (the WHERE (pCnt .GE. pr) mask of Figure 17). *)
+let run_unflattened ?(compute_forces = true) (variant : variant)
+    (m : Machine.t) (mol : Lf_md.Molecule.t) (pl : Lf_md.Pairlist.t) ~nmax :
+    result =
+  let n = Array.length pl.Lf_md.Pairlist.pcnt in
+  let lanes = lane_atoms m ~n in
+  let lrs = Machine.layers m ~n in
+  let max_lrs = Machine.layers m ~n:nmax in
+  let sweep_layers = match variant with L1 -> lrs | _ -> max_lrs in
+  let maxp = max_pcnt pl in
+  let forces = Array.make n Lf_md.Force.zero in
+  let busy = ref 0 in
+  let steps = ref 0 in
+  for pr = 1 to maxp do
+    for layer = 1 to sweep_layers do
+      incr steps;
+      Array.iter
+        (fun atoms ->
+          if layer <= Array.length atoms then begin
+            let a = atoms.(layer - 1) in
+            if pl.Lf_md.Pairlist.pcnt.(a) >= pr then begin
+              incr busy;
+              if compute_forces then do_pair mol pl forces a pr
+            end
+          end)
+        lanes
+    done
+  done;
+  (* cost model: L2 sweeps maxLrs layers at the base step cost; L1 pays a
+     per-layer activity check, and on the CM-2 still cycles through all
+     maxLrs layers (paper §5.3) *)
+  let time =
+    match variant with
+    | L2 -> float_of_int (maxp * max_lrs) *. m.Machine.cost_unflat_step
+    | L1 ->
+        let layers_touched =
+          if m.Machine.l1_touches_all_layers then max_lrs else lrs
+        in
+        float_of_int (maxp * layers_touched)
+        *. (m.Machine.cost_unflat_step +. m.Machine.cost_layer_check)
+        +. (float_of_int (maxp * max_lrs) *. m.Machine.cost_l1_frontend)
+    | Flat -> assert false
+  in
+  {
+    variant;
+    machine = m;
+    n;
+    nmax;
+    lrs;
+    max_lrs;
+    force_steps = !steps;
+    table2_count = maxp * lrs;
+    useful_pairs = Lf_md.Pairlist.n_pairs pl;
+    busy_lanes = !busy;
+    time;
+    forces;
+  }
+
+(** The flattened kernel (Figure 16): each lane holds a cursor
+    (layer, pr) into its own atom stream and advances independently; one
+    vector force step per iteration of the [DO WHILE (ANY(l .LE. Lrs))]
+    loop.  Requires pCnt >= 1 (the paper's stated assumption).
+
+    Atom-to-lane assignment is cyclic on {e both} machines: Figure 16's
+    indirection ([at1 = [1:P]] ... [at1 = at1 + P]) walks atoms
+    cut-and-stack-wise by construction, independent of the physical array
+    layout -- indirect addressing is exactly what frees the kernel from the
+    layout (the paper's "generalization of substituting direct addressing
+    with indirect addressing", section 7).  This also neutralizes the
+    systematic imbalance a blockwise split would get from the owner-side
+    (j > i) pair storage, whose per-atom counts decline with the atom
+    index. *)
+let run_flat ?(compute_forces = true) ?(indirect = true) ?partition
+    (m : Machine.t) (mol : Lf_md.Molecule.t) (pl : Lf_md.Pairlist.t) ~nmax :
+    result =
+  let n = Array.length pl.Lf_md.Pairlist.pcnt in
+  let lanes =
+    match partition with
+    | Some p -> p
+    | None ->
+        if indirect then
+          lane_atoms { m with Machine.layout = Machine.Cut_and_stack } ~n
+        else lane_atoms m ~n
+  in
+  let lrs = Machine.layers m ~n in
+  let max_lrs = Machine.layers m ~n:nmax in
+  let gran = m.Machine.gran in
+  let forces = Array.make n Lf_md.Force.zero in
+  let layer = Array.make gran 0 in  (* 0-based cursor into lanes.(q) *)
+  let pr = Array.make gran 1 in
+  let busy = ref 0 and steps = ref 0 in
+  let live q = layer.(q) < Array.length lanes.(q) in
+  let lanes_idx = Array.init gran Fun.id in
+  let any_live = ref (Array.exists live lanes_idx) in
+  while !any_live do
+    incr steps;
+    for q = 0 to gran - 1 do
+      if live q then begin
+        let a = lanes.(q).(layer.(q)) in
+        incr busy;
+        if compute_forces then do_pair mol pl forces a pr.(q);
+        if pr.(q) >= pl.Lf_md.Pairlist.pcnt.(a) then begin
+          layer.(q) <- layer.(q) + 1;
+          pr.(q) <- 1
+        end
+        else pr.(q) <- pr.(q) + 1
+      end
+    done;
+    any_live := Array.exists live lanes_idx
+  done;
+  {
+    variant = Flat;
+    machine = m;
+    n;
+    nmax;
+    lrs;
+    max_lrs;
+    force_steps = !steps;
+    table2_count = !steps;
+    useful_pairs = Lf_md.Pairlist.n_pairs pl;
+    busy_lanes = !busy;
+    time = float_of_int !steps *. m.Machine.cost_flat_step;
+    forces;
+  }
+
+let run ?compute_forces (variant : variant) (m : Machine.t)
+    (mol : Lf_md.Molecule.t) (pl : Lf_md.Pairlist.t) ~nmax : result =
+  match variant with
+  | L1 | L2 -> run_unflattened ?compute_forces variant m mol pl ~nmax
+  | Flat -> run_flat ?compute_forces m mol pl ~nmax
+
+(** The analytical flattened step count, Eq. 1′:
+    [max_q Σ_{atoms of q} pCnt] — tested equal to [run_flat]'s count. *)
+let flat_steps_bound ?(indirect = true) (m : Machine.t)
+    (pl : Lf_md.Pairlist.t) : int =
+  let n = Array.length pl.Lf_md.Pairlist.pcnt in
+  (if indirect then
+     lane_atoms { m with Machine.layout = Machine.Cut_and_stack } ~n
+   else lane_atoms m ~n)
+  |> Array.fold_left
+       (fun acc atoms ->
+         max acc
+           (Array.fold_left
+              (fun s a -> s + max 1 pl.Lf_md.Pairlist.pcnt.(a))
+              0 atoms))
+       0
+
+(** Sequential (Sparc 2) baseline: one pair at a time. *)
+let run_sequential (m : Machine.t) (mol : Lf_md.Molecule.t)
+    (pl : Lf_md.Pairlist.t) : result =
+  let n = Array.length pl.Lf_md.Pairlist.pcnt in
+  let forces = Array.make n Lf_md.Force.zero in
+  let steps = ref 0 in
+  for a = 0 to n - 1 do
+    for pr = 1 to pl.Lf_md.Pairlist.pcnt.(a) do
+      incr steps;
+      do_pair mol pl forces a pr
+    done
+  done;
+  {
+    variant = Flat;
+    machine = m;
+    n;
+    nmax = n;
+    lrs = n;
+    max_lrs = n;
+    force_steps = !steps;
+    table2_count = !steps;
+    useful_pairs = Lf_md.Pairlist.n_pairs pl;
+    busy_lanes = !steps;
+    time = float_of_int !steps *. m.Machine.cost_unflat_step;
+    forces;
+  }

@@ -1,0 +1,81 @@
+(** Native lockstep simulations of the paper's three NBFORCE loop versions
+    (§5.3) — the engines behind Tables 1 and 2. *)
+
+open Lf_simd
+
+type variant =
+  | L1  (** "Lu¹": unflattened, selecting the Lrs memory layers in use *)
+  | L2  (** "Lu²": unflattened, sweeping all maxLrs layers *)
+  | Flat  (** "Lf": flattened (Figure 16), per-lane indirect streams *)
+
+val variant_to_string : variant -> string
+
+type result = {
+  variant : variant;
+  machine : Machine.t;
+  n : int;  (** atoms *)
+  nmax : int;  (** compiled-for maximum (sizes maxLrs) *)
+  lrs : int;
+  max_lrs : int;
+  force_steps : int;  (** vector force-routine invocations *)
+  table2_count : int;
+      (** Table 2's normalization: Lu = maxPCnt × Lrs; Lf = force_steps *)
+  useful_pairs : int;  (** Σ pCnt — identical across variants *)
+  busy_lanes : int;  (** lane-steps that computed a real pair *)
+  time : float;  (** modeled seconds on the machine *)
+  forces : Lf_md.Force.vec array;  (** accumulated owner-side forces *)
+}
+
+(** Fraction of (force-step × lane) slots that did useful pair work. *)
+val utilization : result -> float
+
+(** [lane_atoms m ~n].(q) lists lane [q]'s (0-based) atoms in layer
+    order, per the machine layout. *)
+val lane_atoms : Machine.t -> n:int -> int array array
+
+(** The unflattened kernels (L1 or L2).  One vector force step per
+    (pr, layer); a lane is busy when its atom exists in that layer and has
+    ≥ pr partners (Figure 17's WHERE mask). *)
+val run_unflattened :
+  ?compute_forces:bool ->
+  variant ->
+  Machine.t ->
+  Lf_md.Molecule.t ->
+  Lf_md.Pairlist.t ->
+  nmax:int ->
+  result
+
+(** The flattened kernel (Figure 16): per-lane (layer, pr) cursors advance
+    independently, one vector force step per DO WHILE iteration.  Requires
+    pCnt ≥ 1 ([Lf_md.Pairlist.ensure_nonempty]).  [indirect] (default
+    true) walks atoms cyclically like Figure 16's indirection regardless
+    of the physical layout; [false] honors the machine layout (the
+    lane-assignment ablation); [partition] overrides the assignment
+    entirely (e.g. [Lf_md.Decomp.balanced]). *)
+val run_flat :
+  ?compute_forces:bool ->
+  ?indirect:bool ->
+  ?partition:int array array ->
+  Machine.t ->
+  Lf_md.Molecule.t ->
+  Lf_md.Pairlist.t ->
+  nmax:int ->
+  result
+
+(** Dispatch on the variant. *)
+val run :
+  ?compute_forces:bool ->
+  variant ->
+  Machine.t ->
+  Lf_md.Molecule.t ->
+  Lf_md.Pairlist.t ->
+  nmax:int ->
+  result
+
+(** The analytical flattened step count (Eq. 1′):
+    [max_q Σ_{atoms of q} pCnt] — equals [run_flat]'s count. *)
+val flat_steps_bound : ?indirect:bool -> Machine.t -> Lf_md.Pairlist.t -> int
+
+(** Sequential (Sparc 2) baseline: one pair at a time. *)
+val run_sequential :
+  Machine.t -> Lf_md.Molecule.t -> Lf_md.Pairlist.t -> result

@@ -1,0 +1,1 @@
+lib/lang/ast_util.ml: Ast List Option String

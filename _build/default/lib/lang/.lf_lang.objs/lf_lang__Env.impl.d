@@ -1,0 +1,1 @@
+lib/lang/env.ml: Errors Hashtbl List Option String Values

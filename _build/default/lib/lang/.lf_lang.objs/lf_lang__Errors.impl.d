@@ -1,0 +1,1 @@
+lib/lang/errors.ml: Fmt

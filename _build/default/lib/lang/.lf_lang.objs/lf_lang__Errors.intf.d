@@ -1,0 +1,1 @@
+lib/lang/errors.mli: Fmt Format

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Array Ast Env Errors Float Hashtbl Intrinsics List Nd String Values

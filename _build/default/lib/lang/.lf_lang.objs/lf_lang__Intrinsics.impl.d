@@ -1,0 +1,1 @@
+lib/lang/intrinsics.ml: Array Errors Float Fun List Nd Stdlib String Values

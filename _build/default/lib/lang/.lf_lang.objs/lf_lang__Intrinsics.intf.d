@@ -1,0 +1,1 @@
+lib/lang/intrinsics.mli: Values

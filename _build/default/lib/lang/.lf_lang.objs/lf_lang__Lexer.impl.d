@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Errors List Option String Token

@@ -1,0 +1,1 @@
+lib/lang/nd.ml: Array Errors List

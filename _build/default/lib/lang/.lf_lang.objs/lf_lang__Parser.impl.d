@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Ast Errors Intrinsics Lexer List Option String Token

@@ -1,0 +1,1 @@
+lib/lang/pretty.ml: Ast Float Fmt List String

@@ -1,0 +1,1 @@
+lib/lang/simplify.ml: Ast Ast_util List

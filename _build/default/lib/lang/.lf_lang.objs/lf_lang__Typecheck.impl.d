@@ -1,0 +1,1 @@
+lib/lang/typecheck.ml: Ast Fmt Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/lang/values.ml: Array Ast Bool Errors Float Fmt Int Nd

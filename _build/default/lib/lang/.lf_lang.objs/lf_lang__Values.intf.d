@@ -1,0 +1,1 @@
+lib/lang/values.mli: Ast Fmt Nd

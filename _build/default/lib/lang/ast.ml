@@ -1,0 +1,168 @@
+(** Abstract syntax for the pseudo-Fortran dialects of the paper (Section 2).
+
+    One AST covers all four dialects:
+    - F77: [SDo], [SWhile], [SDoWhile], [SIf], [SGoto]/[SLabel] loops;
+    - F77D: F77 plus the Fortran D directives ([DDecomposition], [DAlign],
+      [DDistribute]);
+    - F77_MIMD: F77 with a per-processor name space (produced by the
+      decomposition pass, executed by [Lf_mimd]);
+    - F90_SIMD: adds [SForall], [SWhere], plural variables and the
+      vector-controlled [SWhile] of Section 2 ("WHILE loops can be
+      controlled by an array of booleans"). *)
+
+type dtype =
+  | TInt
+  | TReal
+  | TLogical
+
+type unop =
+  | Neg
+  | Not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Pow
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+(** Expressions.  Intrinsic function calls ([ECall]) cover MAX, MIN, ABS,
+    MOD, ANY, ALL, MAXVAL, MINVAL, SUM, SIZE and user-registered pure
+    functions.  [ERange] is the Fortran 90 section [lo:hi], used in
+    vector-literal positions such as [at1 = [1:P]]. *)
+type expr =
+  | EInt of int
+  | EReal of float
+  | EBool of bool
+  | EVar of string
+  | EIdx of string * expr list
+  | EUn of unop * expr
+  | EBin of binop * expr * expr
+  | ECall of string * expr list
+  | ERange of expr * expr
+
+(** Left-hand sides: a scalar variable or an array element / section.  An
+    empty index list on an array variable denotes the whole array (Fortran 90
+    convention of Section 2). *)
+type lvalue = {
+  lv_name : string;
+  lv_index : expr list;
+}
+
+(** DO-loop control: [DO var = lo, hi, step]; [step] defaults to 1. *)
+type do_control = {
+  d_var : string;
+  d_lo : expr;
+  d_hi : expr;
+  d_step : expr option;
+}
+
+type stmt =
+  | SAssign of lvalue * expr
+  | SDo of do_control * block
+  | SWhile of expr * block  (** pre-test loop; in F90simd the test may be a reduction such as ANY(...) *)
+  | SDoWhile of block * expr  (** post-test loop: body runs, repeats while the condition holds *)
+  | SIf of expr * block * block
+  | SForall of do_control * block  (** parallel loop; iterations are independent by assertion *)
+  | SWhere of expr * block * block  (** masked execution; second block is ELSEWHERE *)
+  | SCall of string * expr list  (** subroutine call (may have side effects) *)
+  | SGoto of string
+  | SCondGoto of expr * string  (** IF (e) GOTO label *)
+  | SLabel of string
+  | SComment of string
+
+and block = stmt list
+
+(** Fortran D data-mapping directives (Figure 2). *)
+type distribution =
+  | DistBlock
+  | DistCyclic
+  | DistSerial  (** the ["*"] / [:serial] dimension: laid out in local memory *)
+
+type directive =
+  | DDecomposition of string * expr list
+  | DAlign of string * string  (** ALIGN array WITH decomposition *)
+  | DDistribute of string * distribution list
+
+(** A declaration; [dc_plural] marks F90simd replicated variables (declared
+    per-processor, Section 2: "scalars of the F77 version will be replicated
+    in the F90simd version"). *)
+type decl = {
+  dc_name : string;
+  dc_type : dtype;
+  dc_dims : expr list;  (** empty for scalars *)
+  dc_plural : bool;
+}
+
+type program = {
+  p_name : string;
+  p_decls : decl list;
+  p_directives : directive list;
+  p_body : block;
+}
+
+(* Constructors used pervasively by the transformation passes. *)
+
+let int_ n = EInt n
+let var v = EVar v
+let idx v es = EIdx (v, es)
+let ( +: ) a b = EBin (Add, a, b)
+let ( -: ) a b = EBin (Sub, a, b)
+let ( *: ) a b = EBin (Mul, a, b)
+let ( <=: ) a b = EBin (Le, a, b)
+let ( <: ) a b = EBin (Lt, a, b)
+let ( =: ) a b = EBin (Eq, a, b)
+let ( &&: ) a b = EBin (And, a, b)
+let ( ||: ) a b = EBin (Or, a, b)
+let not_ e = EUn (Not, e)
+
+let lv ?(index = []) name = { lv_name = name; lv_index = index }
+let assign ?(index = []) name e = SAssign (lv ~index name, e)
+
+let do_control ?step d_var d_lo d_hi = { d_var; d_lo; d_hi; d_step = step }
+
+let scalar ?(plural = false) dc_type dc_name =
+  { dc_name; dc_type; dc_dims = []; dc_plural = plural }
+
+let array ?(plural = false) dc_type dc_name dc_dims =
+  { dc_name; dc_type; dc_dims; dc_plural = plural }
+
+let program ?(decls = []) ?(directives = []) name body =
+  { p_name = name; p_decls = decls; p_directives = directives; p_body = body }
+
+(** Structural equality, ignoring comments. *)
+let rec equal_block (a : block) (b : block) =
+  let strip = List.filter (function SComment _ -> false | _ -> true) in
+  let a = strip a and b = strip b in
+  List.length a = List.length b && List.for_all2 equal_stmt a b
+
+and equal_stmt (a : stmt) (b : stmt) =
+  match (a, b) with
+  | SAssign (l1, e1), SAssign (l2, e2) -> l1 = l2 && e1 = e2
+  | SDo (c1, b1), SDo (c2, b2) -> c1 = c2 && equal_block b1 b2
+  | SWhile (e1, b1), SWhile (e2, b2) -> e1 = e2 && equal_block b1 b2
+  | SDoWhile (b1, e1), SDoWhile (b2, e2) -> e1 = e2 && equal_block b1 b2
+  | SIf (e1, t1, f1), SIf (e2, t2, f2) ->
+      e1 = e2 && equal_block t1 t2 && equal_block f1 f2
+  | SForall (c1, b1), SForall (c2, b2) -> c1 = c2 && equal_block b1 b2
+  | SWhere (e1, t1, f1), SWhere (e2, t2, f2) ->
+      e1 = e2 && equal_block t1 t2 && equal_block f1 f2
+  | SCall (n1, a1), SCall (n2, a2) -> n1 = n2 && a1 = a2
+  | SGoto l1, SGoto l2 | SLabel l1, SLabel l2 -> l1 = l2
+  | SCondGoto (e1, l1), SCondGoto (e2, l2) -> e1 = e2 && l1 = l2
+  | SComment _, SComment _ -> true
+  | _ -> false
+
+let equal_program (a : program) (b : program) =
+  a.p_name = b.p_name && a.p_decls = b.p_decls
+  && a.p_directives = b.p_directives
+  && equal_block a.p_body b.p_body

@@ -1,0 +1,190 @@
+(** Generic traversals and queries over [Ast] terms. *)
+
+open Ast
+
+(** Fold [f] over every sub-expression of [e], outside-in. *)
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | EInt _ | EReal _ | EBool _ | EVar _ -> acc
+  | EIdx (_, es) | ECall (_, es) -> List.fold_left (fold_expr f) acc es
+  | EUn (_, a) -> fold_expr f acc a
+  | EBin (_, a, b) | ERange (a, b) -> fold_expr f (fold_expr f acc a) b
+
+(** Apply [f] bottom-up to every sub-expression. *)
+let rec map_expr f e =
+  let e' =
+    match e with
+    | EInt _ | EReal _ | EBool _ | EVar _ -> e
+    | EIdx (v, es) -> EIdx (v, List.map (map_expr f) es)
+    | ECall (n, es) -> ECall (n, List.map (map_expr f) es)
+    | EUn (op, a) -> EUn (op, map_expr f a)
+    | EBin (op, a, b) -> EBin (op, map_expr f a, map_expr f b)
+    | ERange (a, b) -> ERange (map_expr f a, map_expr f b)
+  in
+  f e'
+
+(** All variable names read by [e] (array names included). *)
+let expr_vars e =
+  fold_expr
+    (fun acc -> function
+      | EVar v | EIdx (v, _) -> v :: acc
+      | _ -> acc)
+    [] e
+  |> List.sort_uniq String.compare
+
+let lvalue_vars (l : lvalue) =
+  l.lv_name :: List.concat_map expr_vars l.lv_index
+  |> List.sort_uniq String.compare
+
+(** Fold [f] over every statement in a block, visiting nested blocks. *)
+let rec fold_stmts f acc (b : block) =
+  List.fold_left (fold_stmt f) acc b
+
+and fold_stmt f acc s =
+  let acc = f acc s in
+  match s with
+  | SAssign _ | SCall _ | SGoto _ | SCondGoto _ | SLabel _ | SComment _ -> acc
+  | SDo (_, b) | SWhile (_, b) | SDoWhile (b, _) | SForall (_, b) ->
+      fold_stmts f acc b
+  | SIf (_, t, e) | SWhere (_, t, e) -> fold_stmts f (fold_stmts f acc t) e
+
+(** Apply [g] to every expression occurring in [s] (conditions, bounds,
+    right-hand sides, index expressions, call arguments). *)
+let rec map_stmt_exprs g s =
+  let mb = List.map (map_stmt_exprs g) in
+  match s with
+  | SAssign (l, e) ->
+      SAssign ({ l with lv_index = List.map g l.lv_index }, g e)
+  | SDo (c, b) ->
+      SDo
+        ( { c with d_lo = g c.d_lo; d_hi = g c.d_hi;
+            d_step = Option.map g c.d_step },
+          mb b )
+  | SWhile (e, b) -> SWhile (g e, mb b)
+  | SDoWhile (b, e) -> SDoWhile (mb b, g e)
+  | SIf (e, t, f) -> SIf (g e, mb t, mb f)
+  | SForall (c, b) ->
+      SForall
+        ( { c with d_lo = g c.d_lo; d_hi = g c.d_hi;
+            d_step = Option.map g c.d_step },
+          mb b )
+  | SWhere (e, t, f) -> SWhere (g e, mb t, mb f)
+  | SCall (n, args) -> SCall (n, List.map g args)
+  | SCondGoto (e, l) -> SCondGoto (g e, l)
+  | SGoto _ | SLabel _ | SComment _ -> s
+
+let map_block_exprs g b = List.map (map_stmt_exprs g) b
+
+(** Substitute expression [by] for every occurrence of variable [v]. *)
+let subst_var v by e =
+  map_expr (function EVar x when x = v -> by | e -> e) e
+
+let subst_stmt v by s = map_stmt_exprs (subst_var v by) s
+let subst_block v by b = List.map (subst_stmt v by) b
+
+(** Rename variable [v] to [v'] everywhere, including in binding and
+    assignment positions. *)
+let rec rename_stmt v v' s =
+  let re = subst_var v (EVar v') in
+  let rb = List.map (rename_stmt v v') in
+  match s with
+  | SAssign (l, e) ->
+      let name = if l.lv_name = v then v' else l.lv_name in
+      SAssign ({ lv_name = name; lv_index = List.map re l.lv_index }, re e)
+  | SDo (c, b) ->
+      let c =
+        { d_var = (if c.d_var = v then v' else c.d_var);
+          d_lo = re c.d_lo; d_hi = re c.d_hi;
+          d_step = Option.map re c.d_step }
+      in
+      SDo (c, rb b)
+  | SForall (c, b) ->
+      let c =
+        { d_var = (if c.d_var = v then v' else c.d_var);
+          d_lo = re c.d_lo; d_hi = re c.d_hi;
+          d_step = Option.map re c.d_step }
+      in
+      SForall (c, rb b)
+  | SWhile (e, b) -> SWhile (re e, rb b)
+  | SDoWhile (b, e) -> SDoWhile (rb b, re e)
+  | SIf (e, t, f) -> SIf (re e, rb t, rb f)
+  | SWhere (e, t, f) -> SWhere (re e, rb t, rb f)
+  | SCall (n, args) -> SCall (n, List.map re args)
+  | SCondGoto (e, l) -> SCondGoto (re e, l)
+  | SGoto _ | SLabel _ | SComment _ -> s
+
+let rename_block v v' b = List.map (rename_stmt v v') b
+
+(** Variables assigned (directly or via array element) anywhere in a block,
+    including loop induction variables. *)
+let assigned_vars b =
+  fold_stmts
+    (fun acc -> function
+      | SAssign (l, _) -> l.lv_name :: acc
+      | SDo (c, _) | SForall (c, _) -> c.d_var :: acc
+      | _ -> acc)
+    [] b
+  |> List.sort_uniq String.compare
+
+(** Variables read anywhere in a block. *)
+let read_vars b =
+  fold_stmts
+    (fun acc -> function
+      | SAssign (l, e) ->
+          expr_vars e @ List.concat_map expr_vars l.lv_index @ acc
+      | SDo (c, _) | SForall (c, _) ->
+          expr_vars c.d_lo @ expr_vars c.d_hi
+          @ (match c.d_step with Some s -> expr_vars s | None -> [])
+          @ acc
+      | SWhile (e, _) | SDoWhile (_, e) | SIf (e, _, _) | SWhere (e, _, _)
+      | SCondGoto (e, _) ->
+          expr_vars e @ acc
+      | SCall (_, args) -> List.concat_map expr_vars args @ acc
+      | SGoto _ | SLabel _ | SComment _ -> acc)
+    [] b
+  |> List.sort_uniq String.compare
+
+(** Subroutines invoked anywhere in a block. *)
+let called_subroutines b =
+  fold_stmts
+    (fun acc -> function SCall (n, _) -> n :: acc | _ -> acc)
+    [] b
+  |> List.sort_uniq String.compare
+
+(** Names applied to arguments in an expression: resolved intrinsic calls
+    plus unresolved applications ([EIdx]), which may be either array
+    references or calls to registered functions.  Purity analysis treats
+    both conservatively. *)
+let expr_calls e =
+  fold_expr
+    (fun acc -> function
+      | ECall (n, _) | EIdx (n, _) -> n :: acc
+      | _ -> acc)
+    [] e
+  |> List.sort_uniq String.compare
+
+let rec stmt_count (b : block) =
+  List.fold_left
+    (fun n s ->
+      n
+      +
+      match s with
+      | SComment _ -> 0
+      | SDo (_, b) | SWhile (_, b) | SDoWhile (b, _) | SForall (_, b) ->
+          1 + stmt_count b
+      | SIf (_, t, f) | SWhere (_, t, f) -> 1 + stmt_count t + stmt_count f
+      | _ -> 1)
+    0 b
+
+(** Maximum loop-nesting depth of a block. *)
+let rec loop_depth (b : block) =
+  List.fold_left
+    (fun d s ->
+      max d
+        (match s with
+        | SDo (_, b) | SWhile (_, b) | SDoWhile (b, _) | SForall (_, b) ->
+            1 + loop_depth b
+        | SIf (_, t, f) | SWhere (_, t, f) -> max (loop_depth t) (loop_depth f)
+        | _ -> 0))
+    0 b

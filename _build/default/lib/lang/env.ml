@@ -1,0 +1,48 @@
+(** Mutable variable environments for the interpreters. *)
+
+type t = {
+  vars : (string, Values.value ref) Hashtbl.t;
+}
+
+let create () = { vars = Hashtbl.create 64 }
+
+let mem env name = Hashtbl.mem env.vars name
+
+let find env name =
+  match Hashtbl.find_opt env.vars name with
+  | Some r -> !r
+  | None -> Errors.runtime_error "undefined variable %s" name
+
+let find_opt env name = Option.map ( ! ) (Hashtbl.find_opt env.vars name)
+
+let set env name v =
+  match Hashtbl.find_opt env.vars name with
+  | Some r -> r := v
+  | None -> Hashtbl.add env.vars name (ref v)
+
+let bindings env =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) env.vars []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let copy env =
+  let t = create () in
+  Hashtbl.iter
+    (fun k r ->
+      let v =
+        match !r with
+        | Values.VArr a -> Values.VArr (Values.arr_copy a)
+        | v -> v
+      in
+      Hashtbl.add t.vars k (ref v))
+    env.vars;
+  t
+
+(** Equality over the variables named in [names] (deep for arrays). *)
+let equal_on names a b =
+  List.for_all
+    (fun n ->
+      match (find_opt a n, find_opt b n) with
+      | Some x, Some y -> Values.equal_value x y
+      | None, None -> true
+      | _ -> false)
+    names

@@ -1,0 +1,22 @@
+(** Mutable variable environments for the interpreters. *)
+
+type t
+
+val create : unit -> t
+val mem : t -> string -> bool
+
+(** Raises [Errors.Runtime_error] when unbound. *)
+val find : t -> string -> Values.value
+
+val find_opt : t -> string -> Values.value option
+val set : t -> string -> Values.value -> unit
+
+(** All bindings, name-sorted. *)
+val bindings : t -> (string * Values.value) list
+
+(** Deep copy (arrays included). *)
+val copy : t -> t
+
+(** Equality over the named variables (deep for arrays, approximate for
+    reals). *)
+val equal_on : string list -> t -> t -> bool

@@ -1,0 +1,33 @@
+(** Error reporting shared by the front end, the checkers, and the
+    interpreters. *)
+
+type pos = {
+  line : int;
+  col : int;
+}
+
+let pos line col = { line; col }
+let no_pos = { line = 0; col = 0 }
+
+let pp_pos ppf p =
+  if p.line = 0 then Fmt.string ppf "<builtin>"
+  else Fmt.pf ppf "%d:%d" p.line p.col
+
+exception Lex_error of pos * string
+exception Parse_error of pos * string
+exception Type_error of string
+exception Runtime_error of string
+
+let lex_error p fmt = Fmt.kstr (fun m -> raise (Lex_error (p, m))) fmt
+let parse_error p fmt = Fmt.kstr (fun m -> raise (Parse_error (p, m))) fmt
+let type_error fmt = Fmt.kstr (fun m -> raise (Type_error m)) fmt
+let runtime_error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+
+(** Render any of the above exceptions as a one-line message; re-raises
+    anything else. *)
+let to_message = function
+  | Lex_error (p, m) -> Fmt.str "lexical error at %a: %s" pp_pos p m
+  | Parse_error (p, m) -> Fmt.str "parse error at %a: %s" pp_pos p m
+  | Type_error m -> Fmt.str "type error: %s" m
+  | Runtime_error m -> Fmt.str "runtime error: %s" m
+  | e -> raise e

@@ -1,0 +1,26 @@
+(** Error reporting shared by the front end, checkers, and interpreters. *)
+
+type pos = {
+  line : int;
+  col : int;
+}
+
+val pos : int -> int -> pos
+val no_pos : pos
+val pp_pos : pos Fmt.t
+
+exception Lex_error of pos * string
+exception Parse_error of pos * string
+exception Type_error of string
+exception Runtime_error of string
+
+(** The raising helpers take format strings. *)
+
+val lex_error : pos -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val parse_error : pos -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+val runtime_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Render any of the above exceptions as a one-line message; re-raises
+    anything else. *)
+val to_message : exn -> string

@@ -1,0 +1,120 @@
+(** Intrinsic functions shared by the sequential interpreter and the SIMD
+    VM front end: the Fortran 90 subset used by the paper's codes. *)
+
+open Values
+
+let numeric2 name fi fr a b =
+  match (a, b) with
+  | VInt x, VInt y -> VInt (fi x y)
+  | (VInt _ | VReal _), (VInt _ | VReal _) ->
+      VReal (fr (as_float a) (as_float b))
+  | _ ->
+      Errors.runtime_error "%s: expected numeric scalars, got %s and %s" name
+        (type_name a) (type_name b)
+
+let fold1 name f d =
+  if Array.length d = 0 then Errors.runtime_error "%s of empty array" name
+  else Array.fold_left f d.(0) (Array.sub d 1 (Array.length d - 1))
+
+let fold_numeric name fi fr = function
+  | AInt a -> VInt (fold1 name fi (Nd.to_array a))
+  | AReal a -> VReal (fold1 name fr (Nd.to_array a))
+  | a ->
+      Errors.runtime_error "%s: expected numeric array, got %s" name
+        (type_name (VArr a))
+
+let names =
+  [ "max"; "min"; "abs"; "mod"; "sqrt"; "exp"; "real"; "int"; "nint";
+    "any"; "all"; "count"; "maxval"; "minval"; "sum"; "size"; "merge";
+    "vector" ]
+
+let is_intrinsic name = List.mem (String.lowercase_ascii name) names
+
+(** Apply intrinsic [name]; [None] if [name] is not an intrinsic. *)
+let apply name (args : value list) : value option =
+  let nargs = List.length args in
+  let arity n =
+    if nargs <> n then
+      Errors.runtime_error "%s expects %d argument(s), got %d" name n nargs
+  in
+  let the_arr () =
+    arity 1;
+    as_arr (List.hd args)
+  in
+  match (String.lowercase_ascii name, args) with
+  | "max", (_ :: _ :: _ as args) ->
+      Some
+        (List.fold_left
+           (fun acc v -> numeric2 "max" Stdlib.max Float.max acc v)
+           (List.hd args) (List.tl args))
+  | "min", (_ :: _ :: _ as args) ->
+      Some
+        (List.fold_left
+           (fun acc v -> numeric2 "min" Stdlib.min Float.min acc v)
+           (List.hd args) (List.tl args))
+  | ("max" | "maxval"), [ VArr a ] -> Some (fold_numeric "maxval" max Float.max a)
+  | ("min" | "minval"), [ VArr a ] -> Some (fold_numeric "minval" min Float.min a)
+  | ("max" | "maxval" | "min" | "minval"), [ ((VInt _ | VReal _) as v) ] ->
+      Some v
+  | "abs", [ VInt n ] -> Some (VInt (abs n))
+  | "abs", [ VReal f ] -> Some (VReal (Float.abs f))
+  | "mod", [ a; b ] ->
+      Some
+        (numeric2 "mod"
+           (fun x y ->
+             if y = 0 then Errors.runtime_error "MOD by zero" else x mod y)
+           (fun x y -> Float.rem x y)
+           a b)
+  | "sqrt", [ v ] -> Some (VReal (Float.sqrt (as_float v)))
+  | "exp", [ v ] -> Some (VReal (Float.exp (as_float v)))
+  | "real", [ v ] -> Some (VReal (as_float v))
+  | "int", [ v ] -> Some (VInt (int_of_float (Float.trunc (as_float v))))
+  | "nint", [ v ] -> Some (VInt (int_of_float (Float.round (as_float v))))
+  | ("any" | "all"), [ VBool b ] -> Some (VBool b)
+  | "count", [ VBool b ] -> Some (VInt (if b then 1 else 0))
+  | "any", _ -> (
+      match the_arr () with
+      | ABool a -> Some (VBool (Nd.exists Fun.id a))
+      | a ->
+          Errors.runtime_error "any: expected LOGICAL array, got %s"
+            (type_name (VArr a)))
+  | "all", _ -> (
+      match the_arr () with
+      | ABool a -> Some (VBool (Nd.for_all Fun.id a))
+      | a ->
+          Errors.runtime_error "all: expected LOGICAL array, got %s"
+            (type_name (VArr a)))
+  | "count", _ -> (
+      match the_arr () with
+      | ABool a ->
+          Some (VInt (Nd.fold (fun n b -> if b then n + 1 else n) 0 a))
+      | a ->
+          Errors.runtime_error "count: expected LOGICAL array, got %s"
+            (type_name (VArr a)))
+  | "sum", [ VArr a ] ->
+      Some
+        (match a with
+        | AInt a -> VInt (Nd.fold ( + ) 0 a)
+        | AReal a -> VReal (Nd.fold ( +. ) 0.0 a)
+        | ABool _ -> Errors.runtime_error "sum of LOGICAL array")
+  (* scalar degenerations: on one processor the reductions are the
+     identity, which keeps SIMDized code meaningful sequentially *)
+  | "sum", [ (VInt _ | VReal _) as v ] -> Some v
+  | "size", [ VArr a ] -> Some (VInt (arr_size a))
+  | "size", [ VArr a; VInt d ] ->
+      let dims = arr_dims a in
+      if d < 1 || d > Array.length dims then
+        Errors.runtime_error "size: dimension %d out of range" d
+      else Some (VInt dims.(d - 1))
+  | "merge", [ t; f; VBool c ] -> Some (if c then t else f)
+  | "vector", items ->
+      (* [a, b, lo:hi, ...] literal; items are scalars or AInt ranges *)
+      let expand = function
+        | VInt n -> [ n ]
+        | VArr (AInt a) -> Array.to_list (Nd.to_array a)
+        | v ->
+            Errors.runtime_error "vector literal: bad element %s" (type_name v)
+      in
+      let elems = List.concat_map expand items in
+      Some (VArr (AInt (Nd.of_array (Array.of_list elems))))
+  | _ -> None

@@ -1,0 +1,12 @@
+(** Intrinsic functions shared by the sequential interpreter and the SIMD
+    VM: the Fortran 90 subset the paper's codes use (MAX, MIN, ABS, MOD,
+    SQRT, ANY, ALL, COUNT, MAXVAL, MINVAL, SUM, SIZE, MERGE, and the
+    [vector] literal constructor). *)
+
+val names : string list
+val is_intrinsic : string -> bool
+
+(** Apply an intrinsic to evaluated arguments; [None] when the name is not
+    an intrinsic.  Raises [Errors.Runtime_error] on arity or operand
+    errors. *)
+val apply : string -> Values.value list -> Values.value option

@@ -1,0 +1,15 @@
+(** Hand-written lexer for the pseudo-Fortran surface syntax: newline-
+    terminated statements, upper-case-[C]/[!]/[*] comments, [&]-before-
+    newline continuations, case-insensitive words, dotted and symbolic
+    operators. *)
+
+type t
+
+val make : string -> t
+
+(** Next token with its source position; returns [EOF] forever at end. *)
+val next : t -> Errors.pos * Token.t
+
+(** Tokenize a whole source string (ends with [EOF]; a leading blank/
+    comment region produces no [NEWLINE]). *)
+val tokenize : string -> (Errors.pos * Token.t) list

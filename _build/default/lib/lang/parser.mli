@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the pseudo-Fortran surface syntax
+    (Section 2's dialects).  Known intrinsic names parse as calls; other
+    applications are array references until the interpreter resolves
+    registered functions.  Raises [Errors.Parse_error] with a source
+    position on malformed input. *)
+
+(** Parse a complete program (with or without a PROGRAM header; the
+    default name is ["main"]). *)
+val program_of_string : string -> Ast.program
+
+(** Parse a statement block (no declarations). *)
+val block_of_string : string -> Ast.block
+
+(** Parse a single expression. *)
+val expr_of_string : string -> Ast.expr

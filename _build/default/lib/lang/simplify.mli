@@ -1,0 +1,8 @@
+(** Algebraic simplification: constant folding and the identities that
+    keep compiler-generated code readable ([e - 1 + 1 → e], [e * 1 → e],
+    ...).  Sound for the integer expressions the transformation passes
+    emit (in particular, inexact integer division is never folded). *)
+
+val simplify : Ast.expr -> Ast.expr
+val simplify_stmt : Ast.stmt -> Ast.stmt
+val simplify_block : Ast.block -> Ast.block

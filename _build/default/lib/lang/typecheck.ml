@@ -1,0 +1,427 @@
+(** Static checking of pseudo-Fortran programs: types, array ranks, and —
+    for F90simd programs — the plural/front-end discipline of Section 2.
+
+    The checker validates three layers:
+    - {b types}: numeric vs logical operands, condition types, assignment
+      compatibility (INTEGER widens to REAL, nothing narrows);
+    - {b shapes}: every array reference has the declared rank; scalars are
+      never indexed; whole-array references appear only where the
+      evaluation rules support them;
+    - {b plurality} (when the program declares PLURAL variables): a
+      front-end scalar is never assigned a plural value, reductions
+      collapse plurality, DO bounds are front-end, and plural control flow
+      uses WHERE / WHILE ANY rather than IF/plain WHILE.
+
+    Undeclared scalars follow Fortran's implicit rule (names starting with
+    i..n are INTEGER, others REAL) and are reported as warnings, matching
+    the dusty-deck inputs the paper targets.  The pipeline checks its own
+    output with this module (see the test suite): flattening and
+    SIMDization preserve well-typedness. *)
+
+open Ast
+
+type ty =
+  | Int
+  | Real
+  | Logical
+
+let ty_of_dtype = function
+  | TInt -> Int
+  | TReal -> Real
+  | TLogical -> Logical
+
+let ty_to_string = function
+  | Int -> "INTEGER"
+  | Real -> "REAL"
+  | Logical -> "LOGICAL"
+
+(** What the checker knows about one name. *)
+type info = {
+  ty : ty;
+  rank : int;  (** 0 for scalars *)
+  plural : bool;
+  declared : bool;  (** false: invented by the implicit rule *)
+}
+
+type severity =
+  | Error
+  | Warning
+
+type diagnostic = {
+  severity : severity;
+  message : string;
+}
+
+let pp_diagnostic ppf d =
+  Fmt.pf ppf "%s: %s"
+    (match d.severity with Error -> "error" | Warning -> "warning")
+    d.message
+
+type t = {
+  vars : (string, info) Hashtbl.t;
+  mutable diags : diagnostic list;  (** reversed *)
+  known_funcs : (string, ty) Hashtbl.t;
+      (** registered external functions and their result types *)
+  simd : bool;  (** enforce the plural discipline *)
+}
+
+let error ctx fmt =
+  Fmt.kstr
+    (fun message -> ctx.diags <- { severity = Error; message } :: ctx.diags)
+    fmt
+
+let warn ctx fmt =
+  Fmt.kstr
+    (fun message -> ctx.diags <- { severity = Warning; message } :: ctx.diags)
+    fmt
+
+let implicit_ty name =
+  if name = "" then Real
+  else if name.[0] >= 'i' && name.[0] <= 'n' then Int
+  else Real
+
+(** Look a name up, inventing it by the implicit rule on first sight. *)
+let lookup ctx name =
+  match Hashtbl.find_opt ctx.vars name with
+  | Some i -> i
+  | None ->
+      let i =
+        { ty = implicit_ty name; rank = 0; plural = false; declared = false }
+      in
+      Hashtbl.replace ctx.vars name i;
+      warn ctx "%s is not declared; implicitly %s" name
+        (ty_to_string i.ty);
+      i
+
+let numeric = function Int | Real -> true | Logical -> false
+
+let join_numeric a b =
+  match (a, b) with Real, _ | _, Real -> Real | _ -> Int
+
+(** Result of checking an expression. *)
+type value_kind = {
+  vty : ty;
+  vrank : int;  (** 0 = scalar; > 0 = whole-array value *)
+  vplural : bool;
+}
+
+let scalar_kind ?(plural = false) vty = { vty; vrank = 0; vplural = plural }
+
+let rec check_expr ctx (e : expr) : value_kind =
+  match e with
+  | EInt _ -> scalar_kind Int
+  | EReal _ -> scalar_kind Real
+  | EBool _ -> scalar_kind Logical
+  | ERange (lo, hi) ->
+      expect_index ctx "range bound" lo;
+      expect_index ctx "range bound" hi;
+      { vty = Int; vrank = 1; vplural = false }
+  | EVar v ->
+      let i = lookup ctx v in
+      { vty = i.ty; vrank = i.rank; vplural = i.plural }
+  | EUn (Not, a) ->
+      let k = check_expr ctx a in
+      if k.vty <> Logical then
+        error ctx ".NOT. applied to %s" (ty_to_string k.vty);
+      k
+  | EUn (Neg, a) ->
+      let k = check_expr ctx a in
+      if not (numeric k.vty) then
+        error ctx "unary minus applied to %s" (ty_to_string k.vty);
+      k
+  | EBin (op, a, b) -> check_binop ctx op a b
+  | ECall (f, args) -> check_call ctx f args
+  | EIdx (name, idxs) -> (
+      match Hashtbl.find_opt ctx.known_funcs name with
+      | Some rty ->
+          (* function result is plural iff any argument is *)
+          let plural =
+            List.exists (fun a -> (check_expr ctx a).vplural) idxs
+          in
+          { vty = rty; vrank = 0; vplural = plural }
+      | None when not (Hashtbl.mem ctx.vars name) ->
+          (* neither a declared array nor a registered function: assume an
+             external REAL function, once *)
+          warn ctx "unknown function or array %s (assumed REAL function)"
+            name;
+          Hashtbl.replace ctx.known_funcs name Real;
+          let plural =
+            List.exists (fun a -> (check_expr ctx a).vplural) idxs
+          in
+          { vty = Real; vrank = 0; vplural = plural }
+      | None ->
+          let i = lookup ctx name in
+          if i.rank = 0 then begin
+            error ctx "%s is a scalar but is indexed" name;
+            scalar_kind i.ty
+          end
+          else begin
+            if List.length idxs <> i.rank then
+              error ctx "%s has rank %d but %d subscript(s)" name i.rank
+                (List.length idxs);
+            let section = ref false in
+            let plural = ref i.plural in
+            List.iter
+              (fun ix ->
+                match ix with
+                | ERange _ ->
+                    section := true;
+                    ignore (check_expr ctx ix)
+                | ix ->
+                    let k = check_expr ctx ix in
+                    if k.vty <> Int then
+                      error ctx "subscript of %s is %s, expected INTEGER"
+                        name (ty_to_string k.vty);
+                    if k.vrank > 0 then
+                      error ctx "array-valued subscript of %s" name;
+                    if k.vplural then plural := true)
+              idxs;
+            { vty = i.ty; vrank = (if !section then 1 else 0);
+              vplural = !plural }
+          end)
+
+and check_binop ctx op a b =
+  let ka = check_expr ctx a and kb = check_expr ctx b in
+  let plural = ka.vplural || kb.vplural in
+  let rank =
+    (* elementwise lifting: ranks must agree or one side is scalar *)
+    if ka.vrank <> kb.vrank && ka.vrank > 0 && kb.vrank > 0 then begin
+      error ctx "rank mismatch in binary operation (%d vs %d)" ka.vrank
+        kb.vrank;
+      max ka.vrank kb.vrank
+    end
+    else max ka.vrank kb.vrank
+  in
+  match op with
+  | Add | Sub | Mul | Div | Mod | Pow ->
+      if not (numeric ka.vty && numeric kb.vty) then
+        error ctx "arithmetic on %s and %s" (ty_to_string ka.vty)
+          (ty_to_string kb.vty);
+      { vty = join_numeric ka.vty kb.vty; vrank = rank; vplural = plural }
+  | Eq | Ne | Lt | Le | Gt | Ge ->
+      if numeric ka.vty <> numeric kb.vty then
+        error ctx "comparison of %s and %s" (ty_to_string ka.vty)
+          (ty_to_string kb.vty);
+      { vty = Logical; vrank = rank; vplural = plural }
+  | And | Or ->
+      if ka.vty <> Logical || kb.vty <> Logical then
+        error ctx "logical operation on %s and %s" (ty_to_string ka.vty)
+          (ty_to_string kb.vty);
+      { vty = Logical; vrank = rank; vplural = plural }
+
+and check_call ctx f args =
+  let kinds = List.map (check_expr ctx) args in
+  let plural_in = List.exists (fun k -> k.vplural) kinds in
+  let f = String.lowercase_ascii f in
+  match f with
+  | "any" | "all" ->
+      (match kinds with
+      | [ k ] when k.vty = Logical -> ()
+      | _ -> error ctx "%s expects one LOGICAL operand" f);
+      scalar_kind Logical
+  | "count" -> scalar_kind Int
+  | "maxval" | "minval" | "sum" ->
+      (match kinds with
+      | [ k ] when numeric k.vty -> ()
+      | _ -> error ctx "%s expects one numeric operand" f);
+      scalar_kind (match kinds with [ k ] -> k.vty | _ -> Int)
+  | "max" | "min" ->
+      if kinds = [] then error ctx "%s needs arguments" f;
+      List.iter
+        (fun k ->
+          if not (numeric k.vty) then
+            error ctx "%s on %s" f (ty_to_string k.vty))
+        kinds;
+      {
+        vty = List.fold_left (fun t k -> join_numeric t k.vty) Int kinds;
+        vrank = 0;
+        vplural = plural_in;
+      }
+  | "abs" | "mod" | "nint" | "int" ->
+      { vty = (match kinds with k :: _ -> k.vty | [] -> Int);
+        vrank = 0; vplural = plural_in }
+  | "sqrt" | "exp" | "real" -> { vty = Real; vrank = 0; vplural = plural_in }
+  | "size" -> scalar_kind Int
+  | "vector" -> { vty = Int; vrank = 1; vplural = false }
+  | "merge" ->
+      { vty = (match kinds with k :: _ -> k.vty | [] -> Int);
+        vrank = 0; vplural = plural_in }
+  | _ -> (
+      match Hashtbl.find_opt ctx.known_funcs f with
+      | Some rty -> { vty = rty; vrank = 0; vplural = plural_in }
+      | None ->
+          warn ctx "unknown function %s (assumed REAL)" f;
+          { vty = Real; vrank = 0; vplural = plural_in })
+
+and expect_index ctx what e =
+  let k = check_expr ctx e in
+  if k.vty <> Int then
+    error ctx "%s is %s, expected INTEGER" what (ty_to_string k.vty)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let assignable ~(to_ : ty) ~(from : ty) =
+  match (to_, from) with
+  | Real, Int -> true  (* implicit widening *)
+  | a, b -> a = b
+
+let rec check_stmt ctx (s : stmt) : unit =
+  match s with
+  | SComment _ | SLabel _ | SGoto _ -> ()
+  | SCondGoto (e, _) ->
+      let k = check_expr ctx e in
+      if k.vty <> Logical then
+        error ctx "IF-GOTO condition is %s" (ty_to_string k.vty)
+  | SAssign (l, e) -> (
+      let kr = check_expr ctx e in
+      let i = lookup ctx l.lv_name in
+      match l.lv_index with
+      | [] ->
+          if i.rank = 0 then begin
+            if not (assignable ~to_:i.ty ~from:kr.vty) then
+              error ctx "assigning %s to %s %s" (ty_to_string kr.vty)
+                (ty_to_string i.ty) l.lv_name;
+            if ctx.simd && (not i.plural) && kr.vplural then
+              error ctx
+                "plural value assigned to front-end scalar %s (declare it \
+                 PLURAL)"
+                l.lv_name
+          end
+          else if kr.vrank = 0 || kr.vrank = i.rank then begin
+            (* whole-array fill or copy *)
+            if not (assignable ~to_:i.ty ~from:kr.vty) then
+              error ctx "assigning %s into %s array %s"
+                (ty_to_string kr.vty) (ty_to_string i.ty) l.lv_name
+          end
+          else
+            error ctx "rank mismatch assigning to whole array %s" l.lv_name
+      | idxs ->
+          ignore
+            (check_expr ctx (EIdx (l.lv_name, idxs)) : value_kind);
+          if not (assignable ~to_:i.ty ~from:kr.vty) then
+            error ctx "assigning %s to element of %s array %s"
+              (ty_to_string kr.vty) (ty_to_string i.ty) l.lv_name)
+  | SCall (_, args) -> List.iter (fun a -> ignore (check_expr ctx a)) args
+  | SIf (c, t, f) ->
+      let k = check_expr ctx c in
+      if k.vty <> Logical then
+        error ctx "IF condition is %s" (ty_to_string k.vty);
+      if ctx.simd && k.vplural then
+        error ctx "IF over a plural condition; use WHERE";
+      check_block ctx t;
+      check_block ctx f
+  | SWhere (c, t, f) ->
+      let k = check_expr ctx c in
+      if k.vty <> Logical then
+        error ctx "WHERE condition is %s" (ty_to_string k.vty);
+      if ctx.simd && not k.vplural then
+        warn ctx "WHERE over a front-end condition (behaves as IF)";
+      check_block ctx t;
+      check_block ctx f
+  | SWhile (c, b) ->
+      let k = check_expr ctx c in
+      if k.vty <> Logical then
+        error ctx "WHILE condition is %s" (ty_to_string k.vty);
+      if ctx.simd && k.vplural then
+        error ctx
+          "WHILE over a plural condition; reduce it (WHILE ANY(...)) and \
+           guard the body with WHERE";
+      check_block ctx b
+  | SDoWhile (b, c) ->
+      check_block ctx b;
+      let k = check_expr ctx c in
+      if k.vty <> Logical then
+        error ctx "UNTIL condition is %s" (ty_to_string k.vty)
+  | SDo (c, b) | SForall (c, b) ->
+      let i = lookup ctx c.d_var in
+      if i.ty <> Int then
+        error ctx "loop variable %s is %s" c.d_var (ty_to_string i.ty);
+      if i.rank > 0 then error ctx "loop variable %s is an array" c.d_var;
+      let bound what e =
+        let k = check_expr ctx e in
+        if k.vty <> Int then
+          error ctx "%s of DO %s is %s" what c.d_var (ty_to_string k.vty);
+        if ctx.simd && k.vplural && not i.plural then
+          error ctx
+            "front-end DO %s has a plural %s; reduce it (MAXVAL/MINVAL)"
+            c.d_var what
+      in
+      bound "lower bound" c.d_lo;
+      bound "upper bound" c.d_hi;
+      Option.iter (bound "stride") c.d_step;
+      check_block ctx b
+
+and check_block ctx b = List.iter (check_stmt ctx) b
+
+(* ------------------------------------------------------------------ *)
+(* Programs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  errors : diagnostic list;
+  warnings : diagnostic list;
+}
+
+let ok r = r.errors = []
+
+let pp_report ppf r =
+  Fmt.pf ppf "%a"
+    Fmt.(list ~sep:(any "@.") pp_diagnostic)
+    (r.errors @ r.warnings)
+
+(** Check a program.  [funcs] declares external functions and their result
+    types; [params] pre-declares driver-seeded scalars; [simd] enforces
+    the plural discipline (defaults to true iff the program declares any
+    PLURAL variable). *)
+let check_program ?(funcs = []) ?(params = []) ?simd (p : program) : report =
+  let simd =
+    match simd with
+    | Some b -> b
+    | None -> List.exists (fun d -> d.dc_plural) p.p_decls
+  in
+  let ctx =
+    {
+      vars = Hashtbl.create 32;
+      diags = [];
+      known_funcs = Hashtbl.create 8;
+      simd;
+    }
+  in
+  List.iter
+    (fun (name, ty) ->
+      Hashtbl.replace ctx.known_funcs (String.lowercase_ascii name) ty)
+    funcs;
+  List.iter
+    (fun (name, ty) ->
+      Hashtbl.replace ctx.vars name
+        { ty; rank = 0; plural = false; declared = true })
+    params;
+  (* the predefined plural processor index *)
+  Hashtbl.replace ctx.vars "iproc"
+    { ty = Int; rank = 0; plural = true; declared = true };
+  List.iter
+    (fun d ->
+      if Hashtbl.mem ctx.vars d.dc_name && d.dc_name <> "iproc" then
+        warn ctx "%s declared more than once" d.dc_name;
+      List.iter (fun e -> expect_index ctx "array dimension" e) d.dc_dims;
+      Hashtbl.replace ctx.vars d.dc_name
+        {
+          ty = ty_of_dtype d.dc_type;
+          rank = List.length d.dc_dims;
+          plural = d.dc_plural;
+          declared = true;
+        })
+    p.p_decls;
+  check_block ctx p.p_body;
+  let diags = List.rev ctx.diags in
+  {
+    errors = List.filter (fun d -> d.severity = Error) diags;
+    warnings = List.filter (fun d -> d.severity = Warning) diags;
+  }
+
+(** Check a bare block (everything implicit). *)
+let check_block_standalone ?(funcs = []) ?(simd = false) (b : block) : report
+    =
+  check_program ~funcs ~simd (Ast.program "fragment" b)

@@ -1,0 +1,48 @@
+(** Static checking of pseudo-Fortran programs: types, array ranks, and
+    the F90simd plural/front-end discipline of Section 2.  Undeclared
+    scalars follow Fortran's implicit rule (i..n INTEGER, others REAL) and
+    produce warnings. *)
+
+type ty =
+  | Int
+  | Real
+  | Logical
+
+val ty_of_dtype : Ast.dtype -> ty
+val ty_to_string : ty -> string
+
+type severity =
+  | Error
+  | Warning
+
+type diagnostic = {
+  severity : severity;
+  message : string;
+}
+
+val pp_diagnostic : diagnostic Fmt.t
+
+type report = {
+  errors : diagnostic list;
+  warnings : diagnostic list;
+}
+
+(** No errors (warnings allowed). *)
+val ok : report -> bool
+
+val pp_report : report Fmt.t
+
+(** Check a program.  [funcs] declares external functions and their result
+    types; [params] pre-declares driver-seeded scalars; [simd] enforces
+    the plural discipline (default: on iff the program declares PLURAL
+    variables).  The predefined plural [iproc] is always in scope. *)
+val check_program :
+  ?funcs:(string * ty) list ->
+  ?params:(string * ty) list ->
+  ?simd:bool ->
+  Ast.program ->
+  report
+
+(** Check a bare block (everything implicit). *)
+val check_block_standalone :
+  ?funcs:(string * ty) list -> ?simd:bool -> Ast.block -> report

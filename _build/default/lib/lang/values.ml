@@ -1,0 +1,120 @@
+(** Runtime values of the sequential (F77) interpreter. *)
+
+type arr =
+  | AInt of int Nd.t
+  | AReal of float Nd.t
+  | ABool of bool Nd.t
+
+type value =
+  | VInt of int
+  | VReal of float
+  | VBool of bool
+  | VArr of arr
+
+let rec pp ppf = function
+  | VInt n -> Fmt.int ppf n
+  | VReal f -> Fmt.float ppf f
+  | VBool b -> Fmt.string ppf (if b then ".TRUE." else ".FALSE.")
+  | VArr (AInt a) -> pp_arr ppf (Nd.map (fun n -> VInt n) a)
+  | VArr (AReal a) -> pp_arr ppf (Nd.map (fun f -> VReal f) a)
+  | VArr (ABool a) -> pp_arr ppf (Nd.map (fun b -> VBool b) a)
+
+and pp_arr ppf a =
+  Fmt.pf ppf "[|%a|]" Fmt.(list ~sep:(any "; ") pp) (Array.to_list (Nd.to_array a))
+
+let to_string v = Fmt.str "%a" pp v
+
+let type_name = function
+  | VInt _ -> "INTEGER"
+  | VReal _ -> "REAL"
+  | VBool _ -> "LOGICAL"
+  | VArr (AInt _) -> "INTEGER array"
+  | VArr (AReal _) -> "REAL array"
+  | VArr (ABool _) -> "LOGICAL array"
+
+let as_int = function
+  | VInt n -> n
+  | VReal f when Float.is_integer f -> int_of_float f
+  | v -> Errors.runtime_error "expected INTEGER, got %s" (type_name v)
+
+let as_float = function
+  | VInt n -> float_of_int n
+  | VReal f -> f
+  | v -> Errors.runtime_error "expected REAL, got %s" (type_name v)
+
+let as_bool = function
+  | VBool b -> b
+  | v -> Errors.runtime_error "expected LOGICAL, got %s" (type_name v)
+
+let as_arr = function
+  | VArr a -> a
+  | v -> Errors.runtime_error "expected array, got %s" (type_name v)
+
+let arr_size = function
+  | AInt a -> Nd.size a
+  | AReal a -> Nd.size a
+  | ABool a -> Nd.size a
+
+let arr_dims = function
+  | AInt a -> Nd.dims a
+  | AReal a -> Nd.dims a
+  | ABool a -> Nd.dims a
+
+(** Element access as a scalar value. *)
+let arr_get a idx =
+  match a with
+  | AInt a -> VInt (Nd.get a idx)
+  | AReal a -> VReal (Nd.get a idx)
+  | ABool a -> VBool (Nd.get a idx)
+
+let arr_set a idx v =
+  match a with
+  | AInt a -> Nd.set a idx (as_int v)
+  | AReal a -> Nd.set a idx (as_float v)
+  | ABool a -> Nd.set a idx (as_bool v)
+
+let arr_get_flat a i =
+  match a with
+  | AInt a -> VInt (Nd.get_flat a i)
+  | AReal a -> VReal (Nd.get_flat a i)
+  | ABool a -> VBool (Nd.get_flat a i)
+
+let arr_set_flat a i v =
+  match a with
+  | AInt a -> Nd.set_flat a i (as_int v)
+  | AReal a -> Nd.set_flat a i (as_float v)
+  | ABool a -> Nd.set_flat a i (as_bool v)
+
+let arr_fill a v =
+  match a with
+  | AInt a -> Nd.fill a (as_int v)
+  | AReal a -> Nd.fill a (as_float v)
+  | ABool a -> Nd.fill a (as_bool v)
+
+let arr_copy = function
+  | AInt a -> AInt (Nd.copy a)
+  | AReal a -> AReal (Nd.copy a)
+  | ABool a -> ABool (Nd.copy a)
+
+let alloc_arr (ty : Ast.dtype) dims : arr =
+  match ty with
+  | Ast.TInt -> AInt (Nd.create dims 0)
+  | Ast.TReal -> AReal (Nd.create dims 0.0)
+  | Ast.TLogical -> ABool (Nd.create dims false)
+
+let zero_of (ty : Ast.dtype) : value =
+  match ty with
+  | Ast.TInt -> VInt 0
+  | Ast.TReal -> VReal 0.0
+  | Ast.TLogical -> VBool false
+
+let equal_value a b =
+  match (a, b) with
+  | VInt x, VInt y -> x = y
+  | VReal x, VReal y -> Float.equal x y || Float.abs (x -. y) < 1e-12
+  | VBool x, VBool y -> x = y
+  | VArr (AInt x), VArr (AInt y) -> Nd.equal Int.equal x y
+  | VArr (AReal x), VArr (AReal y) ->
+      Nd.equal (fun a b -> Float.abs (a -. b) < 1e-9) x y
+  | VArr (ABool x), VArr (ABool y) -> Nd.equal Bool.equal x y
+  | _ -> false

@@ -1,0 +1,42 @@
+(** Runtime values of the sequential interpreter (and, per lane, of the
+    SIMD VM). *)
+
+type arr =
+  | AInt of int Nd.t
+  | AReal of float Nd.t
+  | ABool of bool Nd.t
+
+type value =
+  | VInt of int
+  | VReal of float
+  | VBool of bool
+  | VArr of arr
+
+val pp : value Fmt.t
+val to_string : value -> string
+val type_name : value -> string
+
+(** Coercions raise [Errors.Runtime_error] on mismatch; [as_float] accepts
+    integers, [as_int] accepts integral reals. *)
+
+val as_int : value -> int
+val as_float : value -> float
+val as_bool : value -> bool
+val as_arr : value -> arr
+
+val arr_size : arr -> int
+val arr_dims : arr -> int array
+val arr_get : arr -> int array -> value
+val arr_set : arr -> int array -> value -> unit
+val arr_get_flat : arr -> int -> value
+val arr_set_flat : arr -> int -> value -> unit
+val arr_fill : arr -> value -> unit
+val arr_copy : arr -> arr
+
+(** Zero-initialized array of the given element type and dimensions. *)
+val alloc_arr : Ast.dtype -> int array -> arr
+
+val zero_of : Ast.dtype -> value
+
+(** Deep equality; reals compare with a small absolute tolerance. *)
+val equal_value : value -> value -> bool

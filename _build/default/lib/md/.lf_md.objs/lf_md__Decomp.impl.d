@@ -1,0 +1,1 @@
+lib/md/decomp.ml: Array Fun List Pairlist

@@ -1,0 +1,1 @@
+lib/md/force.ml: Array Float Molecule Pairlist

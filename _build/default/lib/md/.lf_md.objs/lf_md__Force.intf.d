@@ -1,0 +1,1 @@
+lib/md/force.mli: Molecule Pairlist

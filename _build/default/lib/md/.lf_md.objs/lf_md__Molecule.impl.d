@@ -1,0 +1,1 @@
+lib/md/molecule.ml: Array Float List Printf Rng

@@ -1,0 +1,1 @@
+lib/md/pairlist.ml: Array Float List Molecule

@@ -1,0 +1,1 @@
+lib/md/pairlist.mli: Molecule

@@ -1,0 +1,1 @@
+lib/md/rng.ml: Float Int64

@@ -1,0 +1,1 @@
+lib/md/stats.ml: Array Fmt List Molecule Pairlist

@@ -1,0 +1,1 @@
+lib/md/stats.mli: Fmt Molecule Pairlist

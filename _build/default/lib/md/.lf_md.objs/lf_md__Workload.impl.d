@@ -1,0 +1,1 @@
+lib/md/workload.ml: Float Hashtbl Molecule Pairlist

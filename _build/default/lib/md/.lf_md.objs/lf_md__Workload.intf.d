@@ -1,0 +1,1 @@
+lib/md/workload.mli: Molecule Pairlist

@@ -1,0 +1,70 @@
+(** Atom-to-processor decompositions (paper §5.1).
+
+    After flattening, the running time is [max_q Σ pCnt] over each lane's
+    atoms (Eq. 1″) — "only limited by the quality of our workload
+    distribution."  This module provides the distributions the paper
+    discusses: block, cyclic ("cut-and-stack"), and an explicitly balanced
+    one (greedy longest-processing-time over the pair counts), so the
+    benches can quantify how much of the remaining imbalance a smarter
+    decomposition recovers. *)
+
+type t = int array array
+(** [t.(q)] lists lane [q]'s atoms (0-based) in processing order. *)
+
+let block ~gran ~n : t =
+  let per = (n + gran - 1) / gran in
+  Array.init gran (fun q ->
+      let lo = q * per in
+      let hi = min n (lo + per) in
+      Array.init (max 0 (hi - lo)) (fun i -> lo + i))
+
+let cyclic ~gran ~n : t =
+  Array.init gran (fun q ->
+      let count = ((n - q - 1) / gran) + if q < n then 1 else 0 in
+      Array.init (max 0 count) (fun i -> q + (i * gran)))
+
+(** Greedy LPT: sort atoms by descending pCnt, place each on the currently
+    lightest lane.  Near-optimal for makespan (4/3-approximation), which is
+    exactly the Eq. 1″ bound. *)
+let balanced ~gran (pl : Pairlist.t) : t =
+  let n = Array.length pl.Pairlist.pcnt in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b -> compare pl.Pairlist.pcnt.(b) pl.Pairlist.pcnt.(a))
+    order;
+  let loads = Array.make gran 0 in
+  let lanes = Array.make gran [] in
+  Array.iter
+    (fun atom ->
+      let best = ref 0 in
+      for q = 1 to gran - 1 do
+        if loads.(q) < loads.(!best) then best := q
+      done;
+      lanes.(!best) <- atom :: lanes.(!best);
+      loads.(!best) <- loads.(!best) + max 1 pl.Pairlist.pcnt.(atom))
+    order;
+  Array.map (fun l -> Array.of_list (List.rev l)) lanes
+
+(** Per-lane pair-count sums (counting pCnt >= 1, as the flattened kernel
+    pays at least one step per atom). *)
+let load (pl : Pairlist.t) (d : t) : int array =
+  Array.map
+    (fun atoms ->
+      Array.fold_left (fun s a -> s + max 1 pl.Pairlist.pcnt.(a)) 0 atoms)
+    d
+
+(** Makespan over mean load — 1.0 is perfect balance. *)
+let imbalance (pl : Pairlist.t) (d : t) : float =
+  let loads = load pl d in
+  let total = Array.fold_left ( + ) 0 loads in
+  let lanes = Array.length loads in
+  if total = 0 || lanes = 0 then 1.0
+  else
+    let mean = float_of_int total /. float_of_int lanes in
+    float_of_int (Array.fold_left max 0 loads) /. mean
+
+(** Every atom appears exactly once. *)
+let is_partition ~n (d : t) : bool =
+  let seen = Array.make n 0 in
+  Array.iter (Array.iter (fun a -> seen.(a) <- seen.(a) + 1)) d;
+  Array.for_all (( = ) 1) seen

@@ -1,0 +1,28 @@
+(** The nonbonded force routine: Lennard-Jones 12-6 plus Coulomb — the
+    per-pair computation of the paper's §5.1 kernel, used to cross-check
+    the loop versions numerically. *)
+
+val sigma_of : float array
+val epsilon_of : float array
+val coulomb_k : float
+
+type vec = {
+  fx : float;
+  fy : float;
+  fz : float;
+}
+
+val zero : vec
+val add : vec -> vec -> vec
+val neg : vec -> vec
+val norm : vec -> float
+
+(** Force exerted on the first atom by the second. *)
+val pair : Molecule.atom -> Molecule.atom -> vec
+
+(** Sequential reference with Newton's third law on each stored pair. *)
+val reference : Molecule.t -> Pairlist.t -> vec array
+
+(** Owner-side accumulation only (the paper's Figure 13 kernel updates
+    F(At1) alone). *)
+val reference_owner_side : Molecule.t -> Pairlist.t -> vec array

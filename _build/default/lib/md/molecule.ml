@@ -1,0 +1,197 @@
+(** Synthetic molecular configurations.
+
+    The paper's test case is bovine superoxide dismutase (SOD): N = 6968
+    atoms, "two identical subunits, each with 151 amino-acid residues and
+    two metal atoms" (§5.4).  The GROMOS coordinate and pairlist data are
+    not available, so we synthesize a protein-like configuration with the
+    properties the evaluation actually depends on (see DESIGN.md):
+
+    - overall atom density of a folded protein (≈ 0.08 atoms/Å³ counting
+      each nonbonded pair once), giving cubic growth of pCnt with the
+      cutoff radius (Figure 18);
+    - local density inhomogeneity (packed core, looser surface, two-subunit
+      structure), giving a pCnt_max/pCnt_avg ratio well above 1 — the
+      quantity that bounds the profit of loop flattening (Eqs. 1″/2″).
+
+    Construction: each subunit is a residue-level random walk (Cα spacing
+    3.8 Å) confined to a ball, with side-chain atoms placed around each
+    backbone center; the two subunits are congruent copies placed side by
+    side, touching at an interface (as in the real SOD homodimer). *)
+
+type atom = {
+  x : float;
+  y : float;
+  z : float;
+  charge : float;
+  kind : int;  (** Lennard-Jones type index *)
+}
+
+type t = {
+  atoms : atom array;
+  name : string;
+}
+
+let n_atoms m = Array.length m.atoms
+
+let distance a b =
+  let dx = a.x -. b.x and dy = a.y -. b.y and dz = a.z -. b.z in
+  Float.sqrt ((dx *. dx) +. (dy *. dy) +. (dz *. dz))
+
+(** Protein-like atom kinds: a small palette with GROMOS-ish parameters. *)
+let n_kinds = 5
+
+let default_residues = 151
+let default_atoms_per_residue = 23
+
+(** Build one subunit of [count] atoms inside a ball of radius [radius]
+    centered at [center].  Atom positions are sampled from a two-component
+    radial density — a denser Gaussian core (fraction [core_frac], width
+    [radius]/2.8) inside a uniform bulk — which is what gives the
+    folded-protein pCnt_max/pCnt_avg ratio of Figure 18 (packed hydrophobic
+    core, looser surface loops).  A small per-atom jitter stands in for the
+    covalent structure of the [default_residues] residues. *)
+let core_frac = 0.08
+
+let subunit rng ~count ~radius ~center =
+  let cx, cy, cz = center in
+  let atoms = ref [] in
+  for _ = 1 to count do
+    let px, py, pz =
+      if Rng.float rng < core_frac then begin
+        let s = radius /. 2.8 in
+        let x = Rng.normal rng *. s
+        and y = Rng.normal rng *. s
+        and z = Rng.normal rng *. s in
+        let r = Float.sqrt ((x *. x) +. (y *. y) +. (z *. z)) in
+        if r > radius then
+          let f = radius /. r in
+          (x *. f, y *. f, z *. f)
+        else (x, y, z)
+      end
+      else begin
+        let dx, dy, dz = Rng.in_unit_ball rng in
+        (dx *. radius, dy *. radius, dz *. radius)
+      end
+    in
+    let jx = Rng.normal rng *. 0.8
+    and jy = Rng.normal rng *. 0.8
+    and jz = Rng.normal rng *. 0.8 in
+    atoms :=
+      {
+        x = cx +. px +. jx;
+        y = cy +. py +. jy;
+        z = cz +. pz +. jz;
+        charge = Rng.range rng (-0.4) 0.4;
+        kind = Rng.int rng n_kinds;
+      }
+      :: !atoms
+  done;
+  List.rev !atoms
+
+(** Deterministic Fisher–Yates shuffle: decorrelates atom numbering from
+    position, so the owner-side (j > i) pair storage halves every
+    neighbourhood uniformly. *)
+let shuffle rng (a : 'a array) =
+  for i = Array.length a - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done
+
+(** Rescale all coordinates by [s] about the origin (density calibration). *)
+let scale (m : t) s : t =
+  {
+    m with
+    atoms =
+      Array.map
+        (fun a -> { a with x = a.x *. s; y = a.y *. s; z = a.z *. s })
+        m.atoms;
+  }
+
+(** The synthetic SOD-like homodimer.  [n] defaults to the paper's 6968;
+    atoms are split into two identical-statistics subunits plus metal
+    centers.  Deterministic in [seed]. *)
+let sod_uncalibrated ?(seed = 1992) ?(n = 6968) () : t =
+  let rng = Rng.create seed in
+  let per_subunit = (n - 4) / 2 in
+  (* confinement radius for protein density ~0.16 atoms/A^3 local *)
+  let radius =
+    Float.cbrt (3.0 *. float_of_int per_subunit /. (4.0 *. Float.pi *. 0.16))
+  in
+  let gap = 2.05 *. radius in
+  let s1 =
+    subunit rng ~count:per_subunit ~radius ~center:(-.gap /. 2.0, 0.0, 0.0)
+  in
+  let s2 =
+    subunit rng ~count:per_subunit ~radius ~center:(gap /. 2.0, 0.0, 0.0)
+  in
+  let metals =
+    [
+      { x = -.gap /. 2.0; y = 0.0; z = 0.0; charge = 2.0; kind = 0 };
+      { x = -.gap /. 2.0; y = 3.1; z = 0.0; charge = 2.0; kind = 1 };
+      { x = gap /. 2.0; y = 0.0; z = 0.0; charge = 2.0; kind = 0 };
+      { x = gap /. 2.0; y = 3.1; z = 0.0; charge = 2.0; kind = 1 };
+    ]
+  in
+  let base = Array.of_list (s1 @ s2 @ metals) in
+  (* pad or trim to exactly n with extra surface atoms *)
+  let atoms =
+    if Array.length base >= n then Array.sub base 0 n
+    else begin
+      let extra = n - Array.length base in
+      let pad =
+        Array.init extra (fun _ ->
+            let dx, dy, dz = Rng.in_unit_ball rng in
+            {
+              x = (gap /. 2.0) +. (dx *. radius);
+              y = dy *. radius;
+              z = dz *. radius;
+              charge = Rng.range rng (-0.4) 0.4;
+              kind = Rng.int rng n_kinds;
+            })
+      in
+      Array.append base pad
+    end
+  in
+  shuffle rng atoms;
+  { atoms; name = Printf.sprintf "synthetic-SOD(N=%d,seed=%d)" n seed }
+
+(** A uniform random gas in a cube — the null workload where pCnt barely
+    varies, used by the ablation benches to show when flattening does
+    {e not} pay. *)
+let uniform_gas ?(seed = 7) ~n ~density () : t =
+  let rng = Rng.create seed in
+  let side = Float.cbrt (float_of_int n /. density) in
+  let atoms =
+    Array.init n (fun _ ->
+        {
+          x = Rng.range rng 0.0 side;
+          y = Rng.range rng 0.0 side;
+          z = Rng.range rng 0.0 side;
+          charge = Rng.range rng (-0.4) 0.4;
+          kind = Rng.int rng n_kinds;
+        })
+  in
+  { atoms; name = Printf.sprintf "uniform-gas(N=%d)" n }
+
+(** A two-phase droplet: half the atoms packed densely, half diffuse —
+    an adversarial workload with extreme pCnt variance. *)
+let droplet ?(seed = 11) ~n () : t =
+  let rng = Rng.create seed in
+  let dense = n / 2 in
+  let r_dense = Float.cbrt (3.0 *. float_of_int dense /. (4.0 *. Float.pi *. 0.3)) in
+  let r_halo = 4.0 *. r_dense in
+  let atoms =
+    Array.init n (fun i ->
+        let r = if i < dense then r_dense else r_halo in
+        let dx, dy, dz = Rng.in_unit_ball rng in
+        {
+          x = dx *. r;
+          y = dy *. r;
+          z = dz *. r;
+          charge = Rng.range rng (-0.4) 0.4;
+          kind = Rng.int rng n_kinds;
+        })
+  in
+  { atoms; name = Printf.sprintf "droplet(N=%d)" n }

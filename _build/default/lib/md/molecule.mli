@@ -1,0 +1,46 @@
+(** Synthetic molecular configurations — the stand-in for the paper's
+    GROMOS superoxide-dismutase (SOD) coordinates (see DESIGN.md's
+    substitution table). *)
+
+type atom = {
+  x : float;
+  y : float;
+  z : float;
+  charge : float;
+  kind : int;  (** Lennard-Jones type index, 0 .. [n_kinds]-1 *)
+}
+
+type t = {
+  atoms : atom array;
+  name : string;
+}
+
+val n_atoms : t -> int
+val distance : atom -> atom -> float
+val n_kinds : int
+
+val default_residues : int
+val default_atoms_per_residue : int
+
+(** Fraction of atoms drawn from the dense Gaussian core of each subunit
+    (the knob behind the Figure 18 max/avg ratio). *)
+val core_frac : float
+
+(** Deterministic in-place Fisher–Yates shuffle (decorrelates atom
+    numbering from position for the owner-side pair storage). *)
+val shuffle : Rng.t -> 'a array -> unit
+
+(** Rescale all coordinates about the origin (density calibration). *)
+val scale : t -> float -> t
+
+(** The synthetic SOD-like homodimer before density calibration; prefer
+    [Workload.sod].  Deterministic in [seed]; exactly [n] atoms. *)
+val sod_uncalibrated : ?seed:int -> ?n:int -> unit -> t
+
+(** A uniform random gas in a cube — the near-null workload for the
+    ablation benches (combine with [Pairlist.brute_force_periodic]). *)
+val uniform_gas : ?seed:int -> n:int -> density:float -> unit -> t
+
+(** A two-phase droplet: half dense, half diffuse — an adversarial
+    workload with extreme pCnt variance. *)
+val droplet : ?seed:int -> n:int -> unit -> t

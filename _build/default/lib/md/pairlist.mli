@@ -1,0 +1,36 @@
+(** Pairlist construction (paper §5.1): for each atom i, the atoms within
+    the cutoff radius, stored once on the lower-numbered atom (the GROMOS
+    convention), so [Σ_i pCnt(i) = #pairs]. *)
+
+type t = {
+  cutoff : float;
+  pcnt : int array;  (** pcnt.(i) = partners of atom i (0-based) *)
+  partners : int array array;
+      (** partners.(i) = 0-based partner indices, each > i (except entries
+          added by [ensure_nonempty]) *)
+}
+
+val n_pairs : t -> int
+val max_pcnt : t -> int
+val avg_pcnt : t -> float
+
+(** Minimum-image distance in a cubic periodic box. *)
+val periodic_distance : box:float -> Molecule.atom -> Molecule.atom -> float
+
+(** O(N²) construction with periodic boundaries — oracle, and the builder
+    of truly uniform ablation workloads. *)
+val brute_force_periodic : Molecule.t -> box:float -> cutoff:float -> t
+
+(** O(N²) open-boundary construction — the test oracle. *)
+val brute_force : Molecule.t -> cutoff:float -> t
+
+(** Cell-list construction: O(N) for bounded density. *)
+val build : Molecule.t -> cutoff:float -> t
+
+(** Guarantee owner-side pCnt(i) >= 1 for every atom by appending the
+    nearest neighbour to empty lists — the paper's Fig. 15 assumption and
+    the Fig. 11/12 precondition (condition 2). *)
+val ensure_nonempty : Molecule.t -> t -> t
+
+(** A copy of the owner-side counts (what Figure 18 plots). *)
+val owner_side_counts : t -> int array

@@ -1,0 +1,41 @@
+(** Deterministic splitmix64 PRNG.
+
+    Workload generation must be reproducible across runs and independent of
+    any global random state, so the generator is explicit and seeded. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+(** Uniform float in [lo, hi). *)
+let range t lo hi = lo +. (float t *. (hi -. lo))
+
+(** Uniform int in [0, n). *)
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1) (Int64.of_int n))
+
+(** Standard normal via Box–Muller. *)
+let normal t =
+  let u1 = max 1e-12 (float t) and u2 = float t in
+  Float.sqrt (-2.0 *. Float.log u1) *. Float.cos (2.0 *. Float.pi *. u2)
+
+(** Uniform point in the unit ball, by rejection. *)
+let rec in_unit_ball t =
+  let x = range t (-1.0) 1.0
+  and y = range t (-1.0) 1.0
+  and z = range t (-1.0) 1.0 in
+  if (x *. x) +. (y *. y) +. (z *. z) <= 1.0 then (x, y, z)
+  else in_unit_ball t

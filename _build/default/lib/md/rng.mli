@@ -1,0 +1,22 @@
+(** Deterministic splitmix64 PRNG — explicit state, fixed seeds, so every
+    workload is reproducible across runs. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+(** Uniform in [0, 1). *)
+val float : t -> float
+
+(** Uniform in [lo, hi). *)
+val range : t -> float -> float -> float
+
+(** Uniform in [0, n); raises on n <= 0. *)
+val int : t -> int -> int
+
+(** Standard normal (Box–Muller). *)
+val normal : t -> float
+
+(** Uniform point in the unit ball. *)
+val in_unit_ball : t -> float * float * float

@@ -1,0 +1,44 @@
+(** Workload statistics over pairlists — the quantities of the paper's
+    Figure 18 ([pCnt_max], [pCnt_avg] per cutoff) and the speedup bound
+    [pCnt_max / pCnt_avg] of §5.4. *)
+
+type t = {
+  cutoff : float;
+  n_atoms : int;
+  n_pairs : int;
+  pcnt_max : int;
+  pcnt_avg : float;
+  ratio : float;  (** pcnt_max / pcnt_avg, the flattening profit bound *)
+}
+
+let of_pairlist (pl : Pairlist.t) : t =
+  let pcnt_max = Pairlist.max_pcnt pl in
+  let pcnt_avg = Pairlist.avg_pcnt pl in
+  {
+    cutoff = pl.Pairlist.cutoff;
+    n_atoms = Array.length pl.Pairlist.pcnt;
+    n_pairs = Pairlist.n_pairs pl;
+    pcnt_max;
+    pcnt_avg;
+    ratio = (if pcnt_avg = 0.0 then 1.0 else float_of_int pcnt_max /. pcnt_avg);
+  }
+
+(** Figure 18's sweep: statistics for a range of cutoff radii. *)
+let sweep (m : Molecule.t) ~(cutoffs : float list) : t list =
+  List.map (fun c -> of_pairlist (Pairlist.build m ~cutoff:c)) cutoffs
+
+let pp ppf s =
+  Fmt.pf ppf "cutoff %4.1f A: max %5d  avg %8.2f  ratio %5.3f" s.cutoff
+    s.pcnt_max s.pcnt_avg s.ratio
+
+(** Histogram of pCnt values in [buckets] equal-width bins. *)
+let histogram ?(buckets = 10) (pl : Pairlist.t) : (int * int * int) list =
+  let mx = max 1 (Pairlist.max_pcnt pl) in
+  let width = max 1 ((mx + buckets - 1) / buckets) in
+  let counts = Array.make buckets 0 in
+  Array.iter
+    (fun c ->
+      let b = min (buckets - 1) (c / width) in
+      counts.(b) <- counts.(b) + 1)
+    pl.Pairlist.pcnt;
+  List.init buckets (fun b -> (b * width, ((b + 1) * width) - 1, counts.(b)))

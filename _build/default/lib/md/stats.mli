@@ -1,0 +1,21 @@
+(** Workload statistics (paper Figure 18 and §5.4): pCnt maxima, averages,
+    and the flattening profit bound pCnt_max / pCnt_avg. *)
+
+type t = {
+  cutoff : float;
+  n_atoms : int;
+  n_pairs : int;
+  pcnt_max : int;
+  pcnt_avg : float;
+  ratio : float;  (** pcnt_max / pcnt_avg *)
+}
+
+val of_pairlist : Pairlist.t -> t
+
+(** Figure 18's sweep: statistics per cutoff radius (open boundaries). *)
+val sweep : Molecule.t -> cutoffs:float list -> t list
+
+val pp : t Fmt.t
+
+(** Equal-width histogram of pCnt values: (lo, hi, count) per bucket. *)
+val histogram : ?buckets:int -> Pairlist.t -> (int * int * int) list

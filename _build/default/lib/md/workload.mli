@@ -1,0 +1,24 @@
+(** Calibrated workloads for the evaluation: the synthetic SOD molecule
+    rescaled so its average owner-side pairs/atom at 8 Å matches the
+    paper's ≈ 80 (§5.4), plus memoized pairlists with the pCnt ≥ 1
+    guarantee. *)
+
+val target_avg_at_8A : float
+
+(** Rescale a molecule toward the calibration target (≤ 3 fixed-point
+    iterations). *)
+val calibrate : Molecule.t -> Molecule.t
+
+(** The calibrated synthetic SOD molecule (memoized per (seed, n);
+    defaults: seed 1992, n 6968 — the paper's atom count). *)
+val sod : ?seed:int -> ?n:int -> unit -> Molecule.t
+
+(** The paper's cutoff radii for Tables 1 and 2: 4, 8, 12, 16 Å. *)
+val table_cutoffs : float list
+
+(** Figure 18's sweep range: 2 .. 20 Å. *)
+val fig18_cutoffs : float list
+
+(** Pairlist with the pCnt ≥ 1 guarantee, memoized per
+    (molecule name, cutoff). *)
+val pairlist : Molecule.t -> cutoff:float -> Pairlist.t

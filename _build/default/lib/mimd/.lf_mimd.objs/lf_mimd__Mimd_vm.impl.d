@@ -1,0 +1,1 @@
+lib/mimd/mimd_vm.ml: Array Ast Interp Lf_lang List

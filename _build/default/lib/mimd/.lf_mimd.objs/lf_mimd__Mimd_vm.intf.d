@@ -1,0 +1,1 @@
+lib/mimd/mimd_vm.mli: Ast Interp Lf_lang

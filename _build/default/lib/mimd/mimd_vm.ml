@@ -1,0 +1,52 @@
+(** MIMD execution model (paper §3, Figure 3): each of the P processors
+    runs its own copy of the program asynchronously on its own partition,
+    with a separate name space.  The running time is the maximum over the
+    per-processor times — Equation 1's [max_p Σ_i L_p^i] when the unit of
+    time is one inner-loop iteration.
+
+    Each processor gets an independent sequential [Lf_lang.Interp] context;
+    [setup] seeds processor [p]'s name space (its partition of the data,
+    per the owner-computes rule). *)
+
+open Lf_lang
+
+type result = {
+  contexts : Interp.t array;
+  steps : int array;  (** interpreter steps per processor *)
+  time : int;  (** max over processors *)
+  calls : int array;  (** external-subroutine calls per processor *)
+  call_time : int;  (** max over processors of external calls — Eq. 1 when
+                        each call is one inner iteration *)
+}
+
+(** Run [prog] on [p] processors.  [setup proc ctx] prepares processor
+    [proc] (0-based) — typically binding its block or cyclic slice of the
+    global arrays; [procs] registers external subroutines available on all
+    processors. *)
+let run ?fuel ~p ?(procs = []) ~(setup : int -> Interp.t -> unit)
+    (prog : Ast.program) : result =
+  let contexts =
+    Array.init p (fun proc ->
+        let ctx = Interp.create ?fuel () in
+        List.iter (fun (name, f) -> Interp.register_proc ctx name f) procs;
+        setup proc ctx;
+        Interp.declare ctx prog.Ast.p_decls;
+        Interp.exec_block ctx prog.Ast.p_body;
+        ctx)
+  in
+  let steps = Array.map (fun c -> c.Interp.steps) contexts in
+  let calls =
+    Array.map (fun c -> List.length (Interp.observations c)) contexts
+  in
+  {
+    contexts;
+    steps;
+    time = Array.fold_left max 0 steps;
+    calls;
+    call_time = Array.fold_left max 0 calls;
+  }
+
+(** Run a bare block per processor. *)
+let run_block ?fuel ~p ?(procs = []) ~(setup : int -> Interp.t -> unit)
+    (b : Ast.block) : result =
+  run ?fuel ~p ~procs ~setup (Ast.program "mimd" b)

@@ -1,0 +1,34 @@
+(** MIMD execution model (paper §3, Figure 3): P processors run the same
+    program asynchronously over separate name spaces; time is the maximum
+    over per-processor times (Eq. 1 when the unit is one inner
+    iteration). *)
+
+open Lf_lang
+
+type result = {
+  contexts : Interp.t array;
+  steps : int array;  (** interpreter steps per processor *)
+  time : int;  (** max over processors *)
+  calls : int array;  (** external-subroutine calls per processor *)
+  call_time : int;  (** max over processors of external calls (Eq. 1) *)
+}
+
+(** [run ~p ~setup prog]: processor [i] (0-based) gets a fresh sequential
+    context prepared by [setup i] — typically its block or cyclic slice of
+    the global arrays, per the owner-computes rule.  [procs] registers
+    external subroutines on every processor. *)
+val run :
+  ?fuel:int ->
+  p:int ->
+  ?procs:(string * Interp.proc) list ->
+  setup:(int -> Interp.t -> unit) ->
+  Ast.program ->
+  result
+
+val run_block :
+  ?fuel:int ->
+  p:int ->
+  ?procs:(string * Interp.proc) list ->
+  setup:(int -> Interp.t -> unit) ->
+  Ast.block ->
+  result

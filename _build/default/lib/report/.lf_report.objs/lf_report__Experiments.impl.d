@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Array Ascii_plot Ast Buffer Env Filename Float Fmt Interp Lf_core Lf_kernels Lf_lang Lf_md Lf_simd List Nd Option Paper_data Parser Pretty Printf String Table Values

@@ -1,0 +1,1 @@
+lib/report/paper_data.ml:

@@ -1,0 +1,63 @@
+(** Minimal ASCII scatter plots with optional log scales — enough to
+    render Figure 19's log-log running-time curves in a terminal. *)
+
+type series = {
+  label : string;
+  mark : char;
+  points : (float * float) list;
+}
+
+let series ~label ~mark points = { label; mark; points }
+
+let transform log v = if log then Float.log10 v else v
+
+(** Render the series into a [width] × [height] character grid with simple
+    min/max axis annotations.  Points outside a degenerate range collapse
+    to the center.  Later series overwrite earlier marks on collisions. *)
+let render ?(width = 60) ?(height = 20) ?(logx = true) ?(logy = true) ppf
+    (ss : series list) =
+  let pts =
+    List.concat_map
+      (fun s ->
+        List.filter (fun (x, y) -> x > 0.0 && y > 0.0) s.points)
+      ss
+  in
+  if pts = [] then Fmt.pf ppf "(no data)@."
+  else begin
+    let xs = List.map (fun (x, _) -> transform logx x) pts in
+    let ys = List.map (fun (_, y) -> transform logy y) pts in
+    let fmin = List.fold_left Float.min Float.infinity in
+    let fmax = List.fold_left Float.max Float.neg_infinity in
+    let x0 = fmin xs and x1 = fmax xs in
+    let y0 = fmin ys and y1 = fmax ys in
+    let place v lo hi extent =
+      if hi -. lo < 1e-12 then extent / 2
+      else
+        let t = (v -. lo) /. (hi -. lo) in
+        min (extent - 1) (max 0 (int_of_float (t *. float_of_int (extent - 1))))
+    in
+    let grid = Array.make_matrix height width ' ' in
+    List.iter
+      (fun s ->
+        List.iter
+          (fun (x, y) ->
+            if x > 0.0 && y > 0.0 then begin
+              let cx = place (transform logx x) x0 x1 width in
+              let cy = place (transform logy y) y0 y1 height in
+              grid.(height - 1 - cy).(cx) <- s.mark
+            end)
+          s.points)
+      ss;
+    let back lo v log = if log then Float.pow 10.0 (lo +. v) else lo +. v in
+    Fmt.pf ppf "%8.3g +%s@." (back y1 0.0 logy) (String.make width '-');
+    Array.iteri
+      (fun row line ->
+        if row = height - 1 then
+          Fmt.pf ppf "%8.3g |%s@." (back y0 0.0 logy)
+            (String.init width (Array.get line))
+        else Fmt.pf ppf "         |%s@." (String.init width (Array.get line)))
+      grid;
+    Fmt.pf ppf "          %-10.5g%*s%10.5g@." (back x0 0.0 logx)
+      (width - 20) "" (back x1 0.0 logx);
+    List.iter (fun s -> Fmt.pf ppf "    %c = %s@." s.mark s.label) ss
+  end

@@ -1,0 +1,110 @@
+(** The published numbers from the paper, embedded for side-by-side
+    paper-vs-measured reporting (EXPERIMENTS.md).
+
+    Table 1: running times in seconds per (machine row, cutoff, loop
+    version); [None] marks the cells the paper could not run (L1/L2 stack
+    overflows, §5.5) or does not report.  Table 2: force-call counts.
+    §5.4: pCnt_max/pCnt_avg ratios.  §5.5: Sparc 2 times. *)
+
+type row1 = {
+  machine : [ `CM2 | `DECmpp ];
+  p : int;
+  gran : int;
+  (* per cutoff (4, 8, 12, 16 Å): (L1, L2, Lf) *)
+  times : (float option * float option * float option) array;
+}
+
+let table1 : row1 list =
+  [
+    { machine = `CM2; p = 1024; gran = 128;
+      times =
+        [| (None, None, Some 3.89); (None, None, Some 27.03);
+           (None, None, None); (None, None, None) |] };
+    { machine = `CM2; p = 2048; gran = 256;
+      times =
+        [| (Some 6.57, Some 3.86, Some 2.13);
+           (Some 42.91, Some 25.13, Some 14.72);
+           (None, None, None); (None, None, None) |] };
+    { machine = `CM2; p = 4096; gran = 512;
+      times =
+        [| (Some 3.22, Some 1.83, Some 1.11);
+           (Some 21.02, Some 11.95, Some 7.65);
+           (None, None, Some 24.78); (None, None, None) |] };
+    { machine = `CM2; p = 8192; gran = 1024;
+      times =
+        [| (Some 1.72, Some 0.99, Some 0.64);
+           (Some 11.19, Some 6.46, Some 4.57);
+           (None, None, Some 13.31); (None, None, Some 27.17) |] };
+    { machine = `DECmpp; p = 1024; gran = 1024;
+      times =
+        [| (Some 0.910, Some 0.934, Some 0.390);
+           (Some 5.36, Some 5.85, Some 2.81);
+           (Some 15.91, Some 17.45, Some 8.19);
+           (Some 36.86, Some 40.45, Some 16.84) |] };
+    { machine = `DECmpp; p = 2048; gran = 2048;
+      times =
+        [| (Some 0.638, Some 0.481, Some 0.266);
+           (Some 3.35, Some 3.00, Some 1.69);
+           (Some 9.96, Some 8.95, Some 4.98);
+           (Some 23.07, Some 20.71, Some 10.68) |] };
+    { machine = `DECmpp; p = 4096; gran = 4096;
+      times =
+        [| (Some 0.352, Some 0.269, Some 0.157);
+           (Some 1.86, Some 1.55, Some 1.05);
+           (Some 5.18, Some 4.59, Some 3.14);
+           (Some 11.96, Some 10.58, Some 6.51) |] };
+    { machine = `DECmpp; p = 8192; gran = 8192;
+      times =
+        [| (Some 0.145, Some 0.129, Some 0.104);
+           (Some 0.683, Some 0.715, Some 0.671);
+           (Some 1.92, Some 2.09, Some 2.00);
+           (Some 4.42, Some 4.82, Some 4.66) |] };
+  ]
+
+type row2 = {
+  gran2 : int;
+  (* per cutoff (4, 8, 12, 16 Å): (Lu, Lf) — Lu scaled by Lrs *)
+  counts : (int option * int option) array;
+}
+
+let table2 : row2 list =
+  [
+    { gran2 = 128;
+      counts =
+        [| (None, Some 722); (None, Some 5076); (None, None); (None, None) |] };
+    { gran2 = 256;
+      counts =
+        [| (Some 924, Some 397); (Some 6048, Some 2754);
+           (None, None); (None, None) |] };
+    { gran2 = 512;
+      counts =
+        [| (Some 462, Some 224); (Some 3024, Some 1559);
+           (None, Some 4649); (None, None) |] };
+    { gran2 = 1024;
+      counts =
+        [| (Some 231, Some 125); (Some 1512, Some 906);
+           (Some 4536, Some 2642); (Some 10528, Some 5436) |] };
+    { gran2 = 2048;
+      counts =
+        [| (Some 132, Some 86); (Some 864, Some 545);
+           (Some 2592, Some 1606); (Some 6016, Some 3434) |] };
+    { gran2 = 4096;
+      counts =
+        [| (Some 66, Some 51); (Some 432, Some 357);
+           (Some 1296, Some 1069); (Some 3008, Some 2222) |] };
+    { gran2 = 8192;
+      counts =
+        [| (Some 33, Some 33); (Some 216, Some 216);
+           (Some 648, Some 648); (Some 1504, Some 1504) |] };
+  ]
+
+(** §5.4: pCnt_max / pCnt_avg at the four table cutoffs. *)
+let pcnt_ratios = [ (4.0, 3.347); (8.0, 2.689); (12.0, 2.665); (16.0, 2.949) ]
+
+(** Last Table 2 row = Figure 18's maxima at the table cutoffs. *)
+let pcnt_max = [ (4.0, 33); (8.0, 216); (12.0, 648); (16.0, 1504) ]
+
+(** §5.5: Sparc 2 running times. *)
+let sparc_times = [ (4.0, 3.86); (8.0, 31.43) ]
+
+let cutoffs = [| 4.0; 8.0; 12.0; 16.0 |]

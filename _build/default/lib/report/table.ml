@@ -1,0 +1,39 @@
+(** Minimal ASCII table rendering for the experiment reports. *)
+
+type t = {
+  header : string list;
+  rows : string list list;
+}
+
+let make ~header rows = { header; rows }
+
+let render ppf (t : t) =
+  let all = t.header :: t.rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let pad r = r @ List.init (ncols - List.length r) (fun _ -> "") in
+  let all = List.map pad all in
+  let widths =
+    List.init ncols (fun c ->
+        List.fold_left (fun m r -> max m (String.length (List.nth r c))) 0 all)
+  in
+  let line ch =
+    Fmt.pf ppf "+%s+@."
+      (String.concat "+"
+         (List.map (fun w -> String.make (w + 2) ch) widths))
+  in
+  let row r =
+    Fmt.pf ppf "|%s|@."
+      (String.concat "|"
+         (List.map2 (fun w c -> Printf.sprintf " %*s " w c) widths r))
+  in
+  line '-';
+  row (List.hd all);
+  line '=';
+  List.iter row (List.tl all);
+  line '-'
+
+let to_string t = Fmt.str "%a" render t
+
+let cell_f f = Printf.sprintf "%.3f" f
+let cell_f2 f = Printf.sprintf "%.2f" f
+let cell_i = string_of_int

@@ -1,0 +1,1 @@
+lib/simd/layout.ml: Array Lf_lang List Machine

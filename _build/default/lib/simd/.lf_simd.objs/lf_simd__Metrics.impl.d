@@ -1,0 +1,1 @@
+lib/simd/metrics.ml: Fmt Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/simd/metrics.mli: Fmt Hashtbl

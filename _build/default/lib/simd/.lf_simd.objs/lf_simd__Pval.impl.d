@@ -1,0 +1,1 @@
+lib/simd/pval.ml: Array Errors Fmt Fun Lf_lang Option Values

@@ -1,0 +1,1 @@
+lib/simd/pval.mli: Fmt Lf_lang Values

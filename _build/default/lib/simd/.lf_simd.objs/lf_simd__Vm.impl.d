@@ -1,0 +1,1 @@
+lib/simd/vm.ml: Array Ast Errors Hashtbl Interp Intrinsics Lf_lang List Metrics Nd Pval String Values

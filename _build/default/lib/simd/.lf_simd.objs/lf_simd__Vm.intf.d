@@ -1,0 +1,1 @@
+lib/simd/vm.mli: Ast Hashtbl Lf_lang Metrics Pval Values

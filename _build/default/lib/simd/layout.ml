@@ -1,0 +1,48 @@
+(** Distributed-array layouts: mapping between global element indices and
+    (lane, layer) coordinates on a machine with data granularity [Gran].
+
+    Indices are 1-based throughout (Fortran convention):
+    - {b cut-and-stack} (DECmpp): global index g sits on lane
+      [1 + (g-1) mod Gran] in layer [1 + (g-1) / Gran];
+    - {b blockwise} (CM-2): lane q holds the consecutive chunk of [Lrs]
+      elements starting at [(q-1)*Lrs + 1] (chunks are sized by the layer
+      count of the whole array). *)
+
+type coords = {
+  lane : int;  (** 1-based processor/lane index, 1..Gran *)
+  layer : int;  (** 1-based memory layer, 1..Lrs *)
+}
+
+let layers ~gran ~n = if n <= 0 then 0 else 1 + ((n - 1) / gran)
+
+let to_coords (style : Machine.layout_style) ~gran ~n (g : int) : coords =
+  if g < 1 || g > n then
+    Lf_lang.Errors.runtime_error "layout: index %d outside 1..%d" g n;
+  match style with
+  | Machine.Cut_and_stack ->
+      { lane = 1 + ((g - 1) mod gran); layer = 1 + ((g - 1) / gran) }
+  | Machine.Blockwise ->
+      let lrs = layers ~gran ~n in
+      { lane = 1 + ((g - 1) / lrs); layer = 1 + ((g - 1) mod lrs) }
+
+let of_coords (style : Machine.layout_style) ~gran ~n (c : coords) :
+    int option =
+  let g =
+    match style with
+    | Machine.Cut_and_stack -> ((c.layer - 1) * gran) + c.lane
+    | Machine.Blockwise ->
+        let lrs = layers ~gran ~n in
+        ((c.lane - 1) * lrs) + c.layer
+  in
+  if g >= 1 && g <= n then Some g else None
+
+(** The global indices owned by [lane], in layer order. *)
+let owned (style : Machine.layout_style) ~gran ~n (lane : int) : int list =
+  let lrs = layers ~gran ~n in
+  List.init lrs (fun i -> { lane; layer = i + 1 })
+  |> List.filter_map (of_coords style ~gran ~n)
+
+(** Partition [1..n] over all lanes; [result.(lane-1)] lists the lane's
+    elements in processing order. *)
+let partition (style : Machine.layout_style) ~gran ~n : int list array =
+  Array.init gran (fun q -> owned style ~gran ~n (q + 1))

@@ -1,0 +1,23 @@
+(** Distributed-array layouts: mapping between 1-based global element
+    indices and (lane, layer) machine coordinates (paper §5.2). *)
+
+type coords = {
+  lane : int;  (** 1-based lane, 1..Gran *)
+  layer : int;  (** 1-based memory layer, 1..Lrs *)
+}
+
+val layers : gran:int -> n:int -> int
+
+(** Coordinates of global index [g] (1..n); raises on out-of-range. *)
+val to_coords : Machine.layout_style -> gran:int -> n:int -> int -> coords
+
+(** Inverse of [to_coords]; [None] when the slot holds no element. *)
+val of_coords :
+  Machine.layout_style -> gran:int -> n:int -> coords -> int option
+
+(** Global indices owned by a lane, in layer order. *)
+val owned : Machine.layout_style -> gran:int -> n:int -> int -> int list
+
+(** Partition [1..n] over all lanes; [(partition ...).(lane-1)] lists that
+    lane's elements in processing order. *)
+val partition : Machine.layout_style -> gran:int -> n:int -> int list array

@@ -1,0 +1,42 @@
+(** Machine models (paper §5.2): structural parameters (data granularity,
+    layout, memory layers) plus the per-machine cost constants calibrated
+    from the paper's Table 1 (see EXPERIMENTS.md). *)
+
+type layout_style =
+  | Cut_and_stack  (** layer l holds elements (l-1)*Gran+1 .. l*Gran *)
+  | Blockwise  (** lane q holds elements (q-1)*Lrs+1 .. q*Lrs *)
+
+type t = {
+  name : string;
+  processors : int;
+  gran : int;  (** data granularity for this configuration *)
+  layout : layout_style;
+  cost_unflat_step : float;
+      (** seconds per (pr, layer) sweep of the unflattened kernel *)
+  cost_layer_check : float;
+      (** extra per-layer activity check of the layer-selecting L1 kernel *)
+  cost_flat_step : float;
+      (** seconds per flattened-kernel iteration (indirect addressing) *)
+  cost_l1_frontend : float;
+      (** small per-(pr, layer) front-end cost L1 pays over all maxLrs
+          layers (§5.3's ~5% Nmax effect on the DECmpp) *)
+  l1_touches_all_layers : bool;
+      (** §5.3: the CM-2 cycles through all memory layers even under
+          explicit 1:Lrs subscripts *)
+}
+
+(** CM-2 with [p] one-bit processors; slicewise compiler: Gran = p/8. *)
+val cm2 : p:int -> t
+
+(** DECmpp 12000 (MasPar MP-1200) with [p] processors; Gran = p. *)
+val decmpp : p:int -> t
+
+(** Sparc 2 sequential baseline (Gran = 1); the cost constant is seconds
+    per pair interaction. *)
+val sparc : t
+
+(** Memory layers in use for an [n]-element distributed array:
+    Lrs = 1 + (n-1)/Gran (§5.3). *)
+val layers : t -> n:int -> int
+
+val pp : t Fmt.t

@@ -1,0 +1,55 @@
+(** Execution counters of the SIMD VM.
+
+    The central quantity is [steps]: the number of vector instructions
+    issued by the (single) control unit.  Because every processor steps
+    through every instruction — masked or not — [steps] is the SIMD time
+    bound of the paper's Equation 2; [busy_lanes] measures how many of
+    those lane-slots did useful work, so
+    [utilization = busy_lanes / (steps * P)] quantifies the control-flow
+    waste that loop flattening removes. *)
+
+type t = {
+  mutable steps : int;  (** vector instructions issued *)
+  mutable busy_lanes : int;  (** sum over instructions of active lanes *)
+  mutable lane_slots : int;  (** sum over instructions of P *)
+  mutable frontend_steps : int;  (** scalar (control-unit-only) instructions *)
+  mutable reductions : int;  (** global OR/MAX trees (ANY, MAXVAL, ...) *)
+  calls : (string, int) Hashtbl.t;  (** per-subroutine call counts *)
+}
+
+let create () =
+  {
+    steps = 0;
+    busy_lanes = 0;
+    lane_slots = 0;
+    frontend_steps = 0;
+    reductions = 0;
+    calls = Hashtbl.create 8;
+  }
+
+let vector_step m ~active ~p =
+  m.steps <- m.steps + 1;
+  m.busy_lanes <- m.busy_lanes + active;
+  m.lane_slots <- m.lane_slots + p
+
+let frontend_step m = m.frontend_steps <- m.frontend_steps + 1
+let reduction m = m.reductions <- m.reductions + 1
+
+let call m name =
+  Hashtbl.replace m.calls name
+    (1 + Option.value ~default:0 (Hashtbl.find_opt m.calls name))
+
+let call_count m name = Option.value ~default:0 (Hashtbl.find_opt m.calls name)
+
+let utilization m =
+  if m.lane_slots = 0 then 1.0
+  else float_of_int m.busy_lanes /. float_of_int m.lane_slots
+
+let pp ppf m =
+  Fmt.pf ppf
+    "steps=%d frontend=%d reductions=%d utilization=%.3f calls=[%a]" m.steps
+    m.frontend_steps m.reductions (utilization m)
+    Fmt.(
+      list ~sep:(any "; ") (fun ppf (k, v) -> Fmt.pf ppf "%s:%d" k v))
+    (Hashtbl.fold (fun k v acc -> (k, v) :: acc) m.calls []
+    |> List.sort compare)

@@ -1,0 +1,25 @@
+(** Execution counters of the SIMD VM.  [steps] counts vector instructions
+    issued by the single control unit — the paper's SIMD time unit
+    (Eq. 2); [busy_lanes / lane_slots] measures how much of that lockstep
+    work was useful, i.e. the control-flow waste flattening removes. *)
+
+type t = {
+  mutable steps : int;  (** vector instructions issued *)
+  mutable busy_lanes : int;  (** active lanes summed over instructions *)
+  mutable lane_slots : int;  (** P summed over instructions *)
+  mutable frontend_steps : int;  (** scalar control-unit instructions *)
+  mutable reductions : int;  (** global OR/MAX trees (ANY, MAXVAL, ...) *)
+  calls : (string, int) Hashtbl.t;  (** per-subroutine vector-call counts *)
+}
+
+val create : unit -> t
+val vector_step : t -> active:int -> p:int -> unit
+val frontend_step : t -> unit
+val reduction : t -> unit
+val call : t -> string -> unit
+val call_count : t -> string -> int
+
+(** [busy_lanes / lane_slots]; 1.0 when nothing ran. *)
+val utilization : t -> float
+
+val pp : t Fmt.t

@@ -1,0 +1,82 @@
+(** Plural values: the data model of the SIMD VM.
+
+    A value is either a front-end scalar (living on the array control
+    unit), a front-end array, or a {e plural} value with one component per
+    processor (paper §2: "scalars of the F77 version will be replicated in
+    the F90simd version").  Plural components on lanes that are masked out
+    are unspecified; operations only compute on active lanes. *)
+
+open Lf_lang
+
+type t =
+  | FScalar of Values.value
+  | FArr of Values.arr
+  | Plural of Values.value array
+
+let pp ppf = function
+  | FScalar v -> Values.pp ppf v
+  | FArr a -> Values.pp ppf (Values.VArr a)
+  | Plural vs ->
+      Fmt.pf ppf "<%a>"
+        Fmt.(list ~sep:(any ", ") Values.pp)
+        (Array.to_list vs)
+
+let to_string v = Fmt.str "%a" pp v
+
+(** Broadcast a front-end scalar to all lanes. *)
+let broadcast p v = Plural (Array.make p v)
+
+(** Per-lane view of any value: lane [i] of a front-end scalar is the
+    scalar itself. *)
+let lane v i =
+  match v with
+  | FScalar s -> s
+  | Plural vs -> vs.(i)
+  | FArr _ -> Errors.runtime_error "front-end array used as a plural value"
+
+let is_plural = function Plural _ -> true | _ -> false
+
+let as_front_scalar = function
+  | FScalar v -> v
+  | Plural _ -> Errors.runtime_error "plural value in a front-end context"
+  | FArr _ -> Errors.runtime_error "array value in a scalar context"
+
+let as_front_bool v = Values.as_bool (as_front_scalar v)
+let as_front_int v = Values.as_int (as_front_scalar v)
+
+(** Lift a scalar binary operation lane-wise; computes only active lanes,
+    leaving an inert zero elsewhere. *)
+let lift2 ~(mask : bool array) f a b =
+  match (a, b) with
+  | FScalar x, FScalar y -> FScalar (f x y)
+  | (Plural _ | FScalar _), (Plural _ | FScalar _) ->
+      let p = Array.length mask in
+      Plural
+        (Array.init p (fun i ->
+             if mask.(i) then f (lane a i) (lane b i) else Values.VInt 0))
+  | _ -> Errors.runtime_error "array operand in a lane-wise operation"
+
+let lift1 ~(mask : bool array) f a =
+  match a with
+  | FScalar x -> FScalar (f x)
+  | Plural _ ->
+      let p = Array.length mask in
+      Plural
+        (Array.init p (fun i ->
+             if mask.(i) then f (lane a i) else Values.VInt 0))
+  | FArr _ -> Errors.runtime_error "array operand in a lane-wise operation"
+
+(** Reduce a plural value over the active lanes.  [empty] is returned when
+    no lane is active. *)
+let reduce ~(mask : bool array) ~empty f v =
+  match v with
+  | Plural vs ->
+      let acc = ref None in
+      Array.iteri
+        (fun i active ->
+          if active then
+            acc := Some (match !acc with None -> vs.(i) | Some a -> f a vs.(i)))
+        mask;
+      Option.value ~default:empty !acc
+  | FScalar s -> if Array.exists Fun.id mask then s else empty
+  | FArr _ -> Errors.runtime_error "array operand in a plural reduction"

@@ -1,0 +1,47 @@
+(** Plural values: the data model of the SIMD VM — front-end scalars and
+    arrays on the control unit, plural values with one component per
+    processor (paper §2).  Components on masked-out lanes are unspecified;
+    operations compute only on active lanes. *)
+
+open Lf_lang
+
+type t =
+  | FScalar of Values.value
+  | FArr of Values.arr
+  | Plural of Values.value array
+
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** Broadcast a front-end scalar to all [p] lanes. *)
+val broadcast : int -> Values.value -> t
+
+(** Per-lane view: lane [i] of a front-end scalar is the scalar itself;
+    raises on arrays. *)
+val lane : t -> int -> Values.value
+
+val is_plural : t -> bool
+
+(** Raise unless the value is a front-end scalar. *)
+val as_front_scalar : t -> Values.value
+
+val as_front_bool : t -> bool
+val as_front_int : t -> int
+
+(** Lift a scalar binary operation lane-wise under the mask. *)
+val lift2 :
+  mask:bool array ->
+  (Values.value -> Values.value -> Values.value) ->
+  t ->
+  t ->
+  t
+
+val lift1 : mask:bool array -> (Values.value -> Values.value) -> t -> t
+
+(** Reduce a plural value over the active lanes; [empty] when none are. *)
+val reduce :
+  mask:bool array ->
+  empty:Values.value ->
+  (Values.value -> Values.value -> Values.value) ->
+  t ->
+  Values.value

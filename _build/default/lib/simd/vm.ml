@@ -1,0 +1,496 @@
+(** The SIMD virtual machine: a lockstep interpreter for F90simd programs.
+
+    One control unit issues every instruction; [p] lanes execute it under
+    the current activity mask (the WHERE mask stack).  This reproduces the
+    paper's execution model exactly: a masked-out processor still "steps
+    through the operation ... in an idle state until all processors have
+    completed the operation" — which is why [Metrics.steps] counts every
+    vector instruction once regardless of how many lanes are active, and
+    why the unflattened and flattened versions of a program differ in
+    step count exactly as Equations 2 and 1′ predict.
+
+    Data model:
+    - plural scalars: one value per lane ([Pval.Plural]);
+    - plural arrays (declared [PLURAL t a(d)]): per-lane storage, realized
+      as a global array with a leading lane dimension;
+    - front-end scalars and global (distributed) arrays: shared storage;
+      a reference through a plural subscript is a gather, an assignment a
+      scatter.
+
+    The predefined plural variable [iproc] holds 1..P. *)
+
+open Lf_lang
+open Lf_lang.Ast
+open Values
+
+type entry =
+  | VScalar of value ref
+  | VPlural of value array
+  | VGlobal of arr
+  | VPluralArr of arr  (** leading dimension is the lane index *)
+
+type proc = t -> mask:bool array -> Pval.t list -> unit
+
+and t = {
+  p : int;  (** number of lanes *)
+  vars : (string, entry) Hashtbl.t;
+  metrics : Metrics.t;
+  mutable fuel : int;
+  procs : (string, proc) Hashtbl.t;
+  funcs : (string, value list -> value) Hashtbl.t;  (** per-lane pure functions *)
+  mutable observer : (t -> mask:bool array -> Ast.stmt -> unit) option;
+      (** called before every vector-step statement with its mask *)
+}
+
+let default_fuel = 50_000_000
+
+let create ?(fuel = default_fuel) ~p () =
+  let vm =
+    {
+      p;
+      vars = Hashtbl.create 64;
+      metrics = Metrics.create ();
+      fuel;
+      procs = Hashtbl.create 8;
+      funcs = Hashtbl.create 8;
+      observer = None;
+    }
+  in
+  (* the predefined plural processor index, matching Lf_core.Simdize.iproc *)
+  Hashtbl.replace vm.vars "iproc"
+    (VPlural (Array.init p (fun i -> VInt (i + 1))));
+  vm
+
+let register_proc vm name f =
+  Hashtbl.replace vm.procs (String.lowercase_ascii name) f
+
+(** Install a per-statement observer (tracing, occupancy measurements). *)
+let set_observer vm f = vm.observer <- Some f
+
+let observe vm ~mask s =
+  match vm.observer with Some f -> f vm ~mask s | None -> ()
+
+let register_func vm name f =
+  Hashtbl.replace vm.funcs (String.lowercase_ascii name) f
+
+let full_mask vm = Array.make vm.p true
+let active_count mask = Array.fold_left (fun n b -> if b then n + 1 else n) 0 mask
+
+let tick_vector vm ~mask =
+  Metrics.vector_step vm.metrics ~active:(active_count mask) ~p:vm.p;
+  vm.fuel <- vm.fuel - 1;
+  if vm.fuel <= 0 then Errors.runtime_error "SIMD VM fuel exhausted"
+
+let tick_frontend vm =
+  Metrics.frontend_step vm.metrics;
+  vm.fuel <- vm.fuel - 1;
+  if vm.fuel <= 0 then Errors.runtime_error "SIMD VM fuel exhausted"
+
+(* ------------------------------------------------------------------ *)
+(* Variable binding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bind_scalar vm name v = Hashtbl.replace vm.vars name (VScalar (ref v))
+
+let bind_plural vm name vs =
+  if Array.length vs <> vm.p then
+    Errors.runtime_error "plural %s has %d lanes, machine has %d" name
+      (Array.length vs) vm.p;
+  Hashtbl.replace vm.vars name (VPlural vs)
+
+let bind_global vm name a = Hashtbl.replace vm.vars name (VGlobal a)
+
+let bind_plural_arr vm name ty dims =
+  let dims = Array.append [| vm.p |] dims in
+  Hashtbl.replace vm.vars name (VPluralArr (alloc_arr ty dims))
+
+let find vm name =
+  match Hashtbl.find_opt vm.vars name with
+  | Some e -> e
+  | None -> Errors.runtime_error "undefined variable %s" name
+
+let find_opt vm name = Hashtbl.find_opt vm.vars name
+
+(** Read back a plural variable (e.g. for assertions in tests). *)
+let read_plural vm name =
+  match find vm name with
+  | VPlural vs -> Array.copy vs
+  | _ -> Errors.runtime_error "%s is not a plural scalar" name
+
+let read_global vm name =
+  match find vm name with
+  | VGlobal a -> a
+  | VPluralArr a -> a
+  | _ -> Errors.runtime_error "%s is not an array" name
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_reduction f =
+  List.mem (String.lowercase_ascii f)
+    [ "any"; "all"; "maxval"; "minval"; "sum"; "count" ]
+
+let rec eval vm ~(mask : bool array) (e : expr) : Pval.t =
+  match e with
+  | EInt n -> Pval.FScalar (VInt n)
+  | EReal f -> Pval.FScalar (VReal f)
+  | EBool b -> Pval.FScalar (VBool b)
+  | ERange (lo, hi) -> (
+      let lo = front_int vm ~mask lo and hi = front_int vm ~mask hi in
+      (* [1:P]-style ranges of exactly P elements denote plural vectors
+         (Figure 7's i = [1,5]); other ranges are front-end arrays *)
+      let n = max 0 (hi - lo + 1) in
+      if n = vm.p then Pval.Plural (Array.init n (fun i -> VInt (lo + i)))
+      else Pval.FArr (AInt (Nd.of_array (Array.init n (fun i -> lo + i)))))
+  | EVar v -> (
+      match find vm v with
+      | VScalar r -> Pval.FScalar !r
+      | VPlural vs -> Pval.Plural (Array.copy vs)
+      | VGlobal a | VPluralArr a -> Pval.FArr a)
+  | EUn (op, a) ->
+      Pval.lift1 ~mask (Interp.apply_unop op) (eval vm ~mask a)
+  | EBin (op, a, b) ->
+      Pval.lift2 ~mask (Interp.apply_binop op) (eval vm ~mask a)
+        (eval vm ~mask b)
+  | ECall (name, args) -> eval_call vm ~mask name args
+  | EIdx (name, args) -> (
+      match find_opt vm name with
+      | Some (VGlobal a) -> index_global vm ~mask a args
+      | Some (VPluralArr a) -> index_plural_arr vm ~mask a args
+      | Some _ ->
+          Errors.runtime_error "%s is a scalar but is indexed" name
+      | None -> eval_call vm ~mask name args)
+
+and front_int vm ~mask e = Pval.as_front_int (eval vm ~mask e)
+
+(** Per-lane integer view of an index expression. *)
+and lane_indices vm ~mask (e : expr) : (int -> int) * bool =
+  match eval vm ~mask e with
+  | Pval.FScalar v ->
+      let n = as_int v in
+      ((fun _ -> n), false)
+  | Pval.Plural vs -> ((fun i -> as_int vs.(i)), true)
+  | Pval.FArr _ -> Errors.runtime_error "array-valued subscript"
+
+and index_global vm ~mask (a : arr) (args : expr list) : Pval.t =
+  let sels = List.map (lane_indices vm ~mask) args in
+  if List.exists snd sels then
+    (* gather: one element per active lane *)
+    Pval.Plural
+      (Array.init vm.p (fun i ->
+           if mask.(i) then
+             arr_get a (Array.of_list (List.map (fun (f, _) -> f i) sels))
+           else VInt 0))
+  else
+    let idx = Array.of_list (List.map (fun (f, _) -> f 0) sels) in
+    Pval.FScalar (arr_get a idx)
+
+and index_plural_arr vm ~mask (a : arr) (args : expr list) : Pval.t =
+  let sels = List.map (lane_indices vm ~mask) args in
+  Pval.Plural
+    (Array.init vm.p (fun i ->
+         if mask.(i) then
+           arr_get a
+             (Array.of_list ((i + 1) :: List.map (fun (f, _) -> f i) sels))
+         else VInt 0))
+
+and eval_call vm ~mask name args : Pval.t =
+  let key = String.lowercase_ascii name in
+  if is_reduction key then begin
+    Metrics.reduction vm.metrics;
+    let v =
+      match args with
+      | [ a ] -> eval vm ~mask a
+      | _ -> Errors.runtime_error "%s expects one argument" name
+    in
+    match v with
+    | Pval.FArr a -> (
+        match Intrinsics.apply key [ VArr a ] with
+        | Some r -> Pval.FScalar r
+        | None -> Errors.runtime_error "bad reduction %s" name)
+    | v ->
+        let r =
+          match key with
+          | "any" ->
+              Pval.reduce ~mask ~empty:(VBool false)
+                (fun a b -> VBool (as_bool a || as_bool b))
+                v
+          | "all" ->
+              Pval.reduce ~mask ~empty:(VBool true)
+                (fun a b -> VBool (as_bool a && as_bool b))
+                v
+          | "count" -> (
+              match v with
+              | Pval.Plural vs ->
+                  let n = ref 0 in
+                  Array.iteri
+                    (fun i active ->
+                      if active && as_bool vs.(i) then incr n)
+                    mask;
+                  VInt !n
+              | Pval.FScalar s ->
+                  VInt (if as_bool s then active_count mask else 0)
+              | _ -> Errors.runtime_error "count: bad operand")
+          | "maxval" ->
+              Pval.reduce ~mask ~empty:(VInt min_int)
+                (fun a b -> Interp.apply_binop Gt a b |> as_bool |> fun g ->
+                            if g then a else b)
+                v
+          | "minval" ->
+              Pval.reduce ~mask ~empty:(VInt max_int)
+                (fun a b -> Interp.apply_binop Lt a b |> as_bool |> fun g ->
+                            if g then a else b)
+                v
+          | "sum" ->
+              Pval.reduce ~mask ~empty:(VInt 0)
+                (fun a b -> Interp.apply_binop Add a b)
+                v
+          | _ -> Errors.runtime_error "unknown reduction %s" name
+        in
+        Pval.FScalar r
+  end
+  else
+    match Hashtbl.find_opt vm.funcs key with
+    | Some f ->
+        let vargs = List.map (eval vm ~mask) args in
+        if List.exists Pval.is_plural vargs then
+          Pval.Plural
+            (Array.init vm.p (fun i ->
+                 if mask.(i) then
+                   f (List.map (fun v -> Pval.lane v i) vargs)
+                 else VInt 0))
+        else Pval.FScalar (f (List.map Pval.as_front_scalar vargs))
+    | None -> (
+        let vargs = List.map (eval vm ~mask) args in
+        if List.exists Pval.is_plural vargs then
+          (* lane-wise intrinsic (max, abs, mod, ...) *)
+          Pval.Plural
+            (Array.init vm.p (fun i ->
+                 if mask.(i) then
+                   match
+                     Intrinsics.apply key
+                       (List.map (fun v -> Pval.lane v i) vargs)
+                   with
+                   | Some r -> r
+                   | None ->
+                       Errors.runtime_error "unknown function %s" name
+                 else VInt 0))
+        else
+          let scalar_args =
+            List.map
+              (function
+                | Pval.FScalar v -> v
+                | Pval.FArr a -> VArr a
+                | Pval.Plural _ -> assert false)
+              vargs
+          in
+          match Intrinsics.apply key scalar_args with
+          | Some r -> Pval.FScalar r
+          | None -> Errors.runtime_error "unknown function %s" name)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let assign vm ~mask (l : lvalue) (rhs : Pval.t) =
+  match (find_opt vm l.lv_name, l.lv_index) with
+  | Some (VScalar r), [] -> r := Pval.as_front_scalar rhs
+  | Some (VPlural vs), [] ->
+      Array.iteri
+        (fun i active -> if active then vs.(i) <- Pval.lane rhs i)
+        mask
+  | Some (VGlobal a), [] -> (
+      (* whole-array assignment, e.g. F = 0 *)
+      match rhs with
+      | Pval.FScalar v -> arr_fill a v
+      | Pval.FArr src ->
+          if arr_size src <> arr_size a then
+            Errors.runtime_error "shape mismatch assigning to %s" l.lv_name;
+          for i = 0 to arr_size a - 1 do
+            arr_set_flat a i (arr_get_flat src i)
+          done
+      | Pval.Plural _ ->
+          Errors.runtime_error "plural value assigned to whole array %s"
+            l.lv_name)
+  | Some (VPluralArr a), [] -> (
+      match rhs with
+      | Pval.FScalar v -> arr_fill a v
+      | _ ->
+          Errors.runtime_error "unsupported whole-plural-array assignment to %s"
+            l.lv_name)
+  | Some (VGlobal a), idxs ->
+      let sels = List.map (fun e -> lane_indices vm ~mask e) idxs in
+      if List.exists snd sels || Pval.is_plural rhs then
+        (* scatter per active lane *)
+        Array.iteri
+          (fun i active ->
+            if active then
+              arr_set a
+                (Array.of_list (List.map (fun (f, _) -> f i) sels))
+                (Pval.lane rhs i))
+          mask
+      else
+        arr_set a
+          (Array.of_list (List.map (fun (f, _) -> f 0) sels))
+          (Pval.as_front_scalar rhs)
+  | Some (VPluralArr a), idxs ->
+      let sels = List.map (fun e -> lane_indices vm ~mask e) idxs in
+      Array.iteri
+        (fun i active ->
+          if active then
+            arr_set a
+              (Array.of_list ((i + 1) :: List.map (fun (f, _) -> f i) sels))
+              (Pval.lane rhs i))
+        mask
+  | None, [] ->
+      (* implicit front-end scalar, or plural if the value is plural *)
+      (match rhs with
+      | Pval.FScalar v -> bind_scalar vm l.lv_name v
+      | Pval.Plural vs ->
+          let fresh = Array.make vm.p (VInt 0) in
+          Array.iteri (fun i active -> if active then fresh.(i) <- vs.(i)) mask;
+          bind_plural vm l.lv_name fresh
+      | Pval.FArr a -> bind_global vm l.lv_name a)
+  | None, _ :: _ ->
+      Errors.runtime_error "assignment to undeclared array %s" l.lv_name
+  | Some (VScalar _), _ :: _ | Some (VPlural _), _ :: _ ->
+      Errors.runtime_error "%s is scalar but indexed" l.lv_name
+
+let and_mask mask cond_lane =
+  Array.mapi (fun i a -> a && cond_lane i) mask
+
+let rec exec vm ~(mask : bool array) (s : stmt) : unit =
+  match s with
+  | SComment _ | SLabel _ -> ()
+  | SAssign (l, e) ->
+      observe vm ~mask s;
+      let rhs = eval vm ~mask e in
+      (match rhs with
+      | Pval.Plural _ -> tick_vector vm ~mask
+      | _ -> tick_frontend vm);
+      assign vm ~mask l rhs
+  | SCall (name, args) -> (
+      observe vm ~mask s;
+      let key = String.lowercase_ascii name in
+      match Hashtbl.find_opt vm.procs key with
+      | Some f ->
+          Metrics.call vm.metrics key;
+          tick_vector vm ~mask;
+          f vm ~mask (List.map (eval vm ~mask) args)
+      | None -> Errors.runtime_error "unknown subroutine %s" name)
+  | SIf (c, t, f) -> (
+      match eval vm ~mask c with
+      | Pval.FScalar v ->
+          tick_frontend vm;
+          exec_block vm ~mask (if as_bool v then t else f)
+      | Pval.Plural _ ->
+          (* an IF over plural state behaves as WHERE (the paper's
+             SIMDizing step replaces IF with WHERE) *)
+          exec vm ~mask (SWhere (c, t, f))
+      | Pval.FArr _ -> Errors.runtime_error "array condition")
+  | SWhere (c, t, f) ->
+      let cv = eval vm ~mask c in
+      tick_vector vm ~mask;
+      let cond_lane i = as_bool (Pval.lane cv i) in
+      let mt = and_mask mask cond_lane in
+      let mf = and_mask mask (fun i -> not (cond_lane i)) in
+      if t <> [] then exec_block vm ~mask:mt t;
+      if f <> [] then exec_block vm ~mask:mf f
+  | SWhile (c, body) ->
+      let continue_ () =
+        match eval vm ~mask c with
+        | Pval.FScalar v ->
+            tick_frontend vm;
+            as_bool v
+        | Pval.Plural vs ->
+            (* vector-controlled WHILE (§2): all active lanes must agree *)
+            tick_vector vm ~mask;
+            let vals =
+              List.filteri (fun i _ -> mask.(i)) (Array.to_list vs)
+            in
+            (match vals with
+            | [] -> false
+            | v :: rest ->
+                if List.for_all (Values.equal_value v) rest then as_bool v
+                else
+                  Errors.runtime_error
+                    "vector-controlled WHILE with divergent lane values")
+        | Pval.FArr _ -> Errors.runtime_error "array condition"
+      in
+      while continue_ () do
+        exec_block vm ~mask body
+      done
+  | SDoWhile (body, c) ->
+      let go = ref true in
+      while !go do
+        exec_block vm ~mask body;
+        go :=
+          (match eval vm ~mask c with
+          | Pval.FScalar v ->
+              tick_frontend vm;
+              as_bool v
+          | _ -> Errors.runtime_error "DO WHILE condition must be front-end")
+      done
+  | SDo (c, body) | SForall (c, body) ->
+      let lo = front_int vm ~mask c.d_lo in
+      let hi = front_int vm ~mask c.d_hi in
+      let step =
+        match c.d_step with
+        | Some s -> front_int vm ~mask s
+        | None -> 1
+      in
+      if step = 0 then Errors.runtime_error "DO loop with zero step";
+      tick_frontend vm;
+      let i = ref lo in
+      let cont () = if step > 0 then !i <= hi else !i >= hi in
+      while cont () do
+        bind_scalar_or_update vm c.d_var (VInt !i);
+        exec_block vm ~mask body;
+        tick_frontend vm;
+        i := !i + step
+      done;
+      bind_scalar_or_update vm c.d_var (VInt !i)
+  | SGoto _ | SCondGoto _ ->
+      Errors.runtime_error "GOTO is not part of F90simd"
+
+and bind_scalar_or_update vm name v =
+  match find_opt vm name with
+  | Some (VScalar r) -> r := v
+  | Some _ -> Errors.runtime_error "%s is not a front-end scalar" name
+  | None -> bind_scalar vm name v
+
+and exec_block vm ~mask (b : block) = List.iter (exec vm ~mask) b
+
+(* ------------------------------------------------------------------ *)
+(* Program execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Allocate declared variables; plural scalars get one slot per lane,
+    plural arrays a leading lane dimension.  Pre-seeded bindings (via
+    [bind_*]) are kept. *)
+let declare vm (decls : decl list) =
+  List.iter
+    (fun d ->
+      if not (Hashtbl.mem vm.vars d.dc_name) then
+        let mask = full_mask vm in
+        let dims () =
+          Array.of_list
+            (List.map (fun e -> front_int vm ~mask e) d.dc_dims)
+        in
+        match (d.dc_plural, d.dc_dims) with
+        | false, [] -> bind_scalar vm d.dc_name (zero_of d.dc_type)
+        | false, _ -> bind_global vm d.dc_name (alloc_arr d.dc_type (dims ()))
+        | true, [] ->
+            bind_plural vm d.dc_name (Array.make vm.p (zero_of d.dc_type))
+        | true, _ -> bind_plural_arr vm d.dc_name d.dc_type (dims ()))
+    decls
+
+(** Run a program on the VM.  [setup] may pre-bind globals and parameters
+    (problem sizes, input arrays) before declarations are processed. *)
+let run ?fuel ~p ?(setup = fun _ -> ()) (prog : program) : t =
+  let vm = create ?fuel ~p () in
+  setup vm;
+  declare vm prog.p_decls;
+  exec_block vm ~mask:(full_mask vm) prog.p_body;
+  vm

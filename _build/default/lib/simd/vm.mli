@@ -1,0 +1,76 @@
+(** The SIMD virtual machine: a lockstep interpreter for F90simd programs.
+
+    One control unit issues every instruction; [p] lanes execute it under
+    the current WHERE mask.  A masked-out processor still steps through
+    each operation, which is why [Metrics.steps] counts every vector
+    instruction once regardless of active lanes — reproducing the paper's
+    execution model and its Eq. 2 vs Eq. 1′ step counts.
+
+    The predefined plural variable [iproc] holds 1..P. *)
+
+open Lf_lang
+
+type entry =
+  | VScalar of Values.value ref  (** front-end scalar *)
+  | VPlural of Values.value array  (** plural scalar, one slot per lane *)
+  | VGlobal of Values.arr  (** global (distributed) array *)
+  | VPluralArr of Values.arr  (** per-lane array; leading dim is the lane *)
+
+type proc = t -> mask:bool array -> Pval.t list -> unit
+(** External subroutine: receives the VM, the activity mask, and the
+    evaluated arguments; one invocation = one vector step. *)
+
+and t = {
+  p : int;  (** number of lanes *)
+  vars : (string, entry) Hashtbl.t;
+  metrics : Metrics.t;
+  mutable fuel : int;
+  procs : (string, proc) Hashtbl.t;
+  funcs : (string, Values.value list -> Values.value) Hashtbl.t;
+  mutable observer : (t -> mask:bool array -> Ast.stmt -> unit) option;
+}
+
+val default_fuel : int
+val create : ?fuel:int -> p:int -> unit -> t
+val register_proc : t -> string -> proc -> unit
+
+(** Install a per-statement observer, called before each assignment or
+    CALL with the activity mask — the hook behind occupancy traces. *)
+val set_observer : t -> (t -> mask:bool array -> Ast.stmt -> unit) -> unit
+
+(** Register a pure per-lane function (applied pointwise under the mask
+    when any argument is plural). *)
+val register_func : t -> string -> (Values.value list -> Values.value) -> unit
+
+val full_mask : t -> bool array
+val active_count : bool array -> int
+
+(* variable binding *)
+
+val bind_scalar : t -> string -> Values.value -> unit
+val bind_plural : t -> string -> Values.value array -> unit
+val bind_global : t -> string -> Values.arr -> unit
+val bind_plural_arr : t -> string -> Ast.dtype -> int array -> unit
+val find : t -> string -> entry
+val find_opt : t -> string -> entry option
+
+(** Copy out a plural scalar (for assertions). *)
+val read_plural : t -> string -> Values.value array
+
+(** The storage of a global or plural array. *)
+val read_global : t -> string -> Values.arr
+
+(* execution *)
+
+val eval : t -> mask:bool array -> Ast.expr -> Pval.t
+val exec : t -> mask:bool array -> Ast.stmt -> unit
+val exec_block : t -> mask:bool array -> Ast.block -> unit
+
+(** Allocate declared variables (plural scalars get one slot per lane,
+    plural arrays a leading lane dimension); pre-seeded bindings are
+    kept. *)
+val declare : t -> Ast.decl list -> unit
+
+(** Run a program on a fresh VM.  [setup] may pre-bind globals and
+    parameters before declarations are processed. *)
+val run : ?fuel:int -> p:int -> ?setup:(t -> unit) -> Ast.program -> t

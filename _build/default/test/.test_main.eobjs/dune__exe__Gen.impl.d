@@ -1,0 +1,1 @@
+test/gen.ml: Array Ast Env Interp Lf_lang Nd QCheck Values

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Env Fmt Int Interp Lf_core Lf_lang List Nd Parser QCheck QCheck_alcotest Values

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Ast Ast_util Env Helpers Interp Lf_analysis Lf_lang List Pretty Values

@@ -1,0 +1,1 @@
+test/test_ast_util.ml: Alcotest Ast Ast_util Env Gen Helpers Interp Lf_lang List Values

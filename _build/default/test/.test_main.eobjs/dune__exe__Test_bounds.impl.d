@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Array Float Helpers Lf_core List

@@ -1,0 +1,1 @@
+test/test_coalesce.ml: Alcotest Ast Ast_util Astring_contains Env Fmt Helpers Interp Lf_core Lf_lang List Nd Pretty QCheck Result Values

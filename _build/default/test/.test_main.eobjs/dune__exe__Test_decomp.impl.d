@@ -1,0 +1,1 @@
+test/test_decomp.ml: Array Helpers Lf_kernels Lf_md Lf_simd List

@@ -1,0 +1,1 @@
+test/test_deep.ml: Alcotest Array Ast Ast_util Env Helpers Interp Lf_core Lf_lang Lf_simd List Nd Printf QCheck Values

@@ -1,0 +1,1 @@
+test/test_depend.ml: Alcotest Ast Helpers Lf_analysis Lf_lang List

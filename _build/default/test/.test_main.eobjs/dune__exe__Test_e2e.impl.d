@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Array Ast Float Helpers Lf_analysis Lf_core Lf_kernels Lf_lang Lf_md Lf_simd List Printf

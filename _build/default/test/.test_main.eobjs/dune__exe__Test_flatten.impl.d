@@ -1,0 +1,1 @@
+test/test_flatten.ml: Alcotest Ast Astring_contains Env Gen Helpers Interp Lf_analysis Lf_core Lf_lang List Nd Pretty Printf QCheck Result Values

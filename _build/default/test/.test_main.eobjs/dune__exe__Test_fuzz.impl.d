@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Ast Ast_util Env Errors Gen Helpers Interp Lf_core Lf_lang Lf_simd List Nd Parser Pretty Printexc QCheck Simplify Typecheck Values

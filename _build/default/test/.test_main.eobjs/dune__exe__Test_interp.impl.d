@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Array Env Errors Float Helpers Interp Lf_lang List Nd Printf Values

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Array Float Helpers Lf_kernels Lf_md Lf_simd List Printf

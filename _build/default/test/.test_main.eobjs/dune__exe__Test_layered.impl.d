@@ -1,0 +1,1 @@
+test/test_layered.ml: Array Float Helpers Lf_kernels Lf_lang Lf_md Lf_simd List

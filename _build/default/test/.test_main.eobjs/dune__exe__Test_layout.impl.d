@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array Helpers Lf_simd List QCheck

@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Errors Fmt Helpers Lexer Lf_lang List String Token

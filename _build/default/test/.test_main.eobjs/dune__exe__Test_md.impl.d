@@ -1,0 +1,1 @@
+test/test_md.ml: Array Float Helpers Lf_md List Printf

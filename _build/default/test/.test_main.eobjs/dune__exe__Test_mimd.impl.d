@@ -1,0 +1,1 @@
+test/test_mimd.ml: Alcotest Array Env Helpers Interp Lf_lang Lf_mimd Nd Printf Values

@@ -1,0 +1,1 @@
+test/test_mimdize.ml: Alcotest Array Ast Astring_contains Env Helpers Interp Lf_core Lf_lang Lf_mimd List Nd Pretty Printf Values

@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Ast Env Gen Helpers Interp Lf_core Lf_lang List Nd Option Result Values

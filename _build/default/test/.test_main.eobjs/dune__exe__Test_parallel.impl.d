@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Ast Helpers Lf_analysis Lf_kernels Lf_lang List

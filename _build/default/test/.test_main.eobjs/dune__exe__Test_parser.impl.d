@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Errors Fmt Helpers Lf_lang List Pretty String

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Ast Astring_contains Env Helpers Interp Lf_analysis Lf_core Lf_lang Lf_report Lf_simd List Nd Pretty Result Values

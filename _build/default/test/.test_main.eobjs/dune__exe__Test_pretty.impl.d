@@ -1,0 +1,1 @@
+test/test_pretty.ml: Alcotest Ast Gen Helpers Lf_core Lf_kernels Lf_lang Lf_report Parser Pretty Printexc QCheck

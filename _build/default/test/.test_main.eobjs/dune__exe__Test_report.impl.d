@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Astring_contains Buffer Fmt Helpers Lf_report List Printf

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Ast Errors Float Helpers Interp Intrinsics Lf_core Lf_lang Lf_simd List Nd Values

@@ -1,0 +1,1 @@
+test/test_simd_vm.ml: Alcotest Array Ast Errors Helpers Lf_lang Lf_simd List Nd Parser Values

@@ -1,0 +1,1 @@
+test/test_simdize.ml: Alcotest Ast Env Helpers Interp Lf_core Lf_lang Lf_report Lf_simd List Nd Values

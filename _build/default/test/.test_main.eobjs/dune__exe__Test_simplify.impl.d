@@ -1,0 +1,1 @@
+test/test_simplify.ml: Char Env Errors Gen Helpers Interp Lf_lang List Nd Pretty QCheck Simplify String Values

@@ -1,0 +1,1 @@
+test/test_typecheck.ml: Alcotest Ast Astring_contains Helpers Lf_core Lf_kernels Lf_lang Lf_report List Printf Typecheck

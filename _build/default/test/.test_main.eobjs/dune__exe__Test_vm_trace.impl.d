@@ -1,0 +1,1 @@
+test/test_vm_trace.ml: Alcotest Array Ast Helpers Lf_core Lf_kernels Lf_lang Lf_report Lf_simd List Nd Parser Values

@@ -1,0 +1,151 @@
+(** QCheck generators for random AST terms.
+
+    Two flavours:
+    - [expr] / [stmt] / [block]: arbitrary well-formed syntax, for
+      parser/printer round-trip properties;
+    - [int_expr_closed] and [nest]: {e executable} terms over a known
+      environment, for semantic-preservation properties (simplifier,
+      normalization, flattening). *)
+
+open Lf_lang
+open Lf_lang.Ast
+open QCheck.Gen
+
+let ident = oneofl [ "a"; "b"; "c"; "i"; "j"; "k"; "n"; "x"; "l" ]
+let label = map string_of_int (1 -- 99)
+
+let rec expr_sized n =
+  if n <= 0 then
+    oneof
+      [
+        map (fun i -> EInt i) (0 -- 9);
+        map (fun v -> EVar v) ident;
+        return (EBool true);
+        return (EBool false);
+      ]
+  else
+    let sub = expr_sized (n / 2) in
+    frequency
+      [
+        (3, map2 (fun a b -> EBin (Add, a, b)) sub sub);
+        (2, map2 (fun a b -> EBin (Mul, a, b)) sub sub);
+        (2, map2 (fun a b -> EBin (Sub, a, b)) sub sub);
+        (1, map2 (fun a b -> EBin (Le, a, b)) sub sub);
+        (1, map2 (fun a b -> EBin (Lt, a, b)) sub sub);
+        (1, map2 (fun a b -> EBin (Eq, a, b)) sub sub);
+        (1, map2 (fun a b -> EBin (And, EBin (Le, a, b), EBin (Ge, a, b))) sub sub);
+        (1, map (fun a -> EUn (Neg, a)) sub);
+        (1, map2 (fun v a -> EIdx (v, [ a ])) ident sub);
+        (1, map2 (fun v (a, b) -> EIdx (v, [ a; b ])) ident (pair sub sub));
+        (1, map2 (fun a b -> ECall ("max", [ a; b ])) sub sub);
+      ]
+
+let expr = expr_sized 4
+
+let lvalue =
+  oneof
+    [
+      map (fun v -> { lv_name = v; lv_index = [] }) ident;
+      map2 (fun v e -> { lv_name = v; lv_index = [ e ] }) ident expr;
+    ]
+
+let rec stmt_sized n =
+  if n <= 0 then map2 (fun l e -> SAssign (l, e)) lvalue expr
+  else
+    let blk = block_sized (n / 2) in
+    frequency
+      [
+        (4, map2 (fun l e -> SAssign (l, e)) lvalue expr);
+        (2, map3 (fun c t f -> SIf (c, t, f)) expr blk blk);
+        (1, map3 (fun c t f -> SWhere (c, t, f)) expr blk blk);
+        ( 1,
+          map3
+            (fun v (lo, hi) b -> SDo (do_control v lo hi, b))
+            ident (pair expr expr) blk );
+        ( 1,
+          map3
+            (fun v (lo, hi) b -> SForall (do_control v lo hi, b))
+            ident (pair expr expr) blk );
+        (1, map2 (fun c b -> SWhile (c, b)) expr blk);
+        (1, map2 (fun c b -> SDoWhile (b, c)) expr blk);
+        (1, map2 (fun f args -> SCall (f, args)) ident (list_size (0 -- 2) expr));
+      ]
+
+and block_sized n = list_size (0 -- 3) (stmt_sized n)
+
+let stmt = stmt_sized 3
+let block = block_sized 3
+
+(* ------------------------------------------------------------------ *)
+(* Executable nests for semantic properties                            *)
+(* ------------------------------------------------------------------ *)
+
+(** A random two-level loop nest in the supported class, together with the
+    environment setup and the list of observable variables.  The inner
+    bound reads the [l] array (indexed by the outer variable), the body
+    writes [x(i, j)] and a scalar accumulator [acc]. *)
+type exec_nest = {
+  src_block : block;
+  k : int;
+  l : int array;
+  inner_nonempty : bool;
+}
+
+let exec_nest_gen =
+  let* k = 1 -- 6 in
+  let* l = array_size (return k) (0 -- 4) in
+  let* nonempty = bool in
+  let l = if nonempty then Array.map (max 1) l else l in
+  let* body_kind = 0 -- 2 in
+  let body =
+    match body_kind with
+    | 0 ->
+        [ SAssign ({ lv_name = "x"; lv_index = [ EVar "i"; EVar "j" ] },
+             EBin (Mul, EVar "i", EVar "j")) ]
+    | 1 ->
+        [
+          SAssign ({ lv_name = "acc"; lv_index = [] },
+            EBin (Add, EVar "acc", EBin (Add, EVar "i", EVar "j")));
+          SAssign ({ lv_name = "x"; lv_index = [ EVar "i"; EVar "j" ] },
+            EVar "acc");
+        ]
+    | _ ->
+        [
+          SIf
+            ( EBin (Eq, EBin (Mod, EBin (Add, EVar "i", EVar "j"), EInt 2), EInt 0),
+              [ SAssign ({ lv_name = "x"; lv_index = [ EVar "i"; EVar "j" ] },
+                  EBin (Add, EVar "i", EVar "j")) ],
+              [ SAssign ({ lv_name = "acc"; lv_index = [] },
+                  EBin (Add, EVar "acc", EInt 1)) ] );
+        ]
+  in
+  let* outer_while = bool in
+  let* inner_while = bool in
+  let inner =
+    if inner_while then
+      [ Ast.assign "j" (EInt 1);
+        SWhile
+          ( EBin (Le, EVar "j", EIdx ("l", [ EVar "i" ])),
+            body @ [ Ast.assign "j" (EBin (Add, EVar "j", EInt 1)) ] ) ]
+    else
+      [ SDo (do_control "j" (EInt 1) (EIdx ("l", [ EVar "i" ])), body) ]
+  in
+  let nest =
+    if outer_while then
+      [ Ast.assign "i" (EInt 1);
+        SWhile
+          ( EBin (Le, EVar "i", EVar "k"),
+            inner @ [ Ast.assign "i" (EBin (Add, EVar "i", EInt 1)) ] ) ]
+    else [ SDo (do_control "i" (EInt 1) (EVar "k"), inner) ]
+  in
+  return { src_block = nest; k; l; inner_nonempty = nonempty }
+
+let exec_setup (en : exec_nest) ctx =
+  let maxl = Array.fold_left max 1 en.l in
+  Env.set ctx.Interp.env "k" (Values.VInt en.k);
+  Env.set ctx.Interp.env "acc" (Values.VInt 0);
+  Env.set ctx.Interp.env "l" (Values.VArr (Values.AInt (Nd.of_array en.l)));
+  Env.set ctx.Interp.env "x"
+    (Values.VArr (Values.AInt (Nd.create [| en.k; maxl |] 0)))
+
+let exec_observables = [ "x"; "acc" ]

@@ -1,0 +1,149 @@
+(** Analysis tests: side effects, loop-nest discovery, GOTO restructuring,
+    induction variables. *)
+
+open Helpers
+open Lf_lang
+open Ast
+module L = Lf_analysis.Loop_info
+module SE = Lf_analysis.Side_effects
+
+let t_side_effects () =
+  let env = SE.default_env in
+  checkb "pure comparison" (SE.expr_pure env (parse_expr "i <= l(i)"));
+  checkb "intrinsics are pure" (SE.expr_pure env (parse_expr "maxval(l)"));
+  let env' = SE.env ~impure_funcs:[ "rand" ] () in
+  checkb "registered impure function"
+    (not (SE.expr_pure env' (parse_expr "i + rand(1)")));
+  checkb "assignment impure" (not (SE.stmt_pure env (List.hd (parse_block "a = 1"))));
+  checkb "call impure" (not (SE.stmt_pure env (List.hd (parse_block "CALL f(1)"))));
+  checkb "if of pure parts pure"
+    (SE.stmt_pure env (List.hd (parse_block "IF (a > 0) THEN\nENDIF")));
+  checkb "writes-only accepts control vars"
+    (SE.block_writes_only env [ "j" ] (parse_block "j = 1"));
+  checkb "writes-only rejects data writes"
+    (not (SE.block_writes_only env [ "j" ] (parse_block "j = 1\nf(i) = 0")));
+  checkb "writes-only rejects calls"
+    (not (SE.block_writes_only env [ "j" ] (parse_block "CALL g()")))
+
+let t_towers () =
+  let b = example_block () in
+  (match L.tower_of_block b with
+  | Some [ _; _ ] -> ()
+  | Some l -> Alcotest.failf "tower depth %d" (List.length l)
+  | None -> Alcotest.fail "no tower");
+  (* two loops at the same level: no tower *)
+  let b2 = parse_block "DO i = 1, 2\nENDDO\nDO j = 1, 2\nENDDO" in
+  checkb "two top-level loops" (L.tower_of_block b2 = None);
+  (* siblings inside the outer loop break the tower at depth 1 *)
+  let b3 =
+    parse_block
+      "DO i = 1, 2\n  DO j = 1, 2\n  ENDDO\n  DO q = 1, 2\n  ENDDO\nENDDO"
+  in
+  (match L.tower_of_block b3 with
+  | Some [ _ ] -> ()
+  | _ -> Alcotest.fail "sibling inner loops must cut the tower");
+  (* triple nest *)
+  let b4 =
+    parse_block
+      "DO i = 1, 2\n  DO j = 1, 2\n    DO q = 1, 2\n      a = 1\n    ENDDO\n  ENDDO\nENDDO"
+  in
+  match L.tower_of_block b4 with
+  | Some [ _; _; _ ] -> ()
+  | _ -> Alcotest.fail "triple tower"
+
+let t_split () =
+  let b =
+    parse_block
+      "f(i) = 0\nDO j = 1, l(i)\n  a = 1\nENDDO\ns = s + 1"
+  in
+  match L.split_around_loop b with
+  | Some ([ SAssign _ ], { L.kind = L.KDo _; _ }, [ SAssign _ ]) -> ()
+  | _ -> Alcotest.fail "split shape"
+
+let t_goto_restructure () =
+  let b =
+    parse_block
+      {|
+  i = 1
+10 CONTINUE
+  IF (i > k) GOTO 20
+  s = s + i
+  i = i + 1
+  GOTO 10
+20 CONTINUE
+|}
+  in
+  let r = L.restructure_gotos b in
+  (match r with
+  | [ SAssign _; SWhile (EUn (Not, _), body) ] ->
+      checki "while body size" 2 (List.length body)
+  | _ -> Alcotest.failf "restructured shape: %s" (Pretty.block_to_string r));
+  (* semantics preserved *)
+  let setup ctx =
+    Env.set ctx.Interp.env "k" (Values.VInt 5);
+    Env.set ctx.Interp.env "s" (Values.VInt 0)
+  in
+  let c1 = Interp.run_block ~setup b and c2 = Interp.run_block ~setup r in
+  checkb "same result" (Env.equal_on [ "s"; "i" ] c1.Interp.env c2.Interp.env)
+
+let t_goto_nested () =
+  (* a GOTO loop inside a structured loop restructures too *)
+  let b =
+    parse_block
+      {|
+  DO i = 1, 3
+    j = 1
+10  CONTINUE
+    IF (j > i) GOTO 20
+    s = s + j
+    j = j + 1
+    GOTO 10
+20  CONTINUE
+  ENDDO
+|}
+  in
+  let r = L.restructure_gotos b in
+  checkb "no gotos left"
+    (not
+       (Ast_util.fold_stmts
+          (fun acc -> function SGoto _ | SCondGoto _ -> true | _ -> acc)
+          false r));
+  let setup ctx = Env.set ctx.Interp.env "s" (Values.VInt 0) in
+  let c1 = Interp.run_block ~setup b and c2 = Interp.run_block ~setup r in
+  checkb "same result" (Env.equal_on [ "s" ] c1.Interp.env c2.Interp.env)
+
+let t_goto_untouched () =
+  (* irregular jumps (exit from the middle) are left alone *)
+  let b =
+    parse_block
+      {|
+10 CONTINUE
+  s = s + 1
+  IF (s > 2) GOTO 20
+  GOTO 10
+20 CONTINUE
+|}
+  in
+  let r = L.restructure_gotos b in
+  checkb "unrecognized pattern kept"
+    (Ast_util.fold_stmts
+       (fun acc -> function SGoto _ -> true | _ -> acc)
+       false r)
+
+let t_induction () =
+  let test = parse_expr "i <= k" in
+  let body = parse_block "s = s + i\ni = i + 1" in
+  checkb "induction found" (L.induction_candidates test body = [ "i" ]);
+  let body2 = parse_block "i = i + 1\ni = i + 2" in
+  checkb "double update rejected" (L.induction_candidates test body2 = [])
+
+let suite =
+  [
+    case "side effects" t_side_effects;
+    case "loop towers" t_towers;
+    case "split around inner loop" t_split;
+    case "goto restructuring" t_goto_restructure;
+    case "nested goto restructuring" t_goto_nested;
+    case "irregular gotos untouched" t_goto_untouched;
+    case "induction variables" t_induction;
+  ]

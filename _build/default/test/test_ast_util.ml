@@ -1,0 +1,86 @@
+(** AST utility tests: variable queries, substitution, renaming,
+    structural measures. *)
+
+open Helpers
+open Lf_lang
+open Ast
+
+let sl = Alcotest.(check (list string))
+
+let t_vars () =
+  let e = parse_expr "x(i, j) + l(i) * k" in
+  sl "expr vars" [ "i"; "j"; "k"; "l"; "x" ] (Ast_util.expr_vars e);
+  let b = example_block () in
+  sl "assigned" [ "i"; "j"; "x" ] (Ast_util.assigned_vars b);
+  sl "read" [ "i"; "j"; "k"; "l" ] (Ast_util.read_vars b)
+
+let t_subst () =
+  let b = example_block () in
+  let b' = Ast_util.subst_block "i" (EVar "ip") b in
+  (* binding occurrences (the DO variable) are untouched by subst *)
+  sl "subst leaves binder" [ "i"; "j"; "x" ] (Ast_util.assigned_vars b');
+  checkb "subst rewrites uses"
+    (List.mem "ip" (Ast_util.read_vars b'));
+  let b'' = Ast_util.rename_block "i" "ip" b in
+  sl "rename rewrites binder" [ "ip"; "j"; "x" ]
+    (Ast_util.assigned_vars b'');
+  checkb "rename removes old name"
+    (not (List.mem "i" (Ast_util.read_vars b'')))
+
+let t_subst_semantics () =
+  (* substituting a constant for the bound then evaluating agrees with
+     evaluating then projecting *)
+  let b = parse_block "y = n * 2 + 1" in
+  let b' = Ast_util.subst_block "n" (EInt 5) b in
+  let ctx = Interp.run_block b' in
+  checki "subst value" 11 (Values.as_int (Env.find ctx.Interp.env "y"))
+
+let t_measures () =
+  let b = example_block () in
+  checki "loop depth" 2 (Ast_util.loop_depth b);
+  checki "stmt count" 3 (Ast_util.stmt_count b);
+  let b2 = parse_block "a = 1\n! note\nb = 2" in
+  checki "comments not counted" 2 (Ast_util.stmt_count b2);
+  sl "called subroutines" [ "onef" ]
+    (Ast_util.called_subroutines (parse_block "CALL onef(x)"));
+  sl "expr calls" [ "force" ]
+    (Ast_util.expr_calls (parse_expr "f + force(a, b)"))
+
+let t_map_exprs () =
+  let b = parse_block "x(i) = i + 1\nIF (i < n) THEN\n  y = i\nENDIF" in
+  let b' =
+    Ast_util.map_block_exprs
+      (Ast_util.map_expr (function EVar "i" -> EInt 3 | e -> e))
+      b
+  in
+  checkb "condition rewritten"
+    (match b' with
+    | [ _; SIf (EBin (Lt, EInt 3, EVar "n"), _, _) ] -> true
+    | _ -> false);
+  checkb "index rewritten"
+    (match b' with
+    | SAssign ({ lv_index = [ EInt 3 ]; _ }, _) :: _ -> true
+    | _ -> false)
+
+let prop_rename_roundtrip (b : block) =
+  (* renaming to a fresh name and back is the identity when the fresh name
+     does not occur *)
+  let fresh = "zz_fresh" in
+  let vars = Ast_util.assigned_vars b @ Ast_util.read_vars b in
+  if List.mem fresh vars then true
+  else
+    List.for_all
+      (fun v ->
+        let back = Ast_util.rename_block fresh v (Ast_util.rename_block v fresh b) in
+        Ast.equal_block b back)
+      vars
+
+let suite =
+  [
+    case "variable queries" t_vars;
+    case "substitution vs renaming" t_subst;
+    case "substitution semantics" t_subst_semantics;
+    case "structural measures" t_measures;
+    case "expression mapping" t_map_exprs;
+    qcheck_case ~count:300 "rename round-trip" Gen.block prop_rename_roundtrip;
+  ]

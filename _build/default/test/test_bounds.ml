@@ -1,0 +1,61 @@
+(** Time-bound tests (Equations 1 and 2): the paper's numbers, the
+    flattened-never-worse theorem, and the distribution helpers. *)
+
+open Helpers
+module B = Lf_core.Bounds
+
+let t_paper_numbers () =
+  let trips = B.distribute ~p:2 `Block paper_l in
+  checki "Eq. 1" 8 (B.time_mimd trips);
+  checki "Eq. 2" 12 (B.time_simd trips);
+  checki "flattened bound" 8 (B.flattened_time trips);
+  checkb "speedup" (Float.abs (B.speedup trips -. 1.5) < 1e-9)
+
+let t_degenerate () =
+  checki "empty" 0 (B.time_mimd [||]);
+  checki "empty simd" 0 (B.time_simd [||]);
+  let uniform = B.of_lists [ [ 3; 3 ]; [ 3; 3 ] ] in
+  checki "uniform mimd" 6 (B.time_mimd uniform);
+  checki "uniform simd equals mimd" 6 (B.time_simd uniform);
+  (* ragged outer trip counts: exhausted processors contribute nothing *)
+  let ragged = B.of_lists [ [ 5 ]; [ 1; 1; 1 ] ] in
+  checki "ragged mimd" 5 (B.time_mimd ragged);
+  checki "ragged simd" 7 (B.time_simd ragged)
+
+let t_distribute () =
+  let l = [| 1; 2; 3; 4; 5; 6 |] in
+  let blk = B.distribute ~p:2 `Block l in
+  checkb "block halves" (blk = [| [| 1; 2; 3 |]; [| 4; 5; 6 |] |]);
+  let cyc = B.distribute ~p:2 `Cyclic l in
+  checkb "cyclic interleaves" (cyc = [| [| 1; 3; 5 |]; [| 2; 4; 6 |] |]);
+  match B.distribute ~p:4 `Block l with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-dividing P must be rejected"
+
+let prop_flattened_never_worse (p, l) =
+  let pad = Array.length l mod p in
+  let l = if pad = 0 then l else Array.append l (Array.make (p - pad) 0) in
+  List.for_all
+    (fun layout ->
+      let trips = B.distribute ~p layout l in
+      B.time_mimd trips <= B.time_simd trips)
+    [ `Block; `Cyclic ]
+
+let prop_equal_iff_uniform (p, l) =
+  (* with identical trip counts everywhere, the two bounds coincide *)
+  let k = max 1 (Array.length l / max 1 p * p) in
+  let c = if Array.length l = 0 then 1 else max 0 l.(0) in
+  let uniform = Array.make k c in
+  let trips = B.distribute ~p:1 `Block uniform in
+  B.time_mimd trips = B.time_simd trips
+
+let suite =
+  [
+    case "the paper's EXAMPLE numbers" t_paper_numbers;
+    case "degenerate shapes" t_degenerate;
+    case "distribution helpers" t_distribute;
+    qcheck_case ~count:500 "flattened bound never exceeds SIMD bound"
+      Helpers.trips_gen prop_flattened_never_worse;
+    qcheck_case ~count:100 "bounds coincide on uniform workloads"
+      Helpers.trips_gen prop_equal_iff_uniform;
+  ]

@@ -1,0 +1,101 @@
+(** Loop-coalescing tests (the §7 comparison transformation). *)
+
+open Helpers
+open Lf_lang
+open Ast
+module C = Lf_core.Coalesce
+
+let coalesce1 src =
+  let b = parse_block src in
+  let fresh = Lf_core.Fresh.of_block b in
+  C.coalesce ~fresh (List.hd b)
+
+let t_rectangular () =
+  let src = "DO i = 1, n\n  DO j = 1, m\n    x(i, j) = i * 10 + j\n  ENDDO\nENDDO" in
+  match coalesce1 src with
+  | Error r -> Alcotest.failf "%a" C.pp_rejection r
+  | Ok flat ->
+      checki "single loop" 1 (Ast_util.loop_depth flat);
+      let setup ctx =
+        Env.set ctx.Interp.env "n" (Values.VInt 4);
+        Env.set ctx.Interp.env "m" (Values.VInt 3);
+        Env.set ctx.Interp.env "x"
+          (Values.VArr (Values.AInt (Nd.create [| 4; 3 |] 0)))
+      in
+      let c1 = Interp.run_block ~setup (parse_block src) in
+      let c2 = Interp.run_block ~setup flat in
+      checkb "semantics" (Env.equal_on [ "x" ] c1.Interp.env c2.Interp.env)
+
+let t_forall_result () =
+  let src = "FORALL (i = 1:n)\n  FORALL (j = 1:m)\n    x(i, j) = i\n  ENDFORALL\nENDFORALL" in
+  match coalesce1 src with
+  | Ok [ SForall (c, _) ] ->
+      checkb "product bound" (c.d_hi = EBin (Sub, EBin (Mul, EVar "n", EVar "m"), EInt 1))
+  | Ok _ -> Alcotest.fail "expected a FORALL"
+  | Error r -> Alcotest.failf "%a" C.pp_rejection r
+
+let t_rejects_irregular () =
+  (* the paper's EXAMPLE: inner bound l(i) varies with i *)
+  match coalesce1 (Pretty.block_to_string (example_block ())) with
+  | Error r ->
+      checkb "names the reason"
+        (Astring_contains.contains (Fmt.str "%a" C.pp_rejection r)
+           "not rectangular")
+  | Ok _ -> Alcotest.fail "EXAMPLE must be rejected"
+
+let t_rejects_forms () =
+  checkb "stride"
+    (Result.is_error (coalesce1 "DO i = 1, n, 2\n  DO j = 1, m\n  ENDDO\nENDDO"));
+  checkb "offset lower bound"
+    (Result.is_error (coalesce1 "DO i = 2, n\n  DO j = 1, m\n  ENDDO\nENDDO"));
+  checkb "pre-statement"
+    (Result.is_error
+       (coalesce1 "DO i = 1, n\n  s = 0\n  DO j = 1, m\n  ENDDO\nENDDO"));
+  checkb "inner bound assigned in body"
+    (Result.is_error
+       (coalesce1 "DO i = 1, n\n  DO j = 1, m\n    m = m + 1\n  ENDDO\nENDDO"))
+
+let t_flattening_handles_what_coalescing_cannot () =
+  (* §7's point, executably: flattening succeeds exactly where coalescing
+     gives up *)
+  let b = example_block () in
+  let fresh = Lf_core.Fresh.of_block b in
+  checkb "coalescing rejects EXAMPLE"
+    (Result.is_error (C.coalesce ~fresh (List.hd b)));
+  let fresh2 = Lf_core.Fresh.of_block b in
+  checkb "flattening accepts EXAMPLE"
+    (match Lf_core.Normalize.of_nest ~fresh:fresh2 (List.hd b) with
+    | Ok nest ->
+        Result.is_ok
+          (Lf_core.Flatten.flatten ~fresh:fresh2 ~assume_inner_nonempty:true
+             Lf_core.Flatten.DoneTest nest)
+    | Error _ -> false)
+
+let prop_coalesce_semantics (n, m) =
+  let src = "DO i = 1, n\n  DO j = 1, m\n    acc = acc + i * 100 + j\n  ENDDO\nENDDO" in
+  let b = parse_block src in
+  let fresh = Lf_core.Fresh.of_block b in
+  match C.coalesce ~fresh (List.hd b) with
+  | Error _ -> false
+  | Ok flat ->
+      let setup ctx =
+        Env.set ctx.Interp.env "n" (Values.VInt n);
+        Env.set ctx.Interp.env "m" (Values.VInt m);
+        Env.set ctx.Interp.env "acc" (Values.VInt 0)
+      in
+      let c1 = Interp.run_block ~setup b in
+      let c2 = Interp.run_block ~setup flat in
+      Env.equal_on [ "acc" ] c1.Interp.env c2.Interp.env
+
+let suite =
+  [
+    case "rectangular nest coalesces" t_rectangular;
+    case "forall nests stay forall" t_forall_result;
+    case "irregular nests rejected" t_rejects_irregular;
+    case "form restrictions" t_rejects_forms;
+    case "flattening vs coalescing (the §7 contrast)"
+      t_flattening_handles_what_coalescing_cannot;
+    qcheck_case ~count:100 "coalescing preserves semantics"
+      QCheck.Gen.(pair (1 -- 8) (0 -- 6))
+      prop_coalesce_semantics;
+  ]

@@ -1,0 +1,67 @@
+(** Decomposition tests (paper §5.1's load-balancing requirement). *)
+
+open Helpers
+module D = Lf_md.Decomp
+
+let workload () =
+  let mol = Lf_md.Workload.sod ~n:512 ~seed:21 () in
+  Lf_md.Workload.pairlist mol ~cutoff:8.0
+
+let t_partitions () =
+  let pl = workload () in
+  let n = Array.length pl.Lf_md.Pairlist.pcnt in
+  List.iter
+    (fun (name, d) ->
+      checkb (name ^ " is a partition") (D.is_partition ~n d))
+    [
+      ("block", D.block ~gran:32 ~n);
+      ("cyclic", D.cyclic ~gran:32 ~n);
+      ("balanced", D.balanced ~gran:32 pl);
+      ("block gran>n", D.block ~gran:700 ~n);
+      ("cyclic gran>n", D.cyclic ~gran:700 ~n);
+    ]
+
+let t_balance_ordering () =
+  let pl = workload () in
+  let n = Array.length pl.Lf_md.Pairlist.pcnt in
+  let imb d = D.imbalance pl d in
+  let i_block = imb (D.block ~gran:32 ~n) in
+  let i_cyclic = imb (D.cyclic ~gran:32 ~n) in
+  let i_bal = imb (D.balanced ~gran:32 pl) in
+  checkb "balanced beats cyclic" (i_bal <= i_cyclic +. 1e-9);
+  checkb "cyclic beats block (owner-side trend)" (i_cyclic < i_block);
+  checkb "balanced near optimal" (i_bal < 1.05);
+  checkb "imbalance at least 1" (i_bal >= 1.0)
+
+let t_kernel_uses_partition () =
+  let pl = workload () in
+  let mol = Lf_md.Workload.sod ~n:512 ~seed:21 () in
+  let m = Lf_simd.Machine.decmpp ~p:32 in
+  let steps partition =
+    (Lf_kernels.Nbforce.run_flat ~compute_forces:false ~partition m mol pl
+       ~nmax:512)
+      .Lf_kernels.Nbforce.force_steps
+  in
+  let loads = D.load pl (D.balanced ~gran:32 pl) in
+  checki "kernel steps = makespan of the partition"
+    (Array.fold_left max 0 loads)
+    (steps (D.balanced ~gran:32 pl));
+  checkb "balanced partition runs fewer steps"
+    (steps (D.balanced ~gran:32 pl)
+    <= steps (D.cyclic ~gran:32 ~n:512))
+
+let t_load_accounting () =
+  let pl = workload () in
+  let d = D.cyclic ~gran:8 ~n:(Array.length pl.Lf_md.Pairlist.pcnt) in
+  let loads = D.load pl d in
+  (* every atom costs at least one step, so total load >= n *)
+  checkb "total covers all pairs"
+    (Array.fold_left ( + ) 0 loads >= Lf_md.Pairlist.n_pairs pl)
+
+let suite =
+  [
+    case "partitions are exact" t_partitions;
+    case "balance ordering" t_balance_ordering;
+    case "kernel honors explicit partitions" t_kernel_uses_partition;
+    case "load accounting" t_load_accounting;
+  ]

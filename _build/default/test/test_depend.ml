@@ -1,0 +1,100 @@
+(** Dependence-analysis tests: affine extraction, ZIV/SIV verdicts, and
+    loop-carried array dependence decisions. *)
+
+open Helpers
+open Lf_lang
+module D = Lf_analysis.Depend
+
+let inv_all _ = true
+let inv_none _ = false
+
+let extract s = D.extract "i" inv_all (parse_expr s)
+
+let t_extract () =
+  (match extract "i" with
+  | Some { D.coeff = 1; const = 0; sym = None } -> ()
+  | _ -> Alcotest.fail "i");
+  (match extract "2 * i + 3" with
+  | Some { D.coeff = 2; const = 3; sym = None } -> ()
+  | _ -> Alcotest.fail "2i+3");
+  (match extract "i - 1" with
+  | Some { D.coeff = 1; const = -1; _ } -> ()
+  | _ -> Alcotest.fail "i-1");
+  (match extract "-i" with
+  | Some { D.coeff = -1; _ } -> ()
+  | _ -> Alcotest.fail "-i");
+  (match extract "n + i" with
+  | Some { D.coeff = 1; const = 0; sym = Some _ } -> ()
+  | _ -> Alcotest.fail "n+i");
+  checkb "i*i is not affine" (extract "i * i" = None);
+  checkb "a(i) is not affine in i" (extract "a(i)" = None);
+  (match extract "a(n)" with
+  | Some { D.coeff = 0; sym = Some _; _ } -> ()
+  | _ -> Alcotest.fail "invariant lookup allowed");
+  checkb "non-invariant var rejected"
+    (D.extract "i" inv_none (parse_expr "n + i") = None)
+
+let aff c k = { D.coeff = c; const = k; sym = None }
+
+let t_siv () =
+  checkb "ziv equal" (D.siv_test (aff 0 3) (aff 0 3) = D.Unknown);
+  checkb "ziv different" (D.siv_test (aff 0 3) (aff 0 4) = D.Independent);
+  checkb "strong siv distance"
+    (D.siv_test (aff 1 0) (aff 1 (-2)) = D.Distance (-2));
+  checkb "strong siv same" (D.siv_test (aff 1 5) (aff 1 5) = D.Distance 0);
+  checkb "strong siv non-integer"
+    (D.siv_test (aff 2 0) (aff 2 1) = D.Independent);
+  checkb "gcd independent" (D.siv_test (aff 2 0) (aff 4 1) = D.Independent);
+  checkb "gcd feasible unknown" (D.siv_test (aff 2 0) (aff 4 2) = D.Unknown);
+  checkb "different symbols unknown"
+    (D.siv_test
+       { D.coeff = 1; const = 0; sym = Some (Ast.EVar "n") }
+       (aff 1 0)
+    = D.Unknown)
+
+let t_combine () =
+  checkb "any independent wins"
+    (D.combine [ D.Unknown; D.Independent ] = D.Independent);
+  checkb "consistent distances"
+    (D.combine [ D.Distance 2; D.Distance 2 ] = D.Distance 2);
+  checkb "contradictory distances independent"
+    (D.combine [ D.Distance 1; D.Distance 2 ] = D.Independent);
+  checkb "unknown absorbs" (D.combine [ D.Unknown; D.Unknown ] = D.Unknown)
+
+let carried src =
+  let body = parse_block src in
+  let assigned = Lf_lang.Ast_util.assigned_vars body in
+  let invariant v = v <> "i" && not (List.mem v assigned) in
+  D.loop_carried_array_dependence "i" invariant body
+
+let t_loop_carried () =
+  checkb "disjoint writes per iteration" (not (carried "a(i) = i"));
+  checkb "read-modify-write same element"
+    (not (carried "a(i) = a(i) + 1"));
+  checkb "offset read carries" (carried "a(i) = a(i - 1) + 1");
+  checkb "constant cell carries" (carried "a(1) = a(1) + i");
+  checkb "reads alone never carry" (not (carried "b = a(i) + a(i - 1)"));
+  checkb "indirect write is unknown (conservative)"
+    (carried "a(p(i)) = 1");
+  checkb "invariant-table read beside subscript write ok"
+    (not (carried "a(i) = t(i) * 2"));
+  checkb "two-dim distance 0"
+    (not (carried "x(i, j) = x(i, j) + 1"));
+  checkb "write to other row carries" (carried "x(i + 1, j) = x(i, j)");
+  checkb "different columns independent"
+    (not (carried "x(i, 1) = x(i, 2) + 1"))
+
+let t_references () =
+  let refs = D.references (parse_block "a(i) = b(i - 1) + a(i)") in
+  checki "reference count" 3 (List.length refs);
+  checki "write count" 1
+    (List.length (List.filter (fun r -> r.D.r_is_write) refs))
+
+let suite =
+  [
+    case "affine extraction" t_extract;
+    case "ZIV and SIV tests" t_siv;
+    case "verdict combination" t_combine;
+    case "loop-carried decisions" t_loop_carried;
+    case "reference collection" t_references;
+  ]

@@ -1,0 +1,240 @@
+(** Flattening tests — the heart of the reproduction.
+
+    Golden structure against the paper's Figures 10–12, precondition
+    checking, and the semantic-preservation property over random nests
+    (the paper's claim that flattening "still executes exactly the same
+    instructions in the same order and the same number of times"). *)
+
+open Helpers
+open Lf_lang
+open Ast
+module F = Lf_core.Flatten
+module N = Lf_core.Normalize
+
+let flatten variant ?(nonempty = true) nest =
+  let fresh = Lf_core.Fresh.of_names [ "i"; "j"; "k"; "l"; "x" ] in
+  F.flatten ~fresh ~assume_inner_nonempty:nonempty variant nest
+
+let t_fig12_golden () =
+  (* Figure 12 for EXAMPLE, exactly *)
+  let expected =
+    parse_block
+      {|
+  i = 1
+  j = 1
+  WHILE (i <= k)
+    x(i, j) = i * j
+    IF (j == l(i)) THEN
+      i = i + 1
+      j = 1
+    ELSE
+      j = j + 1
+    ENDIF
+  ENDWHILE
+|}
+  in
+  match flatten F.DoneTest (example_nest ()) with
+  | Ok b -> checkb "matches Figure 12" (Ast.equal_block expected b)
+  | Error r -> Alcotest.failf "%a" F.pp_rejection r
+
+let t_fig11_golden () =
+  let expected =
+    parse_block
+      {|
+  i = 1
+  j = 1
+  WHILE (i <= k)
+    x(i, j) = i * j
+    j = j + 1
+    IF (.NOT. j <= l(i)) THEN
+      i = i + 1
+      j = 1
+    ENDIF
+  ENDWHILE
+|}
+  in
+  match flatten F.Optimized (example_nest ()) with
+  | Ok b -> checkb "matches Figure 11" (Ast.equal_block expected b)
+  | Error r -> Alcotest.failf "%a" F.pp_rejection r
+
+let t_fig10_structure () =
+  (* the general variant: BODY appears exactly once, guarded by t1, and
+     the inner while advances the outer control *)
+  match flatten F.General (example_nest ()) with
+  | Error r -> Alcotest.failf "%a" F.pp_rejection r
+  | Ok b -> (
+      checkb "guards introduced"
+        (List.exists
+           (function SAssign ({ lv_name = "t1"; _ }, _) -> true | _ -> false)
+           b);
+      match List.rev b with
+      | SWhile (EVar "t1", outer_body) :: _ ->
+          checkb "inner advance loop present"
+            (List.exists
+               (function
+                 | SWhile (EBin (And, EVar "t1", EUn (Not, EVar "t2")), _) ->
+                     true
+                 | _ -> false)
+               outer_body)
+      | _ -> Alcotest.fail "outer WHILE t1 missing")
+
+let t_guards_fig9 () =
+  let nest = example_nest () in
+  let fresh = Lf_core.Fresh.of_names [ "i"; "j"; "k"; "l"; "x" ] in
+  let b, t1, t2 = F.with_guards ~fresh nest in
+  checks "t1 name" "t1" t1;
+  checks "t2 name" "t2" t2;
+  (* Figure 9 does not change control flow *)
+  let c1 = Interp.run_block ~setup:(fun ctx -> example_setup ctx) (example_block ()) in
+  let c2 = Interp.run_block ~setup:(fun ctx -> example_setup ctx) b in
+  checkb "guarded form equivalent"
+    (Env.equal_on [ "x" ] c1.Interp.env c2.Interp.env)
+
+let t_all_variants_equivalent () =
+  let reference = example_x () in
+  List.iter
+    (fun variant ->
+      match flatten variant (example_nest ()) with
+      | Error r -> Alcotest.failf "%a" F.pp_rejection r
+      | Ok b ->
+          let ctx = Interp.run_block ~setup:(fun ctx -> example_setup ctx) b in
+          check int_nd
+            (F.variant_to_string variant)
+            reference (get_x ctx))
+    [ F.General; F.Optimized; F.DoneTest ]
+
+let t_preconditions () =
+  (* zero-trip inner loops: only the general variant is applicable *)
+  let nest = example_nest () in
+  (match flatten ~nonempty:false F.Optimized nest with
+  | Error { F.rej_reason; _ } ->
+      checkb "mentions condition 2"
+        (Astring_contains.contains rej_reason "condition 2")
+  | Ok _ -> Alcotest.fail "Optimized must require nonempty inner");
+  checkb "general always applies"
+    (Result.is_ok (flatten ~nonempty:false F.General nest));
+  (* impure tests block the optimized variants *)
+  let b =
+    parse_block
+      "DO i = 1, k\n  DO j = 1, l(rand(i))\n    x(i,j) = 1\n  ENDDO\nENDDO"
+  in
+  let fresh = Lf_core.Fresh.of_block b in
+  let nest2 = Result.get_ok (N.of_nest ~fresh (List.hd b)) in
+  let purity = Lf_analysis.Side_effects.env ~impure_funcs:[ "rand" ] () in
+  (match
+     F.flatten ~fresh ~purity ~assume_inner_nonempty:true F.DoneTest nest2
+   with
+  | Error { F.rej_reason; _ } ->
+      checkb "mentions condition 1"
+        (Astring_contains.contains rej_reason "condition 1")
+  | Ok _ -> Alcotest.fail "impure test must be rejected");
+  (* an inner init that writes program data blocks the optimized variants *)
+  let b2 =
+    parse_block
+      "DO i = 1, k\n  f(i) = 0\n  DO j = 1, l(i)\n    f(i) = f(i) + j\n  ENDDO\nENDDO"
+  in
+  let fresh2 = Lf_core.Fresh.of_block b2 in
+  let nest3 = Result.get_ok (N.of_nest ~fresh:fresh2 (List.hd b2)) in
+  (match F.flatten ~fresh:fresh2 ~assume_inner_nonempty:true F.Optimized nest3 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "data-writing init2 must push to general variant");
+  (* ... but the general variant still handles it, correctly *)
+  let flat = F.flatten_general ~fresh:fresh2 nest3 in
+  let setup ctx =
+    Env.set ctx.Interp.env "k" (Values.VInt 4);
+    Env.set ctx.Interp.env "l"
+      (Values.VArr (Values.AInt (Nd.of_array [| 2; 0; 3; 1 |])));
+    Env.set ctx.Interp.env "f"
+      (Values.VArr (Values.AInt (Nd.create [| 4 |] 0)))
+  in
+  let c1 = Interp.run_block ~setup b2 in
+  let c2 = Interp.run_block ~setup flat in
+  checkb "general variant handles pre-statements"
+    (Env.equal_on [ "f" ] c1.Interp.env c2.Interp.env)
+
+let t_auto_choice () =
+  let fresh = Lf_core.Fresh.of_names [ "i"; "j"; "k"; "l"; "x" ] in
+  let _, v =
+    F.flatten_auto ~fresh ~assume_inner_nonempty:true (example_nest ())
+  in
+  checkb "auto picks done-test" (v = F.DoneTest);
+  let fresh2 = Lf_core.Fresh.of_names [] in
+  let _, v2 = F.flatten_auto ~fresh:fresh2 (example_nest ()) in
+  checkb "auto falls back to general without the assertion" (v2 = F.General)
+
+let t_observation_order () =
+  (* same instructions in the same order: external calls inside the body
+     are observed identically *)
+  let src =
+    "DO i = 1, k\n  DO j = 1, l(i)\n    CALL obs(i, j)\n  ENDDO\nENDDO"
+  in
+  let b = parse_block src in
+  let fresh = Lf_core.Fresh.of_block b in
+  let nest = Result.get_ok (N.of_nest ~fresh (List.hd b)) in
+  let setup ctx =
+    Interp.register_proc ctx "obs" (fun _ _ -> ());
+    Env.set ctx.Interp.env "k" (Values.VInt 5);
+    Env.set ctx.Interp.env "l"
+      (Values.VArr (Values.AInt (Nd.of_array [| 2; 0; 3; 1; 2 |])))
+  in
+  List.iter
+    (fun variant ->
+      let fresh = Lf_core.Fresh.of_block b in
+      match
+        F.flatten ~fresh
+          ~purity:(Lf_analysis.Side_effects.env ())
+          ~assume_inner_nonempty:false variant nest
+      with
+      | Error _ -> ()
+      | Ok flat ->
+          let r = Lf_core.Validate.compare_runs ~setup ~vars:[] b flat in
+          checkb
+            (Printf.sprintf "call order preserved (%s)"
+               (F.variant_to_string variant))
+            r.Lf_core.Validate.ok)
+    [ F.General ]
+
+let prop_flatten_preserves variant (en : Gen.exec_nest) =
+  let loop = List.nth en.Gen.src_block (List.length en.Gen.src_block - 1) in
+  let pre =
+    List.filteri (fun i _ -> i < List.length en.Gen.src_block - 1) en.Gen.src_block
+  in
+  let fresh = Lf_core.Fresh.of_block en.Gen.src_block in
+  match N.of_nest ~fresh loop with
+  | Error _ -> true
+  | Ok nest -> (
+      match
+        F.flatten ~fresh ~assume_inner_nonempty:en.Gen.inner_nonempty variant
+          nest
+      with
+      | Error _ -> true  (* precondition not met: nothing to check *)
+      | Ok flat ->
+          let c1 =
+            Interp.run_block ~setup:(Gen.exec_setup en) en.Gen.src_block
+          in
+          let c2 = Interp.run_block ~setup:(Gen.exec_setup en) (pre @ flat) in
+          Env.equal_on Gen.exec_observables c1.Interp.env c2.Interp.env
+          || QCheck.Test.fail_reportf "nest:@.%s@.flattened:@.%s"
+               (Pretty.block_to_string en.Gen.src_block)
+               (Pretty.block_to_string flat))
+
+let suite =
+  [
+    case "Figure 12 golden" t_fig12_golden;
+    case "Figure 11 golden" t_fig11_golden;
+    case "Figure 10 structure" t_fig10_structure;
+    case "Figure 9 guards" t_guards_fig9;
+    case "all variants compute EXAMPLE" t_all_variants_equivalent;
+    case "precondition checking" t_preconditions;
+    case "automatic variant choice" t_auto_choice;
+    case "observation order preserved" t_observation_order;
+    qcheck_case ~count:300 "random nests: general preserves semantics"
+      Gen.exec_nest_gen
+      (prop_flatten_preserves F.General);
+    qcheck_case ~count:300 "random nests: optimized preserves semantics"
+      Gen.exec_nest_gen
+      (prop_flatten_preserves F.Optimized);
+    qcheck_case ~count:300 "random nests: done-test preserves semantics"
+      Gen.exec_nest_gen
+      (prop_flatten_preserves F.DoneTest);
+  ]

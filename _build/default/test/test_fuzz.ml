@@ -1,0 +1,205 @@
+(** Robustness properties: the front end never escapes its own exception
+    vocabulary, the simplifier is idempotent, and the whole pipeline
+    preserves semantics on random programs. *)
+
+open Helpers
+open Lf_lang
+
+(* random byte soup: the lexer/parser may reject, but only with their own
+   exceptions *)
+let t_frontend_total =
+  qcheck_case ~count:1000 "front end rejects garbage gracefully"
+    QCheck.Gen.(string_size (0 -- 60))
+    (fun src ->
+      match Parser.program_of_string src with
+      | _ -> true
+      | exception (Errors.Lex_error _ | Errors.Parse_error _) -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "escaped exception %s on %S"
+            (Printexc.to_string e) src)
+
+(* printable soup that looks more like Fortran *)
+let fortranish =
+  QCheck.Gen.(
+    string_size (0 -- 80)
+      ~gen:
+        (oneofl
+           [ 'a'; 'i'; 'x'; '1'; '2'; '('; ')'; '='; '+'; '*'; ','; ' ';
+             '\n'; 'D'; 'O'; 'E'; 'N'; 'I'; 'F'; '.'; ':'; '<'; '-' ]))
+
+let t_frontend_fortranish =
+  qcheck_case ~count:1000 "front end rejects near-Fortran gracefully"
+    fortranish
+    (fun src ->
+      match Parser.program_of_string src with
+      | _ -> true
+      | exception (Errors.Lex_error _ | Errors.Parse_error _) -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "escaped exception %s on %S"
+            (Printexc.to_string e) src)
+
+let t_simplify_idempotent =
+  qcheck_case ~count:500 "simplify is idempotent" Gen.expr (fun e ->
+      let s1 = Simplify.simplify e in
+      let s2 = Simplify.simplify s1 in
+      s1 = s2
+      || QCheck.Test.fail_reportf "%s -> %s -> %s" (Pretty.expr_to_string e)
+           (Pretty.expr_to_string s1) (Pretty.expr_to_string s2))
+
+let t_typecheck_total =
+  qcheck_case ~count:300 "typechecker is total on random ASTs" Gen.block
+    (fun b ->
+      match Typecheck.check_block_standalone b with
+      | _ -> true
+      | exception e ->
+          QCheck.Test.fail_reportf "typechecker raised %s on@.%s"
+            (Printexc.to_string e) (Pretty.block_to_string b))
+
+(* full pipeline property: program-level flattening preserves semantics *)
+let t_pipeline_preserves =
+  qcheck_case ~count:150 "pipeline flattening preserves program semantics"
+    Gen.exec_nest_gen
+    (fun en ->
+      let prog = Ast.program "fuzz" en.Gen.src_block in
+      let opts =
+        {
+          Lf_core.Pipeline.default_options with
+          assume_inner_nonempty = en.Gen.inner_nonempty;
+          trusted_parallel = true;
+        }
+      in
+      match Lf_core.Pipeline.flatten_program ~opts prog with
+      | Error _ -> true  (* e.g. no perfect nest in the generated block *)
+      | Ok o ->
+          let run p = Interp.run ~setup:(Gen.exec_setup en) p in
+          let c1 = run prog and c2 = run o.Lf_core.Pipeline.program in
+          Env.equal_on Gen.exec_observables c1.Interp.env c2.Interp.env
+          || QCheck.Test.fail_reportf "diverged on@.%s"
+               (Pretty.program_to_string o.Lf_core.Pipeline.program))
+
+let suite =
+  [
+    t_frontend_total;
+    t_frontend_fortranish;
+    t_simplify_idempotent;
+    t_typecheck_total;
+    t_pipeline_preserves;
+  ]
+
+(* SIMD end-to-end property: for random nests, both SIMD derivations
+   (naive and flattened), run on the lockstep VM, agree with the
+   sequential interpreter on every observable *)
+let vm_setup (en : Gen.exec_nest) p_lanes vm =
+  let maxl = Array.fold_left max 1 en.Gen.l in
+  Lf_simd.Vm.bind_scalar vm "p" (Values.VInt p_lanes);
+  Lf_simd.Vm.bind_scalar vm "k" (Values.VInt en.Gen.k);
+  Lf_simd.Vm.bind_scalar vm "acc" (Values.VInt 0);
+  Lf_simd.Vm.bind_global vm "l" (Values.AInt (Nd.of_array en.Gen.l));
+  Lf_simd.Vm.bind_global vm "x"
+    (Values.AInt (Nd.create [| en.Gen.k; maxl |] 0))
+
+let observables_match ?(with_acc = true) vm seq_ctx =
+  let x_vm = Values.VArr (Lf_simd.Vm.read_global vm "x") in
+  let x_seq = Env.find seq_ctx.Interp.env "x" in
+  Values.equal_value x_vm x_seq
+  && (not with_acc
+     ||
+     match Lf_simd.Vm.find_opt vm "acc" with
+     | Some (Lf_simd.Vm.VScalar r) ->
+         Values.equal_value !r (Env.find seq_ctx.Interp.env "acc")
+     | _ -> false)
+
+(* the naive SIMD baseline has no reduction lowering; restrict it to
+   nests whose only observable is the array *)
+let array_only (en : Gen.exec_nest) =
+  not (List.mem "acc" (Ast_util.assigned_vars en.Gen.src_block))
+
+(* classify the accumulator: absent, a true sum reduction (lowered by the
+   pipeline), or a carried scalar that is also read — the latter is not
+   parallelizable at all, and forcing it with trusted_parallel would
+   (correctly) diverge *)
+let acc_status (en : Gen.exec_nest) =
+  if array_only en then `None
+  else
+    let body =
+      List.concat_map
+        (function
+          | Ast.SDo (_, b) | Ast.SForall (_, b) | Ast.SWhile (_, b)
+          | Ast.SDoWhile (b, _) ->
+              b
+          | _ -> [])
+        en.Gen.src_block
+    in
+    if
+      List.mem "acc"
+        (Lf_core.Simdize.sum_reduction_candidates ~exclude:[] body)
+    then `Reduction
+    else `Carried
+
+let simd_gen =
+  QCheck.Gen.(
+    let* en = Gen.exec_nest_gen in
+    let* p = oneofl [ 1; 2; 4 ] in
+    (* pad K to a multiple of the lane count for the partitioners *)
+    let k = ((en.Gen.k + p - 1) / p) * p in
+    let l =
+      Array.init k (fun i ->
+          if i < Array.length en.Gen.l then en.Gen.l.(i) else 1)
+    in
+    return ({ en with Gen.k = k; l }, p))
+
+let prop_simd_roundtrip decomp naive ((en : Gen.exec_nest), p_lanes) =
+  let status = acc_status en in
+  if status = `Carried || (naive && status <> `None) then true
+  else begin
+    let prog = Ast.program "fuzz" en.Gen.src_block in
+    let opts =
+      {
+        Lf_core.Pipeline.default_options with
+        assume_inner_nonempty = en.Gen.inner_nonempty;
+        trusted_parallel = true;
+        target = Lf_core.Pipeline.Simd { decomp; p = Ast.EInt p_lanes };
+      }
+    in
+    let derived =
+      if naive then Lf_core.Pipeline.simdize_program_naive ~opts prog
+      else Lf_core.Pipeline.flatten_program ~opts prog
+    in
+    match derived with
+    | Error _ -> true  (* e.g. WHILE outer loop for the SIMD target *)
+    | Ok o -> (
+        let seq = Interp.run_block ~setup:(Gen.exec_setup en) en.Gen.src_block in
+        match
+          Lf_simd.Vm.run ~p:p_lanes ~setup:(vm_setup en p_lanes)
+            o.Lf_core.Pipeline.program
+        with
+        | vm ->
+            (* acc is comparable whenever the reduction lowering ran,
+               i.e. on the flattened paths *)
+            let with_acc = (not naive) && status = `Reduction in
+            observables_match ~with_acc vm seq
+            || QCheck.Test.fail_reportf "diverged on@.%s"
+                 (Pretty.program_to_string o.Lf_core.Pipeline.program)
+        | exception e ->
+            QCheck.Test.fail_reportf "VM raised %s on@.%s"
+              (Printexc.to_string e)
+              (Pretty.program_to_string o.Lf_core.Pipeline.program))
+  end
+
+let t_simd_flat_block =
+  qcheck_case ~count:100 "random nests: flatten+SIMDize (block) on the VM"
+    simd_gen
+    (prop_simd_roundtrip Lf_core.Simdize.Block false)
+
+let t_simd_flat_cyclic =
+  qcheck_case ~count:100 "random nests: flatten+SIMDize (cyclic) on the VM"
+    simd_gen
+    (prop_simd_roundtrip Lf_core.Simdize.Cyclic false)
+
+let t_simd_naive =
+  qcheck_case ~count:100 "random nests: naive SIMDize on the VM" simd_gen
+    (prop_simd_roundtrip Lf_core.Simdize.Cyclic true)
+
+let suite =
+  suite
+  @ [ t_simd_flat_block; t_simd_flat_cyclic; t_simd_naive ]

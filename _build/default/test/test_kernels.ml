@@ -1,0 +1,158 @@
+(** Kernel tests: EXAMPLE traces against the paper's Figures 4 and 6, and
+    the NBFORCE kernel family (counts, bounds, numerical agreement). *)
+
+open Helpers
+module E = Lf_kernels.Example_kernel
+module K = Lf_kernels.Nbforce
+module M = Lf_simd.Machine
+
+let t_fig4_trace () =
+  let t = E.paper_mimd () in
+  checki "8 steps" 8 t.E.time;
+  (* the exact trace of Figure 4 *)
+  let i1 = Array.map (function Some (i, _) -> i | None -> 0) t.E.cells.(0) in
+  let j1 = Array.map (function Some (_, j) -> j | None -> 0) t.E.cells.(0) in
+  let i2 = Array.map (function Some (i, _) -> i | None -> 0) t.E.cells.(1) in
+  let j2 = Array.map (function Some (_, j) -> j | None -> 0) t.E.cells.(1) in
+  checkb "i1" (i1 = [| 1; 1; 1; 1; 2; 3; 3; 4 |]);
+  checkb "j1" (j1 = [| 1; 2; 3; 4; 1; 1; 2; 1 |]);
+  checkb "i2" (i2 = [| 1; 2; 2; 2; 3; 4; 4; 4 |]);
+  checkb "j2" (j2 = [| 1; 1; 2; 3; 1; 1; 2; 3 |])
+
+let t_fig6_trace () =
+  let t = E.paper_simd () in
+  checki "12 steps" 12 t.E.time;
+  (* idle cells appear exactly where Figure 6 leaves blanks *)
+  let idle p =
+    Array.to_list t.E.cells.(p)
+    |> List.mapi (fun i c -> (i + 1, c))
+    |> List.filter_map (fun (i, c) -> if c = None then Some i else None)
+  in
+  checkb "processor 1 idles in the trailing group" (idle 0 = [ 6; 7; 11; 12 ]);
+  checkb "processor 2 idles after its short rows" (idle 1 = [ 2; 3; 4; 9 ])
+
+let t_flattened_trace () =
+  let f = E.paper_flattened () and m = E.paper_mimd () in
+  checkb "flattened schedule equals MIMD" (f.E.cells = m.E.cells)
+
+let t_trace_generic () =
+  (* uniform trip counts: SIMD and MIMD coincide *)
+  let l = [| 2; 2; 2; 2 |] in
+  let s = E.simd_unflattened_trace ~l ~p:2 and m = E.mimd_trace ~l ~p:2 in
+  checki "uniform simd time" 4 s.E.time;
+  checki "uniform mimd time" 4 m.E.time
+
+let small_setup () =
+  let mol = Lf_md.Workload.sod ~n:512 ~seed:9 () in
+  let pl = Lf_md.Workload.pairlist mol ~cutoff:8.0 in
+  (mol, pl)
+
+let t_counts () =
+  let mol, pl = small_setup () in
+  let m = M.decmpp ~p:64 in
+  let l1 = K.run K.L1 m mol pl ~nmax:512 in
+  let l2 = K.run K.L2 m mol pl ~nmax:1024 in
+  let lf = K.run K.Flat m mol pl ~nmax:1024 in
+  checki "Lrs" 8 l1.K.lrs;
+  checki "L1 sweeps Lrs layers" (Lf_md.Pairlist.max_pcnt pl * 8) l1.K.force_steps;
+  checki "L2 sweeps maxLrs layers"
+    (Lf_md.Pairlist.max_pcnt pl * 16)
+    l2.K.force_steps;
+  checki "flat steps equal Eq. 1' bound" (K.flat_steps_bound m pl)
+    lf.K.force_steps;
+  (* all variants do the same useful work *)
+  checki "useful pairs L1" (Lf_md.Pairlist.n_pairs pl) l1.K.busy_lanes;
+  checki "useful pairs L2" (Lf_md.Pairlist.n_pairs pl) l2.K.busy_lanes;
+  checki "useful pairs flat" (Lf_md.Pairlist.n_pairs pl) lf.K.busy_lanes;
+  checkb "flat does fewer force steps" (lf.K.force_steps < l1.K.force_steps);
+  checkb "flat utilization strictly better"
+    (K.utilization lf > K.utilization l1)
+
+let t_forces_agree () =
+  let mol, pl = small_setup () in
+  let m = M.cm2 ~p:512 in
+  let reference = Lf_md.Force.reference_owner_side mol pl in
+  let close a b =
+    Lf_md.Force.norm (Lf_md.Force.add a (Lf_md.Force.neg b))
+    <= 1e-6 *. (1.0 +. Lf_md.Force.norm b)
+  in
+  List.iter
+    (fun variant ->
+      let r = K.run variant m mol pl ~nmax:1024 in
+      checkb
+        (Printf.sprintf "forces agree (%s)" (K.variant_to_string variant))
+        (Array.for_all2 close r.K.forces reference))
+    [ K.L1; K.L2; K.Flat ]
+
+let t_sequential () =
+  let mol, pl = small_setup () in
+  let r = K.run_sequential M.sparc mol pl in
+  checki "sequential steps = pairs" (Lf_md.Pairlist.n_pairs pl)
+    r.K.force_steps
+
+let t_flat_nmax_invariance () =
+  let mol, pl = small_setup () in
+  let m = M.decmpp ~p:64 in
+  let a = K.run ~compute_forces:false K.Flat m mol pl ~nmax:512 in
+  let b = K.run ~compute_forces:false K.Flat m mol pl ~nmax:8192 in
+  checkb "flat time independent of Nmax" (a.K.time = b.K.time);
+  let l2a = K.run ~compute_forces:false K.L2 m mol pl ~nmax:512 in
+  let l2b = K.run ~compute_forces:false K.L2 m mol pl ~nmax:1024 in
+  checkb "L2 time doubles with Nmax"
+    (Float.abs ((l2b.K.time /. l2a.K.time) -. 2.0) < 1e-9)
+
+let t_single_atom_lanes () =
+  (* Gran >= N: each lane holds at most one atom; Lu = Lf = maxPCnt
+     (the paper's Gran = 8192 row of Table 2) *)
+  let mol = Lf_md.Workload.sod ~n:256 ~seed:9 () in
+  let pl = Lf_md.Workload.pairlist mol ~cutoff:8.0 in
+  let m = M.decmpp ~p:256 in
+  let l1 = K.run ~compute_forces:false K.L1 m mol pl ~nmax:256 in
+  let lf = K.run ~compute_forces:false K.Flat m mol pl ~nmax:256 in
+  checki "Lu = maxPCnt" (Lf_md.Pairlist.max_pcnt pl) l1.K.table2_count;
+  checki "Lf = maxPCnt" (Lf_md.Pairlist.max_pcnt pl) lf.K.table2_count
+
+let t_monotone_ratio () =
+  (* the Table 2 trend: Lu/Lf grows as Gran shrinks *)
+  let mol = Lf_md.Workload.sod ~n:1024 ~seed:9 () in
+  let pl = Lf_md.Workload.pairlist mol ~cutoff:8.0 in
+  let ratio gran =
+    let m = M.decmpp ~p:gran in
+    let lu = K.run ~compute_forces:false K.L1 m mol pl ~nmax:1024 in
+    let lf = K.run ~compute_forces:false K.Flat m mol pl ~nmax:1024 in
+    float_of_int lu.K.table2_count /. float_of_int lf.K.table2_count
+  in
+  let r1024 = ratio 1024 and r256 = ratio 256 and r64 = ratio 64 in
+  checkb "ratio 1 at one atom per lane" (Float.abs (r1024 -. 1.0) < 1e-9);
+  checkb "ratio grows" (r64 > r256 && r256 > r1024);
+  (* bounded by pCnt_max / pCnt_avg *)
+  let s = Lf_md.Stats.of_pairlist pl in
+  checkb "bounded by max/avg" (r64 <= s.Lf_md.Stats.ratio +. 1e-9)
+
+let t_indirect_toggle () =
+  (* with indirect addressing off, the flattened kernel follows the
+     physical layout; blockwise then inherits the owner-side imbalance *)
+  let mol, pl = small_setup () in
+  let m = { (M.decmpp ~p:64) with M.layout = M.Blockwise } in
+  let ind = K.run_flat ~compute_forces:false ~indirect:true m mol pl ~nmax:512 in
+  let dir = K.run_flat ~compute_forces:false ~indirect:false m mol pl ~nmax:512 in
+  checkb "blockwise without indirection is never faster"
+    (dir.K.force_steps >= ind.K.force_steps);
+  checki "bound tracks the toggle"
+    (K.flat_steps_bound ~indirect:false m pl)
+    dir.K.force_steps
+
+let suite =
+  [
+    case "Figure 4 trace" t_fig4_trace;
+    case "Figure 6 trace" t_fig6_trace;
+    case "flattened equals MIMD schedule" t_flattened_trace;
+    case "uniform workload traces" t_trace_generic;
+    case "NBFORCE counts and bounds" t_counts;
+    case "NBFORCE forces agree across variants" t_forces_agree;
+    case "sequential kernel" t_sequential;
+    case "Nmax invariance of Lf (§5.3)" t_flat_nmax_invariance;
+    case "single-atom lanes (Table 2 last row)" t_single_atom_lanes;
+    case "monotone Lu/Lf ratio (Table 2 trend)" t_monotone_ratio;
+    case "indirect-addressing toggle" t_indirect_toggle;
+  ]

@@ -1,0 +1,116 @@
+(** Tests for the Figure 16/17 layered kernels on the SIMD VM (§5.3's
+    implementation experience). *)
+
+open Helpers
+module L = Lf_kernels.Layered_src
+
+let workload () =
+  let mol = Lf_md.Workload.sod ~n:100 ~seed:31 () in
+  let pl = Lf_md.Workload.pairlist mol ~cutoff:7.0 in
+  (mol, pl)
+
+let p = 8
+let nmax = 128
+
+let reference mol pl = Lf_kernels.Nbforce_src.reference mol pl
+
+let close a b = Float.abs (a -. b) <= 1e-6 *. (1.0 +. Float.abs b)
+
+(** Expected flattened call count: every lane walks all of its layer
+    slots; a slot with an atom costs pCnt calls, an empty trailing slot
+    still costs one (the lane is masked but the vector step issues). *)
+let expected_flat_calls pl =
+  let n = Array.length pl.Lf_md.Pairlist.pcnt in
+  let lrs = 1 + ((n - 1) / p) in
+  let worst = ref 0 in
+  for lane = 0 to p - 1 do
+    let sum = ref 0 in
+    for ly = 1 to lrs do
+      let a = lane + ((ly - 1) * p) in
+      sum := !sum + (if a < n then max 1 pl.Lf_md.Pairlist.pcnt.(a) else 1)
+    done;
+    worst := max !worst !sum
+  done;
+  !worst
+
+let t_flattened () =
+  let mol, pl = workload () in
+  let r = L.run_kernel (L.flattened ()) mol pl ~p ~nmax in
+  checkb "forces match reference"
+    (Array.for_all2 close r.L.forces (reference mol pl));
+  checki "call count = per-lane walk (Eq. 1' over layer slots)"
+    (expected_flat_calls pl) r.L.onef_calls
+
+let t_unflattened_l2 () =
+  let mol, pl = workload () in
+  let r =
+    L.run_kernel ~sweep:`MaxLrs (L.unflattened ()) mol pl ~p ~nmax
+  in
+  checkb "forces match reference"
+    (Array.for_all2 close r.L.forces (reference mol pl));
+  let maxlrs = 1 + ((nmax - 1) / p) in
+  checki "L2 calls = maxPCnt x maxLrs"
+    (Lf_md.Pairlist.max_pcnt pl * maxlrs)
+    r.L.onef_calls
+
+let t_unflattened_l1 () =
+  let mol, pl = workload () in
+  let r = L.run_kernel ~sweep:`Lrs (L.unflattened ()) mol pl ~p ~nmax in
+  checkb "forces match reference"
+    (Array.for_all2 close r.L.forces (reference mol pl));
+  let n = Array.length pl.Lf_md.Pairlist.pcnt in
+  let lrs = 1 + ((n - 1) / p) in
+  checki "L1 calls = maxPCnt x Lrs (Table 2's Lu)"
+    (Lf_md.Pairlist.max_pcnt pl * lrs)
+    r.L.onef_calls
+
+let t_flattening_wins () =
+  let mol, pl = workload () in
+  let flat = L.run_kernel (L.flattened ()) mol pl ~p ~nmax in
+  let unflat = L.run_kernel ~sweep:`Lrs (L.unflattened ()) mol pl ~p ~nmax in
+  checkb "fewer layered force calls after flattening"
+    (flat.L.onef_calls < unflat.L.onef_calls);
+  (* agreement with the native kernel simulation of the same workload *)
+  let m = Lf_simd.Machine.decmpp ~p in
+  let native =
+    Lf_kernels.Nbforce.run ~compute_forces:false Lf_kernels.Nbforce.L1 m mol
+      pl ~nmax
+  in
+  checki "mini-Fortran L1 = native L1 step count"
+    native.Lf_kernels.Nbforce.force_steps unflat.L.onef_calls
+
+let t_nmax_effect () =
+  (* doubling Nmax doubles the L2 sweep but leaves the flattened kernel
+     untouched — §5.3, now on the actual mini-Fortran kernels *)
+  let mol, pl = workload () in
+  let l2 nm =
+    (L.run_kernel ~sweep:`MaxLrs (L.unflattened ()) mol pl ~p ~nmax:nm)
+      .L.onef_calls
+  in
+  let lf nm =
+    (L.run_kernel (L.flattened ()) mol pl ~p ~nmax:nm).L.onef_calls
+  in
+  checki "L2 doubles" (2 * l2 128) (l2 256);
+  checki "Lf unchanged" (lf 128) (lf 256)
+
+let t_typechecks () =
+  List.iter
+    (fun prog ->
+      let r =
+        Lf_lang.Typecheck.check_program
+          ~params:
+            [ ("p", Lf_lang.Typecheck.Int); ("lrs", Lf_lang.Typecheck.Int) ]
+          prog
+      in
+      checkb "layered kernel typechecks" (Lf_lang.Typecheck.ok r))
+    [ L.unflattened (); L.flattened () ]
+
+let suite =
+  [
+    case "flattened layered kernel (Figure 16)" t_flattened;
+    case "unflattened all-layers kernel (L2)" t_unflattened_l2;
+    case "unflattened layer-selecting kernel (L1)" t_unflattened_l1;
+    case "flattening wins on the VM" t_flattening_wins;
+    case "Nmax effect on the mini-Fortran kernels" t_nmax_effect;
+    case "layered kernels typecheck" t_typechecks;
+  ]

@@ -1,0 +1,76 @@
+(** Layout tests: coordinate round-trips and exact partitioning, for both
+    the cut-and-stack (DECmpp) and blockwise (CM-2) layouts. *)
+
+open Helpers
+module L = Lf_simd.Layout
+module M = Lf_simd.Machine
+
+let t_cut_and_stack () =
+  (* gran 4, n 10: layers of 4 *)
+  let c = L.to_coords M.Cut_and_stack ~gran:4 ~n:10 6 in
+  checki "lane" 2 c.L.lane;
+  checki "layer" 2 c.L.layer;
+  checkb "first layer is 1..gran"
+    (List.for_all
+       (fun g -> (L.to_coords M.Cut_and_stack ~gran:4 ~n:10 g).L.layer = 1)
+       [ 1; 2; 3; 4 ])
+
+let t_blockwise () =
+  (* gran 4, n 10: lrs = 3, lane q owns 3 consecutive elements *)
+  checki "layers" 3 (L.layers ~gran:4 ~n:10);
+  let c = L.to_coords M.Blockwise ~gran:4 ~n:10 4 in
+  checki "lane of 4" 2 c.L.lane;
+  checki "layer of 4" 1 c.L.layer;
+  checkb "lane 1 owns 1..3"
+    (L.owned M.Blockwise ~gran:4 ~n:10 1 = [ 1; 2; 3 ])
+
+let t_roundtrip () =
+  List.iter
+    (fun style ->
+      List.iter
+        (fun (gran, n) ->
+          for g = 1 to n do
+            let c = L.to_coords style ~gran ~n g in
+            checkb "lane range" (c.L.lane >= 1 && c.L.lane <= gran);
+            checkb "layer range"
+              (c.L.layer >= 1 && c.L.layer <= L.layers ~gran ~n);
+            match L.of_coords style ~gran ~n c with
+            | Some g' -> checki "roundtrip" g g'
+            | None -> Alcotest.fail "coords of valid index must map back"
+          done)
+        [ (4, 10); (8, 8); (3, 17); (16, 5) ])
+    [ M.Cut_and_stack; M.Blockwise ]
+
+let prop_partition (style, gran, n) =
+  let parts = L.partition style ~gran ~n in
+  let all = List.concat (Array.to_list parts) in
+  List.sort_uniq compare all = List.init n (fun i -> i + 1)
+  && List.length all = n
+
+let partition_gen =
+  QCheck.Gen.(
+    let* style = oneofl [ M.Cut_and_stack; M.Blockwise ] in
+    let* gran = 1 -- 20 in
+    let* n = 0 -- 100 in
+    return (style, gran, n))
+
+let t_machine_layers () =
+  let cm2 = M.cm2 ~p:8192 in
+  checki "CM-2 gran" 1024 cm2.M.gran;
+  checki "Lrs for SOD on CM-2 8192" 7 (M.layers cm2 ~n:6968);
+  let dm = M.decmpp ~p:8192 in
+  checki "DECmpp gran" 8192 dm.M.gran;
+  checki "Lrs for SOD on DECmpp 8192" 1 (M.layers dm ~n:6968);
+  (* the paper's example: Gran = 128, N = 6968 -> Lrs = 55 *)
+  checki "paper's Lrs example" 55 (M.layers (M.cm2 ~p:1024) ~n:6968);
+  checki "paper's maxLrs example" 64 (M.layers (M.cm2 ~p:1024) ~n:8192)
+
+let suite =
+  [
+    case "cut-and-stack coordinates" t_cut_and_stack;
+    case "blockwise coordinates" t_blockwise;
+    case "coordinate round-trips" t_roundtrip;
+    case "machine layer counts (paper §5.3)" t_machine_layers;
+    qcheck_case ~count:200 "partitions are exact" partition_gen
+      prop_partition;
+  ]

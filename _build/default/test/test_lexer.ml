@@ -1,0 +1,105 @@
+(** Lexer tests: token streams, comments, continuations, dotted operators,
+    numeric literals, and error positions. *)
+
+open Helpers
+open Lf_lang
+open Token
+
+let toks src = List.map snd (Lexer.tokenize src) |> List.filter (( <> ) EOF)
+
+let tok_list =
+  Alcotest.testable
+    (fun ppf ts ->
+      Fmt.pf ppf "[%s]" (String.concat "; " (List.map Token.to_string ts)))
+    ( = )
+
+let t_simple () =
+  check tok_list "assignment" [ IDENT "x"; ASSIGN; INT 1 ] (toks "x = 1");
+  check tok_list "keywords"
+    [ KEYWORD "DO"; IDENT "i"; ASSIGN; INT 1; COMMA; IDENT "k" ]
+    (toks "DO i = 1, k");
+  check tok_list "case-insensitive keyword"
+    [ KEYWORD "ENDDO" ] (toks "enddo");
+  check tok_list "identifiers lower-cased" [ IDENT "pcnt" ] (toks "pCnt")
+
+let t_operators () =
+  check tok_list "relational symbols"
+    [ IDENT "a"; LE; IDENT "b"; NE; IDENT "c"; GE; IDENT "d" ]
+    (toks "a <= b /= c >= d");
+  check tok_list "dotted operators"
+    [ IDENT "a"; AND; NOT; IDENT "b"; OR; TRUE ]
+    (toks "a .AND. .NOT. b .OR. .TRUE.");
+  check tok_list "dotted relations"
+    [ IDENT "a"; EQ; IDENT "b"; LT; IDENT "c" ]
+    (toks "a .EQ. b .LT. c");
+  check tok_list "power vs star"
+    [ IDENT "a"; POW; INT 2; STAR; IDENT "b" ]
+    (toks "a ** 2 * b");
+  check tok_list "== and =" [ IDENT "a"; EQ; IDENT "b"; ASSIGN; INT 0 ]
+    (toks "a == b = 0")
+
+let t_numbers () =
+  check tok_list "integer" [ INT 42 ] (toks "42");
+  check tok_list "real" [ FLOAT 3.5 ] (toks "3.5");
+  check tok_list "real with exponent" [ FLOAT 1.5e3 ] (toks "1.5e3");
+  check tok_list "double exponent" [ FLOAT 2.5e-2 ] (toks "2.5d-2");
+  check tok_list "trailing dot" [ FLOAT 4.0; COMMA ] (toks "4. ,");
+  (* a digit followed by a dotted operator must stay an integer *)
+  check tok_list "int before dotted op" [ INT 1; AND; INT 2 ]
+    (toks "1 .AND. 2");
+  check tok_list "leading dot real" [ FLOAT 0.5 ] (toks ".5")
+
+let t_comments () =
+  check tok_list "full-line C comment" [ IDENT "a"; ASSIGN; INT 1 ]
+    (toks "C this is a comment\na = 1");
+  check tok_list "bang comment" [ IDENT "a"; ASSIGN; INT 1 ]
+    (toks "a = 1 ! trailing");
+  check tok_list "star comment line"
+    [ IDENT "a"; ASSIGN; INT 1 ]
+    (toks "* full line\na = 1");
+  (* an identifier starting with c must not be treated as a comment *)
+  check tok_list "c-identifier"
+    [ IDENT "count"; ASSIGN; INT 0 ]
+    (toks "count = 0")
+
+let t_newlines () =
+  check tok_list "collapsed newlines"
+    [ IDENT "a"; ASSIGN; INT 1; NEWLINE; IDENT "b"; ASSIGN; INT 2 ]
+    (toks "a = 1\n\n\nb = 2");
+  check tok_list "continuation joins lines"
+    [ IDENT "a"; ASSIGN; INT 1; PLUS; INT 2 ]
+    (toks "a = 1 + &\n 2")
+
+let t_brackets () =
+  check tok_list "vector literal"
+    [ LBRACKET; INT 1; COLON; IDENT "p"; RBRACKET ]
+    (toks "[1:p]")
+
+let t_errors () =
+  let lex_fails s =
+    match toks s with
+    | exception Errors.Lex_error _ -> true
+    | _ -> false
+  in
+  checkb "unknown char" (lex_fails "a = #");
+  checkb "bad dotted op" (lex_fails "a .NAND. b");
+  checkb "unterminated dotted op" (lex_fails "a .AND b")
+
+let t_positions () =
+  match Lexer.tokenize "a = 1\n  b = 2" with
+  | (_ :: _ :: _ :: _ :: (p, IDENT "b") :: _) ->
+      checki "line" 2 p.Errors.line;
+      checki "col" 3 p.Errors.col
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let suite =
+  [
+    case "simple statements" t_simple;
+    case "operators" t_operators;
+    case "numeric literals" t_numbers;
+    case "comments" t_comments;
+    case "newlines and continuations" t_newlines;
+    case "vector brackets" t_brackets;
+    case "lexical errors" t_errors;
+    case "source positions" t_positions;
+  ]

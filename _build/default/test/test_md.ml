@@ -1,0 +1,136 @@
+(** Molecular-dynamics substrate tests: pairlist correctness against a
+    brute-force oracle, workload statistics, force properties, and
+    generator determinism. *)
+
+open Helpers
+module Mol = Lf_md.Molecule
+module Pl = Lf_md.Pairlist
+
+let small_mol ?(n = 120) () = Lf_md.Workload.sod ~n ~seed:5 ()
+
+let t_cell_list_vs_brute () =
+  let m = small_mol () in
+  List.iter
+    (fun cutoff ->
+      let a = Pl.build m ~cutoff and b = Pl.brute_force m ~cutoff in
+      checkb
+        (Printf.sprintf "same partners at %.1f" cutoff)
+        (a.Pl.partners = b.Pl.partners))
+    [ 2.0; 5.0; 9.0 ]
+
+let t_pairlist_invariants () =
+  let m = small_mol () in
+  let pl = Pl.build m ~cutoff:6.0 in
+  Array.iteri
+    (fun i ps ->
+      Array.iter
+        (fun j ->
+          checkb "owner stores higher index" (j > i);
+          checkb "within cutoff"
+            (Mol.distance m.Mol.atoms.(i) m.Mol.atoms.(j) <= 6.0))
+        ps)
+    pl.Pl.partners;
+  checki "pair count is sum of pcnt" (Pl.n_pairs pl)
+    (Array.fold_left ( + ) 0 (Array.map Array.length pl.Pl.partners))
+
+let t_ensure_nonempty () =
+  let m = small_mol () in
+  let pl = Pl.ensure_nonempty m (Pl.build m ~cutoff:2.0) in
+  Array.iter (fun c -> checkb "pcnt >= 1" (c >= 1)) pl.Pl.pcnt;
+  (* idempotent on already-nonempty lists *)
+  let pl2 = Pl.ensure_nonempty m pl in
+  checkb "idempotent" (pl.Pl.partners = pl2.Pl.partners)
+
+let t_determinism () =
+  let a = Mol.sod_uncalibrated ~seed:3 ~n:500 () in
+  let b = Mol.sod_uncalibrated ~seed:3 ~n:500 () in
+  checkb "same seed, same molecule" (a.Mol.atoms = b.Mol.atoms);
+  let c = Mol.sod_uncalibrated ~seed:4 ~n:500 () in
+  checkb "different seed differs" (a.Mol.atoms <> c.Mol.atoms);
+  checki "exact atom count" 500 (Mol.n_atoms a)
+
+let t_stats () =
+  let m = Lf_md.Workload.sod ~n:2000 () in
+  let stats =
+    Lf_md.Stats.sweep m ~cutoffs:[ 4.0; 8.0; 12.0 ]
+  in
+  let avgs = List.map (fun s -> s.Lf_md.Stats.pcnt_avg) stats in
+  checkb "avg grows with cutoff"
+    (match avgs with [ a; b; c ] -> a < b && b < c | _ -> false);
+  List.iter
+    (fun s ->
+      checkb "ratio at least 1" (s.Lf_md.Stats.ratio >= 1.0);
+      checkb "max at least avg"
+        (float_of_int s.Lf_md.Stats.pcnt_max >= s.Lf_md.Stats.pcnt_avg))
+    stats;
+  (* cubic growth: avg(2r)/avg(r) in a broad band around 8 *)
+  match avgs with
+  | [ a4; a8; _ ] -> checkb "roughly cubic" (a8 /. a4 > 4.0 && a8 /. a4 < 12.0)
+  | _ -> ()
+
+let t_calibration () =
+  let m = Lf_md.Workload.sod () in
+  let pl = Pl.build m ~cutoff:8.0 in
+  let avg = Pl.avg_pcnt pl in
+  checkb "avg at 8A calibrated near the paper's 80"
+    (avg > 65.0 && avg < 95.0);
+  let s = Lf_md.Stats.of_pairlist pl in
+  checkb "max/avg in the paper's band"
+    (s.Lf_md.Stats.ratio > 2.0 && s.Lf_md.Stats.ratio < 4.5)
+
+let t_force_antisymmetry () =
+  let m = small_mol () in
+  let a = m.Mol.atoms.(0) and b = m.Mol.atoms.(1) in
+  let fab = Lf_md.Force.pair a b and fba = Lf_md.Force.pair b a in
+  checkb "Newton's third law"
+    (Float.abs (fab.Lf_md.Force.fx +. fba.Lf_md.Force.fx) < 1e-9
+    && Float.abs (fab.Lf_md.Force.fy +. fba.Lf_md.Force.fy) < 1e-9
+    && Float.abs (fab.Lf_md.Force.fz +. fba.Lf_md.Force.fz) < 1e-9)
+
+let t_force_reference_balance () =
+  (* with both-sides accumulation the total force is (near) zero *)
+  let m = small_mol ~n:60 () in
+  let pl = Pl.build m ~cutoff:8.0 in
+  let f = Lf_md.Force.reference m pl in
+  let total = Array.fold_left Lf_md.Force.add Lf_md.Force.zero f in
+  let scale =
+    Array.fold_left (fun m v -> Float.max m (Lf_md.Force.norm v)) 1.0 f
+  in
+  checkb "momentum conservation" (Lf_md.Force.norm total < 1e-9 *. scale)
+
+let t_periodic () =
+  let m = Mol.uniform_gas ~n:200 ~density:0.05 () in
+  let box = Float.cbrt (200.0 /. 0.05) in
+  let pl = Pl.brute_force_periodic m ~box ~cutoff:5.0 in
+  let open_pl = Pl.brute_force m ~cutoff:5.0 in
+  (* periodic counts dominate open-boundary counts (wrap adds neighbours) *)
+  checkb "periodic adds pairs" (Pl.n_pairs pl >= Pl.n_pairs open_pl);
+  (* minimum-image distance is symmetric and bounded by box*sqrt(3)/2 *)
+  let a = m.Mol.atoms.(0) and b = m.Mol.atoms.(1) in
+  let d1 = Pl.periodic_distance ~box a b
+  and d2 = Pl.periodic_distance ~box b a in
+  checkb "symmetric" (Float.abs (d1 -. d2) < 1e-12);
+  checkb "bounded" (d1 <= (box *. Float.sqrt 3.0 /. 2.0) +. 1e-9);
+  checkb "open distance at least periodic" (Mol.distance a b >= d1 -. 1e-9)
+
+let t_workload_families () =
+  let gas = Mol.uniform_gas ~n:400 ~density:0.05 () in
+  let drop = Mol.droplet ~n:400 () in
+  let s_gas = Lf_md.Stats.of_pairlist (Pl.build gas ~cutoff:5.0) in
+  let s_drop = Lf_md.Stats.of_pairlist (Pl.build drop ~cutoff:5.0) in
+  checkb "droplet more skewed than gas"
+    (s_drop.Lf_md.Stats.ratio > s_gas.Lf_md.Stats.ratio)
+
+let suite =
+  [
+    case "cell list agrees with brute force" t_cell_list_vs_brute;
+    case "pairlist invariants" t_pairlist_invariants;
+    case "ensure_nonempty" t_ensure_nonempty;
+    case "generator determinism" t_determinism;
+    case "statistics" t_stats;
+    case "Figure 18 calibration" t_calibration;
+    case "force antisymmetry" t_force_antisymmetry;
+    case "force balance" t_force_reference_balance;
+    case "workload families" t_workload_families;
+    case "periodic boundaries" t_periodic;
+  ]

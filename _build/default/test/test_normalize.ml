@@ -1,0 +1,197 @@
+(** Normalization tests (paper Figure 8): phase extraction for every loop
+    form, and semantic preservation of the normal form. *)
+
+open Helpers
+open Lf_lang
+open Ast
+module N = Lf_core.Normalize
+
+let of_loop s =
+  let b = parse_block s in
+  let fresh = Lf_core.Fresh.of_block b in
+  match N.of_loop ~fresh (List.hd b) with
+  | Some n -> n
+  | None -> Alcotest.fail "did not normalize"
+
+let t_do () =
+  let n = of_loop "DO i = 1, k\n  a(i) = i\nENDDO" in
+  checkb "init" (n.N.n_init = [ Ast.assign "i" (EInt 1) ]);
+  checkb "test" (n.N.n_test = EBin (Le, EVar "i", EVar "k"));
+  checkb "increment"
+    (n.N.n_increment = [ Ast.assign "i" (EBin (Add, EVar "i", EInt 1)) ]);
+  checkb "done test is var = hi" (n.N.n_done = Some (EBin (Eq, EVar "i", EVar "k")));
+  checkb "var" (n.N.n_var = Some "i");
+  checkb "not parallel" (not n.N.n_parallel)
+
+let t_do_stride () =
+  let n = of_loop "DO i = 1, k, 2\nENDDO" in
+  checkb "stride increment"
+    (n.N.n_increment = [ Ast.assign "i" (EBin (Add, EVar "i", EInt 2)) ]);
+  checkb "done uses overshoot"
+    (n.N.n_done = Some (EBin (Gt, EBin (Add, EVar "i", EInt 2), EVar "k")));
+  let n2 = of_loop "DO i = k, 1, -1\nENDDO" in
+  checkb "negative stride test" (n2.N.n_test = EBin (Ge, EVar "i", EInt 1))
+
+let t_forall () =
+  let n = of_loop "FORALL (i = 1:k)\n  a(i) = i\nENDFORALL" in
+  checkb "parallel flag" n.N.n_parallel
+
+let t_while () =
+  let n = of_loop "WHILE (i <= k)\n  a(i) = i\n  i = i + 1\nENDWHILE" in
+  checkb "empty init" (n.N.n_init = []);
+  checkb "peeled increment"
+    (n.N.n_increment = [ Ast.assign "i" (EBin (Add, EVar "i", EInt 1)) ]);
+  checkb "induction var recovered" (n.N.n_var = Some "i");
+  checki "body without increment" 1 (List.length n.N.n_body);
+  (* increment not peeled when the variable is updated twice *)
+  let n2 = of_loop "WHILE (i <= k)\n  i = i + 1\n  i = i + 1\nENDWHILE" in
+  checkb "no peel on double update" (n2.N.n_increment = [])
+
+let t_dowhile () =
+  let n = of_loop "REPEAT\n  i = i + 1\nUNTIL (i < 5)" in
+  checkb "first-iteration flag in init" (List.length n.N.n_init = 1);
+  (* reconstructed loop behaves like the original *)
+  let setup ctx = Env.set ctx.Interp.env "i" (Values.VInt 10) in
+  let orig = parse_block "REPEAT\n  i = i + 1\nUNTIL (i < 5)" in
+  let c1 = Interp.run_block ~setup orig in
+  let c2 = Interp.run_block ~setup (N.to_while n) in
+  checkb "post-test loop runs once"
+    (Env.equal_on [ "i" ] c1.Interp.env c2.Interp.env)
+
+let t_to_while_semantics () =
+  List.iter
+    (fun src ->
+      let b = parse_block src in
+      let is_loop = function
+        | SDo _ | SWhile _ | SDoWhile _ | SForall _ -> true
+        | _ -> false
+      in
+      let pre = List.filter (fun s -> not (is_loop s)) b in
+      let loop = List.find is_loop b in
+      let fresh = Lf_core.Fresh.of_block b in
+      let n = Option.get (N.of_loop ~fresh loop) in
+      let setup ctx =
+        Env.set ctx.Interp.env "k" (Values.VInt 5);
+        Env.set ctx.Interp.env "s" (Values.VInt 0);
+        Env.set ctx.Interp.env "a"
+          (Values.VArr (Values.AInt (Nd.create [| 10 |] 0)))
+      in
+      let c1 = Interp.run_block ~setup b in
+      let c2 = Interp.run_block ~setup (pre @ N.to_while n) in
+      checkb ("to_while: " ^ src)
+        (Env.equal_on [ "s"; "a" ] c1.Interp.env c2.Interp.env))
+    [
+      "DO i = 1, k\n  s = s + i\nENDDO";
+      "DO i = 1, k, 2\n  s = s + i\nENDDO";
+      "DO i = k, 1, -1\n  a(i) = s\n  s = s + 1\nENDDO";
+      "i = 1\nWHILE (i <= k)\n  s = s + i * i\n  i = i + 1\nENDWHILE";
+    ]
+
+let t_nest () =
+  let nest = example_nest () in
+  checkb "outer body emptied" (nest.N.outer.N.n_body = []);
+  checkb "inner init is j = 1"
+    (nest.N.inner.N.n_init = [ Ast.assign "j" (EInt 1) ]);
+  checki "body is the assignment" 1 (List.length nest.N.body);
+  (* pre/post statements fold into the phases *)
+  let b =
+    parse_block
+      "DO i = 1, k\n  f(i) = 0\n  DO j = 1, l(i)\n    f(i) = f(i) + j\n  ENDDO\n  g(i) = f(i)\nENDDO"
+  in
+  let fresh = Lf_core.Fresh.of_block b in
+  (match N.of_nest ~fresh (List.hd b) with
+  | Ok n ->
+      checki "pre joins inner init" 2 (List.length n.N.inner.N.n_init);
+      checki "post joins outer increment" 2
+        (List.length n.N.outer.N.n_increment)
+  | Error e -> Alcotest.fail e);
+  (* reconstruction is semantics-preserving *)
+  let setup ctx =
+    Env.set ctx.Interp.env "k" (Values.VInt 4);
+    Env.set ctx.Interp.env "l"
+      (Values.VArr (Values.AInt (Nd.of_array [| 2; 0; 3; 1 |])));
+    Env.set ctx.Interp.env "f"
+      (Values.VArr (Values.AInt (Nd.create [| 4 |] 0)));
+    Env.set ctx.Interp.env "g"
+      (Values.VArr (Values.AInt (Nd.create [| 4 |] 0)))
+  in
+  let fresh2 = Lf_core.Fresh.of_block b in
+  let n = Result.get_ok (N.of_nest ~fresh:fresh2 (List.hd b)) in
+  let c1 = Interp.run_block ~setup b in
+  let c2 = Interp.run_block ~setup (N.nest_to_block n) in
+  checkb "nest reconstruction" (Env.equal_on [ "f"; "g" ] c1.Interp.env c2.Interp.env)
+
+let t_nest_rejections () =
+  let fresh = Lf_core.Fresh.of_names [] in
+  checkb "not a loop"
+    (Result.is_error (N.of_nest ~fresh (List.hd (parse_block "a = 1"))));
+  checkb "no inner loop"
+    (Result.is_error
+       (N.of_nest ~fresh (List.hd (parse_block "DO i = 1, 2\n  a = 1\nENDDO"))));
+  checkb "two inner loops"
+    (Result.is_error
+       (N.of_nest ~fresh
+          (List.hd
+             (parse_block
+                "DO i = 1, 2\n  DO j = 1, 2\n  ENDDO\n  DO q = 1, 2\n  ENDDO\nENDDO"))))
+
+let prop_nest_roundtrip (en : Gen.exec_nest) =
+  let fresh = Lf_core.Fresh.of_block en.Gen.src_block in
+  let loop = List.nth en.Gen.src_block (List.length en.Gen.src_block - 1) in
+  match N.of_nest ~fresh loop with
+  | Error _ -> true  (* generator may produce non-loop heads; skip *)
+  | Ok n ->
+      let pre =
+        List.filteri
+          (fun i _ -> i < List.length en.Gen.src_block - 1)
+          en.Gen.src_block
+      in
+      let c1 = Interp.run_block ~setup:(Gen.exec_setup en) en.Gen.src_block in
+      let c2 =
+        Interp.run_block ~setup:(Gen.exec_setup en) (pre @ N.nest_to_block n)
+      in
+      Env.equal_on Gen.exec_observables c1.Interp.env c2.Interp.env
+
+let t_recognize_counted () =
+  let b =
+    parse_block
+      "i = 1\nWHILE (.NOT. i > k)\n  a(i) = i\n  i = i + 1\nENDWHILE"
+  in
+  let pre = [ List.hd b ] and loop = List.nth b 1 in
+  (match N.recognize_counted ~pre loop with
+  | Some ([], SDo (c, [ SAssign _ ])) ->
+      checkb "bounds" (c.d_lo = EInt 1 && c.d_hi = EVar "k");
+      checks "variable" "i" c.d_var
+  | _ -> Alcotest.fail "counted while not recognized");
+  (* strict bound: i < k becomes hi = k - 1 *)
+  let b2 =
+    parse_block "i = 1\nWHILE (i < k)\n  i = i + 1\nENDWHILE"
+  in
+  (match N.recognize_counted ~pre:[ List.hd b2 ] (List.nth b2 1) with
+  | Some (_, SDo (c, _)) ->
+      checkb "strict bound" (c.d_hi = EBin (Sub, EVar "k", EInt 1))
+  | _ -> Alcotest.fail "strict bound not recognized");
+  (* not recognized: bound depends on the induction variable *)
+  let b3 =
+    parse_block "i = 1\nWHILE (i <= a(i))\n  i = i + 1\nENDWHILE"
+  in
+  checkb "self-referential bound rejected"
+    (N.recognize_counted ~pre:[ List.hd b3 ] (List.nth b3 1) = None);
+  (* not recognized: no init in the prefix *)
+  checkb "missing init rejected"
+    (N.recognize_counted ~pre:[] loop = None)
+
+let suite =
+  [
+    case "DO phases" t_do;
+    case "counted-while recognition" t_recognize_counted;
+    case "strided DO phases" t_do_stride;
+    case "FORALL phases" t_forall;
+    case "WHILE phases and increment peeling" t_while;
+    case "post-test loop normalization" t_dowhile;
+    case "to_while preserves semantics" t_to_while_semantics;
+    case "nest normalization (GENNEST)" t_nest;
+    case "nest rejections" t_nest_rejections;
+    qcheck_case ~count:200 "random nest reconstruction" Gen.exec_nest_gen
+      prop_nest_roundtrip;
+  ]

@@ -1,0 +1,112 @@
+(** Parallelizability tests (the safety condition of paper §6). *)
+
+open Helpers
+open Lf_lang
+module P = Lf_analysis.Parallel
+
+let loop1 src =
+  match parse_block src with
+  | [ s ] -> s
+  | _ -> Alcotest.fail "expected one loop"
+
+let par ?pure_subroutines s =
+  (P.check_loop ?pure_subroutines (loop1 s)).P.parallel
+
+let t_example () =
+  checkb "EXAMPLE outer loop parallel"
+    (P.check_loop (List.hd (example_block ()))).P.parallel
+
+let t_privatizable () =
+  checkb "scalar defined before use is private"
+    (par "DO i = 1, n\n  t = i * 2\n  a(i) = t\nENDDO");
+  checkb "upward-exposed scalar blocks"
+    (not (par "DO i = 1, n\n  a(i) = t\n  t = i\nENDDO"));
+  checkb "reduction-style accumulator blocks"
+    (not (par "DO i = 1, n\n  s = s + a(i)\nENDDO"));
+  checkb "inner loop variable is private"
+    (par "DO i = 1, n\n  DO j = 1, l(i)\n    x(i,j) = i\n  ENDDO\nENDDO");
+  checkb "scalar defined in one branch only blocks"
+    (not
+       (par
+          "DO i = 1, n\n  IF (i > 2) THEN\n    t = i\n  ENDIF\n  a(i) = t\nENDDO"));
+  checkb "scalar defined in both branches ok"
+    (par
+       "DO i = 1, n\n  IF (i > 2) THEN\n    t = i\n  ELSE\n    t = 0\n  ENDIF\n  a(i) = t\nENDDO")
+
+let t_arrays () =
+  checkb "distinct rows parallel"
+    (par "DO i = 1, n\n  x(i, 1) = x(i, 2)\nENDDO");
+  checkb "carried array blocks"
+    (not (par "DO i = 2, n\n  a(i) = a(i - 1)\nENDDO"));
+  checkb "indirect write blocks"
+    (not (par "DO i = 1, n\n  f(p(i)) = f(p(i)) + 1\nENDDO"))
+
+let t_calls () =
+  checkb "unknown call blocks" (not (par "DO i = 1, n\n  CALL f(i)\nENDDO"));
+  checkb "certified call ok"
+    (par ~pure_subroutines:[ "f" ] "DO i = 1, n\n  CALL f(i)\nENDDO")
+
+let t_forall_trusted () =
+  checkb "FORALL asserted parallel"
+    (P.check_loop (loop1 "FORALL (i = 1:n)\n  s = s + 1\nENDFORALL")).P.parallel;
+  checkb "trusted flag overrides"
+    (P.check_loop ~trusted:true (loop1 "DO i = 1, n\n  s = s + 1\nENDDO")).P.parallel;
+  checkb "while loop with induction variable analyzed"
+    (P.check_loop
+       (loop1 "WHILE (i <= k)\n  a(i) = i\n  i = i + 1\nENDWHILE")).P.parallel;
+  checkb "while loop with carried scalar rejected"
+    (not
+       (P.check_loop
+          (loop1 "WHILE (i <= k)\n  s = s + i\n  i = i + 1\nENDWHILE")).P.parallel);
+  checkb "while loop without induction variable rejected"
+    (not (P.check_loop (loop1 "WHILE (any(m))\n  CALL step()\nENDWHILE")).P.parallel)
+
+let t_obstacle_reporting () =
+  let r = P.check_loop (loop1 "DO i = 1, n\n  s = s + a(i)\n  CALL f(i)\nENDDO") in
+  checkb "not parallel" (not r.P.parallel);
+  checkb "reports carried scalar"
+    (List.exists (function P.CarriedScalar "s" -> true | _ -> false) r.P.obstacles);
+  checkb "reports unknown call"
+    (List.exists (function P.UnknownCall "f" -> true | _ -> false) r.P.obstacles)
+
+let t_goto_in_body () =
+  let r =
+    P.check_loop
+      (loop1 "DO i = 1, n\n  IF (a(i) > 0) GOTO 10\n10 CONTINUE\nENDDO")
+  in
+  checkb "gotos block" (not r.P.parallel)
+
+let t_nbforce_safety () =
+  (* the paper's Figure 13 kernel: safe because F is only written at the
+     owner subscript and force is a pure function *)
+  let p = Lf_kernels.Nbforce_src.program () in
+  let loop =
+    List.find
+      (function Ast.SDo _ -> true | _ -> false)
+      p.Ast.p_body
+  in
+  let r = P.check_loop loop in
+  checkb "NBFORCE outer loop parallel" r.P.parallel;
+  (* scattering into partner entries instead would be rejected *)
+  let bad =
+    loop1
+      "DO at1 = 1, n\n\
+      \  DO pr = 1, pcnt(at1)\n\
+      \    at2 = partners(at1, pr)\n\
+      \    f(at2) = f(at2) + 1.0\n\
+      \  ENDDO\n\
+       ENDDO"
+  in
+  checkb "indirect scatter rejected" (not (P.check_loop bad).P.parallel)
+
+let suite =
+  [
+    case "EXAMPLE safety" t_example;
+    case "scalar privatization" t_privatizable;
+    case "array dependences" t_arrays;
+    case "subroutine calls" t_calls;
+    case "FORALL and trusted assertions" t_forall_trusted;
+    case "obstacle reporting" t_obstacle_reporting;
+    case "unstructured control" t_goto_in_body;
+    case "NBFORCE safety (Figure 13)" t_nbforce_safety;
+  ]

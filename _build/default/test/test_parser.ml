@@ -1,0 +1,186 @@
+(** Parser tests: every statement form, expression precedence, labels and
+    GOTOs, declarations and directives, and parse errors. *)
+
+open Helpers
+open Lf_lang
+open Ast
+
+let expr_t =
+  Alcotest.testable (fun ppf e -> Fmt.string ppf (Pretty.expr_to_string e)) ( = )
+
+let t_precedence () =
+  check expr_t "mul binds tighter than add"
+    (EBin (Add, EVar "a", EBin (Mul, EVar "b", EVar "c")))
+    (parse_expr "a + b * c");
+  check expr_t "left associativity of sub"
+    (EBin (Sub, EBin (Sub, EVar "a", EVar "b"), EVar "c"))
+    (parse_expr "a - b - c");
+  check expr_t "power is right-associative"
+    (EBin (Pow, EVar "a", EBin (Pow, EVar "b", EVar "c")))
+    (parse_expr "a ** b ** c");
+  check expr_t "comparison below arithmetic"
+    (EBin (Le, EBin (Add, EVar "a", EInt 1), EVar "b"))
+    (parse_expr "a + 1 <= b");
+  check expr_t "and binds tighter than or"
+    (EBin (Or, EVar "a", EBin (And, EVar "b", EVar "c")))
+    (parse_expr "a .OR. b .AND. c");
+  check expr_t "not under and"
+    (EBin (And, EVar "a", EUn (Not, EVar "b")))
+    (parse_expr "a .AND. .NOT. b");
+  check expr_t "parens override"
+    (EBin (Mul, EBin (Add, EVar "a", EVar "b"), EVar "c"))
+    (parse_expr "(a + b) * c");
+  check expr_t "unary minus"
+    (EBin (Add, EUn (Neg, EVar "a"), EVar "b"))
+    (parse_expr "-a + b")
+
+let t_calls_and_arrays () =
+  check expr_t "array / call reference"
+    (EIdx ("l", [ EVar "i" ]))
+    (parse_expr "l(i)");
+  check expr_t "two-dimensional"
+    (EIdx ("x", [ EVar "i"; EVar "j" ]))
+    (parse_expr "x(i, j)");
+  check expr_t "nested"
+    (EIdx ("partners", [ EVar "at1"; EIdx ("pr", [ EVar "i" ]) ]))
+    (parse_expr "partners(at1, pr(i))");
+  check expr_t "section range"
+    (EIdx ("l", [ ERange (EInt 1, EInt 4) ]))
+    (parse_expr "l(1:4)");
+  check expr_t "vector literal"
+    (ERange (EInt 1, EVar "p"))
+    (parse_expr "[1:p]")
+
+let stmt1 src =
+  match parse_block src with
+  | [ s ] -> s
+  | ss -> Alcotest.failf "expected one statement, got %d" (List.length ss)
+
+let t_statements () =
+  (match stmt1 "x(i,j) = i * j" with
+  | SAssign ({ lv_name = "x"; lv_index = [ EVar "i"; EVar "j" ] }, _) -> ()
+  | _ -> Alcotest.fail "assignment shape");
+  (match stmt1 "DO i = 1, k\n  a = 1\nENDDO" with
+  | SDo ({ d_var = "i"; d_step = None; _ }, [ _ ]) -> ()
+  | _ -> Alcotest.fail "do shape");
+  (match stmt1 "DO i = 10, 1, -2\nENDDO" with
+  | SDo ({ d_step = Some (EUn (Neg, EInt 2)); _ }, []) -> ()
+  | _ -> Alcotest.fail "do with stride");
+  (match stmt1 "WHILE (i <= k)\n  i = i + 1\nENDWHILE" with
+  | SWhile (EBin (Le, _, _), [ _ ]) -> ()
+  | _ -> Alcotest.fail "while shape");
+  (match stmt1 "DO WHILE (a .AND. b)\n  c = 1\nENDDO" with
+  | SWhile (EBin (And, _, _), [ _ ]) -> ()
+  | _ -> Alcotest.fail "do-while-pre shape");
+  (match stmt1 "REPEAT\n  i = i + 1\nUNTIL (i > 5)" with
+  | SDoWhile ([ _ ], EBin (Gt, _, _)) -> ()
+  | _ -> Alcotest.fail "repeat-until shape");
+  (match stmt1 "IF (a) THEN\n  b = 1\nELSE\n  b = 2\nENDIF" with
+  | SIf (EVar "a", [ _ ], [ _ ]) -> ()
+  | _ -> Alcotest.fail "if-else shape");
+  (match stmt1 "IF (a > 0) b = 1" with
+  | SIf (_, [ SAssign _ ], []) -> ()
+  | _ -> Alcotest.fail "one-line if shape");
+  (match stmt1 "FORALL (i = 1:n)\n  a(i) = i\nENDFORALL" with
+  | SForall ({ d_var = "i"; _ }, [ _ ]) -> ()
+  | _ -> Alcotest.fail "forall shape");
+  (match stmt1 "WHERE (m)\n  a = 1\nELSEWHERE\n  a = 2\nENDWHERE" with
+  | SWhere (EVar "m", [ _ ], [ _ ]) -> ()
+  | _ -> Alcotest.fail "where shape");
+  (match stmt1 "WHERE (j <= l(i)) x(i,j) = i" with
+  | SWhere (_, [ SAssign _ ], []) -> ()
+  | _ -> Alcotest.fail "one-line where shape");
+  (match stmt1 "CALL onef(force, at1, at2)" with
+  | SCall ("onef", [ _; _; _ ]) -> ()
+  | _ -> Alcotest.fail "call shape")
+
+let t_goto () =
+  let b =
+    parse_block
+      {|
+  i = 1
+10 CONTINUE
+  IF (i > 5) GOTO 20
+  i = i + 1
+  GOTO 10
+20 CONTINUE
+|}
+  in
+  let kinds =
+    List.map
+      (function
+        | SAssign _ -> "a"
+        | SLabel _ -> "L"
+        | SCondGoto _ -> "c"
+        | SGoto _ -> "g"
+        | _ -> "?")
+      b
+  in
+  checks "goto-loop statement kinds" "a L c a g L" (String.concat " " kinds)
+
+let t_program () =
+  let p =
+    parse_program
+      {|
+PROGRAM demo
+  INTEGER k, x(8,4)
+  PLURAL INTEGER pr
+  PLURAL REAL force(maxlrs)
+  DECOMPOSITION xd(8,4)
+  ALIGN x WITH xd
+  DISTRIBUTE xd(BLOCK, *)
+  k = 8
+END
+|}
+  in
+  checks "name" "demo" p.p_name;
+  checki "decls" 4 (List.length p.p_decls);
+  checki "directives" 3 (List.length p.p_directives);
+  checki "body" 1 (List.length p.p_body);
+  let pr = List.find (fun d -> d.dc_name = "pr") p.p_decls in
+  checkb "plural scalar" pr.dc_plural;
+  let force = List.find (fun d -> d.dc_name = "force") p.p_decls in
+  checkb "plural array" (force.dc_plural && force.dc_dims <> []);
+  (match List.nth p.p_directives 2 with
+  | DDistribute ("xd", [ DistBlock; DistSerial ]) -> ()
+  | _ -> Alcotest.fail "distribute shape");
+  (* headerless fragments parse as program "main" *)
+  let q = parse_program "a = 1" in
+  checks "default name" "main" q.p_name
+
+let t_errors () =
+  let fails s =
+    match parse_block s with
+    | exception Errors.Parse_error _ -> true
+    | _ -> false
+  in
+  checkb "unclosed do" (fails "DO i = 1, 2\n a = 1\n");
+  checkb "missing then-body terminator" (fails "IF (a) THEN\nb = 1\n");
+  checkb "two statements on one line" (fails "a = 1 b = 2");
+  checkb "stray endif" (fails "ENDIF");
+  checkb "expression where statement expected" (fails "1 + 2");
+  let efails s =
+    match parse_expr s with
+    | exception Errors.Parse_error _ -> true
+    | _ -> false
+  in
+  checkb "trailing junk in expr" (efails "a + b c");
+  checkb "unbalanced paren" (efails "(a + b")
+
+let t_example () =
+  (* the paper's Figure 1 parses to the expected nest *)
+  match example_block () with
+  | [ SDo ({ d_var = "i"; _ }, [ SDo ({ d_var = "j"; d_hi = EIdx ("l", [ EVar "i" ]); _ }, [ SAssign _ ]) ]) ] ->
+      ()
+  | _ -> Alcotest.fail "EXAMPLE shape"
+
+let suite =
+  [
+    case "expression precedence" t_precedence;
+    case "calls and array refs" t_calls_and_arrays;
+    case "statement forms" t_statements;
+    case "labels and gotos" t_goto;
+    case "programs, decls, directives" t_program;
+    case "parse errors" t_errors;
+    case "the paper's EXAMPLE" t_example;
+  ]

@@ -1,0 +1,351 @@
+(** Compiler-pipeline tests (paper §6): applicability, safety,
+    profitability, declaration handling, and program-level rewriting. *)
+
+open Helpers
+open Lf_lang
+open Ast
+module P = Lf_core.Pipeline
+
+let flatten ?(opts = { P.default_options with assume_inner_nonempty = true })
+    src =
+  P.flatten_program ~opts (parse_program src)
+
+let t_sequential_target () =
+  match flatten Lf_report.Experiments.example_source with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      checkb "done-test chosen" (o.P.variant_used = Lf_core.Flatten.DoneTest);
+      checkb "profitable (inner bound varies with i)" o.P.profitable;
+      checkb "safe" o.P.safety.Lf_analysis.Parallel.parallel;
+      (* the result still computes EXAMPLE *)
+      let reference = example_x () in
+      let ctx =
+        Interp.run ~params:[ ("k", Values.VInt 8) ]
+          ~setup:(fun ctx -> example_setup ctx)
+          o.P.program
+      in
+      check int_nd "flattened program output" reference (get_x ctx)
+
+let t_statements_around_nest () =
+  (* statements before/after the nest survive the rewrite *)
+  let src =
+    {|
+PROGRAM p
+  INTEGER k, x(8,4), l(8)
+  s = 0
+  DO i = 1, k
+    DO j = 1, l(i)
+      x(i,j) = i * j
+    ENDDO
+  ENDDO
+  s = s + 1
+END
+|}
+  in
+  match flatten src with
+  | Error e -> Alcotest.fail e
+  | Ok o -> (
+      match (List.hd o.P.program.p_body, List.rev o.P.program.p_body) with
+      | SAssign ({ lv_name = "s"; _ }, _), SAssign ({ lv_name = "s"; _ }, _) :: _
+        ->
+          ()
+      | _ -> Alcotest.fail "pre/post statements lost")
+
+let t_goto_nest () =
+  (* a classic F77 GOTO nest flattens after restructuring *)
+  let src =
+    {|
+PROGRAM p
+  INTEGER k, x(8,4), l(8)
+  i = 1
+10 CONTINUE
+  IF (i > k) GOTO 40
+  j = 1
+20 CONTINUE
+  IF (j > l(i)) GOTO 30
+  x(i, j) = i * j
+  j = j + 1
+  GOTO 20
+30 CONTINUE
+  i = i + 1
+  GOTO 10
+40 CONTINUE
+END
+|}
+  in
+  match flatten src with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      let reference = example_x () in
+      let ctx =
+        Interp.run ~params:[ ("k", Values.VInt 8) ]
+          ~setup:(fun ctx -> example_setup ctx)
+          o.P.program
+      in
+      check int_nd "flattened GOTO nest output" reference (get_x ctx)
+
+let t_safety_rejection () =
+  let src =
+    {|
+PROGRAM p
+  INTEGER a(10)
+  DO i = 2, 9
+    DO j = 1, 3
+      a(i) = a(i - 1) + j
+    ENDDO
+  ENDDO
+END
+|}
+  in
+  (match flatten src with
+  | Error e -> checkb "mentions safety" (Astring_contains.contains e "not safe")
+  | Ok _ -> Alcotest.fail "carried dependence must be rejected");
+  (* the user can override *)
+  let opts =
+    { P.default_options with assume_inner_nonempty = true; trusted_parallel = true }
+  in
+  checkb "trusted override" (Result.is_ok (flatten ~opts src))
+
+let t_applicability_rejection () =
+  let src = "PROGRAM p\n  s = 1\nEND" in
+  (match flatten src with
+  | Error e -> checkb "no loop" (Astring_contains.contains e "no loop")
+  | Ok _ -> Alcotest.fail "must fail");
+  let src2 =
+    "PROGRAM p\n  DO i = 1, 4\n    s = i\n  ENDDO\nEND"
+  in
+  match flatten src2 with
+  | Error e ->
+      checkb "not applicable" (Astring_contains.contains e "not applicable")
+  | Ok _ -> Alcotest.fail "single loop must be rejected"
+
+let t_unprofitable_detected () =
+  (* inner bound independent of the outer variable: applicable and safe,
+     but not profitable *)
+  let src =
+    "PROGRAM p\n  INTEGER x(8,4)\n  DO i = 1, 8\n    DO j = 1, 4\n      x(i,j) = i\n    ENDDO\n  ENDDO\nEND"
+  in
+  match flatten src with
+  | Error e -> Alcotest.fail e
+  | Ok o -> checkb "not profitable" (not o.P.profitable)
+
+let t_new_declarations () =
+  let opts =
+    {
+      P.default_options with
+      assume_inner_nonempty = true;
+      variant = Some Lf_core.Flatten.General;
+    }
+  in
+  match flatten ~opts Lf_report.Experiments.example_source with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      (* guard flags declared as LOGICAL *)
+      List.iter
+        (fun v ->
+          match
+            List.find_opt (fun d -> d.dc_name = v) o.P.program.p_decls
+          with
+          | Some d -> checkb (v ^ " is logical") (d.dc_type = TLogical)
+          | None -> Alcotest.failf "missing declaration for %s" v)
+        [ "t1"; "t2" ]
+
+let t_forced_variant_rejection () =
+  let opts =
+    {
+      P.default_options with
+      variant = Some Lf_core.Flatten.DoneTest;
+      assume_inner_nonempty = false;
+    }
+  in
+  match flatten ~opts Lf_report.Experiments.example_source with
+  | Error e ->
+      checkb "explains variant failure"
+        (Astring_contains.contains e "not applicable")
+  | Ok _ -> Alcotest.fail "forced variant must respect preconditions"
+
+let t_simd_requires_counted () =
+  let opts =
+    {
+      P.default_options with
+      assume_inner_nonempty = true;
+      trusted_parallel = true;
+      target = P.Simd { decomp = Lf_core.Simdize.Cyclic; p = EVar "p" };
+    }
+  in
+  (* a rerollable counted WHILE now succeeds for the SIMD target *)
+  let rerollable =
+    {|
+PROGRAM p
+  INTEGER x(8,4), l(8)
+  i = 1
+  WHILE (i <= 8)
+    DO j = 1, l(i)
+      x(i,j) = i
+    ENDDO
+    i = i + 1
+  ENDWHILE
+END
+|}
+  in
+  checkb "counted while rerolls for SIMD"
+    (Result.is_ok (flatten ~opts rerollable));
+  (* a genuinely uncounted loop (variable stride) is still rejected *)
+  let uncounted =
+    {|
+PROGRAM p
+  INTEGER x(8,4), l(8), s
+  i = 1
+  WHILE (i <= 8)
+    DO j = 1, l(i)
+      x(i,j) = i
+    ENDDO
+    i = i + s
+  ENDWHILE
+END
+|}
+  in
+  match flatten ~opts uncounted with
+  | Error e ->
+      checkb "counted loop required" (Astring_contains.contains e "counted")
+  | Ok _ -> Alcotest.fail "SIMD target needs a counted outer loop"
+
+let t_dusty_deck_simd () =
+  (* GOTO loops -> restructure -> reroll to DO -> flatten -> SIMDize, all
+     automatic; run on the VM against the sequential deck *)
+  let src =
+    {|
+PROGRAM dusty
+      INTEGER k, bucket(k), len(k), tab(k, 8)
+      i = 1
+10    CONTINUE
+      IF (i .GT. k) GOTO 40
+      j = 1
+20    CONTINUE
+      IF (j .GT. len(i)) GOTO 30
+      bucket(i) = bucket(i) + tab(i, j)
+      j = j + 1
+      GOTO 20
+30    CONTINUE
+      i = i + 1
+      GOTO 10
+40    CONTINUE
+END
+|}
+  in
+  let prog = parse_program src in
+  let lens = [| 3; 1; 5; 2; 1; 4; 2; 6 |] in
+  let bind set =
+    set "k" (Values.VInt 8);
+    set "len" (Values.VArr (Values.AInt (Nd.of_array lens)));
+    set "tab"
+      (Values.VArr
+         (Values.AInt (Nd.init [| 8; 8 |] (fun ix -> (10 * ix.(0)) + ix.(1)))));
+    set "bucket" (Values.VArr (Values.AInt (Nd.create [| 8 |] 0)))
+  in
+  let ctx = Interp.run ~setup:(fun c -> bind (Env.set c.Interp.env)) prog in
+  let reference = Env.find ctx.Interp.env "bucket" in
+  let opts =
+    {
+      P.default_options with
+      assume_inner_nonempty = true;
+      target =
+        P.Simd { decomp = Lf_core.Simdize.Cyclic; p = Ast.EInt 4 };
+    }
+  in
+  match P.flatten_program ~opts prog with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      checkb "proved safe without annotations"
+        o.P.safety.Lf_analysis.Parallel.parallel;
+      let vm =
+        Lf_simd.Vm.run ~p:4
+          ~setup:(fun vm ->
+            Lf_simd.Vm.bind_scalar vm "p" (Values.VInt 4);
+            bind (fun name v ->
+                match v with
+                | Values.VArr a -> Lf_simd.Vm.bind_global vm name a
+                | v -> Lf_simd.Vm.bind_scalar vm name v))
+          o.P.program
+      in
+      checkb "dusty deck SIMD result"
+        (Values.equal_value reference
+           (Values.VArr (Lf_simd.Vm.read_global vm "bucket")))
+
+let t_sum_reduction () =
+  (* the reduction extension: acc = acc + e lowers to per-lane partials
+     plus a final SUM, so the safety check accepts it without trust *)
+  let src =
+    {|
+PROGRAM dots
+  INTEGER k, l(8), x(8,4)
+  acc = 0
+  DO i = 1, k
+    DO j = 1, l(i)
+      x(i, j) = i * j
+      acc = acc + i * j
+    ENDDO
+  ENDDO
+END
+|}
+  in
+  let prog = parse_program src in
+  let opts =
+    {
+      P.default_options with
+      assume_inner_nonempty = true;
+      target = P.Simd { decomp = Lf_core.Simdize.Cyclic; p = Ast.EInt 2 };
+    }
+  in
+  match P.flatten_program ~opts prog with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      checkb "safe without trust (reduction recognized)"
+        o.P.safety.Lf_analysis.Parallel.parallel;
+      let txt = Pretty.program_to_string o.P.program in
+      checkb "partial accumulator introduced"
+        (Astring_contains.contains txt "acc_p");
+      checkb "final sum emitted"
+        (Astring_contains.contains txt "acc + sum(acc_p)");
+      (* numerically correct on the VM *)
+      let seq =
+        Interp.run ~params:[ ("k", Values.VInt 8) ]
+          ~setup:(fun ctx -> example_setup ctx)
+          prog
+      in
+      let vm =
+        Lf_simd.Vm.run ~p:2
+          ~setup:(fun vm ->
+            Lf_simd.Vm.bind_scalar vm "p" (Values.VInt 2);
+            Lf_simd.Vm.bind_scalar vm "k" (Values.VInt 8);
+            Lf_simd.Vm.bind_scalar vm "acc" (Values.VInt 0);
+            Lf_simd.Vm.bind_global vm "l"
+              (Values.AInt (Nd.of_array paper_l));
+            Lf_simd.Vm.bind_global vm "x"
+              (Values.AInt (Nd.create [| 8; 4 |] 0)))
+          o.P.program
+      in
+      (match Lf_simd.Vm.find vm "acc" with
+      | Lf_simd.Vm.VScalar r ->
+          checkb "reduction total"
+            (Values.equal_value !r (Env.find seq.Interp.env "acc"))
+      | _ -> Alcotest.fail "acc is not a front-end scalar");
+      checkb "array agrees"
+        (Values.equal_value
+           (Env.find seq.Interp.env "x")
+           (Values.VArr (Lf_simd.Vm.read_global vm "x")))
+
+let suite =
+  [
+    case "sequential flattening end to end" t_sequential_target;
+    case "sum-reduction extension" t_sum_reduction;
+    case "dusty deck: GOTOs to SIMD automatically" t_dusty_deck_simd;
+    case "statements around the nest" t_statements_around_nest;
+    case "GOTO nest end to end" t_goto_nest;
+    case "safety rejection and override" t_safety_rejection;
+    case "applicability rejection" t_applicability_rejection;
+    case "profitability detection" t_unprofitable_detected;
+    case "new declarations" t_new_declarations;
+    case "forced-variant precondition" t_forced_variant_rejection;
+    case "SIMD target requires counted outer loop" t_simd_requires_counted;
+  ]

@@ -1,0 +1,87 @@
+(** Pretty-printer tests: golden output and the parse/print round-trip
+    property over random ASTs. *)
+
+open Helpers
+open Lf_lang
+open Ast
+
+let t_expr_golden () =
+  let s e = Pretty.expr_to_string e in
+  checks "precedence parens" "(a + b) * c"
+    (s (EBin (Mul, EBin (Add, EVar "a", EVar "b"), EVar "c")));
+  checks "no redundant parens" "a + b * c"
+    (s (EBin (Add, EVar "a", EBin (Mul, EVar "b", EVar "c"))));
+  checks "left-assoc sub needs parens on right" "a - (b - c)"
+    (s (EBin (Sub, EVar "a", EBin (Sub, EVar "b", EVar "c"))));
+  checks "not" ".NOT. a" (s (EUn (Not, EVar "a")));
+  checks "index" "x(i, j)" (s (EIdx ("x", [ EVar "i"; EVar "j" ])));
+  checks "range index" "l(1:4)" (s (EIdx ("l", [ ERange (EInt 1, EInt 4) ])));
+  checks "mod as function" "mod(a, 2)"
+    (s (EBin (Mod, EVar "a", EInt 2)))
+
+let t_block_golden () =
+  let b =
+    [
+      SDo
+        ( do_control "i" (EInt 1) (EVar "k"),
+          [ SWhere (EVar "m", [ Ast.assign "a" (EInt 1) ], [ Ast.assign "a" (EInt 2) ]) ] );
+    ]
+  in
+  checks "block layout"
+    "DO i = 1, k\n\
+    \  WHERE (m)\n\
+    \    a = 1\n\
+    \  ELSEWHERE\n\
+    \    a = 2\n\
+    \  ENDWHERE\n\
+     ENDDO"
+    (Pretty.block_to_string b)
+
+let t_roundtrip_example () =
+  let p = parse_program Lf_report.Experiments.example_source in
+  let p2 = parse_program (Pretty.program_to_string p) in
+  checkb "program roundtrip" (Ast.equal_program p p2)
+
+let t_roundtrip_nbforce () =
+  let p = Lf_kernels.Nbforce_src.program () in
+  let p2 = parse_program (Pretty.program_to_string p) in
+  checkb "NBFORCE roundtrip" (Ast.equal_program p p2)
+
+let t_roundtrip_transformed () =
+  (* the flattened + SIMDized outputs must themselves round-trip *)
+  let p = parse_program Lf_report.Experiments.example_source in
+  let opts =
+    {
+      Lf_core.Pipeline.default_options with
+      assume_inner_nonempty = true;
+      target =
+        Lf_core.Pipeline.Simd
+          { decomp = Lf_core.Simdize.Cyclic; p = EVar "p" };
+    }
+  in
+  match Lf_core.Pipeline.flatten_program ~opts p with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      let txt = Pretty.program_to_string o.Lf_core.Pipeline.program in
+      let p2 = parse_program txt in
+      checkb "transformed roundtrip"
+        (Ast.equal_program o.Lf_core.Pipeline.program p2)
+
+let prop_roundtrip_block (b : block) =
+  let txt = Pretty.block_to_string b in
+  match Parser.block_of_string txt with
+  | b2 -> Ast.equal_block b b2
+  | exception e ->
+      QCheck.Test.fail_reportf "did not re-parse: %s@.%s"
+        (Printexc.to_string e) txt
+
+let suite =
+  [
+    case "expression golden output" t_expr_golden;
+    case "block golden output" t_block_golden;
+    case "EXAMPLE round-trip" t_roundtrip_example;
+    case "NBFORCE round-trip" t_roundtrip_nbforce;
+    case "transformed-program round-trip" t_roundtrip_transformed;
+    qcheck_case ~count:500 "random block round-trip" Gen.block
+      prop_roundtrip_block;
+  ]

@@ -1,0 +1,86 @@
+(** Reporting tests: table rendering and smoke tests of the light
+    experiment drivers (the heavy full-SOD tables run in the bench). *)
+
+open Helpers
+
+let t_table_render () =
+  let t =
+    Lf_report.Table.make ~header:[ "a"; "bb" ]
+      [ [ "1"; "2" ]; [ "333"; "4" ] ]
+  in
+  let s = Lf_report.Table.to_string t in
+  checkb "header present" (Astring_contains.contains s "bb");
+  checkb "alignment padding" (Astring_contains.contains s "333");
+  checkb "separators" (Astring_contains.contains s "+=")
+
+let runs_quietly name =
+  case ("experiment " ^ name) (fun () ->
+      match List.assoc_opt name Lf_report.Experiments.by_name with
+      | None -> Alcotest.failf "experiment %s not registered" name
+      | Some f ->
+          let buf = Buffer.create 1024 in
+          let ppf = Fmt.with_buffer buf in
+          f ppf;
+          Fmt.flush ppf ();
+          checkb "produced output" (Buffer.length buf > 100))
+
+let t_paper_data_consistency () =
+  (* the embedded Table 2 data reproduces the paper's stated bound:
+     every ratio is below the corresponding pCnt_max/pCnt_avg ratio *)
+  List.iter
+    (fun (row : Lf_report.Paper_data.row2) ->
+      Array.iteri
+        (fun i cell ->
+          match cell with
+          | Some lu, Some lf ->
+              let cutoff = Lf_report.Paper_data.cutoffs.(i) in
+              let bound =
+                List.assoc cutoff Lf_report.Paper_data.pcnt_ratios
+              in
+              checkb
+                (Printf.sprintf "Gran %d cutoff %.0f" row.Lf_report.Paper_data.gran2 cutoff)
+                (float_of_int lu /. float_of_int lf <= bound +. 1e-3)
+          | _ -> ())
+        row.Lf_report.Paper_data.counts)
+    Lf_report.Paper_data.table2
+
+let t_ascii_plot () =
+  let buf = Buffer.create 256 in
+  let ppf = Fmt.with_buffer buf in
+  Lf_report.Ascii_plot.render ~width:20 ~height:5 ppf
+    [
+      Lf_report.Ascii_plot.series ~label:"a" ~mark:'a'
+        [ (1.0, 1.0); (10.0, 10.0) ];
+      Lf_report.Ascii_plot.series ~label:"b" ~mark:'b' [ (1.0, 10.0) ];
+    ];
+  Fmt.flush ppf ();
+  let s = Buffer.contents buf in
+  checkb "marks present"
+    (Astring_contains.contains s "a" && Astring_contains.contains s "b");
+  checkb "legend" (Astring_contains.contains s "a = a");
+  (* empty input *)
+  let buf2 = Buffer.create 16 in
+  let ppf2 = Fmt.with_buffer buf2 in
+  Lf_report.Ascii_plot.render ppf2 [];
+  Fmt.flush ppf2 ();
+  checkb "empty handled" (Astring_contains.contains (Buffer.contents buf2) "no data");
+  (* non-positive points dropped under log scales *)
+  let buf3 = Buffer.create 16 in
+  let ppf3 = Fmt.with_buffer buf3 in
+  Lf_report.Ascii_plot.render ppf3
+    [ Lf_report.Ascii_plot.series ~label:"z" ~mark:'z' [ (0.0, -1.0) ] ];
+  Fmt.flush ppf3 ();
+  checkb "all-invalid handled"
+    (Astring_contains.contains (Buffer.contents buf3) "no data")
+
+let suite =
+  [
+    case "table rendering" t_table_render;
+    case "ascii plots" t_ascii_plot;
+    case "paper data internal consistency" t_paper_data_consistency;
+    runs_quietly "fig4";
+    runs_quietly "fig6";
+    runs_quietly "bounds";
+    runs_quietly "transforms";
+    runs_quietly "ablation-variants";
+  ]

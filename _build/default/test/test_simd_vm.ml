@@ -1,0 +1,176 @@
+(** SIMD VM tests: plural values, WHERE masking, reductions under masks,
+    gather/scatter, plural arrays, vector-controlled WHILE, metrics. *)
+
+open Helpers
+open Lf_lang
+open Values
+module Vm = Lf_simd.Vm
+module Pv = Lf_simd.Pval
+
+let run_vm ?(p = 4) ?(setup = fun _ -> ()) src =
+  let vm = Vm.create ~p () in
+  setup vm;
+  Vm.exec_block vm ~mask:(Vm.full_mask vm) (parse_block src);
+  vm
+
+let plural_ints vm name = Array.map as_int (Vm.read_plural vm name)
+
+let t_iproc () =
+  let vm = run_vm "i = iproc * 10" in
+  checkb "iproc broadcast" (plural_ints vm "i" = [| 10; 20; 30; 40 |])
+
+let t_where () =
+  let vm =
+    run_vm
+      "i = iproc\nWHERE (i >= 3)\n  i = i * 100\nELSEWHERE\n  i = 0 - i\nENDWHERE"
+  in
+  checkb "where/elsewhere" (plural_ints vm "i" = [| -1; -2; 300; 400 |])
+
+let t_nested_where () =
+  let vm =
+    run_vm
+      {|
+  i = iproc
+  WHERE (i >= 2)
+    WHERE (i >= 4)
+      i = 1000
+    ELSEWHERE
+      i = 500
+    ENDWHERE
+  ENDWHERE
+|}
+  in
+  checkb "nested masks" (plural_ints vm "i" = [| 1; 500; 500; 1000 |])
+
+let t_reductions () =
+  let vm = run_vm "i = iproc\nt = any(i > 3)\nu = any(i > 4)\nm = maxval(i)\ns = sum(i)" in
+  checkb "any true" (as_bool (match Vm.find vm "t" with Vm.VScalar r -> !r | _ -> assert false));
+  checkb "any false" (not (as_bool (match Vm.find vm "u" with Vm.VScalar r -> !r | _ -> assert false)));
+  checki "maxval" 4 (as_int (match Vm.find vm "m" with Vm.VScalar r -> !r | _ -> assert false));
+  checki "sum" 10 (as_int (match Vm.find vm "s" with Vm.VScalar r -> !r | _ -> assert false))
+
+let t_masked_reduction () =
+  (* reductions see only active lanes *)
+  let vm =
+    run_vm
+      "i = iproc\nWHERE (i <= 2)\n  m = maxval(i)\n  i = m\nENDWHERE"
+  in
+  checkb "masked maxval" (plural_ints vm "i" = [| 2; 2; 3; 4 |])
+
+let t_gather_scatter () =
+  let setup vm =
+    Vm.bind_global vm "a" (AInt (Nd.of_array [| 10; 20; 30; 40 |]));
+    Vm.bind_global vm "b" (AInt (Nd.create [| 4 |] 0))
+  in
+  let vm = run_vm ~setup "i = iproc\nv = a(5 - i)\nb(i) = v * 2" in
+  checkb "gather reversed" (plural_ints vm "v" = [| 40; 30; 20; 10 |]);
+  (match Vm.read_global vm "b" with
+  | AInt b -> checkb "scatter" (Nd.to_array b = [| 80; 60; 40; 20 |])
+  | _ -> Alcotest.fail "b type");
+  (* masked scatter leaves inactive elements alone *)
+  let vm2 =
+    run_vm ~setup "i = iproc\nWHERE (i <= 2)\n  b(i) = 7\nENDWHERE"
+  in
+  match Vm.read_global vm2 "b" with
+  | AInt b -> checkb "masked scatter" (Nd.to_array b = [| 7; 7; 0; 0 |])
+  | _ -> Alcotest.fail "b type"
+
+let t_plural_array () =
+  let vm =
+    run_vm
+      ~setup:(fun vm -> Vm.bind_plural_arr vm "f" Ast.TInt [| 3 |])
+      "i = iproc\nDO ly = 1, 3\n  f(ly) = i * ly\nENDDO\nv = f(2)"
+  in
+  checkb "per-lane storage" (plural_ints vm "v" = [| 2; 4; 6; 8 |])
+
+let t_vector_while () =
+  (* §2: WHILE controlled by an array of booleans whose elements agree *)
+  let vm = run_vm "i = iproc * 0\nWHILE (i < 3)\n  i = i + 1\nENDWHILE" in
+  checkb "uniform vector while" (plural_ints vm "i" = [| 3; 3; 3; 3 |]);
+  match
+    run_vm "i = iproc\nWHILE (i < 3)\n  i = i + 1\nENDWHILE"
+  with
+  | exception Errors.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "divergent vector WHILE must be rejected"
+
+let t_while_any () =
+  let vm =
+    run_vm
+      "i = iproc\nWHILE (any(i <= 3))\n  WHERE (i <= 3)\n    i = i + 10\n  ENDWHERE\nENDWHILE"
+  in
+  checkb "while-any" (plural_ints vm "i" = [| 11; 12; 13; 4 |])
+
+let t_declarations () =
+  let prog =
+    Parser.program_of_string
+      {|
+PROGRAM t
+  INTEGER n
+  PLURAL INTEGER i
+  PLURAL REAL acc(2)
+  INTEGER g(n)
+  i = iproc
+  g(i) = i
+END
+|}
+  in
+  let vm =
+    Vm.run ~p:4
+      ~setup:(fun vm -> Vm.bind_scalar vm "n" (VInt 4))
+      prog
+  in
+  (match Vm.read_global vm "g" with
+  | AInt g -> checkb "declared global" (Nd.to_array g = [| 1; 2; 3; 4 |])
+  | _ -> Alcotest.fail "g type");
+  match Vm.find vm "acc" with
+  | Vm.VPluralArr (AReal a) -> checkb "plural array dims" (Nd.dims a = [| 4; 2 |])
+  | _ -> Alcotest.fail "acc shape"
+
+let t_metrics () =
+  let vm = run_vm "i = iproc\nWHERE (i <= 1)\n  i = i + 1\nENDWHERE" in
+  let m = vm.Vm.metrics in
+  checkb "vector steps counted" (m.Lf_simd.Metrics.steps >= 2);
+  checkb "utilization below 1 with masking"
+    (Lf_simd.Metrics.utilization m < 1.0);
+  (* the example kernel counts: unflattened needs 12, flattened 8 body steps *)
+  ()
+
+let t_procs () =
+  let record = ref [] in
+  let vm = Vm.create ~p:2 () in
+  Vm.register_proc vm "probe" (fun _ ~mask args ->
+      record := (Array.to_list mask, List.length args) :: !record);
+  Vm.exec_block vm ~mask:(Vm.full_mask vm)
+    (parse_block "i = iproc\nWHERE (i == 2)\n  CALL probe(i)\nENDWHERE");
+  (match !record with
+  | [ ([ false; true ], 1) ] -> ()
+  | _ -> Alcotest.fail "proc mask");
+  checki "call metric" 1 (Lf_simd.Metrics.call_count vm.Vm.metrics "probe")
+
+let t_fuel () =
+  match run_vm "i = 0\nWHILE (i < 1)\n  j = iproc\nENDWHILE" with
+  | exception Errors.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let t_lift_errors () =
+  (match run_vm "i = iproc\nk = 1\nk = i" with
+  | exception Errors.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "plural into front-end scalar must fail")
+
+let suite =
+  [
+    case "iproc and broadcast" t_iproc;
+    case "where/elsewhere" t_where;
+    case "nested where" t_nested_where;
+    case "reductions" t_reductions;
+    case "masked reductions" t_masked_reduction;
+    case "gather/scatter" t_gather_scatter;
+    case "plural arrays" t_plural_array;
+    case "vector-controlled while" t_vector_while;
+    case "while-any idiom" t_while_any;
+    case "declaration handling" t_declarations;
+    case "metrics" t_metrics;
+    case "plural procedures" t_procs;
+    case "fuel" t_fuel;
+    case "type discipline" t_lift_errors;
+  ]

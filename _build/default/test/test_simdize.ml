@@ -1,0 +1,279 @@
+(** SIMDization tests: plural inference, control vectorization, iteration
+    partitioning for both decompositions, and golden comparison against
+    the paper's Figures 5, 7, and 15. *)
+
+open Helpers
+open Lf_lang
+open Ast
+module S = Lf_core.Simdize
+module SS = S.SS
+
+let t_plural_inference () =
+  let b =
+    parse_block
+      {|
+  i = iproc
+  j = 1
+  s = 0
+  WHILE (i <= k)
+    WHERE (j == l(i))
+      i = i + p
+      j = 1
+    ELSEWHERE
+      j = j + 1
+    ENDWHERE
+  ENDWHILE
+|}
+  in
+  let plural = S.infer_plural ~seeds:[ "i" ] b in
+  checkb "i plural" (SS.mem "i" plural);
+  checkb "j plural (assigned under plural condition)" (SS.mem "j" plural);
+  checkb "scalar s stays front-end" (not (SS.mem "s" plural));
+  checkb "k stays front-end" (not (SS.mem "k" plural))
+
+let t_reductions_are_scalar () =
+  let b = parse_block "i = iproc\nm = maxval(l(i))\nDO j = 1, m\nENDDO" in
+  let plural = S.infer_plural ~seeds:[ "i" ] b in
+  checkb "maxval result is front-end" (not (SS.mem "m" plural));
+  checkb "do var over reduction bound is front-end" (not (SS.mem "j" plural))
+
+let t_expr_is_plural () =
+  let set = SS.of_list [ "i" ] in
+  checkb "var" (S.expr_is_plural set (parse_expr "i + 1"));
+  checkb "gather" (S.expr_is_plural set (parse_expr "l(i)"));
+  checkb "reduction collapses" (not (S.expr_is_plural set (parse_expr "any(i <= k)")));
+  checkb "constant" (not (S.expr_is_plural set (parse_expr "k + 1")))
+
+let t_vectorize_control () =
+  let plural = SS.of_list [ "i"; "j" ] in
+  let b = parse_block "IF (i > 0) THEN\n  j = j + 1\nENDIF" in
+  (match S.vectorize_control plural b with
+  | [ SWhere (_, [ _ ], []) ] -> ()
+  | _ -> Alcotest.fail "plural IF becomes WHERE");
+  let b2 = parse_block "WHILE (i <= k)\n  i = i + 1\nENDWHILE" in
+  (match S.vectorize_control plural b2 with
+  | [ SWhile (ECall ("any", [ _ ]), [ SWhere (_, [ _ ], []) ]) ] -> ()
+  | _ -> Alcotest.fail "plural WHILE becomes WHILE ANY + WHERE");
+  let b3 = parse_block "IF (k > 0) THEN\n  s = 1\nENDIF" in
+  match S.vectorize_control plural b3 with
+  | [ SIf _ ] -> ()
+  | _ -> Alcotest.fail "front-end IF untouched"
+
+let flatten_simdize decomp =
+  let p = parse_program Lf_report.Experiments.example_source in
+  let opts =
+    {
+      Lf_core.Pipeline.default_options with
+      assume_inner_nonempty = true;
+      target = Lf_core.Pipeline.Simd { decomp; p = EVar "p" };
+    }
+  in
+  match Lf_core.Pipeline.flatten_program ~opts p with
+  | Ok o -> o
+  | Error e -> Alcotest.fail e
+
+let t_fig7_block () =
+  (* block decomposition: Figure 7's shape — i = [1,5], K = [4,8] become
+     the partitioned init and the latched per-processor bound *)
+  let o = flatten_simdize S.Block in
+  let body = o.Lf_core.Pipeline.program.p_body in
+  let expected =
+    parse_block
+      {|
+  i = 1 + (iproc - 1) * (k / p)
+  i_last = iproc * (k / p)
+  j = 1
+  WHILE (any(i <= i_last))
+    WHERE (i <= i_last)
+      x(i, j) = i * j
+      WHERE (j == l(i))
+        i = i + 1
+        j = 1
+      ELSEWHERE
+        j = j + 1
+      ENDWHERE
+    ENDWHERE
+  ENDWHILE
+|}
+  in
+  checkb "Figure 7 shape" (Ast.equal_block expected body);
+  checkb "plural decls"
+    (List.for_all
+       (fun v ->
+         List.exists
+           (fun d -> d.dc_name = v && d.dc_plural)
+           o.Lf_core.Pipeline.program.p_decls)
+       [ "i"; "i_last"; "j" ]);
+  checkb "x stays global"
+    (List.exists
+       (fun d -> d.dc_name = "x" && not d.dc_plural)
+       o.Lf_core.Pipeline.program.p_decls)
+
+let t_fig15_cyclic () =
+  (* cyclic decomposition: Figure 15's At1 = At1 + P increment *)
+  let o = flatten_simdize S.Cyclic in
+  let body = o.Lf_core.Pipeline.program.p_body in
+  let expected =
+    parse_block
+      {|
+  i = 1 + (iproc - 1)
+  j = 1
+  WHILE (any(i <= k))
+    WHERE (i <= k)
+      x(i, j) = i * j
+      WHERE (j == l(i))
+        i = i + p
+        j = 1
+      ELSEWHERE
+        j = j + 1
+      ENDWHERE
+    ENDWHERE
+  ENDWHILE
+|}
+  in
+  checkb "Figure 15 shape" (Ast.equal_block expected body)
+
+let t_fig5_naive () =
+  let p = parse_program Lf_report.Experiments.example_source in
+  let opts =
+    {
+      Lf_core.Pipeline.default_options with
+      target = Lf_core.Pipeline.Simd { decomp = S.Block; p = EVar "p" };
+    }
+  in
+  match Lf_core.Pipeline.simdize_program_naive ~opts p with
+  | Error e -> Alcotest.fail e
+  | Ok o -> (
+      match o.Lf_core.Pipeline.program.p_body with
+      | [ SDo (outer, outer_body) ] -> (
+          checkb "uniform outer trip count"
+            (outer.d_hi = EBin (Div, EVar "k", EVar "p"));
+          match outer_body with
+          | [ SAssign ({ lv_name = aux; _ }, _); SDo (inner, [ SWhere _ ]) ]
+            ->
+              checkb "aux induction introduced" (aux = "i_p");
+              checkb "inner bound is maxval"
+                (match inner.d_hi with
+                | ECall ("maxval", [ _ ]) -> true
+                | _ -> false)
+          | _ -> Alcotest.fail "naive inner shape")
+      | _ -> Alcotest.fail "naive outer shape")
+
+let t_partition_init () =
+  let init, last, step =
+    S.partition_init S.Block ~p:(EInt 4) ~lo:(EInt 1) ~hi:(EInt 16) "i"
+  in
+  checki "one init stmt" 1 (List.length init);
+  checkb "block step 1" (step = EInt 1);
+  (* evaluate per processor: chunk = 4 *)
+  let eval_lane e lane =
+    let ctx = Interp.create () in
+    Env.set ctx.Interp.env "iproc" (Values.VInt lane);
+    Values.as_int (Interp.eval ctx e)
+  in
+  (match List.hd init with
+  | SAssign (_, e) ->
+      checki "lane 1 start" 1 (eval_lane e 1);
+      checki "lane 4 start" 13 (eval_lane e 4)
+  | _ -> Alcotest.fail "init shape");
+  checki "lane 1 last" 4 (eval_lane last 1);
+  checki "lane 4 last" 16 (eval_lane last 4);
+  let init_c, last_c, step_c =
+    S.partition_init S.Cyclic ~p:(EInt 4) ~lo:(EInt 1) ~hi:(EInt 16) "i"
+  in
+  (match List.hd init_c with
+  | SAssign (_, e) ->
+      checki "cyclic lane 3 start" 3 (eval_lane e 3)
+  | _ -> Alcotest.fail "cyclic init shape");
+  checkb "cyclic keeps global bound" (last_c = EInt 16);
+  checkb "cyclic step is P" (step_c = EInt 4)
+
+let t_nondivisible () =
+  (* K = 7 atoms on 2 lanes: the naive SIMDization must guard the ragged
+     last chunk (paper assumes divisibility "for simplicity"; we cover the
+     general case) *)
+  let b =
+    parse_block
+      "DO i = 1, 7\n  DO j = 1, l(i)\n    x(i, j) = i * j\n  ENDDO\nENDDO"
+  in
+  let fresh = Lf_core.Fresh.of_block b in
+  match
+    S.simdize_nest ~fresh ~decomp:S.Block ~p:(EInt 2) ~divisible:false
+      (List.hd b)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok ns ->
+      let l_data = [| 2; 1; 3; 1; 2; 1; 2 |] in
+      let reference =
+        let setup ctx =
+          Env.set ctx.Interp.env "l"
+            (Values.VArr (Values.AInt (Nd.of_array l_data)));
+          Env.set ctx.Interp.env "x"
+            (Values.VArr (Values.AInt (Nd.create [| 7; 3 |] 0)))
+        in
+        let c = Interp.run_block ~setup b in
+        Env.find c.Interp.env "x"
+      in
+      let vm =
+        Lf_simd.Vm.run ~p:2
+          ~setup:(fun vm ->
+            Lf_simd.Vm.bind_global vm "l"
+              (Values.AInt (Nd.of_array l_data));
+            Lf_simd.Vm.bind_global vm "x"
+              (Values.AInt (Nd.create [| 7; 3 |] 0)))
+          (Ast.program "nondiv" ns.S.ns_block)
+      in
+      checkb "ragged iteration space handled"
+        (Values.equal_value reference
+           (Values.VArr (Lf_simd.Vm.read_global vm "x")))
+
+let t_reduction_detection () =
+  let body =
+    parse_block
+      "acc = acc + i * j\nx(i, j) = i\ns = s + a(i)\nt = s + 1"
+  in
+  let cands = S.sum_reduction_candidates ~exclude:[] body in
+  checkb "acc detected" (List.mem "acc" cands);
+  checkb "s rejected (read by t)" (not (List.mem "s" cands));
+  (* both operand orders *)
+  let body2 = parse_block "acc = 1 + acc" in
+  checkb "commuted form" (S.sum_reduction_candidates ~exclude:[] body2 = [ "acc" ]);
+  (* self-referencing increment is not a reduction of itself *)
+  let body3 = parse_block "acc = acc + acc" in
+  checkb "self-reference rejected"
+    (S.sum_reduction_candidates ~exclude:[] body3 = []);
+  (* a non-add update disqualifies *)
+  let body4 = parse_block "acc = acc + i\nacc = 0" in
+  checkb "reinitialization disqualifies"
+    (S.sum_reduction_candidates ~exclude:[] body4 = []);
+  checkb "exclusion honored"
+    (S.sum_reduction_candidates ~exclude:[ "acc" ] body = [])
+
+let t_reduction_lowering () =
+  let b = parse_block "i = 1\nWHILE (i <= k)\n  acc = acc + i\n  i = i + 1\nENDWHILE" in
+  let fresh = Lf_core.Fresh.of_block b in
+  let b', pairs = S.lower_sum_reductions ~fresh [ "acc" ] b in
+  checkb "pair recorded" (pairs = [ ("acc", "acc_p") ]);
+  let setup ctx =
+    Env.set ctx.Interp.env "k" (Values.VInt 5);
+    Env.set ctx.Interp.env "acc" (Values.VInt 100)
+  in
+  let c1 = Interp.run_block ~setup b in
+  let c2 = Interp.run_block ~setup b' in
+  checkb "lowered form preserves the total (sequentially)"
+    (Env.equal_on [ "acc" ] c1.Interp.env c2.Interp.env)
+
+let suite =
+  [
+    case "plural inference" t_plural_inference;
+    case "sum-reduction detection" t_reduction_detection;
+    case "sum-reduction lowering" t_reduction_lowering;
+    case "non-divisible iteration space" t_nondivisible;
+    case "reductions collapse plurality" t_reductions_are_scalar;
+    case "expression plurality" t_expr_is_plural;
+    case "control vectorization" t_vectorize_control;
+    case "Figure 7 (block) golden" t_fig7_block;
+    case "Figure 15 (cyclic) golden" t_fig15_cyclic;
+    case "Figure 5 (naive) structure" t_fig5_naive;
+    case "partition arithmetic" t_partition_init;
+  ]

@@ -1,0 +1,154 @@
+(** Typechecker tests: types, ranks, implicit rule, and the F90simd plural
+    discipline — plus the meta-property that the transformation passes
+    emit well-typed programs. *)
+
+open Helpers
+open Lf_lang
+module T = Typecheck
+
+let check_src ?funcs ?simd src =
+  T.check_program ?funcs ?simd (parse_program src)
+
+let errors ?funcs ?simd src = (check_src ?funcs ?simd src).T.errors
+let ok ?funcs ?simd src = T.ok (check_src ?funcs ?simd src)
+
+let has_error ?funcs ?simd src fragment =
+  List.exists
+    (fun d -> Astring_contains.contains d.T.message fragment)
+    (errors ?funcs ?simd src)
+
+let t_types () =
+  checkb "well-typed program"
+    (ok "PROGRAM p\n  INTEGER i, a(10)\n  REAL x\n  DO i = 1, 10\n    a(i) = i\n  ENDDO\n  x = a(3) + 0.5\nEND");
+  checkb "logical arithmetic rejected"
+    (has_error "PROGRAM p\n  LOGICAL m\n  INTEGER i\n  i = m + 1\nEND" "arithmetic");
+  checkb "numeric condition rejected"
+    (has_error "PROGRAM p\n  INTEGER i\n  IF (i + 1) THEN\n  ENDIF\nEND" "condition");
+  checkb "narrowing rejected"
+    (has_error "PROGRAM p\n  INTEGER i\n  i = 1.5\nEND" "assigning REAL");
+  checkb "widening allowed"
+    (ok "PROGRAM p\n  REAL x\n  INTEGER i\n  i = 2\n  x = i\nEND");
+  checkb "logical comparison of numerics ok"
+    (ok "PROGRAM p\n  LOGICAL m\n  INTEGER i\n  i = 3\n  m = i > 2\nEND")
+
+let t_ranks () =
+  checkb "scalar indexed rejected"
+    (has_error "PROGRAM p\n  INTEGER i\n  i(3) = 1\nEND" "scalar but is indexed");
+  checkb "wrong arity rejected"
+    (has_error "PROGRAM p\n  INTEGER a(4,4)\n  a(1) = 0\nEND" "rank 2");
+  checkb "logical subscript rejected"
+    (has_error "PROGRAM p\n  INTEGER a(4)\n  LOGICAL m\n  a(m) = 0\nEND"
+       "subscript");
+  checkb "whole-array fill ok"
+    (ok "PROGRAM p\n  REAL f(10)\n  f = 0\nEND");
+  checkb "section read ok"
+    (ok "PROGRAM p\n  INTEGER a(10), s\n  s = maxval(a(2:5))\nEND")
+
+let t_implicit () =
+  let r = check_src "PROGRAM p\n  i = 1\n  x = 2.5\nEND" in
+  checkb "implicit program accepted" (T.ok r);
+  checki "two warnings" 2 (List.length r.T.warnings);
+  checkb "implicit REAL narrowing caught"
+    (has_error "PROGRAM p\n  j = 1.5\nEND" "assigning REAL")
+
+let t_loops () =
+  checkb "real loop variable rejected"
+    (has_error "PROGRAM p\n  REAL x\n  DO x = 1, 3\n  ENDDO\nEND"
+       "loop variable");
+  checkb "real bound rejected"
+    (has_error "PROGRAM p\n  INTEGER i\n  DO i = 1, 2.5\n  ENDDO\nEND"
+       "upper bound")
+
+let t_plural_discipline () =
+  checkb "the generated Figure 7 program typechecks"
+    (let p = parse_program Lf_report.Experiments.example_source in
+     let opts =
+       {
+         Lf_core.Pipeline.default_options with
+         assume_inner_nonempty = true;
+         target =
+           Lf_core.Pipeline.Simd
+             { decomp = Lf_core.Simdize.Block; p = Ast.EVar "p" };
+       }
+     in
+     match Lf_core.Pipeline.flatten_program ~opts p with
+     | Ok o ->
+         T.ok
+           (T.check_program ~params:[ ("p", T.Int); ("k", T.Int) ]
+              o.Lf_core.Pipeline.program)
+     | Error e -> Alcotest.fail e);
+  checkb "plural into front-end scalar rejected"
+    (has_error ~simd:true
+       "PROGRAM p\n  PLURAL INTEGER i\n  INTEGER s\n  i = iproc\n  s = i\nEND"
+       "front-end scalar");
+  checkb "IF over plural rejected"
+    (has_error ~simd:true
+       "PROGRAM p\n  PLURAL INTEGER i\n  i = iproc\n  IF (i > 2) THEN\n  ENDIF\nEND"
+       "use WHERE");
+  checkb "plural WHILE rejected"
+    (has_error ~simd:true
+       "PROGRAM p\n  PLURAL INTEGER i\n  i = iproc\n  WHILE (i < 4)\n    i = i + 1\n  ENDWHILE\nEND"
+       "WHILE ANY");
+  checkb "WHILE ANY accepted"
+    (ok ~simd:true
+       "PROGRAM p\n  PLURAL INTEGER i\n  i = iproc\n  WHILE (any(i < 4))\n    WHERE (i < 4)\n      i = i + 1\n    ENDWHERE\n  ENDWHILE\nEND");
+  checkb "plural DO bound rejected"
+    (has_error ~simd:true
+       "PROGRAM p\n  PLURAL INTEGER i\n  INTEGER j, l(8)\n  i = iproc\n  DO j = 1, l(i)\n  ENDDO\nEND"
+       "MAXVAL");
+  checkb "reduced bound accepted"
+    (ok ~simd:true
+       "PROGRAM p\n  PLURAL INTEGER i\n  INTEGER j, l(8)\n  i = iproc\n  DO j = 1, maxval(l(i))\n  ENDDO\nEND")
+
+let t_functions () =
+  checkb "registered function result type"
+    (ok
+       ~funcs:[ ("force", T.Real) ]
+       "PROGRAM p\n  REAL f(4)\n  INTEGER i\n  i = 1\n  f(i) = f(i) + force(i, i)\nEND");
+  let r =
+    check_src "PROGRAM p\n  REAL x\n  x = mystery(1)\nEND"
+  in
+  checkb "unknown function warned, not errored"
+    (T.ok r && r.T.warnings <> [])
+
+let t_transform_preserves_typing () =
+  (* flattening and naive SIMDization of NBFORCE both typecheck *)
+  let prog = Lf_kernels.Nbforce_src.program () in
+  let funcs = [ ("force", T.Real) ] in
+  let params = [ ("n", T.Int); ("maxp", T.Int); ("p", T.Int) ] in
+  checkb "source typechecks"
+    (T.ok (T.check_program ~funcs ~params prog));
+  List.iter
+    (fun decomp ->
+      let opts =
+        {
+          Lf_core.Pipeline.default_options with
+          assume_inner_nonempty = true;
+          target = Lf_core.Pipeline.Simd { decomp; p = Ast.EVar "p" };
+        }
+      in
+      (match Lf_core.Pipeline.flatten_program ~opts prog with
+      | Ok o ->
+          let r = T.check_program ~funcs ~params o.Lf_core.Pipeline.program in
+          checkb
+            (Printf.sprintf "flattened SIMD (%s) typechecks"
+               (Lf_core.Simdize.decomp_to_string decomp))
+            (T.ok r)
+      | Error e -> Alcotest.fail e);
+      match Lf_core.Pipeline.simdize_program_naive ~opts prog with
+      | Ok o ->
+          checkb "naive SIMD typechecks"
+            (T.ok (T.check_program ~funcs ~params o.Lf_core.Pipeline.program))
+      | Error e -> Alcotest.fail e)
+    [ Lf_core.Simdize.Block; Lf_core.Simdize.Cyclic ]
+
+let suite =
+  [
+    case "types" t_types;
+    case "ranks and subscripts" t_ranks;
+    case "implicit declarations" t_implicit;
+    case "loop headers" t_loops;
+    case "plural discipline (F90simd)" t_plural_discipline;
+    case "external functions" t_functions;
+    case "transformations preserve typing" t_transform_preserves_typing;
+  ]
