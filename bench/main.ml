@@ -11,7 +11,10 @@
 
    With [--no-micro]: skip the Bechamel micro-benchmarks.
    With [--csv DIR]: additionally write table1.csv / table2.csv /
-   fig18.csv into DIR for external plotting. *)
+   fig18.csv into DIR for external plotting.
+   With [--json FILE]: write the Bechamel estimates (test name -> ns per
+   run) to FILE as JSON; implies running the micro-benchmarks even when
+   an experiment is selected.  See EXPERIMENTS.md for the format. *)
 
 open Lf_lang
 
@@ -81,6 +84,79 @@ let micro_tests () =
       (Staged.stage (fun () -> Lf_md.Pairlist.build mol ~cutoff:8.0));
   ]
 
+(* Execution-engine comparison: the same derived SIMD programs run
+   end-to-end on the lockstep VM under the tree-walking reference engine
+   and the compiled (slot-resolved) engine.  The registered force
+   function is made trivially cheap so the measurement isolates
+   interpreter overhead, which is what the compiled engine attacks.
+   The lane count is MasPar-scale (the paper's DECmpp sports 1K-16K
+   PEs); the workload keeps ~2 atoms per lane so the masked-WHERE
+   utilization pattern matches the smaller Table 1/2 configurations. *)
+let engine_tests () =
+  let open Bechamel in
+  let p = 1024 in
+  let mol = Lf_md.Workload.sod ~n:2048 () in
+  let pl = Lf_md.Workload.pairlist mol ~cutoff:8.0 in
+  let n, maxp = Lf_kernels.Nbforce_src.params pl in
+  let simd_opts =
+    {
+      Lf_core.Pipeline.default_options with
+      assume_inner_nonempty = true;
+      target =
+        Lf_core.Pipeline.Simd
+          { decomp = Lf_core.Simdize.Cyclic; p = Ast.EInt p };
+    }
+  in
+  let nbforce_flat =
+    match
+      Lf_core.Pipeline.flatten_program ~opts:simd_opts
+        (Lf_kernels.Nbforce_src.program ())
+    with
+    | Ok o -> o.Lf_core.Pipeline.program
+    | Error e -> Fmt.failwith "cannot derive SIMD NBFORCE: %s" e
+  in
+  let run_nbforce engine () =
+    Lf_simd.Vm.run ~engine ~p
+      ~setup:(fun vm ->
+        Lf_simd.Vm.register_func vm "force" (fun _ -> Values.VReal 1.0);
+        Lf_simd.Vm.bind_scalar vm "n" (Values.VInt n);
+        Lf_simd.Vm.bind_scalar vm "maxp" (Values.VInt maxp);
+        Lf_simd.Vm.bind_scalar vm "p" (Values.VInt p);
+        Lf_kernels.Nbforce_src.bind_arrays pl ~n ~maxp
+          ~set_global:(fun name a -> Lf_simd.Vm.bind_global vm name a))
+      nbforce_flat
+  in
+  (* the Fig. 7 shape: naive SIMDization of the ragged example nest *)
+  let k = 4 * p in
+  let ls = Array.init k (fun i -> 1 + (i mod 4)) in
+  let maxl = Array.fold_left max 1 ls in
+  let example_naive =
+    let prog = Ast.program "example" (Parser.block_of_string example_nest_src) in
+    match Lf_core.Pipeline.simdize_program_naive ~opts:simd_opts prog with
+    | Ok o -> o.Lf_core.Pipeline.program
+    | Error e -> Fmt.failwith "cannot derive naive SIMD example: %s" e
+  in
+  let run_example engine () =
+    Lf_simd.Vm.run ~engine ~p
+      ~setup:(fun vm ->
+        Lf_simd.Vm.bind_scalar vm "p" (Values.VInt p);
+        Lf_simd.Vm.bind_scalar vm "k" (Values.VInt k);
+        Lf_simd.Vm.bind_global vm "l" (Values.AInt (Nd.of_array ls));
+        Lf_simd.Vm.bind_global vm "x"
+          (Values.AInt (Nd.create [| k; maxl |] 0)))
+      example_naive
+  in
+  [
+    Test.make ~name:"vm NBFORCE flat (tree-walk)"
+      (Staged.stage (run_nbforce `Tree_walk));
+    Test.make ~name:"vm NBFORCE flat (compiled)"
+      (Staged.stage (run_nbforce `Compiled));
+    Test.make ~name:"vm example naive (tree-walk)"
+      (Staged.stage (run_example `Tree_walk));
+    Test.make ~name:"vm example naive (compiled)"
+      (Staged.stage (run_example `Compiled));
+  ]
+
 let run_micro ppf =
   let open Bechamel in
   Fmt.pf ppf "@.=== Micro-benchmarks (Bechamel; ns per run) ===@.@.";
@@ -91,24 +167,83 @@ let run_micro ppf =
   let cfg =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
-  let raw =
-    Benchmark.all cfg [ instance ]
-      (Test.make_grouped ~name:"lf" ~fmt:"%s %s" (micro_tests ()))
+  (* a single tree-walk run of the engine comparison takes ~0.2 s; give
+     that group a larger quota so the OLS fit sees enough samples *)
+  let cfg_engine =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 3.0) ~stabilize:true ()
   in
-  let results = Analyze.all ols instance raw in
-  let rows =
+  let rows_of cfg tests =
+    let raw =
+      Benchmark.all cfg [ instance ]
+        (Test.make_grouped ~name:"lf" ~fmt:"%s %s" tests)
+    in
+    let results = Analyze.all ols instance raw in
     Hashtbl.fold
       (fun name ols acc ->
         let est =
           match Analyze.OLS.estimates ols with
-          | Some (e :: _) -> Printf.sprintf "%.0f" e
-          | _ -> "-"
+          | Some (e :: _) -> Some e
+          | _ -> None
         in
         (name, est) :: acc)
       results []
+  in
+  let rows =
+    rows_of cfg (micro_tests ()) @ rows_of cfg_engine (engine_tests ())
     |> List.sort compare
   in
-  List.iter (fun (name, est) -> Fmt.pf ppf "  %-45s %12s ns@." name est) rows
+  List.iter
+    (fun (name, est) ->
+      let txt =
+        match est with Some e -> Printf.sprintf "%.0f" e | None -> "-"
+      in
+      Fmt.pf ppf "  %-45s %12s ns@." name txt)
+    rows;
+  let est_of suffix =
+    List.find_map
+      (fun (name, est) ->
+        if String.ends_with ~suffix name then est else None)
+      rows
+  in
+  List.iter
+    (fun kernel ->
+      match
+        ( est_of (Printf.sprintf "vm %s (tree-walk)" kernel),
+          est_of (Printf.sprintf "vm %s (compiled)" kernel) )
+      with
+      | Some tree, Some comp when comp > 0.0 ->
+          Fmt.pf ppf "  engine speedup on %s: %.1fx@." kernel (tree /. comp)
+      | _ -> ())
+    [ "NBFORCE flat"; "example naive" ];
+  rows
+
+(* hand-rolled JSON writer: {"name": ns_per_run, ...}; estimates that did
+   not converge are omitted *)
+let write_json file rows =
+  let escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (function
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  in
+  let oc = open_out file in
+  let numbered =
+    List.filter_map
+      (fun (name, est) -> Option.map (fun e -> (name, e)) est)
+      rows
+  in
+  output_string oc "{\n";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "  \"%s\": %.1f%s\n" (escape name) est
+        (if i = List.length numbered - 1 then "" else ","))
+    numbered;
+  output_string oc "}\n";
+  close_out oc
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
@@ -123,14 +258,16 @@ let () =
     | _ -> None
   in
   let no_micro = List.mem "--no-micro" args in
-  let csv_dir =
+  let find_opt flag =
     let rec find = function
-      | "--csv" :: dir :: _ -> Some dir
+      | f :: v :: _ when f = flag -> Some v
       | _ :: rest -> find rest
       | [] -> None
     in
     find args
   in
+  let csv_dir = find_opt "--csv" in
+  let json_file = find_opt "--json" in
   Option.iter
     (fun dir ->
       Lf_report.Experiments.write_csvs ~dir;
@@ -144,7 +281,14 @@ let () =
           Fmt.pf ppf "unknown experiment %s; available: %s@." name
             (String.concat ", " (List.map fst Lf_report.Experiments.by_name));
           exit 1)
-  | None ->
-      Lf_report.Experiments.all ppf;
-      if not no_micro then run_micro ppf);
+  | None -> Lf_report.Experiments.all ppf);
+  (* --json implies the micro-benchmarks even under --experiment *)
+  if ((not no_micro) && experiment = None) || json_file <> None then begin
+    let rows = run_micro ppf in
+    Option.iter
+      (fun file ->
+        write_json file rows;
+        Fmt.pf ppf "wrote micro-benchmark estimates to %s@." file)
+      json_file
+  end;
   Fmt.flush ppf ()

@@ -49,7 +49,7 @@ let fill_array v =
     Values.AReal
       (Nd.of_array (Array.of_list (List.map float_of_string items)))
 
-let run path seq lanes sets fills dumps =
+let run path seq engine lanes sets fills dumps =
   let prog = Parser.program_of_string (read_source path) in
   let sets = List.map parse_binding sets in
   let fills = List.map parse_binding fills in
@@ -72,7 +72,7 @@ let run path seq lanes sets fills dumps =
   end
   else begin
     let vm =
-      Lf_simd.Vm.run ~p:lanes
+      Lf_simd.Vm.run ~engine ~p:lanes
         ~setup:(fun vm ->
           Lf_simd.Vm.bind_scalar vm "p" (Values.VInt lanes);
           List.iter
@@ -109,6 +109,19 @@ let cmd =
       value & flag
       & info [ "seq" ] ~doc:"Run on the sequential interpreter instead.")
   in
+  let engine =
+    let engine_conv =
+      Arg.enum [ ("tree-walk", `Tree_walk); ("compiled", `Compiled) ]
+    in
+    Arg.(
+      value
+      & opt engine_conv `Tree_walk
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "SIMD execution engine: $(b,tree-walk) (the reference \
+             interpreter) or $(b,compiled) (slot-resolved closures; same \
+             results, faster).")
+  in
   let lanes =
     Arg.(value & opt int 4 & info [ "lanes" ] ~doc:"SIMD lane count (P).")
   in
@@ -134,6 +147,6 @@ let cmd =
   Cmd.v
     (Cmd.info "simdsim" ~version:"1.0"
        ~doc:"run pseudo-Fortran programs on the simulated SIMD machine")
-    Term.(const run $ path $ seq $ lanes $ sets $ fills $ dumps)
+    Term.(const run $ path $ seq $ engine $ lanes $ sets $ fills $ dumps)
 
 let () = exit (Cmd.eval' cmd)

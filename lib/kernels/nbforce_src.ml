@@ -78,12 +78,14 @@ let run_sequential (prog : Ast.program) (mol : Lf_md.Molecule.t)
   | _ -> Errors.runtime_error "f is not a REAL array"
 
 (** Run a SIMDized version on the SIMD VM with [p] lanes; returns the
-    force array and the VM metrics. *)
-let run_simd (prog : Ast.program) (mol : Lf_md.Molecule.t)
-    (pl : Lf_md.Pairlist.t) ~p : float array * Lf_simd.Metrics.t =
+    force array and the VM metrics.  [engine] defaults to the compiled
+    engine (both engines produce identical results). *)
+let run_simd ?(engine = `Compiled) (prog : Ast.program)
+    (mol : Lf_md.Molecule.t) (pl : Lf_md.Pairlist.t) ~p :
+    float array * Lf_simd.Metrics.t =
   let n, maxp = params pl in
   let vm =
-    Lf_simd.Vm.run ~p
+    Lf_simd.Vm.run ~engine ~p
       ~setup:(fun vm ->
         Lf_simd.Vm.register_func vm "force" (force_fn mol);
         Lf_simd.Vm.bind_scalar vm "n" (Values.VInt n);
@@ -177,11 +179,12 @@ let onef_simd (mol : Lf_md.Molecule.t) : Lf_simd.Vm.proc =
 (** Run a CALL-based (possibly transformed) program on the SIMD VM and
     return (forces, metrics); the "onef" call count in the metrics is the
     Table 2 quantity. *)
-let run_simd_call (prog : Ast.program) (mol : Lf_md.Molecule.t)
-    (pl : Lf_md.Pairlist.t) ~p : float array * Lf_simd.Metrics.t =
+let run_simd_call ?(engine = `Compiled) (prog : Ast.program)
+    (mol : Lf_md.Molecule.t) (pl : Lf_md.Pairlist.t) ~p :
+    float array * Lf_simd.Metrics.t =
   let n, maxp = params pl in
   let vm =
-    Lf_simd.Vm.run ~p
+    Lf_simd.Vm.run ~engine ~p
       ~setup:(fun vm ->
         Lf_simd.Vm.register_proc vm "onef" (onef_simd mol);
         Lf_simd.Vm.register_func vm "force" (force_fn mol);

@@ -56,53 +56,9 @@ let tick ctx =
 (* Expression evaluation                                               *)
 (* ------------------------------------------------------------------ *)
 
-let promote2 fi fr fc a b =
-  match (a, b) with
-  | VInt x, VInt y -> fi x y
-  | VBool x, VBool y -> fc x y
-  | (VInt _ | VReal _), (VInt _ | VReal _) -> fr (as_float a) (as_float b)
-  | _ ->
-      Errors.runtime_error "type mismatch in binary operation: %s vs %s"
-        (type_name a) (type_name b)
-
-let apply_binop op a b =
-  let arith fi fr = promote2 (fun x y -> VInt (fi x y)) (fun x y -> VReal (fr x y)) (fun _ _ -> Errors.runtime_error "arithmetic on LOGICAL") a b in
-  let cmp fi fr =
-    promote2
-      (fun x y -> VBool (fi (compare x y) 0))
-      (fun x y -> VBool (fr (compare x y) 0))
-      (fun x y -> VBool (fi (compare x y) 0))
-      a b
-  in
-  match op with
-  | Add -> arith ( + ) ( +. )
-  | Sub -> arith ( - ) ( -. )
-  | Mul -> arith ( * ) ( *. )
-  | Div -> (
-      match (a, b) with
-      | VInt x, VInt y ->
-          if y = 0 then Errors.runtime_error "integer division by zero"
-          else VInt (x / y)
-      | _ -> VReal (as_float a /. as_float b))
-  | Mod -> (
-      match (a, b) with
-      | VInt x, VInt y ->
-          if y = 0 then Errors.runtime_error "MOD by zero" else VInt (x mod y)
-      | _ -> VReal (Float.rem (as_float a) (as_float b)))
-  | Pow -> (
-      match (a, b) with
-      | VInt x, VInt y when y >= 0 ->
-          let rec go acc n = if n = 0 then acc else go (acc * x) (n - 1) in
-          VInt (go 1 y)
-      | _ -> VReal (Float.pow (as_float a) (as_float b)))
-  | Eq -> cmp ( = ) ( = )
-  | Ne -> cmp ( <> ) ( <> )
-  | Lt -> cmp ( < ) ( < )
-  | Le -> cmp ( <= ) ( <= )
-  | Gt -> cmp ( > ) ( > )
-  | Ge -> cmp ( >= ) ( >= )
-  | And -> VBool (as_bool a && as_bool b)
-  | Or -> VBool (as_bool a || as_bool b)
+(* The scalar operator semantics live in [Scalar_ops], shared with the
+   SIMD engines; the historical names are kept as aliases. *)
+let apply_binop = Scalar_ops.apply_binop
 
 (** Elementwise lifting of a binary operation over arrays / scalars. *)
 let rec lift_binop op a b =
@@ -138,14 +94,7 @@ and pack_array dims (elems : value array) : value =
         VArr (ABool { Nd.dims; data = Array.map as_bool elems })
     | VArr _ -> Errors.runtime_error "nested array value"
 
-let apply_unop op v =
-  match (op, v) with
-  | Neg, VInt n -> VInt (-n)
-  | Neg, VReal f -> VReal (-.f)
-  | Not, VBool b -> VBool (not b)
-  | _, VArr _ -> Errors.runtime_error "unlifted unary op on array"
-  | _ ->
-      Errors.runtime_error "bad operand %s for unary operation" (type_name v)
+let apply_unop = Scalar_ops.apply_unop
 
 let lift_unop op = function
   | VArr x ->

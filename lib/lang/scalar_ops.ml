@@ -1,0 +1,73 @@
+(** Scalar operator semantics shared by every execution engine.
+
+    Both the sequential interpreter ([Interp]) and the two SIMD engines
+    (the tree-walking [Lf_simd.Vm] and the compiled [Lf_simd.Compile])
+    must agree exactly on what [a + b] means for every value pair —
+    promotion rules, division-by-zero behaviour, the integer/real [Pow]
+    split.  Keeping a single definition here is what makes the engines
+    provably interchangeable: there is one [apply_binop], not three. *)
+
+open Values
+
+let promote2 fi fr fc a b =
+  match (a, b) with
+  | VInt x, VInt y -> fi x y
+  | VBool x, VBool y -> fc x y
+  | (VInt _ | VReal _), (VInt _ | VReal _) -> fr (as_float a) (as_float b)
+  | _ ->
+      Errors.runtime_error "type mismatch in binary operation: %s vs %s"
+        (type_name a) (type_name b)
+
+let apply_binop op a b =
+  let arith fi fr =
+    promote2
+      (fun x y -> VInt (fi x y))
+      (fun x y -> VReal (fr x y))
+      (fun _ _ -> Errors.runtime_error "arithmetic on LOGICAL")
+      a b
+  in
+  let cmp fi fr =
+    promote2
+      (fun x y -> VBool (fi (compare x y) 0))
+      (fun x y -> VBool (fr (compare x y) 0))
+      (fun x y -> VBool (fi (compare x y) 0))
+      a b
+  in
+  match op with
+  | Ast.Add -> arith ( + ) ( +. )
+  | Ast.Sub -> arith ( - ) ( -. )
+  | Ast.Mul -> arith ( * ) ( *. )
+  | Ast.Div -> (
+      match (a, b) with
+      | VInt x, VInt y ->
+          if y = 0 then Errors.runtime_error "integer division by zero"
+          else VInt (x / y)
+      | _ -> VReal (as_float a /. as_float b))
+  | Ast.Mod -> (
+      match (a, b) with
+      | VInt x, VInt y ->
+          if y = 0 then Errors.runtime_error "MOD by zero" else VInt (x mod y)
+      | _ -> VReal (Float.rem (as_float a) (as_float b)))
+  | Ast.Pow -> (
+      match (a, b) with
+      | VInt x, VInt y when y >= 0 ->
+          let rec go acc n = if n = 0 then acc else go (acc * x) (n - 1) in
+          VInt (go 1 y)
+      | _ -> VReal (Float.pow (as_float a) (as_float b)))
+  | Ast.Eq -> cmp ( = ) ( = )
+  | Ast.Ne -> cmp ( <> ) ( <> )
+  | Ast.Lt -> cmp ( < ) ( < )
+  | Ast.Le -> cmp ( <= ) ( <= )
+  | Ast.Gt -> cmp ( > ) ( > )
+  | Ast.Ge -> cmp ( >= ) ( >= )
+  | Ast.And -> VBool (as_bool a && as_bool b)
+  | Ast.Or -> VBool (as_bool a || as_bool b)
+
+let apply_unop op v =
+  match (op, v) with
+  | Ast.Neg, VInt n -> VInt (-n)
+  | Ast.Neg, VReal f -> VReal (-.f)
+  | Ast.Not, VBool b -> VBool (not b)
+  | _, VArr _ -> Errors.runtime_error "unlifted unary op on array"
+  | _ ->
+      Errors.runtime_error "bad operand %s for unary operation" (type_name v)

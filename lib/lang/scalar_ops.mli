@@ -1,0 +1,17 @@
+(** Scalar operator semantics shared by the sequential interpreter and
+    both SIMD engines — the single definition of what each [Ast.binop] /
+    [Ast.unop] means on runtime values (promotion, division by zero,
+    integer vs real [Pow]). *)
+
+(** Numeric promotion combinator: int×int, bool×bool, and mixed
+    numeric-to-real cases; raises on any other pairing. *)
+val promote2 :
+  (int -> int -> 'a) ->
+  (float -> float -> 'a) ->
+  (bool -> bool -> 'a) ->
+  Values.value ->
+  Values.value ->
+  'a
+
+val apply_binop : Ast.binop -> Values.value -> Values.value -> Values.value
+val apply_unop : Ast.unop -> Values.value -> Values.value

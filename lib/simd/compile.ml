@@ -1,0 +1,1312 @@
+(** The compiled execution engine of the SIMD VM.
+
+    [compile] lowers an F90simd block into a tree of OCaml closures,
+    resolving every variable reference to a dense [Frame] slot at compile
+    time (no hashtable lookups on the hot path), keeping plural int/real
+    scalars unboxed, and threading the activity mask as a reusable
+    [Frame.Mask] bitset with a cached active count, so WHERE nesting and
+    step accounting allocate nothing per vector instruction.
+
+    The contract is {e bit identity} with the tree-walker ([Vm.exec]): the
+    same final variable state, the same [Metrics] counters, the same error
+    messages raised at the same program points.  That includes the
+    tree-walker's quirks, which are deliberately replicated here:
+    - a plural [IF] is executed as [WHERE] {e after} evaluating its
+      condition once for dispatch, so the condition is evaluated twice and
+      any reductions inside it are counted twice;
+    - inactive lanes of freshly bound plurals are inert [VInt 0];
+    - scalar subscripts are converted with [as_int] eagerly, per-lane
+      subscripts lazily per active lane;
+    - user functions are looked up before intrinsics, reductions before
+      both.
+
+    One observable relaxation: the tree-walker leaves [VInt 0] in the
+    inactive lanes of every {e computed} temporary, while the unboxed fast
+    paths here may compute all lanes.  The difference is laundered away at
+    every point where a temporary's inactive lanes can escape (fresh
+    binds, external-procedure arguments), where the tree-walker's [VInt 0]
+    is reinstated.
+
+    The engine is parameterized over a [host] record of callbacks
+    (metrics, fuel, procedure/function lookup, frame<->VM
+    synchronization), which keeps this module below [Vm] in the
+    dependency order. *)
+
+open Lf_lang
+open Lf_lang.Ast
+open Values
+
+type host = {
+  h_p : int;  (** number of lanes *)
+  h_tick_vector : active:int -> unit;  (** one vector step (may raise on fuel) *)
+  h_tick_frontend : unit -> unit;  (** one control-unit step *)
+  h_reduction : unit -> unit;  (** count a global reduction tree *)
+  h_call_metric : string -> unit;  (** count an external CALL *)
+  h_find_proc : string -> (mask:bool array -> Pval.t list -> unit) option;
+  h_find_func : string -> (value list -> value) option;
+  h_observer : unit -> (mask:bool array -> stmt -> unit) option;
+  h_flush : unit -> unit;  (** frame -> VM variable table *)
+  h_import : unit -> unit;  (** VM variable table -> frame *)
+}
+
+let is_reduction f =
+  List.mem
+    (String.lowercase_ascii f)
+    [ "any"; "all"; "maxval"; "minval"; "sum"; "count" ]
+
+(* ------------------------------------------------------------------ *)
+(* Runtime values                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** A compiled expression's result: front-end scalar / array, or a plural
+    value in unboxed ([RI]/[RR]/[RB]) or boxed ([RP]) form. *)
+type rv =
+  | RS of value
+  | RA of arr
+  | RI of int array
+  | RR of float array
+  | RB of bool array
+  | RP of value array
+
+let rv_is_plural = function RS _ | RA _ -> false | _ -> true
+
+(** Per-lane boxed view; front-end scalars broadcast (cf. [Pval.lane]). *)
+let rv_lane v i =
+  match v with
+  | RS s -> s
+  | RI a -> VInt a.(i)
+  | RR a -> VReal a.(i)
+  | RB a -> VBool a.(i)
+  | RP a -> a.(i)
+  | RA _ -> Errors.runtime_error "front-end array used as a plural value"
+
+let rv_front_scalar = function
+  | RS v -> v
+  | RA _ -> Errors.runtime_error "array value in a scalar context"
+  | RI _ | RR _ | RB _ | RP _ ->
+      Errors.runtime_error "plural value in a front-end context"
+
+let rv_front_int v = as_int (rv_front_scalar v)
+
+(** Boxed [Pval] view of a procedure argument.  [exact] plurals (variable
+    references, ranges) expose their true lane contents; computed plurals
+    get the tree-walker's inert [VInt 0] outside the mask. *)
+let rv_to_pval ~exact (m : Frame.Mask.t) v =
+  match v with
+  | RS s -> Pval.FScalar s
+  | RA a -> Pval.FArr a
+  | _ ->
+      let p = Frame.Mask.length m in
+      Pval.Plural
+        (Array.init p (fun i ->
+             if exact || Frame.Mask.get m i then rv_lane v i else VInt 0))
+
+(** Does the tree-walker leave this expression's inactive lanes intact
+    (rather than inert [VInt 0])?  Only variable reads and ranges. *)
+let exact_lanes = function EVar _ | ERange _ -> true | _ -> false
+
+(* Typed lane "getters": [Some get] when the operand can be viewed as a
+   uniform int/float/bool vector (broadcasting front-end scalars). *)
+
+let int_get = function
+  | RI a -> Some (fun i -> Array.unsafe_get a i)
+  | RS (VInt n) -> Some (fun _ -> n)
+  | _ -> None
+
+let float_get = function
+  | RR a -> Some (fun i -> Array.unsafe_get a i)
+  | RI a -> Some (fun i -> float_of_int (Array.unsafe_get a i))
+  | RS (VReal x) -> Some (fun _ -> x)
+  | RS (VInt n) ->
+      let x = float_of_int n in
+      Some (fun _ -> x)
+  | _ -> None
+
+let bool_get = function
+  | RB a -> Some (fun i -> Array.unsafe_get a i)
+  | RS (VBool b) -> Some (fun _ -> b)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Generic (boxed) fallbacks — the exact [Pval.lift1]/[lift2] semantics *)
+(* ------------------------------------------------------------------ *)
+
+let box_lift1 (m : Frame.Mask.t) f v =
+  let p = Frame.Mask.length m in
+  Array.init p (fun i ->
+      if Frame.Mask.get m i then f (rv_lane v i) else VInt 0)
+
+let box_lift2 (m : Frame.Mask.t) f a b =
+  let p = Frame.Mask.length m in
+  Array.init p (fun i ->
+      if Frame.Mask.get m i then f (rv_lane a i) (rv_lane b i) else VInt 0)
+
+(** Re-specialize a boxed lane vector by its {e active} lanes: when every
+    active lane holds the same scalar type, return the unboxed typed
+    vector so downstream operators stay on their fast paths.  Inactive
+    lanes of computed temporaries are unobservable (every escape point
+    launders them to inert [VInt 0]), so dropping their boxed
+    representation is invisible. *)
+let renorm (m : Frame.Mask.t) (vs : value array) : rv =
+  let p = Array.length vs in
+  let rec first i =
+    if i >= p then p else if Frame.Mask.get m i then i else first (i + 1)
+  in
+  let f = first 0 in
+  if f >= p then RP vs
+  else
+    match vs.(f) with
+    | VInt _ ->
+        let r = Array.make p 0 in
+        let ok = ref true in
+        for i = f to p - 1 do
+          if Frame.Mask.get m i then
+            match vs.(i) with VInt x -> r.(i) <- x | _ -> ok := false
+        done;
+        if !ok then RI r else RP vs
+    | VReal _ ->
+        let r = Array.make p 0.0 in
+        let ok = ref true in
+        for i = f to p - 1 do
+          if Frame.Mask.get m i then
+            match vs.(i) with VReal x -> r.(i) <- x | _ -> ok := false
+        done;
+        if !ok then RR r else RP vs
+    | VBool _ ->
+        let r = Array.make p false in
+        let ok = ref true in
+        for i = f to p - 1 do
+          if Frame.Mask.get m i then
+            match vs.(i) with VBool x -> r.(i) <- x | _ -> ok := false
+        done;
+        if !ok then RB r else RP vs
+    | _ -> RP vs
+
+(* ------------------------------------------------------------------ *)
+(* Operator fast paths                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Typed vector kernel for [op], or [None] to fall back to the boxed
+    path.  Division and MOD by zero are only checked on active lanes (the
+    tree-walker never computes inactive lanes); every other fast path is
+    exception-free, so it may compute all lanes. *)
+let fast_binop p op : Frame.Mask.t -> rv -> rv -> rv option =
+  (* The shapes are matched directly (rather than through the [*_get]
+     closures) so the hot combinations run as monomorphic loops with a
+     single indirect call per lane.  [ri]/[rr]/[rb] are per-site result
+     buffers: a site's previous result is always consumed (copied into
+     frame storage, a mask, a Pval, ...) before the site can evaluate
+     again, so reusing them is invisible — evaluation allocates nothing
+     on these paths. *)
+  let ri = Array.make p 0 in
+  let rr = Array.make p 0.0 in
+  let rb = Array.make p false in
+  let arith fi fr _m a b =
+    match (a, b) with
+    | RI x, RI y ->
+        let r = ri in
+        for i = 0 to p - 1 do
+          Array.unsafe_set r i
+            (fi (Array.unsafe_get x i) (Array.unsafe_get y i))
+        done;
+        Some (RI r)
+    | RI x, RS (VInt n) ->
+        let r = ri in
+        for i = 0 to p - 1 do
+          Array.unsafe_set r i (fi (Array.unsafe_get x i) n)
+        done;
+        Some (RI r)
+    | RS (VInt n), RI y ->
+        let r = ri in
+        for i = 0 to p - 1 do
+          Array.unsafe_set r i (fi n (Array.unsafe_get y i))
+        done;
+        Some (RI r)
+    | RR x, RR y ->
+        let r = rr in
+        for i = 0 to p - 1 do
+          Array.unsafe_set r i
+            (fr (Array.unsafe_get x i) (Array.unsafe_get y i))
+        done;
+        Some (RR r)
+    | RR x, RS (VReal c) ->
+        let r = rr in
+        for i = 0 to p - 1 do
+          Array.unsafe_set r i (fr (Array.unsafe_get x i) c)
+        done;
+        Some (RR r)
+    | RS (VReal c), RR y ->
+        let r = rr in
+        for i = 0 to p - 1 do
+          Array.unsafe_set r i (fr c (Array.unsafe_get y i))
+        done;
+        Some (RR r)
+    | _ -> (
+        (* remaining mixed promotions (int lanes with real operands, ...) *)
+        match (float_get a, float_get b) with
+        | Some ga, Some gb ->
+            Some (RR (Array.init p (fun i -> fr (ga i) (gb i))))
+        | _ -> None)
+  in
+  let cmp test _m a b =
+    match (a, b) with
+    | RI x, RI y ->
+        let r = rb in
+        for i = 0 to p - 1 do
+          Array.unsafe_set r i
+            (test (Int.compare (Array.unsafe_get x i) (Array.unsafe_get y i)))
+        done;
+        Some (RB r)
+    | RI x, RS (VInt n) ->
+        let r = rb in
+        for i = 0 to p - 1 do
+          Array.unsafe_set r i (test (Int.compare (Array.unsafe_get x i) n))
+        done;
+        Some (RB r)
+    | RS (VInt n), RI y ->
+        let r = rb in
+        for i = 0 to p - 1 do
+          Array.unsafe_set r i (test (Int.compare n (Array.unsafe_get y i)))
+        done;
+        Some (RB r)
+    | RR x, RR y ->
+        let r = rb in
+        for i = 0 to p - 1 do
+          Array.unsafe_set r i
+            (test
+               (Float.compare (Array.unsafe_get x i) (Array.unsafe_get y i)))
+        done;
+        Some (RB r)
+    | RR x, RS (VReal c) ->
+        let r = rb in
+        for i = 0 to p - 1 do
+          Array.unsafe_set r i (test (Float.compare (Array.unsafe_get x i) c))
+        done;
+        Some (RB r)
+    | RS (VReal c), RR y ->
+        let r = rb in
+        for i = 0 to p - 1 do
+          Array.unsafe_set r i (test (Float.compare c (Array.unsafe_get y i)))
+        done;
+        Some (RB r)
+    | _ -> (
+        match (int_get a, int_get b) with
+        | Some ga, Some gb ->
+            Some
+              (RB (Array.init p (fun i -> test (Int.compare (ga i) (gb i)))))
+        | _ -> (
+            match (float_get a, float_get b) with
+            | Some ga, Some gb ->
+                Some
+                  (RB
+                     (Array.init p (fun i ->
+                          test (Float.compare (ga i) (gb i)))))
+            | _ -> (
+                match (bool_get a, bool_get b) with
+                | Some ga, Some gb ->
+                    Some
+                      (RB
+                         (Array.init p (fun i ->
+                              test (Bool.compare (ga i) (gb i)))))
+                | _ -> None)))
+  in
+  let logic f _m a b =
+    match (bool_get a, bool_get b) with
+    | Some ga, Some gb -> Some (RB (Array.init p (fun i -> f (ga i) (gb i))))
+    | _ -> None
+  in
+  let div_like name fi fr m a b =
+    match (int_get a, int_get b) with
+    | Some ga, Some gb ->
+        let r = ri in
+        for i = 0 to p - 1 do
+          if Frame.Mask.get m i then begin
+            let y = gb i in
+            if y = 0 then Errors.runtime_error "%s" name;
+            r.(i) <- fi (ga i) y
+          end
+        done;
+        Some (RI r)
+    | _ -> (
+        match (float_get a, float_get b) with
+        | Some ga, Some gb ->
+            Some (RR (Array.init p (fun i -> fr (ga i) (gb i))))
+        | _ -> None)
+  in
+  match op with
+  | Add -> arith ( + ) ( +. )
+  | Sub -> arith ( - ) ( -. )
+  | Mul -> arith ( * ) ( *. )
+  | Div -> div_like "integer division by zero" ( / ) ( /. )
+  | Mod -> div_like "MOD by zero" (fun x y -> x mod y) Float.rem
+  | Eq -> cmp (fun c -> c = 0)
+  | Ne -> cmp (fun c -> c <> 0)
+  | Lt -> cmp (fun c -> c < 0)
+  | Le -> cmp (fun c -> c <= 0)
+  | Gt -> cmp (fun c -> c > 0)
+  | Ge -> cmp (fun c -> c >= 0)
+  | And -> logic ( && )
+  | Or -> logic ( || )
+  | Pow -> fun _ _ _ -> None (* int/real result split is per-lane: boxed *)
+
+(* ------------------------------------------------------------------ *)
+(* Subscripts                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** [(per-lane index, is-plural)] — the compiled [Vm.lane_indices]:
+    front-end subscripts convert eagerly, plural ones per lane at use. *)
+let rv_sel v : (int -> int) * bool =
+  match v with
+  | RS s ->
+      let n = as_int s in
+      ((fun _ -> n), false)
+  | RI a -> ((fun i -> Array.unsafe_get a i), true)
+  | RR a -> ((fun i -> as_int (VReal a.(i))), true)
+  | RB a -> ((fun i -> as_int (VBool a.(i))), true)
+  | RP a -> ((fun i -> as_int a.(i)), true)
+  | RA _ -> Errors.runtime_error "array-valued subscript"
+
+(* ------------------------------------------------------------------ *)
+(* Mask splitting (WHERE / plural IF)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let first_active (m : Frame.Mask.t) =
+  let n = Frame.Mask.length m in
+  let rec go i = if i >= n || Frame.Mask.get m i then i else go (i + 1) in
+  go 0
+
+(** Partition [parent] into [mt] (condition holds) and [mf] (does not),
+    writing into the preallocated per-site buffers.  Only active lanes
+    evaluate the condition, exactly like the tree-walker's [and_mask]. *)
+let split_mask (parent : Frame.Mask.t) cv (mt : Frame.Mask.t)
+    (mf : Frame.Mask.t) =
+  Frame.Mask.clear mt;
+  Frame.Mask.clear mf;
+  let p = Frame.Mask.length parent in
+  match cv with
+  | RS s ->
+      if Frame.Mask.active parent > 0 then begin
+        let dst = if as_bool s then mt else mf in
+        Bytes.blit parent.Frame.Mask.bits 0 dst.Frame.Mask.bits 0 p;
+        dst.Frame.Mask.active_n <- parent.Frame.Mask.active_n
+      end
+  | RA _ ->
+      if Frame.Mask.active parent > 0 then
+        Errors.runtime_error "front-end array used as a plural value"
+  | RB a ->
+      let bp = parent.Frame.Mask.bits in
+      let bt = mt.Frame.Mask.bits and bf = mf.Frame.Mask.bits in
+      let nt = ref 0 and nf = ref 0 in
+      for i = 0 to p - 1 do
+        if Bytes.unsafe_get bp i <> '\000' then
+          if Array.unsafe_get a i then begin
+            Bytes.unsafe_set bt i '\001';
+            incr nt
+          end
+          else begin
+            Bytes.unsafe_set bf i '\001';
+            incr nf
+          end
+      done;
+      mt.Frame.Mask.active_n <- !nt;
+      mf.Frame.Mask.active_n <- !nf
+  | RP vs ->
+      for i = 0 to p - 1 do
+        if Frame.Mask.get parent i then
+          if as_bool vs.(i) then Frame.Mask.set mt i true
+          else Frame.Mask.set mf i true
+      done
+  | (RI _ | RR _) when Frame.Mask.active parent > 0 ->
+      (* as_bool on the first active lane raises the tree-walker's error *)
+      ignore (as_bool (rv_lane cv (first_active parent)))
+  | RI _ | RR _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Variable writes                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Masked store into an existing plural slot.  Type-matched writes go
+    straight into the unboxed storage; a type-changing write renormalizes
+    through the boxed view (producing exactly the mixed array the
+    tree-walker would hold, modulo re-specialization). *)
+let write_plural frame si lanes (m : Frame.Mask.t) rhs =
+  let p = Frame.Mask.length m in
+  let renorm () =
+    let vs = Frame.values_of_lanes lanes in
+    for i = 0 to p - 1 do
+      if Frame.Mask.get m i then vs.(i) <- rv_lane rhs i
+    done;
+    Frame.set frame si (Frame.Plural (Frame.lanes_of_values vs))
+  in
+  match (lanes, rhs) with
+  | Frame.LInt d, RI s ->
+      for i = 0 to p - 1 do
+        if Frame.Mask.get m i then d.(i) <- Array.unsafe_get s i
+      done
+  | Frame.LInt d, RS (VInt x) ->
+      for i = 0 to p - 1 do
+        if Frame.Mask.get m i then d.(i) <- x
+      done
+  | Frame.LReal d, RR s ->
+      for i = 0 to p - 1 do
+        if Frame.Mask.get m i then d.(i) <- Array.unsafe_get s i
+      done
+  | Frame.LReal d, RS (VReal x) ->
+      for i = 0 to p - 1 do
+        if Frame.Mask.get m i then d.(i) <- x
+      done
+  | Frame.LBool d, RB s ->
+      for i = 0 to p - 1 do
+        if Frame.Mask.get m i then d.(i) <- Array.unsafe_get s i
+      done
+  | Frame.LBool d, RS (VBool x) ->
+      for i = 0 to p - 1 do
+        if Frame.Mask.get m i then d.(i) <- x
+      done
+  | _ -> renorm ()
+
+(** First assignment to an unbound name: the tree-walker binds a scalar,
+    a global, or a fresh plural whose inactive lanes are [VInt 0]. *)
+let bind_fresh frame si p (m : Frame.Mask.t) rhs =
+  match rhs with
+  | RS v -> Frame.set frame si (Frame.Scalar (ref v))
+  | RA a -> Frame.set frame si (Frame.Global a)
+  | _ ->
+      let full = Frame.Mask.active m = p in
+      let lanes =
+        match rhs with
+        | RI a when full -> Frame.LInt (Array.copy a)
+        | RR a when full -> Frame.LReal (Array.copy a)
+        | RB a when full -> Frame.LBool (Array.copy a)
+        | RI a ->
+            let d = Array.make p 0 in
+            for i = 0 to p - 1 do
+              if Frame.Mask.get m i then d.(i) <- a.(i)
+            done;
+            Frame.LInt d
+        | _ ->
+            let fresh = Array.make p (VInt 0) in
+            for i = 0 to p - 1 do
+              if Frame.Mask.get m i then fresh.(i) <- rv_lane rhs i
+            done;
+            Frame.lanes_of_values fresh
+      in
+      Frame.set frame si (Frame.Plural lanes)
+
+(* ------------------------------------------------------------------ *)
+(* Compilation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type env = { host : host; frame : Frame.t; p : int }
+type cexpr = Frame.Mask.t -> rv
+type cstmt = Frame.Mask.t -> unit
+
+let slot_of env name =
+  match Frame.slot_index env.frame name with
+  | Some i -> i
+  | None -> invalid_arg ("Compile: unresolved variable " ^ name)
+
+let observe env (m : Frame.Mask.t) s =
+  match env.host.h_observer () with
+  | None -> ()
+  | Some f ->
+      (* observers read VM state (occupancy traces): expose it first *)
+      env.host.h_flush ();
+      f ~mask:(Frame.Mask.to_bool_array m) s
+
+let rec compile_expr env (e : expr) : cexpr =
+  match e with
+  | EInt n ->
+      let v = RS (VInt n) in
+      fun _ -> v
+  | EReal f ->
+      let v = RS (VReal f) in
+      fun _ -> v
+  | EBool b ->
+      let v = RS (VBool b) in
+      fun _ -> v
+  | ERange (lo, hi) ->
+      let clo = compile_expr env lo and chi = compile_expr env hi in
+      let p = env.p in
+      fun m ->
+        let lo = rv_front_int (clo m) in
+        let hi = rv_front_int (chi m) in
+        let n = max 0 (hi - lo + 1) in
+        if n = p then RI (Array.init n (fun i -> lo + i))
+        else RA (AInt (Nd.of_array (Array.init n (fun i -> lo + i))))
+  | EVar v -> (
+      let frame = env.frame in
+      match Frame.slot_index frame v with
+      | None -> fun _ -> Errors.runtime_error "undefined variable %s" v
+      | Some si -> (
+          fun _ ->
+            match Frame.get frame si with
+            | Frame.Unbound -> Errors.runtime_error "undefined variable %s" v
+            | Frame.Scalar r -> RS !r
+            | Frame.Plural (Frame.LInt a) -> RI a
+            | Frame.Plural (Frame.LReal a) -> RR a
+            | Frame.Plural (Frame.LBool a) -> RB a
+            | Frame.Plural (Frame.LBox a) -> RP (Array.copy a)
+            | Frame.Global a | Frame.PluralArr a -> RA a))
+  | EUn (op, a) -> compile_unop op (compile_expr env a)
+  | EBin (op, a, b) ->
+      compile_binop env op (compile_expr env a) (compile_expr env b)
+  | ECall (name, args) -> compile_call env name args
+  | EIdx (name, args) -> compile_index env name args
+
+and compile_unop op ca : cexpr =
+  let gen = Scalar_ops.apply_unop op in
+  match op with
+  | Neg -> (
+      fun m ->
+        match ca m with
+        | RS x -> RS (gen x)
+        | RI a -> RI (Array.map (fun x -> -x) a)
+        | RR a -> RR (Array.map (fun x -> -.x) a)
+        | RA _ ->
+            Errors.runtime_error "array operand in a lane-wise operation"
+        | v -> renorm m (box_lift1 m gen v))
+  | Not -> (
+      fun m ->
+        match ca m with
+        | RS x -> RS (gen x)
+        | RB a -> RB (Array.map not a)
+        | RA _ ->
+            Errors.runtime_error "array operand in a lane-wise operation"
+        | v -> renorm m (box_lift1 m gen v))
+
+and compile_binop env op ca cb : cexpr =
+  let app = Scalar_ops.apply_binop op in
+  let fast = fast_binop env.p op in
+  fun m ->
+    let a = ca m in
+    let b = cb m in
+    match (a, b) with
+    | RS x, RS y -> RS (app x y)
+    | RA _, _ | _, RA _ ->
+        Errors.runtime_error "array operand in a lane-wise operation"
+    | _ -> (
+        match fast m a b with
+        | Some r -> r
+        | None -> renorm m (box_lift2 m app a b))
+
+and compile_call env name args : cexpr =
+  let key = String.lowercase_ascii name in
+  if is_reduction key then compile_reduction env name key args
+  else
+    let cargs = List.map (compile_expr env) args in
+    let p = env.p in
+    let host = env.host in
+    fun m ->
+      match host.h_find_func key with
+      | Some f ->
+          let vargs = List.map (fun c -> c m) cargs in
+          if List.exists rv_is_plural vargs then begin
+            (* exactly one call per active lane (callees may count
+               invocations); inactive lanes keep the static [VInt 0] *)
+            let bp = m.Frame.Mask.bits in
+            let vs = Array.make p (VInt 0) in
+            (match vargs with
+            | [ a; b ] ->
+                for i = 0 to p - 1 do
+                  if Bytes.unsafe_get bp i <> '\000' then
+                    Array.unsafe_set vs i (f [ rv_lane a i; rv_lane b i ])
+                done
+            | _ ->
+                for i = 0 to p - 1 do
+                  if Bytes.unsafe_get bp i <> '\000' then
+                    Array.unsafe_set vs i
+                      (f (List.map (fun v -> rv_lane v i) vargs))
+                done);
+            renorm m vs
+          end
+          else RS (f (List.map rv_front_scalar vargs))
+      | None -> (
+          let vargs = List.map (fun c -> c m) cargs in
+          if List.exists rv_is_plural vargs then
+            renorm m
+              (Array.init p (fun i ->
+                   if Frame.Mask.get m i then
+                     match
+                       Intrinsics.apply key
+                         (List.map (fun v -> rv_lane v i) vargs)
+                     with
+                     | Some r -> r
+                     | None -> Errors.runtime_error "unknown function %s" name
+                   else VInt 0))
+          else
+            let scalar_args =
+              List.map
+                (function
+                  | RS v -> v
+                  | RA a -> VArr a
+                  | RI _ | RR _ | RB _ | RP _ -> assert false)
+                vargs
+            in
+            match Intrinsics.apply key scalar_args with
+            | Some r -> RS r
+            | None -> Errors.runtime_error "unknown function %s" name)
+
+and compile_reduction env name key args : cexpr =
+  let host = env.host in
+  let carg =
+    match args with [ a ] -> Some (compile_expr env a) | _ -> None
+  in
+  fun m ->
+    host.h_reduction ();
+    let v =
+      match carg with
+      | Some c -> c m
+      | None -> Errors.runtime_error "%s expects one argument" name
+    in
+    match v with
+    | RA a -> (
+        match Intrinsics.apply key [ VArr a ] with
+        | Some r -> RS r
+        | None -> Errors.runtime_error "bad reduction %s" name)
+    | RS s -> RS (reduce_scalar m name key s)
+    | v -> RS (reduce_plural m name key v)
+
+(** Reduction over a broadcast front-end scalar — [Pval.reduce]'s
+    [FScalar] case: the scalar itself if any lane is active, the identity
+    otherwise. *)
+and reduce_scalar (m : Frame.Mask.t) name key s =
+  let some_active = Frame.Mask.active m > 0 in
+  match key with
+  | "count" -> VInt (if as_bool s then Frame.Mask.active m else 0)
+  | "any" -> if some_active then s else VBool false
+  | "all" -> if some_active then s else VBool true
+  | "maxval" | "minval" | "sum" ->
+      if some_active then s else Pval.reduction_identity key s
+  | _ -> Errors.runtime_error "unknown reduction %s" name
+
+and reduce_plural (m : Frame.Mask.t) name key v =
+  let p = Frame.Mask.length m in
+  (* Typed folds; [acc]/[seen] replicate the tree-walker's
+     first-active-lane initialization exactly (so e.g. a lone NaN or -0.0
+     survives verbatim). *)
+  let float_fold f =
+    let acc = ref 0.0 and seen = ref false in
+    let ga =
+      match float_get v with Some g -> g | None -> assert false
+    in
+    for i = 0 to p - 1 do
+      if Frame.Mask.get m i then
+        if !seen then acc := f !acc (ga i)
+        else begin
+          acc := ga i;
+          seen := true
+        end
+    done;
+    if !seen then VReal !acc
+    else Pval.reduction_identity key (rv_lane v 0)
+  in
+  let int_fold f =
+    let acc = ref 0 and seen = ref false in
+    let ga = match int_get v with Some g -> g | None -> assert false in
+    for i = 0 to p - 1 do
+      if Frame.Mask.get m i then
+        if !seen then acc := f !acc (ga i)
+        else begin
+          acc := ga i;
+          seen := true
+        end
+    done;
+    if !seen then VInt !acc
+    else Pval.reduction_identity key (rv_lane v 0)
+  in
+  let generic f empty =
+    let acc = ref None in
+    for i = 0 to p - 1 do
+      if Frame.Mask.get m i then
+        let x = rv_lane v i in
+        acc := Some (match !acc with None -> x | Some a -> f a x)
+    done;
+    match !acc with Some r -> r | None -> empty
+  in
+  match (key, v) with
+  | "count", RB a ->
+      let n = ref 0 in
+      for i = 0 to p - 1 do
+        if Frame.Mask.get m i && Array.unsafe_get a i then incr n
+      done;
+      VInt !n
+  | "count", _ ->
+      let n = ref 0 in
+      for i = 0 to p - 1 do
+        if Frame.Mask.get m i && as_bool (rv_lane v i) then incr n
+      done;
+      VInt !n
+  | "any", RB a ->
+      let r = ref false in
+      for i = 0 to p - 1 do
+        if Frame.Mask.get m i then r := !r || Array.unsafe_get a i
+      done;
+      VBool !r
+  | "all", RB a ->
+      let r = ref true in
+      for i = 0 to p - 1 do
+        if Frame.Mask.get m i then r := !r && Array.unsafe_get a i
+      done;
+      VBool !r
+  | "sum", RI _ -> int_fold ( + )
+  | "sum", RR _ -> float_fold ( +. )
+  | "maxval", RI _ -> int_fold (fun a x -> if a > x then a else x)
+  | "maxval", RR _ ->
+      float_fold (fun a x -> if Float.compare a x > 0 then a else x)
+  | "minval", RI _ -> int_fold (fun a x -> if a < x then a else x)
+  | "minval", RR _ ->
+      float_fold (fun a x -> if Float.compare a x < 0 then a else x)
+  | "any", _ ->
+      generic (fun a b -> VBool (as_bool a || as_bool b)) (VBool false)
+  | "all", _ ->
+      generic (fun a b -> VBool (as_bool a && as_bool b)) (VBool true)
+  | "maxval", _ ->
+      generic
+        (fun a b -> if as_bool (Scalar_ops.apply_binop Gt a b) then a else b)
+        (Pval.reduction_identity key (rv_lane v 0))
+  | "minval", _ ->
+      generic
+        (fun a b -> if as_bool (Scalar_ops.apply_binop Lt a b) then a else b)
+        (Pval.reduction_identity key (rv_lane v 0))
+  | "sum", _ ->
+      generic
+        (fun a b -> Scalar_ops.apply_binop Add a b)
+        (Pval.reduction_identity key (rv_lane v 0))
+  | _ -> Errors.runtime_error "unknown reduction %s" name
+
+and compile_index env name args : cexpr =
+  let frame = env.frame in
+  let si = slot_of env name in
+  let cargs = List.map (compile_expr env) args in
+  let nargs = List.length args in
+  let scratch = Array.make nargs 0 in
+  let scratch1 = Array.make (nargs + 1) 0 in
+  (* the name may turn out to be a function at run time (tree-walker
+     falls back to the call path when the slot is unbound) *)
+  let ccall = compile_call env name args in
+  let p = env.p in
+  (* per-site gather result buffers, reused like [fast_binop]'s *)
+  let ri = Array.make p 0 in
+  let rr = Array.make p 0.0 in
+  let rb = Array.make p false in
+  fun m ->
+    match Frame.get frame si with
+    | Frame.Scalar _ | Frame.Plural _ ->
+        Errors.runtime_error "%s is a scalar but is indexed" name
+    | Frame.Unbound -> ccall m
+    | Frame.Global a -> (
+        let ivs = List.map (fun c -> c m) cargs in
+        match (ivs, a) with
+        (* rank-1/rank-2 int-vector subscripts: gather via flat offsets,
+           replicating [Nd.linear_index]'s bounds checks (same message,
+           same dimension order, same first-failing-lane) *)
+        | [ RI ix ], AInt d when Nd.rank d = 1 ->
+            let d1 = Nd.size d in
+            for i = 0 to p - 1 do
+              if Frame.Mask.get m i then begin
+                let j = Array.unsafe_get ix i in
+                if j < 1 || j > d1 then
+                  Errors.runtime_error
+                    "index %d out of bounds 1..%d in dimension %d" j d1 1;
+                Array.unsafe_set ri i (Nd.get_flat d (j - 1))
+              end
+            done;
+            RI ri
+        | [ RI ix ], AReal d when Nd.rank d = 1 ->
+            let d1 = Nd.size d in
+            for i = 0 to p - 1 do
+              if Frame.Mask.get m i then begin
+                let j = Array.unsafe_get ix i in
+                if j < 1 || j > d1 then
+                  Errors.runtime_error
+                    "index %d out of bounds 1..%d in dimension %d" j d1 1;
+                Array.unsafe_set rr i (Nd.get_flat d (j - 1))
+              end
+            done;
+            RR rr
+        | [ RI ix1; RI ix2 ], AInt d when Nd.rank d = 2 ->
+            let dims = Nd.dims d in
+            let d1 = dims.(0) and d2 = dims.(1) in
+            for i = 0 to p - 1 do
+              if Frame.Mask.get m i then begin
+                let j1 = Array.unsafe_get ix1 i in
+                if j1 < 1 || j1 > d1 then
+                  Errors.runtime_error
+                    "index %d out of bounds 1..%d in dimension %d" j1 d1 1;
+                let j2 = Array.unsafe_get ix2 i in
+                if j2 < 1 || j2 > d2 then
+                  Errors.runtime_error
+                    "index %d out of bounds 1..%d in dimension %d" j2 d2 2;
+                Array.unsafe_set ri i (Nd.get_flat d (j1 - 1 + ((j2 - 1) * d1)))
+              end
+            done;
+            RI ri
+        | [ RI ix1; RI ix2 ], AReal d when Nd.rank d = 2 ->
+            let dims = Nd.dims d in
+            let d1 = dims.(0) and d2 = dims.(1) in
+            for i = 0 to p - 1 do
+              if Frame.Mask.get m i then begin
+                let j1 = Array.unsafe_get ix1 i in
+                if j1 < 1 || j1 > d1 then
+                  Errors.runtime_error
+                    "index %d out of bounds 1..%d in dimension %d" j1 d1 1;
+                let j2 = Array.unsafe_get ix2 i in
+                if j2 < 1 || j2 > d2 then
+                  Errors.runtime_error
+                    "index %d out of bounds 1..%d in dimension %d" j2 d2 2;
+                Array.unsafe_set rr i (Nd.get_flat d (j1 - 1 + ((j2 - 1) * d1)))
+              end
+            done;
+            RR rr
+        | _ ->
+        let sels = List.map rv_sel ivs in
+        if List.exists snd sels then begin
+          (* gather: one element per active lane *)
+          let fs = Array.of_list (List.map fst sels) in
+          let idx i =
+            for k = 0 to nargs - 1 do
+              scratch.(k) <- (Array.unsafe_get fs k) i
+            done;
+            scratch
+          in
+          match a with
+          | AInt d ->
+              let r = ri in
+              for i = 0 to p - 1 do
+                if Frame.Mask.get m i then r.(i) <- Nd.get d (idx i)
+              done;
+              RI r
+          | AReal d ->
+              let r = rr in
+              for i = 0 to p - 1 do
+                if Frame.Mask.get m i then r.(i) <- Nd.get d (idx i)
+              done;
+              RR r
+          | ABool d ->
+              let r = rb in
+              for i = 0 to p - 1 do
+                if Frame.Mask.get m i then r.(i) <- Nd.get d (idx i)
+              done;
+              RB r
+        end
+        else begin
+          List.iteri (fun k (f, _) -> scratch.(k) <- f 0) sels;
+          RS (arr_get a scratch)
+        end)
+    | Frame.PluralArr a -> (
+        let sels = List.map (fun c -> rv_sel (c m)) cargs in
+        let fs = Array.of_list (List.map fst sels) in
+        let idx i =
+          scratch1.(0) <- i + 1;
+          for k = 0 to nargs - 1 do
+            scratch1.(k + 1) <- (Array.unsafe_get fs k) i
+          done;
+          scratch1
+        in
+        match a with
+        | AInt d ->
+            let r = ri in
+            for i = 0 to p - 1 do
+              if Frame.Mask.get m i then r.(i) <- Nd.get d (idx i)
+            done;
+            RI r
+        | AReal d ->
+            let r = rr in
+            for i = 0 to p - 1 do
+              if Frame.Mask.get m i then r.(i) <- Nd.get d (idx i)
+            done;
+            RR r
+        | ABool d ->
+            let r = rb in
+            for i = 0 to p - 1 do
+              if Frame.Mask.get m i then r.(i) <- Nd.get d (idx i)
+            done;
+            RB r)
+
+(* ------------------------------------------------------------------ *)
+(* Assignment                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and compile_assign env (l : lvalue) : Frame.Mask.t -> rv -> unit =
+  let frame = env.frame in
+  let si = slot_of env l.lv_name in
+  let name = l.lv_name in
+  match l.lv_index with
+  | [] ->
+      let p = env.p in
+      fun m rhs -> (
+        match Frame.get frame si with
+        | Frame.Scalar r -> r := rv_front_scalar rhs
+        | Frame.Plural lanes -> write_plural frame si lanes m rhs
+        | Frame.Global a -> (
+            match rhs with
+            | RS v -> arr_fill a v
+            | RA src ->
+                if arr_size src <> arr_size a then
+                  Errors.runtime_error "shape mismatch assigning to %s" name;
+                for i = 0 to arr_size a - 1 do
+                  arr_set_flat a i (arr_get_flat src i)
+                done
+            | RI _ | RR _ | RB _ | RP _ ->
+                Errors.runtime_error "plural value assigned to whole array %s"
+                  name)
+        | Frame.PluralArr a -> (
+            match rhs with
+            | RS v -> arr_fill a v
+            | _ ->
+                Errors.runtime_error
+                  "unsupported whole-plural-array assignment to %s" name)
+        | Frame.Unbound -> bind_fresh frame si p m rhs)
+  | idxs ->
+      let cidx = List.map (compile_expr env) idxs in
+      let nargs = List.length idxs in
+      let scratch = Array.make nargs 0 in
+      let scratch1 = Array.make (nargs + 1) 0 in
+      let p = env.p in
+      let scatter a m rhs (fs : (int -> int) array) ~plural_arr =
+        let sc = if plural_arr then scratch1 else scratch in
+        let off = if plural_arr then 1 else 0 in
+        let idx i =
+          if plural_arr then sc.(0) <- i + 1;
+          for k = 0 to nargs - 1 do
+            sc.(k + off) <- (Array.unsafe_get fs k) i
+          done;
+          sc
+        in
+        let put =
+          match (a, rhs) with
+          | AInt d, RI s -> fun i -> Nd.set d (idx i) (Array.unsafe_get s i)
+          | AReal d, RR s -> fun i -> Nd.set d (idx i) (Array.unsafe_get s i)
+          | AReal d, RI s ->
+              fun i -> Nd.set d (idx i) (float_of_int (Array.unsafe_get s i))
+          | ABool d, RB s -> fun i -> Nd.set d (idx i) (Array.unsafe_get s i)
+          | _ -> fun i -> arr_set a (idx i) (rv_lane rhs i)
+        in
+        for i = 0 to p - 1 do
+          if Frame.Mask.get m i then put i
+        done
+      in
+      fun m rhs -> (
+        match Frame.get frame si with
+        | Frame.Unbound ->
+            Errors.runtime_error "assignment to undeclared array %s" name
+        | Frame.Scalar _ | Frame.Plural _ ->
+            Errors.runtime_error "%s is scalar but indexed" name
+        | Frame.Global a -> (
+            let ivs = List.map (fun c -> c m) cidx in
+            match (ivs, a, rhs) with
+            (* rank-1 int-vector scatter via flat offsets (bounds checks
+               as in [Nd.linear_index]) *)
+            | [ RI ix ], AInt d, (RI _ | RS (VInt _)) when Nd.rank d = 1 ->
+                let d1 = Nd.size d in
+                let bp = m.Frame.Mask.bits in
+                let check j =
+                  if j < 1 || j > d1 then
+                    Errors.runtime_error
+                      "index %d out of bounds 1..%d in dimension %d" j d1 1
+                in
+                (match rhs with
+                | RI s ->
+                    for i = 0 to p - 1 do
+                      if Bytes.unsafe_get bp i <> '\000' then begin
+                        let j = Array.unsafe_get ix i in
+                        check j;
+                        Nd.set_flat d (j - 1) (Array.unsafe_get s i)
+                      end
+                    done
+                | RS (VInt x) ->
+                    for i = 0 to p - 1 do
+                      if Bytes.unsafe_get bp i <> '\000' then begin
+                        let j = Array.unsafe_get ix i in
+                        check j;
+                        Nd.set_flat d (j - 1) x
+                      end
+                    done
+                | _ -> assert false)
+            | [ RI ix ], AReal d, (RR _ | RI _ | RS (VReal _))
+              when Nd.rank d = 1 ->
+                let d1 = Nd.size d in
+                let bp = m.Frame.Mask.bits in
+                let check j =
+                  if j < 1 || j > d1 then
+                    Errors.runtime_error
+                      "index %d out of bounds 1..%d in dimension %d" j d1 1
+                in
+                (match rhs with
+                | RR s ->
+                    for i = 0 to p - 1 do
+                      if Bytes.unsafe_get bp i <> '\000' then begin
+                        let j = Array.unsafe_get ix i in
+                        check j;
+                        Nd.set_flat d (j - 1) (Array.unsafe_get s i)
+                      end
+                    done
+                | RI s ->
+                    for i = 0 to p - 1 do
+                      if Bytes.unsafe_get bp i <> '\000' then begin
+                        let j = Array.unsafe_get ix i in
+                        check j;
+                        Nd.set_flat d (j - 1)
+                          (float_of_int (Array.unsafe_get s i))
+                      end
+                    done
+                | RS (VReal x) ->
+                    for i = 0 to p - 1 do
+                      if Bytes.unsafe_get bp i <> '\000' then begin
+                        let j = Array.unsafe_get ix i in
+                        check j;
+                        Nd.set_flat d (j - 1) x
+                      end
+                    done
+                | _ -> assert false)
+            | _ ->
+                let sels = List.map rv_sel ivs in
+                if List.exists snd sels || rv_is_plural rhs then
+                  scatter a m rhs
+                    (Array.of_list (List.map fst sels))
+                    ~plural_arr:false
+                else begin
+                  List.iteri (fun k (f, _) -> scratch.(k) <- f 0) sels;
+                  arr_set a scratch (rv_front_scalar rhs)
+                end)
+        | Frame.PluralArr a ->
+            let sels = List.map (fun c -> rv_sel (c m)) cidx in
+            scatter a m rhs
+              (Array.of_list (List.map fst sels))
+              ~plural_arr:true)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and compile_stmt env (s : stmt) : cstmt =
+  let host = env.host in
+  match s with
+  | SComment _ | SLabel _ -> fun _ -> ()
+  | SAssign (l, e) ->
+      let ce = compile_expr env e in
+      let casgn = compile_assign env l in
+      fun m ->
+        observe env m s;
+        let rhs = ce m in
+        if rv_is_plural rhs then
+          host.h_tick_vector ~active:(Frame.Mask.active m)
+        else host.h_tick_frontend ();
+        casgn m rhs
+  | SCall (name, args) -> (
+      let key = String.lowercase_ascii name in
+      let cargs =
+        List.map (fun e -> (compile_expr env e, exact_lanes e)) args
+      in
+      fun m ->
+        observe env m s;
+        match host.h_find_proc key with
+        | None -> Errors.runtime_error "unknown subroutine %s" name
+        | Some f ->
+            host.h_call_metric key;
+            host.h_tick_vector ~active:(Frame.Mask.active m);
+            let vargs =
+              List.map (fun (c, exact) -> rv_to_pval ~exact m (c m)) cargs
+            in
+            host.h_flush ();
+            f ~mask:(Frame.Mask.to_bool_array m) vargs;
+            host.h_import ())
+  | SIf (c, t, f) -> (
+      let cc = compile_expr env c in
+      let ct = compile_block env t and cf = compile_block env f in
+      let mt = Frame.Mask.create_empty env.p in
+      let mf = Frame.Mask.create_empty env.p in
+      fun m ->
+        match cc m with
+        | RS v ->
+            host.h_tick_frontend ();
+            if as_bool v then ct m else cf m
+        | RA _ -> Errors.runtime_error "array condition"
+        | _ ->
+            (* plural IF runs as WHERE, and like the tree-walker's
+               [SWhere] dispatch it re-evaluates the condition *)
+            let cv = cc m in
+            host.h_tick_vector ~active:(Frame.Mask.active m);
+            split_mask m cv mt mf;
+            ct mt;
+            cf mf)
+  | SWhere (c, t, f) ->
+      let cc = compile_expr env c in
+      let ct = compile_block env t and cf = compile_block env f in
+      let mt = Frame.Mask.create_empty env.p in
+      let mf = Frame.Mask.create_empty env.p in
+      fun m ->
+        let cv = cc m in
+        host.h_tick_vector ~active:(Frame.Mask.active m);
+        split_mask m cv mt mf;
+        ct mt;
+        cf mf
+  | SWhile (c, body) ->
+      let cc = compile_expr env c in
+      let cb = compile_block env body in
+      let p = env.p in
+      fun m ->
+        let continue_ () =
+          match cc m with
+          | RS v ->
+              host.h_tick_frontend ();
+              as_bool v
+          | RA _ -> Errors.runtime_error "array condition"
+          | RB a ->
+              (* vector-controlled WHILE (§2): active lanes must agree;
+                 unboxed comparison, no per-lane boxing *)
+              host.h_tick_vector ~active:(Frame.Mask.active m);
+              let seen = ref false and v0 = ref false in
+              for i = 0 to p - 1 do
+                if Frame.Mask.get m i then
+                  if not !seen then begin
+                    v0 := Array.unsafe_get a i;
+                    seen := true
+                  end
+                  else if Array.unsafe_get a i <> !v0 then
+                    Errors.runtime_error
+                      "vector-controlled WHILE with divergent lane values"
+              done;
+              !seen && !v0
+          | cv ->
+              host.h_tick_vector ~active:(Frame.Mask.active m);
+              let first = ref None in
+              for i = 0 to p - 1 do
+                if Frame.Mask.get m i then
+                  let x = rv_lane cv i in
+                  match !first with
+                  | None -> first := Some x
+                  | Some v0 ->
+                      if not (Values.equal_value v0 x) then
+                        Errors.runtime_error
+                          "vector-controlled WHILE with divergent lane values"
+              done;
+              (match !first with None -> false | Some v0 -> as_bool v0)
+        in
+        while continue_ () do
+          cb m
+        done
+  | SDoWhile (body, c) ->
+      let cc = compile_expr env c in
+      let cb = compile_block env body in
+      fun m ->
+        let go = ref true in
+        while !go do
+          cb m;
+          go :=
+            (match cc m with
+            | RS v ->
+                host.h_tick_frontend ();
+                as_bool v
+            | _ ->
+                Errors.runtime_error "DO WHILE condition must be front-end")
+        done
+  | SDo (c, body) | SForall (c, body) ->
+      let clo = compile_expr env c.d_lo in
+      let chi = compile_expr env c.d_hi in
+      let cstep = Option.map (compile_expr env) c.d_step in
+      let cb = compile_block env body in
+      let frame = env.frame in
+      let si = slot_of env c.d_var in
+      let set_var v =
+        match Frame.get frame si with
+        | Frame.Scalar r -> r := v
+        | Frame.Unbound -> Frame.set frame si (Frame.Scalar (ref v))
+        | _ ->
+            Errors.runtime_error "%s is not a front-end scalar" c.d_var
+      in
+      fun m ->
+        let lo = rv_front_int (clo m) in
+        let hi = rv_front_int (chi m) in
+        let step =
+          match cstep with Some cs -> rv_front_int (cs m) | None -> 1
+        in
+        if step = 0 then Errors.runtime_error "DO loop with zero step";
+        host.h_tick_frontend ();
+        let i = ref lo in
+        let cont () = if step > 0 then !i <= hi else !i >= hi in
+        while cont () do
+          set_var (VInt !i);
+          cb m;
+          host.h_tick_frontend ();
+          i := !i + step
+        done;
+        (* Fortran: the DO variable keeps the first failing value *)
+        set_var (VInt !i)
+  | SGoto _ | SCondGoto _ ->
+      fun _ -> Errors.runtime_error "GOTO is not part of F90simd"
+
+and compile_block env (b : block) : cstmt =
+  let cs = Array.of_list (List.map (compile_stmt env) b) in
+  let n = Array.length cs in
+  fun m ->
+    for i = 0 to n - 1 do
+      (Array.unsafe_get cs i) m
+    done
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Every name a program can bind or reference as a variable, in first-use
+    order: declarations, lvalues, DO variables, [EVar] and [EIdx] heads
+    (an [EIdx] head that is really a function keeps an unbound slot and
+    falls back to the call path at run time). *)
+let var_names (prog : program) : string list =
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  let add n =
+    if not (Hashtbl.mem tbl n) then begin
+      Hashtbl.replace tbl n ();
+      order := n :: !order
+    end
+  in
+  add "iproc";
+  List.iter (fun d -> add d.dc_name) prog.p_decls;
+  let rec ex = function
+    | EInt _ | EReal _ | EBool _ -> ()
+    | EVar v -> add v
+    | EIdx (v, es) ->
+        add v;
+        List.iter ex es
+    | EUn (_, a) -> ex a
+    | EBin (_, a, b) ->
+        ex a;
+        ex b
+    | ECall (_, es) -> List.iter ex es
+    | ERange (a, b) ->
+        ex a;
+        ex b
+  in
+  let rec st = function
+    | SComment _ | SLabel _ | SGoto _ -> ()
+    | SCondGoto (e, _) -> ex e
+    | SAssign (l, e) ->
+        add l.lv_name;
+        List.iter ex l.lv_index;
+        ex e
+    | SCall (_, es) -> List.iter ex es
+    | SIf (e, t, f) | SWhere (e, t, f) ->
+        ex e;
+        blk t;
+        blk f
+    | SWhile (e, b) ->
+        ex e;
+        blk b
+    | SDoWhile (b, e) ->
+        blk b;
+        ex e
+    | SDo (c, b) | SForall (c, b) ->
+        add c.d_var;
+        ex c.d_lo;
+        ex c.d_hi;
+        Option.iter ex c.d_step;
+        blk b
+  and blk b = List.iter st b in
+  blk prog.p_body;
+  List.rev !order
+
+let compile ~host ~frame (body : block) : Frame.Mask.t -> unit =
+  let env = { host; frame; p = host.h_p } in
+  compile_block env body

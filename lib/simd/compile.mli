@@ -1,0 +1,43 @@
+(** Compile-then-execute engine for the SIMD VM.
+
+    Lowers an F90simd block into OCaml closures over a [Frame]: variables
+    are resolved to dense slots at compile time, plural int/real scalars
+    stay unboxed, and the activity mask is a reusable bitset with a cached
+    active count.  Execution is bit-identical to the tree-walker
+    ([Vm.exec]) — same final variable state, same [Metrics], same errors —
+    with one documented relaxation: the inactive lanes of {e computed}
+    temporaries may hold garbage internally; the tree-walker's inert
+    [VInt 0] is reinstated wherever those lanes can escape (fresh binds,
+    external-procedure arguments).
+
+    The engine talks to the VM through the [host] callback record, which
+    keeps this module below [Vm] in the dependency order. *)
+
+open Lf_lang
+
+type host = {
+  h_p : int;  (** number of lanes *)
+  h_tick_vector : active:int -> unit;
+      (** account one vector step (may raise on fuel exhaustion) *)
+  h_tick_frontend : unit -> unit;  (** account one control-unit step *)
+  h_reduction : unit -> unit;  (** count a global reduction tree *)
+  h_call_metric : string -> unit;  (** count an external CALL *)
+  h_find_proc :
+    string -> (mask:bool array -> Pval.t list -> unit) option;
+  h_find_func : string -> (Values.value list -> Values.value) option;
+  h_observer : unit -> (mask:bool array -> Ast.stmt -> unit) option;
+  h_flush : unit -> unit;  (** frame -> VM variable table *)
+  h_import : unit -> unit;  (** VM variable table -> frame *)
+}
+
+val is_reduction : string -> bool
+
+(** Every name the program can bind or reference as a variable, in
+    first-use order (declarations, lvalues, DO variables, [EVar]/[EIdx]
+    heads).  The frame passed to [compile] must cover at least these. *)
+val var_names : Ast.program -> string list
+
+(** [compile ~host ~frame body] returns the compiled body; run it by
+    applying it to a full activity mask. *)
+val compile :
+  host:host -> frame:Frame.t -> Ast.block -> Frame.Mask.t -> unit

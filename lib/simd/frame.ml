@@ -1,0 +1,139 @@
+(** Execution frame of the compiled SIMD engine.
+
+    The tree-walking VM resolves every variable access through a
+    [(string, entry) Hashtbl.t] and represents plural scalars as boxed
+    [Values.value array]s.  The compiled engine instead resolves each
+    name {e once}, at compile time, to a dense integer slot in a frame,
+    and stores plural int/real/logical scalars unboxed as [int array] /
+    [float array] / [bool array] lane vectors.  A boxed [LBox] fallback
+    keeps the data model exactly as permissive as the tree-walker's: a
+    plural scalar whose lanes hold mixed types (e.g. a REAL written under
+    a partial mask over an INTEGER-initialized variable) degrades to the
+    boxed representation and re-specializes when it becomes uniform
+    again.
+
+    [Mask] is the activity mask of the lockstep machine: a reusable
+    byte-per-lane bitset with a cached active count, so WHERE nesting and
+    [tick_vector] accounting allocate nothing per step. *)
+
+open Lf_lang
+
+(** Unboxed plural-scalar storage; the boxed view of lane [i] of [LInt a]
+    is [VInt a.(i)], etc. — conversions are value-preserving, so frame
+    state is always bit-identical to the tree-walker's [value array]s. *)
+type lanes =
+  | LInt of int array
+  | LReal of float array
+  | LBool of bool array
+  | LBox of Values.value array  (** mixed-type fallback *)
+
+type slot =
+  | Unbound  (** name seen in the program but not (yet) bound *)
+  | Scalar of Values.value ref  (** front-end scalar (ref shared with the VM) *)
+  | Plural of lanes  (** plural scalar, one component per lane *)
+  | Global of Values.arr  (** global (distributed) array; storage shared *)
+  | PluralArr of Values.arr  (** per-lane array; leading dim is the lane *)
+
+type t = {
+  p : int;
+  names : string array;  (** slot index -> variable name *)
+  slots : slot array;  (** mutable per-element; kinds may change at run time *)
+  index : (string, int) Hashtbl.t;  (** compile-time name resolution *)
+}
+
+let create ~p names =
+  let names = Array.of_list names in
+  let index = Hashtbl.create (Array.length names * 2) in
+  Array.iteri (fun i n -> Hashtbl.replace index n i) names;
+  { p; names; slots = Array.make (Array.length names) Unbound; index }
+
+let slot_index f name = Hashtbl.find_opt f.index name
+let name_of f i = f.names.(i)
+let n_slots f = Array.length f.slots
+let get f i = f.slots.(i)
+let set f i s = f.slots.(i) <- s
+
+(* ------------------------------------------------------------------ *)
+(* Lane-vector conversions                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Unbox a [value array] when its lanes are type-uniform; keep the boxed
+    array (shared, not copied) otherwise. *)
+let lanes_of_values (vs : Values.value array) : lanes =
+  let n = Array.length vs in
+  if n = 0 then LBox vs
+  else
+    let uniform tag =
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        ok := !ok && tag vs.(i)
+      done;
+      !ok
+    in
+    match vs.(0) with
+    | Values.VInt _ when uniform (function Values.VInt _ -> true | _ -> false)
+      ->
+        LInt (Array.map (function Values.VInt x -> x | _ -> 0) vs)
+    | Values.VReal _
+      when uniform (function Values.VReal _ -> true | _ -> false) ->
+        LReal (Array.map (function Values.VReal x -> x | _ -> 0.0) vs)
+    | Values.VBool _
+      when uniform (function Values.VBool _ -> true | _ -> false) ->
+        LBool (Array.map (function Values.VBool x -> x | _ -> false) vs)
+    | _ -> LBox vs
+
+(** Boxed view of a lane vector (fresh array). *)
+let values_of_lanes (l : lanes) : Values.value array =
+  match l with
+  | LInt a -> Array.map (fun x -> Values.VInt x) a
+  | LReal a -> Array.map (fun x -> Values.VReal x) a
+  | LBool a -> Array.map (fun x -> Values.VBool x) a
+  | LBox a -> Array.copy a
+
+(** Boxed view of one lane (allocates for int/real). *)
+let lane_value (l : lanes) i : Values.value =
+  match l with
+  | LInt a -> Values.VInt a.(i)
+  | LReal a -> Values.VReal a.(i)
+  | LBool a -> Values.VBool a.(i)
+  | LBox a -> a.(i)
+
+(* ------------------------------------------------------------------ *)
+(* Activity masks                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Mask = struct
+  (** One byte per lane plus a cached population count: reading
+      [active m] is O(1) (the tree-walker folds over the whole mask on
+      every [tick_vector]), and WHERE nesting reuses per-site buffers, so
+      masking allocates nothing per step. *)
+  type t = {
+    bits : Bytes.t;
+    mutable active_n : int;
+  }
+
+  let create_full p = { bits = Bytes.make p '\001'; active_n = p }
+  let create_empty p = { bits = Bytes.make p '\000'; active_n = 0 }
+  let length m = Bytes.length m.bits
+  let active m = m.active_n
+  let get m i = Bytes.unsafe_get m.bits i <> '\000'
+
+  let set m i b =
+    let old = get m i in
+    if old <> b then begin
+      Bytes.unsafe_set m.bits i (if b then '\001' else '\000');
+      m.active_n <- (m.active_n + if b then 1 else -1)
+    end
+
+  (** Reset to all-inactive without reallocating. *)
+  let clear m =
+    Bytes.fill m.bits 0 (Bytes.length m.bits) '\000';
+    m.active_n <- 0
+
+  let to_bool_array m = Array.init (length m) (fun i -> get m i)
+
+  let of_bool_array (a : bool array) =
+    let m = create_empty (Array.length a) in
+    Array.iteri (fun i b -> set m i b) a;
+    m
+end

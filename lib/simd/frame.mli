@@ -1,0 +1,68 @@
+(** Execution frame of the compiled SIMD engine: variables resolved to
+    dense integer slots, plural scalars stored unboxed ([int array] /
+    [float array] / [bool array]) with a boxed fallback for mixed-type
+    lanes, and reusable activity masks with a cached active count.
+
+    Conversions between the unboxed lane vectors and the tree-walker's
+    boxed [Values.value array]s are value-preserving in both directions,
+    which is what makes the two engines bit-identical on variable
+    state. *)
+
+open Lf_lang
+
+type lanes =
+  | LInt of int array
+  | LReal of float array
+  | LBool of bool array
+  | LBox of Values.value array  (** mixed-type fallback *)
+
+type slot =
+  | Unbound
+  | Scalar of Values.value ref
+  | Plural of lanes
+  | Global of Values.arr
+  | PluralArr of Values.arr
+
+type t = {
+  p : int;
+  names : string array;
+  slots : slot array;
+  index : (string, int) Hashtbl.t;
+}
+
+val create : p:int -> string list -> t
+val slot_index : t -> string -> int option
+val name_of : t -> int -> string
+val n_slots : t -> int
+val get : t -> int -> slot
+val set : t -> int -> slot -> unit
+
+(** Unbox a boxed lane vector when type-uniform; retains (does not copy)
+    the boxed array otherwise. *)
+val lanes_of_values : Values.value array -> lanes
+
+(** Boxed view of a lane vector (fresh array). *)
+val values_of_lanes : lanes -> Values.value array
+
+(** Boxed view of one lane. *)
+val lane_value : lanes -> int -> Values.value
+
+module Mask : sig
+  type t = {
+    bits : Bytes.t;
+    mutable active_n : int;
+  }
+
+  val create_full : int -> t
+  val create_empty : int -> t
+  val length : t -> int
+
+  (** Cached population count: O(1). *)
+  val active : t -> int
+
+  val get : t -> int -> bool
+  val set : t -> int -> bool -> unit
+  val clear : t -> unit
+  val to_bool_array : t -> bool array
+  val of_bool_array : bool array -> t
+end

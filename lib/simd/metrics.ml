@@ -41,6 +41,16 @@ let call m name =
 
 let call_count m name = Option.value ~default:0 (Hashtbl.find_opt m.calls name)
 
+let equal a b =
+  let calls t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.calls [] |> List.sort compare
+  in
+  a.steps = b.steps && a.busy_lanes = b.busy_lanes
+  && a.lane_slots = b.lane_slots
+  && a.frontend_steps = b.frontend_steps
+  && a.reductions = b.reductions
+  && calls a = calls b
+
 let utilization m =
   if m.lane_slots = 0 then 1.0
   else float_of_int m.busy_lanes /. float_of_int m.lane_slots

@@ -19,6 +19,10 @@ val reduction : t -> unit
 val call : t -> string -> unit
 val call_count : t -> string -> int
 
+(** Counter-for-counter equality (including per-subroutine call counts);
+    the engine-equivalence oracle for step accounting. *)
+val equal : t -> t -> bool
+
 (** [busy_lanes / lane_slots]; 1.0 when nothing ran. *)
 val utilization : t -> float
 

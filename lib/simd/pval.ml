@@ -66,6 +66,36 @@ let lift1 ~(mask : bool array) f a =
              if mask.(i) then f (lane a i) else Values.VInt 0))
   | FArr _ -> Errors.runtime_error "array operand in a lane-wise operation"
 
+(** Witness value used to type a reduction's identity element: the first
+    lane of a plural, the scalar itself otherwise. *)
+let witness = function
+  | FScalar s -> s
+  | Plural vs -> if Array.length vs = 0 then Values.VInt 0 else vs.(0)
+  | FArr _ -> Values.VInt 0
+
+(** Type-correct identity for the MAXVAL / MINVAL / SUM reductions,
+    matching the witness's type.  (Historically the VM used the integer
+    sentinels [VInt min_int] / [VInt max_int] / [VInt 0] even for real
+    lanes, so an all-masked MAXVAL over a REAL plural produced an
+    INTEGER.) *)
+let reduction_identity key (witness : Values.value) : Values.value =
+  match witness with
+  | Values.VReal _ -> (
+      match key with
+      | "maxval" -> Values.VReal neg_infinity
+      | "minval" -> Values.VReal infinity
+      | _ -> Values.VReal 0.0)
+  | Values.VBool _ -> (
+      match key with
+      | "maxval" -> Values.VBool false
+      | "minval" -> Values.VBool true
+      | _ -> Values.VInt 0)
+  | _ -> (
+      match key with
+      | "maxval" -> Values.VInt min_int
+      | "minval" -> Values.VInt max_int
+      | _ -> Values.VInt 0)
+
 (** Reduce a plural value over the active lanes.  [empty] is returned when
     no lane is active. *)
 let reduce ~(mask : bool array) ~empty f v =

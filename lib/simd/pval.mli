@@ -38,6 +38,15 @@ val lift2 :
 
 val lift1 : mask:bool array -> (Values.value -> Values.value) -> t -> t
 
+(** Witness used to type a reduction's identity: the first lane of a
+    plural, the scalar itself for a front-end scalar. *)
+val witness : t -> Values.value
+
+(** Type-correct identity element for ["maxval"] / ["minval"] / ["sum"],
+    keyed by the witness's type (REAL reductions get real infinities /
+    0.0 rather than the historical integer sentinels). *)
+val reduction_identity : string -> Values.value -> Values.value
+
 (** Reduce a plural value over the active lanes; [empty] when none are. *)
 val reduce :
   mask:bool array ->

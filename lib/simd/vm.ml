@@ -233,17 +233,20 @@ and eval_call vm ~mask name args : Pval.t =
                   VInt (if as_bool s then active_count mask else 0)
               | _ -> Errors.runtime_error "count: bad operand")
           | "maxval" ->
-              Pval.reduce ~mask ~empty:(VInt min_int)
+              Pval.reduce ~mask
+                ~empty:(Pval.reduction_identity "maxval" (Pval.witness v))
                 (fun a b -> Interp.apply_binop Gt a b |> as_bool |> fun g ->
                             if g then a else b)
                 v
           | "minval" ->
-              Pval.reduce ~mask ~empty:(VInt max_int)
+              Pval.reduce ~mask
+                ~empty:(Pval.reduction_identity "minval" (Pval.witness v))
                 (fun a b -> Interp.apply_binop Lt a b |> as_bool |> fun g ->
                             if g then a else b)
                 v
           | "sum" ->
-              Pval.reduce ~mask ~empty:(VInt 0)
+              Pval.reduce ~mask
+                ~empty:(Pval.reduction_identity "sum" (Pval.witness v))
                 (fun a b -> Interp.apply_binop Add a b)
                 v
           | _ -> Errors.runtime_error "unknown reduction %s" name
@@ -486,11 +489,127 @@ let declare vm (decls : decl list) =
         | true, _ -> bind_plural_arr vm d.dc_name d.dc_type (dims ()))
     decls
 
+(* ------------------------------------------------------------------ *)
+(* The compiled engine                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type engine = [ `Tree_walk | `Compiled ]
+
+(** VM variable table -> frame.  Names absent from the table keep their
+    current slot (at run start every slot is [Unbound]). *)
+let import_frame vm (frame : Frame.t) =
+  for si = 0 to Frame.n_slots frame - 1 do
+    match Hashtbl.find_opt vm.vars (Frame.name_of frame si) with
+    | None -> ()
+    | Some (VScalar r) -> Frame.set frame si (Frame.Scalar r)
+    | Some (VPlural vs) ->
+        Frame.set frame si (Frame.Plural (Frame.lanes_of_values (Array.copy vs)))
+    | Some (VGlobal a) -> Frame.set frame si (Frame.Global a)
+    | Some (VPluralArr a) -> Frame.set frame si (Frame.PluralArr a)
+  done
+
+(** Frame -> VM variable table: plural slots are boxed back, array and
+    scalar storage is shared. *)
+let flush_frame vm (frame : Frame.t) =
+  for si = 0 to Frame.n_slots frame - 1 do
+    let name = Frame.name_of frame si in
+    match Frame.get frame si with
+    | Frame.Unbound -> ()
+    | Frame.Scalar r -> Hashtbl.replace vm.vars name (VScalar r)
+    | Frame.Plural lanes ->
+        Hashtbl.replace vm.vars name (VPlural (Frame.values_of_lanes lanes))
+    | Frame.Global a -> Hashtbl.replace vm.vars name (VGlobal a)
+    | Frame.PluralArr a -> Hashtbl.replace vm.vars name (VPluralArr a)
+  done
+
+(** Compile [prog.p_body] against a frame covering the program's names
+    plus anything pre-seeded in [vm.vars], then run it under a full mask.
+    State is imported at the start and after every external CALL, and
+    flushed back at the end (also on the error path, so a failing compiled
+    run leaves the same partial state as a failing tree-walk). *)
+let run_compiled vm (prog : program) =
+  let names =
+    let from_ast = Compile.var_names prog in
+    let seen = Hashtbl.create 64 in
+    List.iter (fun n -> Hashtbl.replace seen n ()) from_ast;
+    let extra =
+      Hashtbl.fold
+        (fun k _ acc -> if Hashtbl.mem seen k then acc else k :: acc)
+        vm.vars []
+    in
+    from_ast @ List.sort compare extra
+  in
+  let frame = Frame.create ~p:vm.p names in
+  let host =
+    {
+      Compile.h_p = vm.p;
+      h_tick_vector =
+        (fun ~active ->
+          Metrics.vector_step vm.metrics ~active ~p:vm.p;
+          vm.fuel <- vm.fuel - 1;
+          if vm.fuel <= 0 then Errors.runtime_error "SIMD VM fuel exhausted");
+      h_tick_frontend = (fun () -> tick_frontend vm);
+      h_reduction = (fun () -> Metrics.reduction vm.metrics);
+      h_call_metric = (fun name -> Metrics.call vm.metrics name);
+      h_find_proc =
+        (fun key ->
+          match Hashtbl.find_opt vm.procs key with
+          | Some f -> Some (fun ~mask args -> f vm ~mask args)
+          | None -> None);
+      h_find_func = (fun key -> Hashtbl.find_opt vm.funcs key);
+      h_observer =
+        (fun () ->
+          match vm.observer with
+          | Some f -> Some (fun ~mask s -> f vm ~mask s)
+          | None -> None);
+      h_flush = (fun () -> flush_frame vm frame);
+      h_import = (fun () -> import_frame vm frame);
+    }
+  in
+  let compiled = Compile.compile ~host ~frame prog.p_body in
+  import_frame vm frame;
+  Fun.protect
+    ~finally:(fun () -> flush_frame vm frame)
+    (fun () -> compiled (Frame.Mask.create_full vm.p))
+
 (** Run a program on the VM.  [setup] may pre-bind globals and parameters
-    (problem sizes, input arrays) before declarations are processed. *)
-let run ?fuel ~p ?(setup = fun _ -> ()) (prog : program) : t =
+    (problem sizes, input arrays) before declarations are processed.
+    [engine] selects the tree-walking interpreter (default) or the
+    compiled closure engine; both produce identical state and metrics. *)
+let run ?fuel ?(engine = `Tree_walk) ~p ?(setup = fun _ -> ())
+    (prog : program) : t =
   let vm = create ?fuel ~p () in
   setup vm;
   declare vm prog.p_decls;
-  exec_block vm ~mask:(full_mask vm) prog.p_body;
+  (match engine with
+  | `Tree_walk -> exec_block vm ~mask:(full_mask vm) prog.p_body
+  | `Compiled -> run_compiled vm prog);
   vm
+
+(* ------------------------------------------------------------------ *)
+(* Engine-equivalence checks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let entry_equal a b =
+  match (a, b) with
+  | VScalar r1, VScalar r2 -> Values.equal_value !r1 !r2
+  | VPlural v1, VPlural v2 ->
+      Array.length v1 = Array.length v2
+      && Array.for_all2 Values.equal_value v1 v2
+  | VGlobal a1, VGlobal a2 | VPluralArr a1, VPluralArr a2 ->
+      Values.equal_value (VArr a1) (VArr a2)
+  | _ -> false
+
+(** Same variable table: same names bound to the same kind of entry with
+    equal values (used by the differential tests to prove the two engines
+    interchangeable). *)
+let state_equal vma vmb =
+  Hashtbl.length vma.vars = Hashtbl.length vmb.vars
+  && Hashtbl.fold
+       (fun k e acc ->
+         acc
+         &&
+         match Hashtbl.find_opt vmb.vars k with
+         | Some e' -> entry_equal e e'
+         | None -> false)
+       vma.vars true

@@ -71,6 +71,18 @@ val exec_block : t -> mask:bool array -> Ast.block -> unit
     kept. *)
 val declare : t -> Ast.decl list -> unit
 
+(** Execution engine: the tree-walking interpreter, or the compiled
+    closure engine ([Compile] / [Frame]) — a drop-in replacement that
+    produces identical variable state and [Metrics]. *)
+type engine = [ `Tree_walk | `Compiled ]
+
 (** Run a program on a fresh VM.  [setup] may pre-bind globals and
-    parameters before declarations are processed. *)
-val run : ?fuel:int -> p:int -> ?setup:(t -> unit) -> Ast.program -> t
+    parameters before declarations are processed; [engine] defaults to
+    the tree-walker. *)
+val run :
+  ?fuel:int -> ?engine:engine -> p:int -> ?setup:(t -> unit) -> Ast.program -> t
+
+(** Same variable table: same names, same entry kinds, equal values.
+    Together with [Metrics.equal] this is the engine-equivalence oracle
+    used by the differential tests. *)
+val state_equal : t -> t -> bool

@@ -186,6 +186,74 @@ let prop_simd_roundtrip decomp naive ((en : Gen.exec_nest), p_lanes) =
               (Pretty.program_to_string o.Lf_core.Pipeline.program))
   end
 
+(* differential property: the tree-walking and compiled engines are
+   bit-identical — same final variable table, same metrics counters, and
+   on the error path the same runtime error *)
+let run_engine engine (en : Gen.exec_nest) p_lanes prog :
+    (Lf_simd.Vm.t, string) result =
+  match Lf_simd.Vm.run ~engine ~p:p_lanes ~setup:(vm_setup en p_lanes) prog with
+  | vm -> Ok vm
+  | exception Errors.Runtime_error m -> Error m
+
+let prop_engines_agree decomp naive ((en : Gen.exec_nest), p_lanes) =
+  (* unlike the roundtrip property there is no need to exclude carried
+     scalars etc. here: whatever program comes out, both engines must
+     treat it identically — including identical runtime errors *)
+  begin
+    let prog = Ast.program "fuzz" en.Gen.src_block in
+    let opts =
+      {
+        Lf_core.Pipeline.default_options with
+        assume_inner_nonempty = en.Gen.inner_nonempty;
+        trusted_parallel = true;
+        target = Lf_core.Pipeline.Simd { decomp; p = Ast.EInt p_lanes };
+      }
+    in
+    let derived =
+      if naive then Lf_core.Pipeline.simdize_program_naive ~opts prog
+      else Lf_core.Pipeline.flatten_program ~opts prog
+    in
+    match derived with
+    | Error _ -> true
+    | Ok o -> (
+        let simd = o.Lf_core.Pipeline.program in
+        let tree = run_engine `Tree_walk en p_lanes simd in
+        let compiled = run_engine `Compiled en p_lanes simd in
+        match (tree, compiled) with
+        | Ok vm_t, Ok vm_c ->
+            (Lf_simd.Vm.state_equal vm_t vm_c
+            && Lf_simd.Metrics.equal vm_t.Lf_simd.Vm.metrics
+                 vm_c.Lf_simd.Vm.metrics)
+            || QCheck.Test.fail_reportf
+                 "engines diverged (tree %a vs compiled %a) on@.%s"
+                 Lf_simd.Metrics.pp vm_t.Lf_simd.Vm.metrics
+                 Lf_simd.Metrics.pp vm_c.Lf_simd.Vm.metrics
+                 (Pretty.program_to_string simd)
+        | Error m_t, Error m_c ->
+            m_t = m_c
+            || QCheck.Test.fail_reportf
+                 "engines raised different errors (%S vs %S) on@.%s" m_t m_c
+                 (Pretty.program_to_string simd)
+        | Ok _, Error m ->
+            QCheck.Test.fail_reportf
+              "only the compiled engine failed (%S) on@.%s" m
+              (Pretty.program_to_string simd)
+        | Error m, Ok _ ->
+            QCheck.Test.fail_reportf
+              "only the tree-walker failed (%S) on@.%s" m
+              (Pretty.program_to_string simd))
+  end
+
+let t_engines_agree_flat =
+  qcheck_case ~count:150 "differential: engines agree (flattened programs)"
+    simd_gen
+    (prop_engines_agree Lf_core.Simdize.Block false)
+
+let t_engines_agree_naive =
+  qcheck_case ~count:150 "differential: engines agree (naive SIMD programs)"
+    simd_gen
+    (prop_engines_agree Lf_core.Simdize.Cyclic true)
+
 let t_simd_flat_block =
   qcheck_case ~count:100 "random nests: flatten+SIMDize (block) on the VM"
     simd_gen
@@ -202,4 +270,10 @@ let t_simd_naive =
 
 let suite =
   suite
-  @ [ t_simd_flat_block; t_simd_flat_cyclic; t_simd_naive ]
+  @ [
+      t_simd_flat_block;
+      t_simd_flat_cyclic;
+      t_simd_naive;
+      t_engines_agree_flat;
+      t_engines_agree_naive;
+    ]

@@ -157,6 +157,155 @@ let t_lift_errors () =
   | exception Errors.Runtime_error _ -> ()
   | _ -> Alcotest.fail "plural into front-end scalar must fail")
 
+let scalar_of vm name =
+  match Vm.find vm name with Vm.VScalar r -> !r | _ -> Alcotest.fail name
+
+let t_reduction_identity () =
+  (* regression: MAXVAL/MINVAL/SUM over REAL lanes with no active lane
+     must return a REAL identity, not the integer sentinels *)
+  let vm =
+    run_vm
+      {|
+  x = iproc * 1.5
+  WHERE (iproc > 99)
+    m = maxval(x)
+    n = minval(x)
+    s = sum(x)
+  ENDWHERE
+|}
+  in
+  checkb "empty maxval over REAL" (scalar_of vm "m" = VReal neg_infinity);
+  checkb "empty minval over REAL" (scalar_of vm "n" = VReal infinity);
+  checkb "empty sum over REAL" (scalar_of vm "s" = VReal 0.0);
+  (* integer lanes keep the historical sentinels *)
+  let vm2 =
+    run_vm "WHERE (iproc > 99)\n  m = maxval(iproc)\n  n = minval(iproc)\nENDWHERE"
+  in
+  checkb "empty maxval over INTEGER" (scalar_of vm2 "m" = VInt min_int);
+  checkb "empty minval over INTEGER" (scalar_of vm2 "n" = VInt max_int)
+
+(* ------------------------------------------------------------------ *)
+(* Compiled engine                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_both ?(p = 4) ?(setup = fun _ -> ()) src =
+  let prog = Ast.program "t" (parse_block src) in
+  ( Vm.run ~engine:`Tree_walk ~p ~setup prog,
+    Vm.run ~engine:`Compiled ~p ~setup prog )
+
+let check_agree name (t, c) =
+  checkb (name ^ ": state") (Vm.state_equal t c);
+  checkb (name ^ ": metrics")
+    (Lf_simd.Metrics.equal t.Vm.metrics c.Vm.metrics);
+  c
+
+let t_compiled_basics () =
+  let setup vm =
+    Vm.bind_global vm "a" (AInt (Nd.of_array [| 10; 20; 30; 40 |]));
+    Vm.bind_global vm "b" (AInt (Nd.create [| 4 |] 0))
+  in
+  let c =
+    check_agree "where+gather+scatter"
+      (run_both ~setup
+         {|
+  i = iproc
+  v = a(5 - i)
+  b(i) = v
+  WHERE (i >= 3)
+    i = i * 100
+  ELSEWHERE
+    i = 0 - i
+  ENDWHERE
+  s = sum(v)
+  t = any(i > 100)
+|})
+  in
+  checkb "compiled where" (plural_ints c "i" = [| -1; -2; 300; 400 |]);
+  checkb "compiled gather" (plural_ints c "v" = [| 40; 30; 20; 10 |]);
+  checki "compiled sum" 100 (as_int (scalar_of c "s"))
+
+let t_compiled_loops () =
+  let c =
+    check_agree "do+while+plural if"
+      (run_both
+         {|
+  i = iproc * 0
+  WHILE (any(i < 3))
+    WHERE (i < 3)
+      i = i + 1
+    ENDWHERE
+  ENDWHILE
+  acc = 0
+  DO k = 1, 4
+    acc = acc + k
+  ENDDO
+  IF (i > 2) THEN
+    i = i + 10
+  ENDIF
+|})
+  in
+  checkb "compiled while result" (plural_ints c "i" = [| 13; 13; 13; 13 |]);
+  checki "compiled do" 10 (as_int (scalar_of c "acc"))
+
+let t_compiled_plural_array () =
+  let c =
+    check_agree "plural arrays"
+      (run_both
+         ~setup:(fun vm -> Vm.bind_plural_arr vm "f" Ast.TInt [| 3 |])
+         "i = iproc\nDO ly = 1, 3\n  f(ly) = i * ly\nENDDO\nv = f(2)")
+  in
+  checkb "compiled per-lane storage" (plural_ints c "v" = [| 2; 4; 6; 8 |])
+
+let t_compiled_type_changes () =
+  (* a plural that changes element type under a partial mask must degrade
+     to the same mixed representation the tree-walker holds *)
+  let c =
+    check_agree "mixed lanes"
+      (run_both
+         {|
+  x = iproc
+  WHERE (iproc >= 3)
+    x = x * 0.5
+  ENDWHERE
+  WHERE (iproc >= 3)
+    y = x + 0.25
+  ENDWHERE
+|})
+  in
+  ignore c
+
+let t_compiled_procs () =
+  let record = ref [] in
+  let prog =
+    Ast.program "t"
+      (parse_block "i = iproc\nWHERE (i == 2)\n  CALL probe(i)\nENDWHERE")
+  in
+  let vm =
+    Vm.run ~engine:`Compiled ~p:2
+      ~setup:(fun vm ->
+        Vm.register_proc vm "probe" (fun _ ~mask args ->
+            record := (Array.to_list mask, args) :: !record))
+      prog
+  in
+  (match !record with
+  | [ ([ false; true ], [ Pv.Plural lanes ]) ] ->
+      (* the inactive lane of a variable argument keeps its true value *)
+      checkb "proc arg lanes" (Array.map as_int lanes = [| 1; 2 |])
+  | _ -> Alcotest.fail "proc mask/args");
+  checki "compiled call metric" 1
+    (Lf_simd.Metrics.call_count vm.Vm.metrics "probe")
+
+let t_compiled_errors () =
+  (* both engines fail identically: same error, same message *)
+  let src = "i = iproc\nWHILE (i < 3)\n  i = i + 1\nENDWHILE" in
+  let msg engine =
+    let prog = Ast.program "t" (parse_block src) in
+    match Vm.run ~engine ~p:4 prog with
+    | _ -> Alcotest.fail "divergent vector WHILE must be rejected"
+    | exception Errors.Runtime_error m -> m
+  in
+  Alcotest.(check string) "same error" (msg `Tree_walk) (msg `Compiled)
+
 let suite =
   [
     case "iproc and broadcast" t_iproc;
@@ -173,4 +322,11 @@ let suite =
     case "plural procedures" t_procs;
     case "fuel" t_fuel;
     case "type discipline" t_lift_errors;
+    case "reduction identities are type-correct" t_reduction_identity;
+    case "compiled: where/gather/scatter/reductions" t_compiled_basics;
+    case "compiled: loops and plural IF" t_compiled_loops;
+    case "compiled: plural arrays" t_compiled_plural_array;
+    case "compiled: lanes changing element type" t_compiled_type_changes;
+    case "compiled: vector subroutine calls" t_compiled_procs;
+    case "compiled: identical runtime errors" t_compiled_errors;
   ]
