@@ -14,12 +14,16 @@ open Cmdliner
 
 let read_source path =
   let ic = if path = "-" then stdin else open_in path in
-  let buf = Buffer.create 4096 in
-  (try
-     while true do
-       Buffer.add_channel buf ic 1
-     done
-   with End_of_file -> ());
+  let buf = Buffer.create 65536 in
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    let k = input ic chunk 0 (Bytes.length chunk) in
+    if k > 0 then begin
+      Buffer.add_subbytes buf chunk 0 k;
+      loop ()
+    end
+  in
+  loop ();
   if path <> "-" then close_in ic;
   Buffer.contents buf
 

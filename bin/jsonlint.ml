@@ -1,0 +1,58 @@
+(* jsonlint: validate that files parse as JSON — or, with --jsonl, as one
+   JSON value per non-empty line.  The trace-smoke alias uses this to
+   check every file the observability layer emits (metrics dumps, JSONL
+   traces, occupancy timelines, Chrome trace events) without external
+   JSON tooling.
+
+   Usage: jsonlint [--jsonl] FILE...                                    *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  text
+
+let () =
+  let jsonl = ref false in
+  let files = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--jsonl" -> jsonl := true
+        | f -> files := f :: !files)
+    Sys.argv;
+  if !files = [] then begin
+    prerr_endline "usage: jsonlint [--jsonl] FILE...";
+    exit 2
+  end;
+  let failures = ref 0 in
+  let check what text =
+    match Lf_obs.Json.parse text with
+    | Ok _ -> ()
+    | Error msg ->
+        incr failures;
+        Printf.eprintf "jsonlint: %s: %s\n" what msg
+  in
+  List.iter
+    (fun path ->
+      let text = read_file path in
+      let values =
+        if !jsonl then
+          String.split_on_char '\n' text
+          |> List.mapi (fun i line -> (Printf.sprintf "%s:%d" path (i + 1), line))
+          |> List.filter (fun (_, line) -> String.trim line <> "")
+        else [ (path, text) ]
+      in
+      if values = [] then begin
+        incr failures;
+        Printf.eprintf "jsonlint: %s: no JSON values found\n" path
+      end;
+      List.iter (fun (what, text) -> check what text) values;
+      if !failures = 0 then
+        Printf.printf "jsonlint: %s: %d JSON value%s OK\n" path
+          (List.length values)
+          (if List.length values = 1 then "" else "s"))
+    (List.rev !files);
+  exit (if !failures = 0 then 0 else 1)

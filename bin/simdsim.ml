@@ -6,22 +6,42 @@
    run, --dump name prints a variable, and the execution metrics are
    reported.
 
+   Observability: --trace streams one JSON line per vector step, --profile
+   prints the per-line divergence profile and lane-occupancy heatmap (and
+   checks that its totals reproduce the aggregate metrics exactly),
+   --metrics-json / --occupancy-json / --chrome write machine-readable
+   dumps (the Chrome file opens in Perfetto, one track per lane).
+
+   --kernel nbforce binds the MD workload the test-suite uses (pairlist,
+   force function, n/maxp parameters), so the original or flattened
+   NBFORCE source runs as-is; --compare-mimd additionally runs the
+   original Figure 13 kernel on the asynchronous MIMD model with a block
+   decomposition and reports TIME_SIMD vs TIME_MIMD per source region.
+
    Examples:
      dune exec bin/simdsim.exe -- --lanes 4 --set k=8 \
        --fill l=4,1,2,1,1,3,1,3 --dump x example_simd.f
-     dune exec bin/simdsim.exe -- --seq --set k=8 example.f *)
+     dune exec bin/simdsim.exe -- --seq --set k=8 example.f
+     dune exec bin/simdsim.exe -- --lanes 8 --kernel nbforce --profile \
+       --compare-mimd nbforce_flat_simd.f *)
 
 open Cmdliner
 open Lf_lang
+module Obs = Lf_report.Obs_report
+module Src = Lf_kernels.Nbforce_src
 
 let read_source path =
   let ic = if path = "-" then stdin else open_in path in
-  let buf = Buffer.create 4096 in
-  (try
-     while true do
-       Buffer.add_channel buf ic 1
-     done
-   with End_of_file -> ());
+  let buf = Buffer.create 65536 in
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    let k = input ic chunk 0 (Bytes.length chunk) in
+    if k > 0 then begin
+      Buffer.add_subbytes buf chunk 0 k;
+      loop ()
+    end
+  in
+  loop ();
   if path <> "-" then close_in ic;
   Buffer.contents buf
 
@@ -49,53 +69,231 @@ let fill_array v =
     Values.AReal
       (Nd.of_array (Array.of_list (List.map float_of_string items)))
 
-let run path seq engine lanes sets fills dumps =
-  let prog = Parser.program_of_string (read_source path) in
-  let sets = List.map parse_binding sets in
-  let fills = List.map parse_binding fills in
-  if seq then begin
-    let ctx =
-      Interp.run
-        ~params:(List.map (fun (k, v) -> (k, scalar_value v)) sets)
-        ~setup:(fun ctx ->
-          List.iter
-            (fun (k, v) -> Env.set ctx.Interp.env k (Values.VArr (fill_array v)))
-            fills)
-        prog
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Lf_obs.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* NBFORCE kernel mode                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The same MD system the end-to-end tests run: a sod cluster and its
+   cell-list pairlist. *)
+let nbforce_workload atoms =
+  let mol = Lf_md.Workload.sod ~n:atoms ~seed:13 () in
+  let pl = Lf_md.Workload.pairlist mol ~cutoff:7.0 in
+  (mol, pl)
+
+(* Bind the workload into a SIMD VM: force function (and the CALL-variant
+   onef), the n/maxp parameters, and the pcnt/partners/f arrays. *)
+let setup_nbforce_simd (mol, pl) vm =
+  let n, maxp = Src.params pl in
+  Lf_simd.Vm.register_func vm "force" (Src.force_fn mol);
+  Lf_simd.Vm.register_proc vm "onef" (Src.onef_simd mol);
+  Lf_simd.Vm.bind_scalar vm "n" (Values.VInt n);
+  Lf_simd.Vm.bind_scalar vm "maxp" (Values.VInt maxp);
+  Src.bind_arrays pl ~n ~maxp ~set_global:(fun name a ->
+      Lf_simd.Vm.bind_global vm name a)
+
+let setup_nbforce_seq (mol, pl) ctx =
+  let n, maxp = Src.params pl in
+  Interp.register_func ctx "force" (Src.force_fn mol);
+  Interp.register_proc ctx "onef" (Src.onef_seq mol);
+  Env.set ctx.Interp.env "n" (Values.VInt n);
+  Env.set ctx.Interp.env "maxp" (Values.VInt maxp);
+  Src.bind_arrays pl ~n ~maxp ~set_global:(fun name a ->
+      Env.set ctx.Interp.env name (Values.VArr a))
+
+let max_abs_err reference f =
+  let err = ref 0.0 in
+  Array.iteri (fun i r -> err := Float.max !err (Float.abs (f.(i) -. r))) reference;
+  !err
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let run path seq engine lanes sets fills dumps kernel atoms trace_file
+    profile metrics_json occupancy_json chrome_file compare_mimd =
+  try
+    let src = read_source path in
+    let prog = Parser.program_of_string src in
+    let sets = List.map parse_binding sets in
+    let fills = List.map parse_binding fills in
+    let workload =
+      match kernel with
+      | Some `Nbforce -> Some (nbforce_workload atoms)
+      | None -> None
     in
-    Fmt.pr "sequential run: %d interpreter steps@." ctx.Interp.steps;
-    List.iter
-      (fun name ->
-        Fmt.pr "%s = %a@." name Values.pp (Env.find ctx.Interp.env name))
-      dumps;
-    0
-  end
-  else begin
-    let vm =
-      Lf_simd.Vm.run ~engine ~p:lanes
-        ~setup:(fun vm ->
-          Lf_simd.Vm.bind_scalar vm "p" (Values.VInt lanes);
-          List.iter
-            (fun (k, v) -> Lf_simd.Vm.bind_scalar vm k (scalar_value v))
-            sets;
-          List.iter
-            (fun (k, v) -> Lf_simd.Vm.bind_global vm k (fill_array v))
-            fills)
-        prog
-    in
-    Fmt.pr "SIMD run on %d lanes: %a@." lanes Lf_simd.Metrics.pp
-      vm.Lf_simd.Vm.metrics;
-    List.iter
-      (fun name ->
-        match Lf_simd.Vm.find vm name with
-        | Lf_simd.Vm.VScalar r -> Fmt.pr "%s = %a@." name Values.pp !r
-        | Lf_simd.Vm.VPlural vs ->
-            Fmt.pr "%s = %a@." name Lf_simd.Pval.pp (Lf_simd.Pval.Plural vs)
-        | Lf_simd.Vm.VGlobal a | Lf_simd.Vm.VPluralArr a ->
-            Fmt.pr "%s = %a@." name Values.pp (Values.VArr a))
-      dumps;
-    0
-  end
+    if compare_mimd && Option.is_none workload then begin
+      Fmt.epr "simdsim: --compare-mimd requires --kernel nbforce@.";
+      raise Exit
+    end;
+    if seq then begin
+      let line_table : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let ctx =
+        Interp.run
+          ~params:(List.map (fun (k, v) -> (k, scalar_value v)) sets)
+          ~setup:(fun ctx ->
+            if profile then
+              ctx.Interp.step_hook <-
+                Some
+                  (fun loc ->
+                    let l = loc.Errors.line in
+                    Hashtbl.replace line_table l
+                      (1
+                      + Option.value ~default:0
+                          (Hashtbl.find_opt line_table l)));
+            Option.iter (fun w -> setup_nbforce_seq w ctx) workload;
+            List.iter
+              (fun (k, v) ->
+                Env.set ctx.Interp.env k (Values.VArr (fill_array v)))
+              fills)
+          prog
+      in
+      Fmt.pr "sequential run: %d interpreter steps@." ctx.Interp.steps;
+      if profile then begin
+        let rows =
+          Hashtbl.fold (fun l c acc -> (l, [| c |]) :: acc) line_table []
+          |> List.sort compare
+        in
+        Obs.mimd_line_table ~source:src Fmt.stdout rows
+      end;
+      List.iter
+        (fun name ->
+          Fmt.pr "%s = %a@." name Values.pp (Env.find ctx.Interp.env name))
+        dumps;
+      0
+    end
+    else begin
+      let need_profile = profile || compare_mimd in
+      let prof = if need_profile then Some (Lf_obs.Profile.create ()) else None in
+      let occ =
+        if profile || Option.is_some occupancy_json then
+          Some (Lf_obs.Occupancy.create ~p:lanes ())
+        else None
+      in
+      let chrome =
+        Option.map (fun _ -> Lf_obs.Chrome.create ~p:lanes) chrome_file
+      in
+      let trace_oc =
+        Option.map
+          (fun f -> if f = "-" then stdout else open_out f)
+          trace_file
+      in
+      let vm =
+        Lf_simd.Vm.run ~engine ~p:lanes
+          ~setup:(fun vm ->
+            Lf_simd.Vm.bind_scalar vm "p" (Values.VInt lanes);
+            Option.iter (fun w -> setup_nbforce_simd w vm) workload;
+            List.iter
+              (fun (k, v) -> Lf_simd.Vm.bind_scalar vm k (scalar_value v))
+              sets;
+            List.iter
+              (fun (k, v) -> Lf_simd.Vm.bind_global vm k (fill_array v))
+              fills;
+            Option.iter
+              (fun p -> Lf_simd.Vm.add_trace_sink vm (Lf_obs.Profile.sink p))
+              prof;
+            Option.iter
+              (fun o -> Lf_simd.Vm.add_trace_sink vm (Lf_obs.Occupancy.sink o))
+              occ;
+            Option.iter
+              (fun c -> Lf_simd.Vm.add_trace_sink vm (Lf_obs.Chrome.sink c))
+              chrome;
+            Option.iter
+              (fun oc -> Lf_simd.Vm.add_trace_sink vm (Lf_obs.Trace.jsonl_sink oc))
+              trace_oc)
+          prog
+      in
+      Option.iter
+        (fun oc -> if oc != stdout then close_out oc else flush oc)
+        trace_oc;
+      let metrics = vm.Lf_simd.Vm.metrics in
+      Fmt.pr "SIMD run on %d lanes: %a@." lanes Lf_simd.Metrics.pp metrics;
+      Option.iter
+        (fun (mol, pl) ->
+          match Lf_simd.Vm.read_global vm "f" with
+          | Values.AReal f ->
+              let err = max_abs_err (Src.reference mol pl) (Nd.to_array f) in
+              Fmt.pr "nbforce forces vs reference: max abs error %.3g@." err;
+              if err > 1e-9 then begin
+                Fmt.epr "simdsim: nbforce forces disagree with reference@.";
+                raise Exit
+              end
+          | _ -> Errors.runtime_error "f is not a REAL array")
+        workload;
+      if profile then begin
+        let p = Option.get prof in
+        Fmt.pr "@.per-line divergence profile (worst first):@.";
+        Obs.profile_table ~source:src Fmt.stdout p;
+        Option.iter
+          (fun o ->
+            Fmt.pr "@.";
+            Obs.heatmap Fmt.stdout o)
+          occ
+      end;
+      (match prof with
+      | Some p ->
+          if not (Obs.check_totals p metrics) then begin
+            Fmt.epr
+              "simdsim: profile totals do not reproduce the aggregate \
+               metrics@.";
+            raise Exit
+          end
+          else if profile then
+            Fmt.pr "profile totals tie out with aggregate metrics@."
+      | None -> ());
+      if compare_mimd then begin
+        let w = Option.get workload in
+        let mol, pl = w in
+        let mimd, f_mimd = Obs.run_nbforce_mimd w ~p:lanes in
+        let err = max_abs_err (Src.reference mol pl) f_mimd in
+        Fmt.pr "@.MIMD run on %d processors (block decomposition): %d steps \
+                (max over processors)@."
+          lanes mimd.Lf_mimd.Mimd_vm.time;
+        Fmt.pr "MIMD forces vs reference: max abs error %.3g@." err;
+        if err > 1e-9 then begin
+          Fmt.epr "simdsim: MIMD forces disagree with reference@.";
+          raise Exit
+        end;
+        Fmt.pr "@.per-line MIMD step attribution (original Figure 13 \
+                source):@.";
+        Obs.mimd_line_table ~source:Src.source Fmt.stdout
+          mimd.Lf_mimd.Mimd_vm.line_steps;
+        Fmt.pr "@.TIME_SIMD vs TIME_MIMD per source region:@.";
+        Obs.region_table Fmt.stdout ~simd_src:src ~prof:(Option.get prof)
+          ~metrics ~mimd
+      end;
+      Option.iter
+        (fun path -> write_json path (Lf_simd.Metrics.to_json metrics))
+        metrics_json;
+      Option.iter
+        (fun path ->
+          write_json path (Lf_obs.Occupancy.to_json (Option.get occ)))
+        occupancy_json;
+      Option.iter
+        (fun path -> Lf_obs.Chrome.write_file (Option.get chrome) path)
+        chrome_file;
+      List.iter
+        (fun name ->
+          match Lf_simd.Vm.find vm name with
+          | Lf_simd.Vm.VScalar r -> Fmt.pr "%s = %a@." name Values.pp !r
+          | Lf_simd.Vm.VPlural vs ->
+              Fmt.pr "%s = %a@." name Lf_simd.Pval.pp (Lf_simd.Pval.Plural vs)
+          | Lf_simd.Vm.VGlobal a | Lf_simd.Vm.VPluralArr a ->
+              Fmt.pr "%s = %a@." name Values.pp (Values.VArr a))
+        dumps;
+      0
+    end
+  with
+  | Exit -> 1
+  | ( Errors.Lex_error _ | Errors.Parse_error _ | Errors.Type_error _
+    | Errors.Runtime_error _ | Errors.Runtime_error_at _ ) as e ->
+      Fmt.epr "simdsim: %s@." (Errors.to_message e);
+      1
 
 let cmd =
   let path =
@@ -144,9 +342,81 @@ let cmd =
       & opt_all string []
       & info [ "dump" ] ~docv:"NAME" ~doc:"Print a variable after the run.")
   in
+  let kernel =
+    let kernel_conv = Arg.enum [ ("nbforce", `Nbforce) ] in
+    Arg.(
+      value
+      & opt (some kernel_conv) None
+      & info [ "kernel" ] ~docv:"KERNEL"
+          ~doc:
+            "Bind a built-in workload before the run.  $(b,nbforce) binds \
+             the MD pairlist, the force/onef routines and the n/maxp \
+             parameters, so the original or flattened NBFORCE kernel runs \
+             as-is; forces are checked against the sequential reference.")
+  in
+  let atoms =
+    Arg.(
+      value & opt int 96
+      & info [ "atoms" ] ~docv:"N"
+          ~doc:"Number of atoms for --kernel nbforce.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Stream one JSON line per vector step (source line, step \
+             ordinal, active lanes, kind) to $(docv) ('-' for stdout).")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Print the per-line divergence profile and the lane-occupancy \
+             heatmap, and check that the profile totals reproduce the \
+             aggregate metrics exactly.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Write the aggregate execution metrics as JSON to $(docv).")
+  in
+  let occupancy_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "occupancy-json" ] ~docv:"FILE"
+          ~doc:"Write the lane-occupancy timeline as JSON to $(docv).")
+  in
+  let chrome_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event file (one track per lane; opens \
+             in Perfetto / chrome://tracing) to $(docv).")
+  in
+  let compare_mimd =
+    Arg.(
+      value & flag
+      & info [ "compare-mimd" ]
+          ~doc:
+            "With --kernel nbforce: also run the original Figure 13 \
+             kernel on the asynchronous MIMD model (block decomposition, \
+             one name space per processor) and report TIME_SIMD vs \
+             TIME_MIMD per source region.")
+  in
   Cmd.v
     (Cmd.info "simdsim" ~version:"1.0"
        ~doc:"run pseudo-Fortran programs on the simulated SIMD machine")
-    Term.(const run $ path $ seq $ engine $ lanes $ sets $ fills $ dumps)
+    Term.(
+      const run $ path $ seq $ engine $ lanes $ sets $ fills $ dumps
+      $ kernel $ atoms $ trace_file $ profile $ metrics_json
+      $ occupancy_json $ chrome_file $ compare_mimd)
 
 let () = exit (Cmd.eval' cmd)

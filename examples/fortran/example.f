@@ -1,0 +1,10 @@
+PROGRAM example
+  INTEGER k, i, j
+  INTEGER l(k)
+  REAL x(k)
+  DO i = 1, k
+    DO j = 1, l(i)
+      x(i) = x(i) + i * 10 + j
+    ENDDO
+  ENDDO
+END

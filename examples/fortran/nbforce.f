@@ -1,0 +1,12 @@
+PROGRAM nbforce
+  INTEGER n, maxp, at1, at2, pr
+  REAL f(n)
+  INTEGER pcnt(n)
+  INTEGER partners(n, maxp)
+  DO at1 = 1, n
+    DO pr = 1, pcnt(at1)
+      at2 = partners(at1, pr)
+      f(at1) = f(at1) + force(at1, at2)
+    ENDDO
+  ENDDO
+END

@@ -177,7 +177,7 @@ let references (b : block) : ref_info list =
     | SCondGoto (e, _) ->
         expr_refs e
     | SCall (_, args) -> List.iter expr_refs args
-    | SGoto _ | SLabel _ | SComment _ -> ()
+    | SGoto _ | SLabel _ | SComment _ | SLoc _ -> ()
   in
   Ast_util.fold_stmts stmt_collect () b;
   List.rev !refs

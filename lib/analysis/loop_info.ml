@@ -35,9 +35,16 @@ type loop = {
   body : block;
 }
 
+(* The classification and restructuring passes below pattern-match deeply
+   on statement shapes, so every public entry strips [SLoc] wrappers from
+   its input first (stripping is idempotent).  Restructured code therefore
+   carries no source locations; callers that need located programs
+   re-parse the pretty-printed result. *)
+
 (** The loops appearing at the top level of a block (not inside other
     loops), together with the statements around them. *)
 let top_level_loops (b : block) : loop list =
+  let b = strip_locs_block b in
   List.filter_map
     (function
       | SDo (c, body) -> Some { kind = KDo c; body }
@@ -66,6 +73,7 @@ let tower_of_block (b : block) : loop list option =
 (** Split an inner-loop body around the unique nested loop:
     [pre, inner, post].  [None] when there is not exactly one loop. *)
 let split_around_loop (b : block) : (block * loop * block) option =
+  let b = strip_locs_block b in
   let is_loop = function
     | SDo _ | SWhile _ | SDoWhile _ | SForall _ -> true
     | _ -> false
@@ -101,7 +109,7 @@ let split_around_loop (b : block) : (block * loop * block) option =
     and rewrite it to [WHILE (.NOT. c) body].  Applied repeatedly, innermost
     first, until no pattern remains. *)
 let rec restructure_gotos (b : block) : block =
-  let b = List.map restructure_in_stmt b in
+  let b = List.map restructure_in_stmt (strip_locs_block b) in
   match find_goto_loop b with
   | Some (pre, cond, body, post) ->
       restructure_gotos (pre @ [ SWhile (EUn (Not, cond), body) ] @ post)
@@ -175,7 +183,7 @@ let induction_candidates (test : expr) (body : block) : string list =
   let updates = Hashtbl.create 4 in
   List.iter
     (fun s ->
-      match s with
+      match strip_loc s with
       | SAssign ({ lv_name = v; lv_index = [] }, EBin ((Add | Sub), EVar v', _))
         when v = v' ->
           Hashtbl.replace updates v (1 + Option.value ~default:0 (Hashtbl.find_opt updates v))

@@ -31,6 +31,7 @@ let upward_exposed (b : block) : SS.t =
     List.fold_left stmt defined b
   and stmt defined s =
     match s with
+    | SLoc (_, s) -> stmt defined s
     | SComment _ | SLabel _ | SGoto _ -> defined
     | SCondGoto (e, _) ->
         note defined (Ast_util.expr_vars e);
@@ -145,7 +146,7 @@ let check ?(pure_subroutines = []) ?(invariants = []) ?(reductions = [])
     asserted via [trusted]. *)
 let check_loop ?pure_subroutines ?invariants ?reductions ?(trusted = false)
     (s : stmt) : result =
-  match s with
+  match strip_loc s with
   | SForall _ -> { parallel = true; obstacles = [] }
   | _ when trusted -> { parallel = true; obstacles = [] }
   | SDo (c, body) ->

@@ -35,6 +35,7 @@ let expr_writes penv e = if expr_pure penv e then [] else [ "*" ]
     calls a subroutine; used for classifying guard phases. *)
 let rec stmt_pure penv (s : stmt) =
   match s with
+  | SLoc (_, s) -> stmt_pure penv s
   | SComment _ | SLabel _ -> true
   | SGoto _ | SCondGoto _ -> true
   | SAssign _ | SCall _ -> false

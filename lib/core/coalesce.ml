@@ -33,7 +33,7 @@ let pp_rejection ppf r = Fmt.pf ppf "coalescing rejected: %s" r.reason
 let rectangular (s : stmt) : (do_control * do_control * block, rejection) result
     =
   let reject reason = Error { reason } in
-  match s with
+  match strip_locs_stmt s with
   | SDo (outer, body) | SForall (outer, body) -> (
       if not (outer.d_step = None || outer.d_step = Some (EInt 1)) then
         reject "outer loop must have unit stride"
@@ -63,6 +63,7 @@ let rectangular (s : stmt) : (do_control * do_control * block, rejection) result
     The result is a FORALL when both input loops were FORALLs (independence
     of the product space follows). *)
 let coalesce ~(fresh : Fresh.t) (s : stmt) : (block, rejection) result =
+  let s = strip_locs_stmt s in
   match rectangular s with
   | Error r -> Error r
   | Ok (outer, inner, ibody) ->

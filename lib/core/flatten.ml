@@ -217,6 +217,7 @@ let flatten_auto ~(fresh : Fresh.t) ?purity ?assume_inner_nonempty ?live_out
 let rec flatten_deep ~(fresh : Fresh.t) ?purity ?assume_inner_nonempty
     ?(variant : variant option) (s : stmt) :
     (block * variant list, rejection) result =
+  let s = strip_locs_stmt s in
   let body_of = function
     | SDo (_, b) | SWhile (_, b) | SDoWhile (b, _) | SForall (_, b) -> Some b
     | _ -> None

@@ -108,6 +108,7 @@ let localize_body ~var ~gvar ~(distributed : string list) (b : block) :
   in
   let rec walk (s : stmt) : stmt =
     match s with
+    | SLoc (loc, s) -> SLoc (loc, walk s)
     | SAssign (l, e) -> SAssign (fix_lvalue l, fix_expr e)
     | SDo (c, b) ->
         SDo

@@ -97,7 +97,9 @@ let peel_increment (test : expr) (body : block) : block * block * string option
 (** Normalize one loop statement.  [fresh] supplies names for synthetic
     control variables (needed for post-test loops). *)
 let of_loop ~(fresh : Fresh.t) (s : stmt) : norm option =
-  match s with
+  (* the phase recognizers below match statement shapes deeply: drop
+     source locations up front (idempotent) *)
+  match strip_locs_stmt s with
   | SDo (c, body) -> Some (counted_norm c body ~parallel:false)
   | SForall (c, body) -> Some (counted_norm c body ~parallel:true)
   | SWhile (test, body) ->
@@ -177,7 +179,8 @@ let of_nest ~(fresh : Fresh.t) (s : stmt) : (nest, string) result =
     the equivalent [DO] statement, enabling the counted-loop-only passes
     (SIMD partitioning, coalescing) on dusty-deck inputs. *)
 let recognize_counted ~(pre : block) (s : stmt) : (block * stmt) option =
-  match s with
+  let pre = strip_locs_block pre in
+  match strip_locs_stmt s with
   | SWhile (test, body) -> (
       match peel_increment test body with
       | body', [ SAssign (_, EBin (Add, EVar v', EInt 1)) ], Some v

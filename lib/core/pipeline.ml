@@ -53,8 +53,11 @@ type outcome = {
   notes : string list;
 }
 
-(** Split a block around its first top-level loop statement. *)
+(** Split a block around its first top-level loop statement.  Strips
+    [SLoc] wrappers first (the split pieces feed shape-matching
+    transforms, which operate on bare statements). *)
 let split_first_loop (b : block) : (block * stmt * block) option =
+  let b = strip_locs_block b in
   let is_loop = function
     | SDo _ | SWhile _ | SDoWhile _ | SForall _ -> true
     | _ -> false

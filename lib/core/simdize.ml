@@ -69,7 +69,7 @@ let infer_plural ~(seeds : string list) (b : block) : SS.t =
   let rec scan under_plural (b : block) =
     List.iter
       (fun s ->
-        match s with
+        match strip_loc s with
         | SAssign ({ lv_name = v; lv_index = [] }, e) ->
             if under_plural || is_plural_expr e then add v
         | SAssign ({ lv_index = _ :: _; _ }, _) ->
@@ -91,7 +91,8 @@ let infer_plural ~(seeds : string list) (b : block) : SS.t =
               || Option.fold ~none:false ~some:is_plural_expr c.d_step
             then add c.d_var;
             scan under_plural body
-        | SCall _ | SGoto _ | SCondGoto _ | SLabel _ | SComment _ -> ())
+        | SCall _ | SGoto _ | SCondGoto _ | SLabel _ | SComment _ -> ()
+        | SLoc _ -> assert false)
       b
   in
   while !changed do
@@ -111,7 +112,7 @@ let rec vectorize_control plural (b : block) : block =
   let is_plural_expr e = expr_is_plural plural e in
   List.map
     (fun s ->
-      match s with
+      match strip_loc s with
       | SIf (c, t, f) when is_plural_expr c ->
           SWhere (c, vectorize_control plural t, vectorize_control plural f)
       | SIf (c, t, f) ->
@@ -188,6 +189,9 @@ type flattened_simd = {
     + infers plural variables and vectorizes control flow. *)
 let simdize_flattened ~(fresh : Fresh.t) ~(decomp : decomp) ~(p : expr)
     ~(var : string) ~(lo : expr) ~(hi : expr) (b : block) : flattened_simd =
+  (* the rewrites below match statement shapes deeply: drop source
+     locations up front (idempotent) *)
+  let b = strip_locs_block b in
   let part_init, last, step = partition_init decomp ~p ~lo ~hi var in
   (* replace the init assignment [var = lo] *)
   let replaced = ref false in
@@ -296,7 +300,7 @@ type nest_simd = {
 let simdize_nest ~(fresh : Fresh.t) ~(decomp : decomp) ~(p : expr)
     ?(divisible = true) (s : stmt) : (nest_simd, string) result =
   let outer =
-    match s with
+    match strip_locs_stmt s with
     | SDo (c, body) when c.d_step = None || c.d_step = Some (EInt 1) ->
         Some (c, body)
     | SForall (c, body) when c.d_step = None || c.d_step = Some (EInt 1) ->
@@ -411,6 +415,7 @@ let simdize_nest ~(fresh : Fresh.t) ~(decomp : decomp) ~(p : expr)
     region-statistics example keep their accumulators. *)
 let sum_reduction_candidates ~(exclude : string list) (b : block) :
     string list =
+  let b = strip_locs_block b in
   let assigns = Hashtbl.create 4 in
   let disqualified = Hashtbl.create 4 in
   let note_ok v = 

@@ -79,6 +79,9 @@ type stmt =
   | SCondGoto of expr * string  (** IF (e) GOTO label *)
   | SLabel of string
   | SComment of string
+  | SLoc of Errors.pos * stmt
+      (** source-location wrapper added by the parser; transparent to
+          pretty-printing and structural equality *)
 
 and block = stmt list
 
@@ -139,14 +142,53 @@ let array ?(plural = false) dc_type dc_name dc_dims =
 let program ?(decls = []) ?(directives = []) name body =
   { p_name = name; p_decls = decls; p_directives = directives; p_body = body }
 
-(** Structural equality, ignoring comments. *)
+(* Source locations.  The parser wraps every statement it produces in
+   [SLoc]; everything that treats programs structurally (equality, the
+   transformation passes, the pretty-printer) looks through the wrapper. *)
+
+let with_loc loc s = if loc = Errors.no_pos then s else SLoc (loc, s)
+
+(** Innermost location of a statement, if any. *)
+let rec loc_of = function
+  | SLoc (loc, s) -> (
+      match loc_of s with Some _ as l -> l | None -> Some loc)
+  | _ -> None
+
+(** Remove the [SLoc] wrappers on one statement (not its sub-blocks). *)
+let rec strip_loc = function SLoc (_, s) -> strip_loc s | s -> s
+
+(** Remove every [SLoc] wrapper, recursively.  The transformation passes
+    pattern-match deeply on statement shapes, so [Pipeline] strips
+    locations before running them. *)
+let rec strip_locs_stmt s =
+  match strip_loc s with
+  | SDo (c, b) -> SDo (c, strip_locs_block b)
+  | SWhile (e, b) -> SWhile (e, strip_locs_block b)
+  | SDoWhile (b, e) -> SDoWhile (strip_locs_block b, e)
+  | SIf (e, t, f) -> SIf (e, strip_locs_block t, strip_locs_block f)
+  | SForall (c, b) -> SForall (c, strip_locs_block b)
+  | SWhere (e, t, f) -> SWhere (e, strip_locs_block t, strip_locs_block f)
+  | (SAssign _ | SCall _ | SGoto _ | SCondGoto _ | SLabel _ | SComment _) as s
+    ->
+      s
+  | SLoc _ -> assert false
+
+and strip_locs_block b = List.map strip_locs_stmt b
+
+let strip_locs_program (p : program) =
+  { p with p_body = strip_locs_block p.p_body }
+
+(** Structural equality, ignoring comments and source locations. *)
 let rec equal_block (a : block) (b : block) =
-  let strip = List.filter (function SComment _ -> false | _ -> true) in
+  let strip =
+    List.filter (fun s ->
+        match strip_loc s with SComment _ -> false | _ -> true)
+  in
   let a = strip a and b = strip b in
   List.length a = List.length b && List.for_all2 equal_stmt a b
 
 and equal_stmt (a : stmt) (b : stmt) =
-  match (a, b) with
+  match (strip_loc a, strip_loc b) with
   | SAssign (l1, e1), SAssign (l2, e2) -> l1 = l2 && e1 = e2
   | SDo (c1, b1), SDo (c2, b2) -> c1 = c2 && equal_block b1 b2
   | SWhile (e1, b1), SWhile (e2, b2) -> e1 = e2 && equal_block b1 b2

@@ -42,18 +42,22 @@ let rec fold_stmts f acc (b : block) =
   List.fold_left (fold_stmt f) acc b
 
 and fold_stmt f acc s =
+  (* [f] always sees the bare statement, never an [SLoc] wrapper *)
+  let s = strip_loc s in
   let acc = f acc s in
   match s with
   | SAssign _ | SCall _ | SGoto _ | SCondGoto _ | SLabel _ | SComment _ -> acc
   | SDo (_, b) | SWhile (_, b) | SDoWhile (b, _) | SForall (_, b) ->
       fold_stmts f acc b
   | SIf (_, t, e) | SWhere (_, t, e) -> fold_stmts f (fold_stmts f acc t) e
+  | SLoc _ -> assert false
 
 (** Apply [g] to every expression occurring in [s] (conditions, bounds,
     right-hand sides, index expressions, call arguments). *)
 let rec map_stmt_exprs g s =
   let mb = List.map (map_stmt_exprs g) in
   match s with
+  | SLoc (loc, s) -> SLoc (loc, map_stmt_exprs g s)
   | SAssign (l, e) ->
       SAssign ({ l with lv_index = List.map g l.lv_index }, g e)
   | SDo (c, b) ->
@@ -89,6 +93,7 @@ let rec rename_stmt v v' s =
   let re = subst_var v (EVar v') in
   let rb = List.map (rename_stmt v v') in
   match s with
+  | SLoc (loc, s) -> SLoc (loc, rename_stmt v v' s)
   | SAssign (l, e) ->
       let name = if l.lv_name = v then v' else l.lv_name in
       SAssign ({ lv_name = name; lv_index = List.map re l.lv_index }, re e)
@@ -141,7 +146,7 @@ let read_vars b =
       | SCondGoto (e, _) ->
           expr_vars e @ acc
       | SCall (_, args) -> List.concat_map expr_vars args @ acc
-      | SGoto _ | SLabel _ | SComment _ -> acc)
+      | SGoto _ | SLabel _ | SComment _ | SLoc _ -> acc)
     [] b
   |> List.sort_uniq String.compare
 
@@ -169,7 +174,7 @@ let rec stmt_count (b : block) =
     (fun n s ->
       n
       +
-      match s with
+      match strip_loc s with
       | SComment _ -> 0
       | SDo (_, b) | SWhile (_, b) | SDoWhile (b, _) | SForall (_, b) ->
           1 + stmt_count b
@@ -182,7 +187,7 @@ let rec loop_depth (b : block) =
   List.fold_left
     (fun d s ->
       max d
-        (match s with
+        (match strip_loc s with
         | SDo (_, b) | SWhile (_, b) | SDoWhile (b, _) | SForall (_, b) ->
             1 + loop_depth b
         | SIf (_, t, f) | SWhere (_, t, f) -> max (loop_depth t) (loop_depth f)

@@ -18,10 +18,23 @@ exception Parse_error of pos * string
 exception Type_error of string
 exception Runtime_error of string
 
+(** A runtime error attributed to a source statement.  The interpreters
+    annotate plain [Runtime_error]s with the location of the statement
+    being executed as the exception crosses its [Ast.SLoc] wrapper, so
+    the innermost located statement wins and errors from programs built
+    in OCaml (no locations) are unaffected. *)
+exception Runtime_error_at of pos * string
+
 let lex_error p fmt = Fmt.kstr (fun m -> raise (Lex_error (p, m))) fmt
 let parse_error p fmt = Fmt.kstr (fun m -> raise (Parse_error (p, m))) fmt
 let type_error fmt = Fmt.kstr (fun m -> raise (Type_error m)) fmt
 let runtime_error fmt = Fmt.kstr (fun m -> raise (Runtime_error m)) fmt
+
+(** Re-raise [Runtime_error] as [Runtime_error_at loc]; used by the
+    execution engines at statement-location boundaries. *)
+let locate_runtime_error loc = function
+  | Runtime_error m -> raise (Runtime_error_at (loc, m))
+  | e -> raise e
 
 (** Render any of the above exceptions as a one-line message; re-raises
     anything else. *)
@@ -30,4 +43,5 @@ let to_message = function
   | Parse_error (p, m) -> Fmt.str "parse error at %a: %s" pp_pos p m
   | Type_error m -> Fmt.str "type error: %s" m
   | Runtime_error m -> Fmt.str "runtime error: %s" m
+  | Runtime_error_at (p, m) -> Fmt.str "runtime error at %a: %s" pp_pos p m
   | e -> raise e

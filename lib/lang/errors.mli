@@ -14,12 +14,20 @@ exception Parse_error of pos * string
 exception Type_error of string
 exception Runtime_error of string
 
+(** A runtime error attributed to the source statement being executed
+    when it was raised. *)
+exception Runtime_error_at of pos * string
+
 (** The raising helpers take format strings. *)
 
 val lex_error : pos -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 val parse_error : pos -> ('a, Format.formatter, unit, 'b) format4 -> 'a
 val type_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
 val runtime_error : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** [locate_runtime_error loc e] re-raises [Runtime_error m] as
+    [Runtime_error_at (loc, m)] and every other exception unchanged. *)
+val locate_runtime_error : pos -> exn -> 'a
 
 (** Render any of the above exceptions as a one-line message; re-raises
     anything else. *)

@@ -27,6 +27,12 @@ and t = {
   mutable obs : observation list;  (** reversed *)
   procs : (string, proc) Hashtbl.t;
   funcs : (string, value list -> value) Hashtbl.t;
+  mutable cur_loc : Errors.pos;
+      (** location of the innermost [SLoc]-wrapped statement being executed *)
+  mutable step_hook : (Errors.pos -> unit) option;
+      (** called once per counted step with the current source location;
+          used by [Lf_mimd] for per-line time attribution.  [None] costs
+          one branch per step. *)
 }
 
 exception Jump of string
@@ -41,6 +47,8 @@ let create ?(fuel = default_fuel) () =
     obs = [];
     procs = Hashtbl.create 8;
     funcs = Hashtbl.create 8;
+    cur_loc = Errors.no_pos;
+    step_hook = None;
   }
 
 let register_proc ctx name f = Hashtbl.replace ctx.procs (String.lowercase_ascii name) f
@@ -49,6 +57,7 @@ let observations ctx = List.rev ctx.obs
 
 let tick ctx =
   ctx.steps <- ctx.steps + 1;
+  (match ctx.step_hook with None -> () | Some h -> h ctx.cur_loc);
   ctx.fuel <- ctx.fuel - 1;
   if ctx.fuel <= 0 then Errors.runtime_error "fuel exhausted (infinite loop?)"
 
@@ -198,7 +207,9 @@ let rec exec_block ctx (b : block) =
   let n = Array.length stmts in
   let label_at lbl =
     let found = ref (-1) in
-    Array.iteri (fun i s -> if s = SLabel lbl && !found < 0 then found := i) stmts;
+    Array.iteri
+      (fun i s -> if strip_loc s = SLabel lbl && !found < 0 then found := i)
+      stmts;
     !found
   in
   let pc = ref 0 in
@@ -213,6 +224,20 @@ let rec exec_block ctx (b : block) =
 
 and exec_stmt ctx (s : stmt) =
   match s with
+  | SLoc (loc, s) ->
+      (* Runtime errors from within [s] are attributed to [loc]; the
+         innermost located statement wins because already-located errors
+         pass through unchanged.  [Jump] is ordinary control flow and is
+         re-raised untouched. *)
+      let saved = ctx.cur_loc in
+      ctx.cur_loc <- loc;
+      (try exec_stmt ctx s
+       with e -> (
+         ctx.cur_loc <- saved;
+         match e with
+         | Errors.Runtime_error m -> raise (Errors.Runtime_error_at (loc, m))
+         | e -> raise e));
+      ctx.cur_loc <- saved
   | SComment _ | SLabel _ -> ()
   | SAssign (l, e) ->
       tick ctx;

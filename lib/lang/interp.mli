@@ -22,6 +22,12 @@ and t = {
   mutable obs : observation list;  (** reversed; use [observations] *)
   procs : (string, proc) Hashtbl.t;
   funcs : (string, Values.value list -> Values.value) Hashtbl.t;
+  mutable cur_loc : Errors.pos;
+      (** location of the innermost [SLoc]-wrapped statement being
+          executed; [Errors.no_pos] outside located code *)
+  mutable step_hook : (Errors.pos -> unit) option;
+      (** called once per counted step with the current source location;
+          used for per-line time attribution (e.g. by [Lf_mimd]) *)
 }
 
 exception Jump of string
@@ -50,7 +56,8 @@ val declare : t -> decl list -> unit
 
 (** Run a program: seed [params], run [setup], process declarations,
     execute the body.  Raises [Errors.Runtime_error] on fuel exhaustion
-    or dynamic errors. *)
+    or dynamic errors — [Errors.Runtime_error_at] when the failing
+    statement carries a source location. *)
 val run :
   ?params:(string * Values.value) list ->
   ?fuel:int ->

@@ -248,7 +248,17 @@ let goto_label p =
       s
   | t -> error p "expected a statement label, found %s" (Token.to_string t)
 
+(** Parse one statement (a list because labels expand to [SLabel; stmt])
+    and wrap each resulting statement with its source position.  Nested
+    statements are wrapped by the recursive calls, so already-wrapped
+    results are left alone. *)
 let rec parse_stmt p : stmt list =
+  let loc = peek_pos p in
+  List.map
+    (function Ast.SLoc _ as s -> s | s -> Ast.with_loc loc s)
+    (parse_stmt_raw p)
+
+and parse_stmt_raw p : stmt list =
   match peek p with
   | INT n ->
       (* numeric statement label *)

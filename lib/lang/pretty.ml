@@ -94,6 +94,7 @@ let rec pp_stmt ind ppf s =
   let pad = String.make (2 * ind) ' ' in
   let block = pp_block (ind + 1) in
   match s with
+  | SLoc (_, s) -> pp_stmt ind ppf s
   | SAssign (l, e) -> Fmt.pf ppf "%s%a = %a" pad pp_lvalue l pp_range e
   | SDo (c, b) ->
       Fmt.pf ppf "%sDO %a@\n%a@\n%sENDDO" pad pp_do_control c block b pad
@@ -126,11 +127,13 @@ and pp_block ind ppf (b : block) =
   let rec go ppf = function
     | [] -> ()
     | [ s ] -> pp_stmt ind ppf s
-    | SLabel l :: ((SAssign _ | SCall _ | SGoto _ | SCondGoto _) as s) :: rest
-      ->
-        let body = Fmt.str "%a" (pp_stmt 0) s in
-        Fmt.pf ppf "%s %s@\n%a" l (String.trim body) go rest
-    | s :: rest -> Fmt.pf ppf "%a@\n%a" (pp_stmt ind) s go rest
+    | a :: (b :: rest as tail) -> (
+        (* look through SLoc so labels still fuse with located statements *)
+        match (strip_loc a, strip_loc b) with
+        | SLabel l, (SAssign _ | SCall _ | SGoto _ | SCondGoto _) ->
+            let body = Fmt.str "%a" (pp_stmt 0) b in
+            Fmt.pf ppf "%s %s@\n%a" l (String.trim body) go rest
+        | _ -> Fmt.pf ppf "%a@\n%a" (pp_stmt ind) a go tail)
   in
   go ppf b
 

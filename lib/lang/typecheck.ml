@@ -269,6 +269,7 @@ let assignable ~(to_ : ty) ~(from : ty) =
 
 let rec check_stmt ctx (s : stmt) : unit =
   match s with
+  | SLoc (_, s) -> check_stmt ctx s
   | SComment _ | SLabel _ | SGoto _ -> ()
   | SCondGoto (e, _) ->
       let k = check_expr ctx e in

@@ -1,0 +1,104 @@
+(** Lane-occupancy timeline: which lanes did useful work at which vector
+    step (the paper's Figures 18/19, lanes on one axis, time on the
+    other).
+
+    Total step counts are unknown up front and can run to millions, so
+    the timeline is accumulated with streaming downsampling: time is
+    bucketed, and whenever the run outgrows the bucket array adjacent
+    buckets are merged and the bucket width doubles.  Memory is bounded
+    by [2 * width * p] counters regardless of run length; each cell ends
+    up holding the number of busy (lane, step) slots that fell into its
+    bucket, from which the renderer recovers a 0..1 occupancy shade. *)
+
+type t = {
+  p : int;
+  width : int;  (** maximum number of time buckets kept *)
+  mutable bucket_steps : int;  (** vector steps per bucket *)
+  mutable busy : int array array;  (** [bucket].[lane] = busy slots *)
+  mutable steps_in_bucket : int array;  (** vector steps per bucket so far *)
+  mutable nbuckets : int;  (** buckets in use *)
+  mutable steps : int;  (** total vector steps seen *)
+}
+
+let create ?(width = 72) ~p () =
+  if width <= 0 then invalid_arg "Occupancy.create: width <= 0";
+  {
+    p;
+    width;
+    bucket_steps = 1;
+    busy = Array.init (2 * width) (fun _ -> Array.make p 0);
+    steps_in_bucket = Array.make (2 * width) 0;
+    nbuckets = 0;
+    steps = 0;
+  }
+
+(* Merge bucket pairs in place and double the bucket width. *)
+let compact t =
+  let n = t.nbuckets in
+  let half = (n + 1) / 2 in
+  for i = 0 to half - 1 do
+    let a = t.busy.(2 * i) in
+    let b = if (2 * i) + 1 < n then t.busy.((2 * i) + 1) else Array.make t.p 0
+    in
+    let dst = Array.make t.p 0 in
+    for lane = 0 to t.p - 1 do
+      dst.(lane) <- a.(lane) + b.(lane)
+    done;
+    t.busy.(i) <- dst;
+    t.steps_in_bucket.(i) <-
+      t.steps_in_bucket.(2 * i)
+      + (if (2 * i) + 1 < n then t.steps_in_bucket.((2 * i) + 1) else 0)
+  done;
+  for i = half to (2 * t.width) - 1 do
+    t.busy.(i) <- Array.make t.p 0;
+    t.steps_in_bucket.(i) <- 0
+  done;
+  t.nbuckets <- half;
+  t.bucket_steps <- t.bucket_steps * 2
+
+(** Record one vector step's activity mask.  Reduction events should not
+    be recorded here — they do not occupy a time slot. *)
+let record t (ev : Trace.event) =
+  if Trace.is_step ev then begin
+    let bucket = t.steps / t.bucket_steps in
+    if bucket >= 2 * t.width then compact t;
+    let bucket = t.steps / t.bucket_steps in
+    let row = t.busy.(bucket) in
+    let mask = ev.Trace.mask in
+    let lanes = min t.p (Array.length mask) in
+    for lane = 0 to lanes - 1 do
+      if mask.(lane) then row.(lane) <- row.(lane) + 1
+    done;
+    t.steps_in_bucket.(bucket) <- t.steps_in_bucket.(bucket) + 1;
+    if bucket >= t.nbuckets then t.nbuckets <- bucket + 1;
+    t.steps <- t.steps + 1
+  end
+
+let sink t : Trace.sink = record t
+
+(** [lanes x buckets] matrix of occupancy fractions in [0, 1]:
+    cell [(lane, b)] is the fraction of bucket [b]'s vector steps in
+    which [lane] was active. *)
+let matrix t =
+  Array.init t.p (fun lane ->
+      Array.init t.nbuckets (fun b ->
+          let steps = t.steps_in_bucket.(b) in
+          if steps = 0 then 0.0
+          else float_of_int t.busy.(b).(lane) /. float_of_int steps))
+
+let to_json t : Json.t =
+  Json.Obj
+    [
+      ("p", Json.Int t.p);
+      ("steps", Json.Int t.steps);
+      ("bucket_steps", Json.Int t.bucket_steps);
+      ("buckets", Json.Int t.nbuckets);
+      ( "busy",
+        Json.List
+          (List.init t.nbuckets (fun b ->
+               Json.List
+                 (List.init t.p (fun lane -> Json.Int t.busy.(b).(lane))))) );
+      ( "steps_per_bucket",
+        Json.List
+          (List.init t.nbuckets (fun b -> Json.Int t.steps_in_bucket.(b))) );
+    ]

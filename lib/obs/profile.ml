@@ -1,0 +1,99 @@
+(** Per-source-line divergence profile.
+
+    Consumes the per-vector-step event stream and attributes each step's
+    lane-slots to the source line that issued it: [steps] vector
+    instructions, [busy] active lane-slots, [slots = steps * p] total
+    lane-slots, plus the reduction count.  Summing any column over all
+    lines reproduces the corresponding aggregate [Metrics] counter
+    exactly — the acceptance check for the whole observability layer.
+
+    Line 0 collects events from statements without a source location
+    (programs built in OCaml rather than parsed). *)
+
+type line_stat = {
+  line : int;
+  mutable steps : int;  (** vector instructions issued from this line *)
+  mutable busy : int;  (** active lane-slots *)
+  mutable slots : int;  (** total lane-slots (steps * p) *)
+  mutable reductions : int;
+}
+
+type t = {
+  lines : (int, line_stat) Hashtbl.t;
+  mutable events : int;  (** all events seen, reductions included *)
+}
+
+let create () = { lines = Hashtbl.create 32; events = 0 }
+
+let stat_for t line =
+  match Hashtbl.find_opt t.lines line with
+  | Some s -> s
+  | None ->
+      let s = { line; steps = 0; busy = 0; slots = 0; reductions = 0 } in
+      Hashtbl.replace t.lines line s;
+      s
+
+let record t (ev : Trace.event) =
+  t.events <- t.events + 1;
+  let s = stat_for t ev.Trace.loc.Lf_lang.Errors.line in
+  if Trace.is_step ev then begin
+    s.steps <- s.steps + 1;
+    s.busy <- s.busy + ev.Trace.active;
+    s.slots <- s.slots + ev.Trace.p
+  end
+  else s.reductions <- s.reductions + 1
+
+let sink t : Trace.sink = record t
+
+let utilization (s : line_stat) =
+  if s.slots = 0 then 1.0 else float_of_int s.busy /. float_of_int s.slots
+
+let idle (s : line_stat) = s.slots - s.busy
+
+(** Per-line stats, worst first: most idle lane-slots, then line order. *)
+let rows t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.lines []
+  |> List.sort (fun a b ->
+         match compare (idle b) (idle a) with
+         | 0 -> compare a.line b.line
+         | c -> c)
+
+(** Same stats in source order. *)
+let rows_by_line t =
+  Hashtbl.fold (fun _ s acc -> s :: acc) t.lines []
+  |> List.sort (fun a b -> compare a.line b.line)
+
+type totals = {
+  t_steps : int;
+  t_busy : int;
+  t_slots : int;
+  t_reductions : int;
+}
+
+let totals t =
+  Hashtbl.fold
+    (fun _ s acc ->
+      {
+        t_steps = acc.t_steps + s.steps;
+        t_busy = acc.t_busy + s.busy;
+        t_slots = acc.t_slots + s.slots;
+        t_reductions = acc.t_reductions + s.reductions;
+      })
+    t.lines
+    { t_steps = 0; t_busy = 0; t_slots = 0; t_reductions = 0 }
+
+let to_json t : Json.t =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("line", Json.Int s.line);
+             ("steps", Json.Int s.steps);
+             ("busy", Json.Int s.busy);
+             ("slots", Json.Int s.slots);
+             ("idle", Json.Int (idle s));
+             ("utilization", Json.Float (utilization s));
+             ("reductions", Json.Int s.reductions);
+           ])
+       (rows_by_line t))

@@ -1,0 +1,277 @@
+(** Rendering for the observability layer: the per-line divergence
+    profile as a table, the lane-occupancy timeline as a Figure 18/19
+    style ASCII heatmap, and the per-line TIME_SIMD vs TIME_MIMD
+    comparison.
+
+    The profile table's totals row is computed from the per-line rows
+    and must reproduce the aggregate [Lf_simd.Metrics] counters exactly
+    ([check_totals]); the CLI asserts this on every [--profile] run. *)
+
+open Lf_obs
+
+(* ------------------------------------------------------------------ *)
+(* Per-line divergence profile                                         *)
+(* ------------------------------------------------------------------ *)
+
+let pct f = Printf.sprintf "%5.1f%%" (100.0 *. f)
+
+(** Render the profile as a table, one row per source line (worst
+    divergence first), plus a totals row.  [source] supplies the program
+    text so each row can show its statement. *)
+let profile_table ?source ?(by_line = false) ppf (prof : Profile.t) =
+  let src_lines =
+    match source with
+    | None -> [||]
+    | Some text -> Array.of_list (String.split_on_char '\n' text)
+  in
+  let text_of line =
+    if line >= 1 && line <= Array.length src_lines then
+      String.trim src_lines.(line - 1)
+    else if line = 0 then "(no location)"
+    else ""
+  in
+  let snippet line =
+    let t = text_of line in
+    if String.length t > 32 then String.sub t 0 29 ^ "..." else t
+  in
+  let rows = if by_line then Profile.rows_by_line prof else Profile.rows prof in
+  let header =
+    [ "line"; "source"; "steps"; "busy"; "idle"; "util"; "reduce" ]
+  in
+  let row (s : Profile.line_stat) =
+    [
+      string_of_int s.Profile.line;
+      snippet s.Profile.line;
+      string_of_int s.Profile.steps;
+      string_of_int s.Profile.busy;
+      string_of_int (Profile.idle s);
+      pct (Profile.utilization s);
+      string_of_int s.Profile.reductions;
+    ]
+  in
+  let t = Profile.totals prof in
+  let total_row =
+    [
+      "total";
+      "";
+      string_of_int t.Profile.t_steps;
+      string_of_int t.Profile.t_busy;
+      string_of_int (t.Profile.t_slots - t.Profile.t_busy);
+      pct
+        (if t.Profile.t_slots = 0 then 1.0
+         else float_of_int t.Profile.t_busy /. float_of_int t.Profile.t_slots);
+      string_of_int t.Profile.t_reductions;
+    ]
+  in
+  Table.render ppf (Table.make ~header (List.map row rows @ [ total_row ]))
+
+(** Do the profile's totals reproduce the aggregate metrics exactly?
+    Vector steps, busy and total lane-slots, and reductions must all tie
+    out — the acceptance check of the observability layer. *)
+let check_totals (prof : Profile.t) (m : Lf_simd.Metrics.t) : bool =
+  let t = Profile.totals prof in
+  t.Profile.t_steps = m.Lf_simd.Metrics.steps
+  && t.Profile.t_busy = m.Lf_simd.Metrics.busy_lanes
+  && t.Profile.t_slots = m.Lf_simd.Metrics.lane_slots
+  && t.Profile.t_reductions = m.Lf_simd.Metrics.reductions
+
+(* ------------------------------------------------------------------ *)
+(* Lane-occupancy heatmap (Figures 18/19)                              *)
+(* ------------------------------------------------------------------ *)
+
+let shades = " .:-=+*#%@"
+
+let shade_of frac =
+  let n = String.length shades in
+  let i = int_of_float (frac *. float_of_int n) in
+  shades.[min (n - 1) (max 0 i)]
+
+(** Render the occupancy timeline: one row per lane, time left to right,
+    each cell shaded by the fraction of that bucket's vector steps in
+    which the lane was active — the ASCII analogue of the paper's
+    Figures 18/19 utilization graphs. *)
+let heatmap ppf (occ : Occupancy.t) =
+  let m = Occupancy.matrix occ in
+  let p = Array.length m in
+  let buckets = if p = 0 then 0 else Array.length m.(0) in
+  if buckets = 0 then Fmt.pf ppf "(no vector steps recorded)@."
+  else begin
+    Fmt.pf ppf "lane occupancy: %d vector steps, %d buckets x %d steps@."
+      occ.Occupancy.steps buckets occ.Occupancy.bucket_steps;
+    Fmt.pf ppf "      +%s+@." (String.make buckets '-');
+    Array.iteri
+      (fun lane row ->
+        Fmt.pf ppf "%5d |%s|@." (lane + 1)
+          (String.init buckets (fun b -> shade_of row.(b))))
+      m;
+    Fmt.pf ppf "      +%s+@." (String.make buckets '-');
+    Fmt.pf ppf "      time ->   shade: '%c' idle ... '%c' always active@."
+      shades.[0]
+      shades.[String.length shades - 1]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* MIMD per-line attribution                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-line step attribution of a MIMD run
+    ([Lf_mimd.Mimd_vm.result.line_steps]): for each source line, the
+    slowest and fastest processor and the total across processors.  The
+    "max" column is the line's contribution to TIME_MIMD (Eq. 1: the
+    machine waits for the slowest processor). *)
+let mimd_line_table ?source ppf (line_steps : (int * int array) list) =
+  let src_lines =
+    match source with
+    | None -> [||]
+    | Some text -> Array.of_list (String.split_on_char '\n' text)
+  in
+  let text_of line =
+    if line >= 1 && line <= Array.length src_lines then
+      let t = String.trim src_lines.(line - 1) in
+      if String.length t > 32 then String.sub t 0 29 ^ "..." else t
+    else if line = 0 then "(no location)"
+    else ""
+  in
+  let header = [ "line"; "source"; "max"; "min"; "total" ] in
+  let rows =
+    List.map
+      (fun (l, a) ->
+        [
+          string_of_int l;
+          text_of l;
+          string_of_int (Array.fold_left max 0 a);
+          string_of_int (Array.fold_left min max_int a);
+          string_of_int (Array.fold_left ( + ) 0 a);
+        ])
+      line_steps
+  in
+  let t_max =
+    List.fold_left
+      (fun acc (_, a) -> acc + Array.fold_left max 0 a)
+      0 line_steps
+  in
+  let t_sum =
+    List.fold_left
+      (fun acc (_, a) -> acc + Array.fold_left ( + ) 0 a)
+      0 line_steps
+  in
+  Table.render ppf
+    (Table.make ~header
+       (rows @ [ [ "total"; ""; string_of_int t_max; ""; string_of_int t_sum ] ]))
+
+(** Does the source text of [line] mention [needle] (case-insensitive)?
+    The region classifier behind the TIME_SIMD vs TIME_MIMD per-region
+    report: e.g. lines mentioning "force" form NBFORCE's physics region. *)
+let line_mentions ~source needle =
+  let lines = Array.of_list (String.split_on_char '\n' source) in
+  let needle = String.lowercase_ascii needle in
+  let nl = String.length needle in
+  let contains hay =
+    let hay = String.lowercase_ascii hay in
+    let n = String.length hay in
+    let rec go i = i + nl <= n && (String.sub hay i nl = needle || go (i + 1)) in
+    nl > 0 && go 0
+  in
+  fun line ->
+    line >= 1 && line <= Array.length lines && contains lines.(line - 1)
+
+(* ------------------------------------------------------------------ *)
+(* NBFORCE on the MIMD model, with per-line attribution                *)
+(* ------------------------------------------------------------------ *)
+
+module Src = Lf_kernels.Nbforce_src
+
+(** Run the original Figure 13 NBFORCE on the MIMD model: [p] processors,
+    block decomposition of the atoms, each with its own name space holding
+    its slice of pcnt/partners/f (owner-computes).  Local atom [at1] on
+    processor [proc] is global atom [lo + at1], so the force function
+    translates its first argument; partner ids are global already.
+    Per-line profiling is on, giving the per-region TIME_MIMD.  Returns
+    the MIMD result and the gathered global force array. *)
+let run_nbforce_mimd (mol, pl) ~p =
+  let open Lf_lang in
+  let n, maxp = Src.params pl in
+  let bounds = Array.init (p + 1) (fun i -> i * n / p) in
+  let prog = Parser.program_of_string Src.source in
+  let res =
+    Lf_mimd.Mimd_vm.run ~p ~profile:true
+      ~setup:(fun proc ctx ->
+        let lo = bounds.(proc) and hi = bounds.(proc + 1) in
+        let nloc = hi - lo in
+        Interp.register_func ctx "force" (function
+          | Values.VInt a :: rest ->
+              Src.force_fn mol (Values.VInt (lo + a) :: rest)
+          | args -> Src.force_fn mol args);
+        Env.set ctx.Interp.env "n" (Values.VInt nloc);
+        Env.set ctx.Interp.env "maxp" (Values.VInt maxp);
+        let dim = max 1 nloc in
+        let pcnt = Nd.create [| dim |] 0 in
+        let partners = Nd.create [| dim; maxp |] 0 in
+        for i = 0 to nloc - 1 do
+          let ps = pl.Lf_md.Pairlist.partners.(lo + i) in
+          Nd.set pcnt [| i + 1 |] (Array.length ps);
+          Array.iteri
+            (fun k j -> Nd.set partners [| i + 1; k + 1 |] (j + 1))
+            ps
+        done;
+        Env.set ctx.Interp.env "pcnt" (Values.VArr (Values.AInt pcnt));
+        Env.set ctx.Interp.env "partners" (Values.VArr (Values.AInt partners));
+        Env.set ctx.Interp.env "f"
+          (Values.VArr (Values.AReal (Nd.create [| dim |] 0.0))))
+      prog
+  in
+  (* gather the per-processor force slices back into one global array *)
+  let f = Array.make n 0.0 in
+  Array.iteri
+    (fun proc ctx ->
+      let lo = bounds.(proc) and hi = bounds.(proc + 1) in
+      match Env.find ctx.Interp.env "f" with
+      | Values.VArr (Values.AReal a) ->
+          for i = lo to hi - 1 do
+            f.(i) <- Nd.get a [| i - lo + 1 |]
+          done
+      | _ -> Errors.runtime_error "f is not a REAL array")
+    res.Lf_mimd.Mimd_vm.contexts;
+  (res, f)
+
+(** TIME_SIMD vs TIME_MIMD per source region.  Both programs are split
+    into the force-computation region (lines mentioning "force") and the
+    control/bookkeeping rest; the line numberings differ between the
+    flattened SIMD program and the original MIMD source, so the split is
+    computed per side and compared at region granularity.  A region's
+    MIMD time is the max over processors of the steps they spent in it
+    (Eq. 1); its SIMD time is the vector steps issued from it (Eq. 2). *)
+let region_table ppf ~simd_src ~(prof : Profile.t)
+    ~(metrics : Lf_simd.Metrics.t) ~(mimd : Lf_mimd.Mimd_vm.result) =
+  let simd_force = line_mentions ~source:simd_src "force" in
+  let mimd_force = line_mentions ~source:Src.source "force" in
+  let simd_steps pred =
+    List.fold_left
+      (fun acc (s : Profile.line_stat) ->
+        if pred s.Profile.line then acc + s.Profile.steps else acc)
+      0
+      (Profile.rows_by_line prof)
+  in
+  let mimd_time pred =
+    let p = Array.length mimd.Lf_mimd.Mimd_vm.steps in
+    let per_proc = Array.make p 0 in
+    List.iter
+      (fun (l, a) ->
+        if pred l then
+          Array.iteri (fun i s -> per_proc.(i) <- per_proc.(i) + s) a)
+      mimd.Lf_mimd.Mimd_vm.line_steps;
+    Array.fold_left max 0 per_proc
+  in
+  let row name sp mp = [ name; string_of_int sp; string_of_int mp ] in
+  Table.render ppf
+    (Table.make
+       ~header:[ "region"; "TIME_SIMD (Eq. 2)"; "TIME_MIMD (Eq. 1)" ]
+       [
+         row "force computation" (simd_steps simd_force)
+           (mimd_time mimd_force);
+         row "control & bookkeeping"
+           (simd_steps (fun l -> not (simd_force l)))
+           (mimd_time (fun l -> not (mimd_force l)));
+         row "total" metrics.Lf_simd.Metrics.steps
+           mimd.Lf_mimd.Mimd_vm.time;
+       ])

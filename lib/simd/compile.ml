@@ -38,9 +38,14 @@ open Values
 
 type host = {
   h_p : int;  (** number of lanes *)
-  h_tick_vector : active:int -> unit;  (** one vector step (may raise on fuel) *)
+  h_tick_vector :
+    loc:Errors.pos -> kind:Lf_obs.Trace.kind -> Frame.Mask.t -> unit;
+      (** one vector step (may raise on fuel); [loc] and [kind] are static
+          per call site, and the active count is cached in the mask, so
+          trace emission costs the host one branch when disabled *)
   h_tick_frontend : unit -> unit;  (** one control-unit step *)
-  h_reduction : unit -> unit;  (** count a global reduction tree *)
+  h_reduction : loc:Errors.pos -> Frame.Mask.t -> unit;
+      (** count a global reduction tree *)
   h_call_metric : string -> unit;  (** count an external CALL *)
   h_find_proc : string -> (mask:bool array -> Pval.t list -> unit) option;
   h_find_func : string -> (value list -> value) option;
@@ -497,7 +502,15 @@ let bind_fresh frame si p (m : Frame.Mask.t) rhs =
 (* Compilation                                                         *)
 (* ------------------------------------------------------------------ *)
 
-type env = { host : host; frame : Frame.t; p : int }
+type env = {
+  host : host;
+  frame : Frame.t;
+  p : int;
+  mutable cur_loc : Errors.pos;
+      (** location of the [SLoc] wrapper being compiled; every tick site
+          captures it at compile time, so the run-time closures carry
+          their source attribution for free *)
+}
 type cexpr = Frame.Mask.t -> rv
 type cstmt = Frame.Mask.t -> unit
 
@@ -649,11 +662,12 @@ and compile_call env name args : cexpr =
 
 and compile_reduction env name key args : cexpr =
   let host = env.host in
+  let loc = env.cur_loc in
   let carg =
     match args with [ a ] -> Some (compile_expr env a) | _ -> None
   in
   fun m ->
-    host.h_reduction ();
+    host.h_reduction ~loc m;
     let v =
       match carg with
       | Some c -> c m
@@ -1082,7 +1096,20 @@ and compile_assign env (l : lvalue) : Frame.Mask.t -> rv -> unit =
 
 and compile_stmt env (s : stmt) : cstmt =
   let host = env.host in
+  let loc = env.cur_loc in
   match s with
+  | SLoc (loc, s) ->
+      (* compile the wrapped statement under its location; annotate
+         runtime errors escaping the compiled closure (innermost located
+         statement wins, already-located errors pass through) *)
+      let saved = env.cur_loc in
+      env.cur_loc <- loc;
+      let cs = compile_stmt env s in
+      env.cur_loc <- saved;
+      fun m ->
+        (try cs m
+         with Errors.Runtime_error msg ->
+           raise (Errors.Runtime_error_at (loc, msg)))
   | SComment _ | SLabel _ -> fun _ -> ()
   | SAssign (l, e) ->
       let ce = compile_expr env e in
@@ -1091,7 +1118,7 @@ and compile_stmt env (s : stmt) : cstmt =
         observe env m s;
         let rhs = ce m in
         if rv_is_plural rhs then
-          host.h_tick_vector ~active:(Frame.Mask.active m)
+          host.h_tick_vector ~loc ~kind:Lf_obs.Trace.Assign m
         else host.h_tick_frontend ();
         casgn m rhs
   | SCall (name, args) -> (
@@ -1105,7 +1132,7 @@ and compile_stmt env (s : stmt) : cstmt =
         | None -> Errors.runtime_error "unknown subroutine %s" name
         | Some f ->
             host.h_call_metric key;
-            host.h_tick_vector ~active:(Frame.Mask.active m);
+            host.h_tick_vector ~loc ~kind:Lf_obs.Trace.Call m;
             let vargs =
               List.map (fun (c, exact) -> rv_to_pval ~exact m (c m)) cargs
             in
@@ -1127,7 +1154,7 @@ and compile_stmt env (s : stmt) : cstmt =
             (* plural IF runs as WHERE, and like the tree-walker's
                [SWhere] dispatch it re-evaluates the condition *)
             let cv = cc m in
-            host.h_tick_vector ~active:(Frame.Mask.active m);
+            host.h_tick_vector ~loc ~kind:Lf_obs.Trace.Where m;
             split_mask m cv mt mf;
             ct mt;
             cf mf)
@@ -1138,7 +1165,7 @@ and compile_stmt env (s : stmt) : cstmt =
       let mf = Frame.Mask.create_empty env.p in
       fun m ->
         let cv = cc m in
-        host.h_tick_vector ~active:(Frame.Mask.active m);
+        host.h_tick_vector ~loc ~kind:Lf_obs.Trace.Where m;
         split_mask m cv mt mf;
         ct mt;
         cf mf
@@ -1156,7 +1183,7 @@ and compile_stmt env (s : stmt) : cstmt =
           | RB a ->
               (* vector-controlled WHILE (§2): active lanes must agree;
                  unboxed comparison, no per-lane boxing *)
-              host.h_tick_vector ~active:(Frame.Mask.active m);
+              host.h_tick_vector ~loc ~kind:Lf_obs.Trace.While m;
               let seen = ref false and v0 = ref false in
               for i = 0 to p - 1 do
                 if Frame.Mask.get m i then
@@ -1170,7 +1197,7 @@ and compile_stmt env (s : stmt) : cstmt =
               done;
               !seen && !v0
           | cv ->
-              host.h_tick_vector ~active:(Frame.Mask.active m);
+              host.h_tick_vector ~loc ~kind:Lf_obs.Trace.While m;
               let first = ref None in
               for i = 0 to p - 1 do
                 if Frame.Mask.get m i then
@@ -1280,6 +1307,7 @@ let var_names (prog : program) : string list =
         ex b
   in
   let rec st = function
+    | SLoc (_, s) -> st s
     | SComment _ | SLabel _ | SGoto _ -> ()
     | SCondGoto (e, _) -> ex e
     | SAssign (l, e) ->
@@ -1308,5 +1336,5 @@ let var_names (prog : program) : string list =
   List.rev !order
 
 let compile ~host ~frame (body : block) : Frame.Mask.t -> unit =
-  let env = { host; frame; p = host.h_p } in
+  let env = { host; frame; p = host.h_p; cur_loc = Errors.no_pos } in
   compile_block env body

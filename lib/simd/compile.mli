@@ -17,10 +17,15 @@ open Lf_lang
 
 type host = {
   h_p : int;  (** number of lanes *)
-  h_tick_vector : active:int -> unit;
-      (** account one vector step (may raise on fuel exhaustion) *)
+  h_tick_vector :
+    loc:Errors.pos -> kind:Lf_obs.Trace.kind -> Frame.Mask.t -> unit;
+      (** account one vector step (may raise on fuel exhaustion); [loc]
+          and [kind] are compile-time constants of the issuing site, and
+          the mask caches its active count, so the host's trace emission
+          is one flat branch when tracing is off *)
   h_tick_frontend : unit -> unit;  (** account one control-unit step *)
-  h_reduction : unit -> unit;  (** count a global reduction tree *)
+  h_reduction : loc:Errors.pos -> Frame.Mask.t -> unit;
+      (** count a global reduction tree *)
   h_call_metric : string -> unit;  (** count an external CALL *)
   h_find_proc :
     string -> (mask:bool array -> Pval.t list -> unit) option;

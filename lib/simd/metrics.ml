@@ -55,6 +55,21 @@ let utilization m =
   if m.lane_slots = 0 then 1.0
   else float_of_int m.busy_lanes /. float_of_int m.lane_slots
 
+let to_json m : Lf_obs.Json.t =
+  Lf_obs.Json.Obj
+    [
+      ("steps", Lf_obs.Json.Int m.steps);
+      ("busy_lanes", Lf_obs.Json.Int m.busy_lanes);
+      ("lane_slots", Lf_obs.Json.Int m.lane_slots);
+      ("frontend_steps", Lf_obs.Json.Int m.frontend_steps);
+      ("reductions", Lf_obs.Json.Int m.reductions);
+      ("utilization", Lf_obs.Json.Float (utilization m));
+      ( "calls",
+        Lf_obs.Json.Obj
+          (Hashtbl.fold (fun k v acc -> (k, Lf_obs.Json.Int v) :: acc) m.calls []
+          |> List.sort compare) );
+    ]
+
 let pp ppf m =
   Fmt.pf ppf
     "steps=%d frontend=%d reductions=%d utilization=%.3f calls=[%a]" m.steps

@@ -26,4 +26,8 @@ val equal : t -> t -> bool
 (** [busy_lanes / lane_slots]; 1.0 when nothing ran. *)
 val utilization : t -> float
 
+(** All counters (including per-subroutine calls) as a JSON object — the
+    payload of [simdsim --metrics-json]. *)
+val to_json : t -> Lf_obs.Json.t
+
 val pp : t Fmt.t

@@ -40,6 +40,11 @@ and t = {
   funcs : (string, value list -> value) Hashtbl.t;  (** per-lane pure functions *)
   mutable observer : (t -> mask:bool array -> Ast.stmt -> unit) option;
       (** called before every vector-step statement with its mask *)
+  trace : Lf_obs.Trace.t;
+      (** per-vector-step event collector; disabled (one flat branch per
+          step, no allocation) until a sink is attached *)
+  mutable cur_loc : Errors.pos;
+      (** source location of the innermost [SLoc]-wrapped statement *)
 }
 
 let default_fuel = 50_000_000
@@ -54,6 +59,8 @@ let create ?(fuel = default_fuel) ~p () =
       procs = Hashtbl.create 8;
       funcs = Hashtbl.create 8;
       observer = None;
+      trace = Lf_obs.Trace.create ();
+      cur_loc = Errors.no_pos;
     }
   in
   (* the predefined plural processor index, matching Lf_core.Simdize.iproc *)
@@ -76,10 +83,37 @@ let register_func vm name f =
 let full_mask vm = Array.make vm.p true
 let active_count mask = Array.fold_left (fun n b -> if b then n + 1 else n) 0 mask
 
-let tick_vector vm ~mask =
-  Metrics.vector_step vm.metrics ~active:(active_count mask) ~p:vm.p;
+(** Attach a trace sink (see [Lf_obs.Trace]); arms event emission. *)
+let add_trace_sink vm sink = Lf_obs.Trace.attach vm.trace sink
+
+let tick_vector vm ~mask ~kind =
+  let active = active_count mask in
+  Metrics.vector_step vm.metrics ~active ~p:vm.p;
+  if vm.trace.Lf_obs.Trace.enabled then
+    Lf_obs.Trace.emit vm.trace
+      {
+        loc = vm.cur_loc;
+        step = vm.metrics.Metrics.steps;
+        active;
+        p = vm.p;
+        kind;
+        mask = Array.copy mask;
+      };
   vm.fuel <- vm.fuel - 1;
   if vm.fuel <= 0 then Errors.runtime_error "SIMD VM fuel exhausted"
+
+(** Emit a [Reduce] trace event (reductions do not consume a step). *)
+let trace_reduction vm ~mask =
+  if vm.trace.Lf_obs.Trace.enabled then
+    Lf_obs.Trace.emit vm.trace
+      {
+        loc = vm.cur_loc;
+        step = vm.metrics.Metrics.steps;
+        active = active_count mask;
+        p = vm.p;
+        kind = Lf_obs.Trace.Reduce;
+        mask = Array.copy mask;
+      }
 
 let tick_frontend vm =
   Metrics.frontend_step vm.metrics;
@@ -199,6 +233,7 @@ and eval_call vm ~mask name args : Pval.t =
   let key = String.lowercase_ascii name in
   if is_reduction key then begin
     Metrics.reduction vm.metrics;
+    trace_reduction vm ~mask;
     let v =
       match args with
       | [ a ] -> eval vm ~mask a
@@ -365,12 +400,25 @@ let and_mask mask cond_lane =
 
 let rec exec vm ~(mask : bool array) (s : stmt) : unit =
   match s with
+  | SLoc (loc, s) ->
+      (* set the location for event attribution; locate runtime errors
+         raised inside (innermost located statement wins, [Jump]-free
+         engine so nothing else escapes normally) *)
+      let saved = vm.cur_loc in
+      vm.cur_loc <- loc;
+      (try exec vm ~mask s
+       with e -> (
+         vm.cur_loc <- saved;
+         match e with
+         | Errors.Runtime_error m -> raise (Errors.Runtime_error_at (loc, m))
+         | e -> raise e));
+      vm.cur_loc <- saved
   | SComment _ | SLabel _ -> ()
   | SAssign (l, e) ->
       observe vm ~mask s;
       let rhs = eval vm ~mask e in
       (match rhs with
-      | Pval.Plural _ -> tick_vector vm ~mask
+      | Pval.Plural _ -> tick_vector vm ~mask ~kind:Lf_obs.Trace.Assign
       | _ -> tick_frontend vm);
       assign vm ~mask l rhs
   | SCall (name, args) -> (
@@ -379,7 +427,7 @@ let rec exec vm ~(mask : bool array) (s : stmt) : unit =
       match Hashtbl.find_opt vm.procs key with
       | Some f ->
           Metrics.call vm.metrics key;
-          tick_vector vm ~mask;
+          tick_vector vm ~mask ~kind:Lf_obs.Trace.Call;
           f vm ~mask (List.map (eval vm ~mask) args)
       | None -> Errors.runtime_error "unknown subroutine %s" name)
   | SIf (c, t, f) -> (
@@ -394,7 +442,7 @@ let rec exec vm ~(mask : bool array) (s : stmt) : unit =
       | Pval.FArr _ -> Errors.runtime_error "array condition")
   | SWhere (c, t, f) ->
       let cv = eval vm ~mask c in
-      tick_vector vm ~mask;
+      tick_vector vm ~mask ~kind:Lf_obs.Trace.Where;
       let cond_lane i = as_bool (Pval.lane cv i) in
       let mt = and_mask mask cond_lane in
       let mf = and_mask mask (fun i -> not (cond_lane i)) in
@@ -408,7 +456,7 @@ let rec exec vm ~(mask : bool array) (s : stmt) : unit =
             as_bool v
         | Pval.Plural vs ->
             (* vector-controlled WHILE (§2): all active lanes must agree *)
-            tick_vector vm ~mask;
+            tick_vector vm ~mask ~kind:Lf_obs.Trace.While;
             let vals =
               List.filteri (fun i _ -> mask.(i)) (Array.to_list vs)
             in
@@ -544,12 +592,35 @@ let run_compiled vm (prog : program) =
     {
       Compile.h_p = vm.p;
       h_tick_vector =
-        (fun ~active ->
+        (fun ~loc ~kind m ->
+          let active = Frame.Mask.active m in
           Metrics.vector_step vm.metrics ~active ~p:vm.p;
+          if vm.trace.Lf_obs.Trace.enabled then
+            Lf_obs.Trace.emit vm.trace
+              {
+                loc;
+                step = vm.metrics.Metrics.steps;
+                active;
+                p = vm.p;
+                kind;
+                mask = Frame.Mask.to_bool_array m;
+              };
           vm.fuel <- vm.fuel - 1;
           if vm.fuel <= 0 then Errors.runtime_error "SIMD VM fuel exhausted");
       h_tick_frontend = (fun () -> tick_frontend vm);
-      h_reduction = (fun () -> Metrics.reduction vm.metrics);
+      h_reduction =
+        (fun ~loc m ->
+          Metrics.reduction vm.metrics;
+          if vm.trace.Lf_obs.Trace.enabled then
+            Lf_obs.Trace.emit vm.trace
+              {
+                loc;
+                step = vm.metrics.Metrics.steps;
+                active = Frame.Mask.active m;
+                p = vm.p;
+                kind = Lf_obs.Trace.Reduce;
+                mask = Frame.Mask.to_bool_array m;
+              });
       h_call_metric = (fun name -> Metrics.call vm.metrics name);
       h_find_proc =
         (fun key ->

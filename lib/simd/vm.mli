@@ -28,6 +28,11 @@ and t = {
   procs : (string, proc) Hashtbl.t;
   funcs : (string, Values.value list -> Values.value) Hashtbl.t;
   mutable observer : (t -> mask:bool array -> Ast.stmt -> unit) option;
+  trace : Lf_obs.Trace.t;
+      (** per-vector-step event collector; off (one flat branch per
+          step, no allocation) until a sink is attached *)
+  mutable cur_loc : Errors.pos;
+      (** location of the innermost [SLoc]-wrapped statement executing *)
 }
 
 val default_fuel : int
@@ -37,6 +42,11 @@ val register_proc : t -> string -> proc -> unit
 (** Install a per-statement observer, called before each assignment or
     CALL with the activity mask — the hook behind occupancy traces. *)
 val set_observer : t -> (t -> mask:bool array -> Ast.stmt -> unit) -> unit
+
+(** Attach a per-vector-step trace sink; both engines then emit one
+    [Lf_obs.Trace] event per vector step (and per reduction), carrying
+    the issuing statement's source location and activity mask. *)
+val add_trace_sink : t -> Lf_obs.Trace.sink -> unit
 
 (** Register a pure per-lane function (applied pointwise under the mask
     when any argument is plural). *)

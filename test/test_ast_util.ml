@@ -53,6 +53,7 @@ let t_map_exprs () =
       (Ast_util.map_expr (function EVar "i" -> EInt 3 | e -> e))
       b
   in
+  let b' = Ast.strip_locs_block b' in
   checkb "condition rewritten"
     (match b' with
     | [ _; SIf (EBin (Lt, EInt 3, EVar "n"), _, _) ] -> true

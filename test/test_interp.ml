@@ -81,7 +81,7 @@ let t_arrays () =
         Env.set ctx.Interp.env "a" (VArr (AInt (Nd.create [| 3 |] 0))))
       "a(4) = 1"
   with
-  | exception Errors.Runtime_error _ -> ()
+  | exception (Errors.Runtime_error _ | Errors.Runtime_error_at _) -> ()
   | _ -> Alcotest.fail "expected bounds error"
 
 let t_loops () =
@@ -133,12 +133,15 @@ let t_procs () =
   checkb "calls recorded" (!calls = [ [ 3; 6 ]; [ 2; 4 ]; [ 1; 2 ] ]);
   checki "observations" 3 (List.length (Interp.observations ctx));
   match run "CALL nosuch(1)" with
-  | exception Errors.Runtime_error _ -> ()
+  | exception (Errors.Runtime_error _ | Errors.Runtime_error_at _) -> ()
   | _ -> Alcotest.fail "unknown subroutine must fail"
 
 let t_fuel () =
   match Interp.run_block ~fuel:1000 (parse_block "i = 1\nWHILE (i > 0)\n  i = i + 1\nENDWHILE") with
-  | exception Errors.Runtime_error _ -> ()
+  | exception Errors.Runtime_error_at (p, _) ->
+      checkb "fuel error carries a source line" (p.Errors.line >= 2)
+  | exception Errors.Runtime_error _ ->
+      Alcotest.fail "fuel error lost its source location"
   | _ -> Alcotest.fail "expected fuel exhaustion"
 
 let t_example_semantics () =

@@ -62,7 +62,8 @@ let t_to_while_semantics () =
   List.iter
     (fun src ->
       let b = parse_block src in
-      let is_loop = function
+      let is_loop s =
+        match strip_loc s with
         | SDo _ | SWhile _ | SDoWhile _ | SForall _ -> true
         | _ -> false
       in

@@ -82,7 +82,7 @@ let t_nbforce_safety () =
   let p = Lf_kernels.Nbforce_src.program () in
   let loop =
     List.find
-      (function Ast.SDo _ -> true | _ -> false)
+      (fun s -> match Ast.strip_loc s with Ast.SDo _ -> true | _ -> false)
       p.Ast.p_body
   in
   let r = P.check_loop loop in

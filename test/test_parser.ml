@@ -51,8 +51,9 @@ let t_calls_and_arrays () =
     (ERange (EInt 1, EVar "p"))
     (parse_expr "[1:p]")
 
+(* shape tests assert bare statement structure: strip source locations *)
 let stmt1 src =
-  match parse_block src with
+  match strip_locs_block (parse_block src) with
   | [ s ] -> s
   | ss -> Alcotest.failf "expected one statement, got %d" (List.length ss)
 
@@ -108,7 +109,8 @@ let t_goto () =
   in
   let kinds =
     List.map
-      (function
+      (fun s ->
+        match strip_loc s with
         | SAssign _ -> "a"
         | SLabel _ -> "L"
         | SCondGoto _ -> "c"
@@ -169,14 +171,42 @@ let t_errors () =
 
 let t_example () =
   (* the paper's Figure 1 parses to the expected nest *)
-  match example_block () with
+  match strip_locs_block (example_block ()) with
   | [ SDo ({ d_var = "i"; _ }, [ SDo ({ d_var = "j"; d_hi = EIdx ("l", [ EVar "i" ]); _ }, [ SAssign _ ]) ]) ] ->
       ()
   | _ -> Alcotest.fail "EXAMPLE shape"
 
+let t_locations () =
+  (* every parsed statement carries its source line *)
+  let b = parse_block "i = 1\nDO j = 1, 3\n  a(j) = j\nENDDO\ns = 2" in
+  let lines =
+    List.map
+      (fun s ->
+        match Ast.loc_of s with
+        | Some p -> p.Errors.line
+        | None -> -1)
+      b
+  in
+  check Alcotest.(list int) "top-level statement lines" [ 1; 2; 5 ] lines;
+  (match List.map strip_loc b with
+  | [ _; SDo (_, [ inner ]); _ ] ->
+      (match Ast.loc_of inner with
+      | Some p ->
+          checki "nested statement line" 3 p.Errors.line;
+          checkb "nested statement col" (p.Errors.col > 1)
+      | None -> Alcotest.fail "nested statement lost its location")
+  | _ -> Alcotest.fail "unexpected block shape");
+  (* equality and pretty-printing look through locations *)
+  checkb "located equals bare"
+    (Ast.equal_block b (strip_locs_block b));
+  checks "pretty ignores locations"
+    (Pretty.block_to_string (strip_locs_block b))
+    (Pretty.block_to_string b)
+
 let suite =
   [
     case "expression precedence" t_precedence;
+    case "statement source locations" t_locations;
     case "calls and array refs" t_calls_and_arrays;
     case "statement forms" t_statements;
     case "labels and gotos" t_goto;

@@ -83,4 +83,5 @@ let suite =
     runs_quietly "bounds";
     runs_quietly "transforms";
     runs_quietly "ablation-variants";
+    runs_quietly "obs-nbforce";
   ]

@@ -90,7 +90,7 @@ let t_vector_while () =
   match
     run_vm "i = iproc\nWHILE (i < 3)\n  i = i + 1\nENDWHILE"
   with
-  | exception Errors.Runtime_error _ -> ()
+  | exception (Errors.Runtime_error _ | Errors.Runtime_error_at _) -> ()
   | _ -> Alcotest.fail "divergent vector WHILE must be rejected"
 
 let t_while_any () =
@@ -149,12 +149,15 @@ let t_procs () =
 
 let t_fuel () =
   match run_vm "i = 0\nWHILE (i < 1)\n  j = iproc\nENDWHILE" with
-  | exception Errors.Runtime_error _ -> ()
+  | exception Errors.Runtime_error_at (p, _) ->
+      checkb "fuel error carries a source line" (p.Errors.line >= 2)
+  | exception Errors.Runtime_error _ ->
+      Alcotest.fail "fuel error lost its source location"
   | _ -> Alcotest.fail "expected fuel exhaustion"
 
 let t_lift_errors () =
   (match run_vm "i = iproc\nk = 1\nk = i" with
-  | exception Errors.Runtime_error _ -> ()
+  | exception (Errors.Runtime_error _ | Errors.Runtime_error_at _) -> ()
   | _ -> Alcotest.fail "plural into front-end scalar must fail")
 
 let scalar_of vm name =
@@ -302,7 +305,8 @@ let t_compiled_errors () =
     let prog = Ast.program "t" (parse_block src) in
     match Vm.run ~engine ~p:4 prog with
     | _ -> Alcotest.fail "divergent vector WHILE must be rejected"
-    | exception Errors.Runtime_error m -> m
+    | exception ((Errors.Runtime_error _ | Errors.Runtime_error_at _) as e) ->
+        Errors.to_message e
   in
   Alcotest.(check string) "same error" (msg `Tree_walk) (msg `Compiled)
 
