@@ -40,12 +40,28 @@ let decomp_conv =
   Arg.enum
     [ ("block", Lf_core.Simdize.Block); ("cyclic", Lf_core.Simdize.Cyclic) ]
 
+(* With --lint: report located diagnostics and refuse on errors. *)
+let lint_refuses ~path ~src ~pure_subs prog =
+  let report =
+    Lf_analysis.Lint.check_program ~pure_subroutines:pure_subs prog
+  in
+  List.iter
+    (fun d ->
+      Fmt.epr "%a"
+        (Lf_analysis.Lint.pp_diag_with_context ~file:path ~source:src ())
+        d)
+    report.Lf_analysis.Lint.diags;
+  not report.Lf_analysis.Lint.safe
+
 let run path variant target decomp p naive assume_nonempty trusted pure_subs
-    deep check verbose =
+    deep check lint verbose =
   let src = read_source path in
   match Lf_lang.Parser.program_of_string src with
   | exception e ->
       Fmt.epr "%s@." (Lf_lang.Errors.to_message e);
+      1
+  | prog when lint && lint_refuses ~path ~src ~pure_subs prog ->
+      Fmt.epr "flattenc: refusing to transform %s: lint errors@." path;
       1
   | prog -> (
       if target = "mimd" then begin
@@ -187,6 +203,14 @@ let cmd =
       & info [ "check" ]
           ~doc:"Typecheck the transformed program and report diagnostics.")
   in
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Run the flatten-safety lint before transforming and refuse \
+             (exit 1) on lint errors.")
+  in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print diagnostics.")
   in
@@ -195,6 +219,7 @@ let cmd =
        ~doc:"source-to-source loop flattening for SIMD machines")
     Term.(
       const run $ path $ variant $ target $ decomp $ p $ naive
-      $ assume_nonempty $ trusted $ pure_subs $ deep $ check $ verbose)
+      $ assume_nonempty $ trusted $ pure_subs $ deep $ check $ lint
+      $ verbose)
 
 let () = exit (Cmd.eval' cmd)

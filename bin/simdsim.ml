@@ -116,10 +116,23 @@ let max_abs_err reference f =
 (* ------------------------------------------------------------------ *)
 
 let run path seq engine lanes sets fills dumps kernel atoms trace_file
-    profile metrics_json occupancy_json chrome_file compare_mimd =
+    profile metrics_json occupancy_json chrome_file compare_mimd lint =
   try
     let src = read_source path in
     let prog = Parser.program_of_string src in
+    if lint then begin
+      let report = Lf_analysis.Lint.check_program prog in
+      List.iter
+        (fun d ->
+          Fmt.epr "%a"
+            (Lf_analysis.Lint.pp_diag_with_context ~file:path ~source:src ())
+            d)
+        report.Lf_analysis.Lint.diags;
+      if not report.Lf_analysis.Lint.safe then begin
+        Fmt.epr "simdsim: refusing to run %s: lint errors@." path;
+        raise Exit
+      end
+    end;
     let sets = List.map parse_binding sets in
     let fills = List.map parse_binding fills in
     let workload =
@@ -411,12 +424,20 @@ let cmd =
              one name space per processor) and report TIME_SIMD vs \
              TIME_MIMD per source region.")
   in
+  let lint =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "Run the flatten-safety lint before executing and refuse \
+             (exit 1) on lint errors.")
+  in
   Cmd.v
     (Cmd.info "simdsim" ~version:"1.0"
        ~doc:"run pseudo-Fortran programs on the simulated SIMD machine")
     Term.(
       const run $ path $ seq $ engine $ lanes $ sets $ fills $ dumps
       $ kernel $ atoms $ trace_file $ profile $ metrics_json
-      $ occupancy_json $ chrome_file $ compare_mimd)
+      $ occupancy_json $ chrome_file $ compare_mimd $ lint)
 
 let () = exit (Cmd.eval' cmd)

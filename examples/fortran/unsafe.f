@@ -1,0 +1,10 @@
+PROGRAM unsafe
+  INTEGER k, i, j
+  INTEGER l(k)
+  REAL x(k)
+  DO i = 2, k
+    DO j = 1, l(i)
+      x(i) = x(i - 1) + j
+    ENDDO
+  ENDDO
+END

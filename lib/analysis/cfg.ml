@@ -1,0 +1,217 @@
+(** Control-flow graphs for the mini-Fortran AST, including GOTO edges.
+
+    The syntactic analyses in this library ([Loop_info], [Parallel]) walk
+    statement trees, so GOTO control flow has to be restructured away
+    before they apply.  The dataflow framework ([Dataflow], [Chains])
+    instead works on an explicit statement-grained CFG in which structured
+    statements and GOTO/label jumps are both just edges: one node per
+    simple statement, plus test/header nodes for branches and loops, so
+    every node has a well-defined gen/kill set and (when the parser
+    produced the program) a source location for diagnostics.
+
+    WHERE is modeled by its vector semantics: both branches execute in
+    order under complementary masks, so they are {e sequential} in the
+    CFG, and assignments inside them are flagged [masked] — a masked
+    definition may not commit on every lane and therefore never kills. *)
+
+open Lf_lang
+open Lf_lang.Ast
+
+type kind =
+  | Entry
+  | Exit
+  | Stmt of stmt
+      (** bare simple statement: assignment, call, GOTO, label, comment *)
+  | Test of expr  (** IF / WHILE / DO WHILE / WHERE condition *)
+  | Head of do_control * bool
+      (** DO / FORALL header ([true] for FORALL): defines the induction
+          variable, reads the bounds, re-tested on the back edge *)
+  | Join  (** merge point after a branch; also the DO WHILE loop head *)
+
+type node = {
+  id : int;
+  kind : kind;
+  loc : Errors.pos option;
+  masked : bool;  (** inside a WHERE branch (definitions do not kill) *)
+  mutable succ : int list;
+  mutable pred : int list;
+}
+
+type t = {
+  nodes : node array;  (** indexed by [id] *)
+  entry : int;
+  exit_ : int;
+}
+
+(** A definition performed by a node.  [def_must] marks certain, whole
+    definitions (scalar assignment outside any mask, loop-header binding);
+    array-element stores, masked stores and by-reference subroutine
+    arguments are may-definitions and never kill. *)
+type def = {
+  def_var : string;
+  def_must : bool;
+}
+
+let defs (n : node) : def list =
+  match n.kind with
+  | Stmt (SAssign (l, _)) ->
+      [ { def_var = l.lv_name; def_must = l.lv_index = [] && not n.masked } ]
+  | Stmt (SCall (_, args)) ->
+      (* by-reference argument passing: a subroutine with unknown effects
+         may write any variable mentioned in its arguments *)
+      List.concat_map Ast_util.expr_vars args
+      |> List.sort_uniq String.compare
+      |> List.map (fun v -> { def_var = v; def_must = false })
+  | Head (c, _) -> [ { def_var = c.d_var; def_must = not n.masked } ]
+  | _ -> []
+
+let uses (n : node) : string list =
+  (match n.kind with
+  | Stmt (SAssign (l, e)) ->
+      (* an element store reads the rest of the array: it survives *)
+      Ast_util.expr_vars e
+      @ List.concat_map Ast_util.expr_vars l.lv_index
+      @ (if l.lv_index <> [] then [ l.lv_name ] else [])
+  | Stmt (SCall (_, args)) -> List.concat_map Ast_util.expr_vars args
+  | Stmt (SCondGoto (e, _)) -> Ast_util.expr_vars e
+  | Test e -> Ast_util.expr_vars e
+  | Head (c, _) ->
+      Ast_util.expr_vars c.d_lo @ Ast_util.expr_vars c.d_hi
+      @ (match c.d_step with Some e -> Ast_util.expr_vars e | None -> [])
+  | Entry | Exit | Join | Stmt _ -> [])
+  |> List.sort_uniq String.compare
+
+(** Build the CFG of a block.  GOTOs to labels that never appear simply
+    flow to the exit (the interpreters raise at run time; the CFG stays
+    conservative). *)
+let build (b : block) : t =
+  let rev_nodes = ref [] in
+  let count = ref 0 in
+  let mk ?loc ?(masked = false) kind =
+    let n = { id = !count; kind; loc; masked; succ = []; pred = [] } in
+    incr count;
+    rev_nodes := n :: !rev_nodes;
+    n
+  in
+  let edge a b =
+    if not (List.mem b.id a.succ) then begin
+      a.succ <- a.succ @ [ b.id ];
+      b.pred <- b.pred @ [ a.id ]
+    end
+  in
+  let link ins n = List.iter (fun f -> edge f n) ins in
+  let labels = Hashtbl.create 8 in
+  let label_node ?loc l =
+    match Hashtbl.find_opt labels l with
+    | Some n -> n
+    | None ->
+        let n = mk ?loc (Stmt (SLabel l)) in
+        Hashtbl.add labels l n;
+        n
+  in
+  let entry = mk Entry in
+  (* [ins] is the running frontier of dangling exits; each statement links
+     the frontier to its entry and returns the new frontier *)
+  let rec block_ ~masked ~loc ins b =
+    List.fold_left (fun ins s -> stmt_ ~masked ~loc ins s) ins b
+  and stmt_ ~masked ~loc ins s =
+    match s with
+    | SLoc (p, s) -> stmt_ ~masked ~loc:(Some p) ins s
+    | SComment _ -> ins
+    | (SAssign _ | SCall _) as s ->
+        let n = mk ?loc ~masked (Stmt s) in
+        link ins n;
+        [ n ]
+    | SLabel l ->
+        let n = label_node ?loc l in
+        link ins n;
+        [ n ]
+    | SGoto l as s ->
+        let n = mk ?loc ~masked (Stmt s) in
+        link ins n;
+        edge n (label_node l);
+        []
+    | SCondGoto (_, l) as s ->
+        let n = mk ?loc ~masked (Stmt s) in
+        link ins n;
+        edge n (label_node l);
+        [ n ]
+    | SIf (e, t, f) ->
+        let tn = mk ?loc ~masked (Test e) in
+        link ins tn;
+        let o1 = block_ ~masked ~loc [ tn ] t in
+        let o2 = block_ ~masked ~loc [ tn ] f in
+        let j = mk ?loc ~masked Join in
+        link (o1 @ o2) j;
+        [ j ]
+    | SWhere (e, t, f) ->
+        (* both branches run, in order, under complementary masks *)
+        let tn = mk ?loc ~masked (Test e) in
+        link ins tn;
+        let o1 = block_ ~masked:true ~loc [ tn ] t in
+        block_ ~masked:true ~loc o1 f
+    | SDo (c, body) ->
+        let h = mk ?loc ~masked (Head (c, false)) in
+        link ins h;
+        let outs = block_ ~masked ~loc [ h ] body in
+        link outs h;
+        [ h ]
+    | SForall (c, body) ->
+        let h = mk ?loc ~masked (Head (c, true)) in
+        link ins h;
+        let outs = block_ ~masked ~loc [ h ] body in
+        link outs h;
+        [ h ]
+    | SWhile (e, body) ->
+        let tn = mk ?loc ~masked (Test e) in
+        link ins tn;
+        let outs = block_ ~masked ~loc [ tn ] body in
+        link outs tn;
+        [ tn ]
+    | SDoWhile (body, e) ->
+        let h = mk ?loc ~masked Join in
+        link ins h;
+        let outs = block_ ~masked ~loc [ h ] body in
+        let tn = mk ?loc ~masked (Test e) in
+        link outs tn;
+        edge tn h;
+        [ tn ]
+  in
+  let outs = block_ ~masked:false ~loc:None [ entry ] b in
+  let exit_ = mk Exit in
+  link outs exit_;
+  let nodes = Array.of_list (List.rev !rev_nodes) in
+  (* flow that dies (a GOTO whose label never appears) falls to the exit *)
+  Array.iter
+    (fun n -> if n.succ = [] && n.id <> exit_.id then edge n exit_)
+    nodes;
+  { nodes; entry = entry.id; exit_ = exit_.id }
+
+let node (cfg : t) id = cfg.nodes.(id)
+let size (cfg : t) = Array.length cfg.nodes
+
+let kind_to_string = function
+  | Entry -> "entry"
+  | Exit -> "exit"
+  | Join -> "join"
+  | Test e -> "test " ^ Pretty.expr_to_string e
+  | Head (c, forall) ->
+      Fmt.str "%s %s" (if forall then "forall" else "do") c.d_var
+  | Stmt s -> String.trim (Pretty.stmt_to_string s)
+
+let pp ppf (cfg : t) =
+  Array.iter
+    (fun n ->
+      Fmt.pf ppf "%d [%s] -> %a@." n.id (kind_to_string n.kind)
+        Fmt.(list ~sep:(any ",") int)
+        n.succ)
+    cfg.nodes
+
+(** Nodes whose statements perform a subroutine call, with locations —
+    used by the lint's unknown-effects rule. *)
+let calls (cfg : t) : (string * Errors.pos option) list =
+  Array.to_list cfg.nodes
+  |> List.filter_map (fun n ->
+         match n.kind with
+         | Stmt (SCall (name, _)) -> Some (name, n.loc)
+         | _ -> None)

@@ -1,0 +1,84 @@
+(** Use-def and def-use chains, derived from reaching definitions.
+
+    A {e use} is (node, variable); its use-def chain is the set of
+    definition sites that reach the node and define the variable.  The
+    def-use chains are the inverse map.  [Lint] uses these to answer
+    "which statements feed this test?" (purity of the test/init phases)
+    and "is this scalar's value carried around the loop back edge?"
+    without the textual scans of [Side_effects]/[Parallel]. *)
+
+open Lf_lang
+
+type use_site = {
+  us_node : int;
+  us_var : string;
+  us_loc : Errors.pos option;
+}
+
+type t = {
+  ch_reaching : Dataflow.reaching;
+  ch_uses : use_site array;
+  ch_ud : Dataflow.def_site list array;
+      (** use-def: for use [i], the definitions that may reach it *)
+  ch_du : (int * use_site list) list;
+      (** def-use: for each [ds_id], the uses it may feed *)
+}
+
+let build (cfg : Cfg.t) : t =
+  let r = Dataflow.reaching_definitions cfg in
+  let uses = ref [] in
+  for i = 0 to Cfg.size cfg - 1 do
+    let nd = Cfg.node cfg i in
+    List.iter
+      (fun v ->
+        uses := { us_node = i; us_var = v; us_loc = nd.Cfg.loc } :: !uses)
+      (Cfg.uses nd)
+  done;
+  let uses = Array.of_list (List.rev !uses) in
+  let ud =
+    Array.map
+      (fun u -> Dataflow.reaching_defs_of r ~node:u.us_node ~var:u.us_var)
+      uses
+  in
+  let du = Hashtbl.create 16 in
+  Array.iteri
+    (fun i ds ->
+      List.iter
+        (fun (d : Dataflow.def_site) ->
+          let prev =
+            Option.value (Hashtbl.find_opt du d.Dataflow.ds_id) ~default:[]
+          in
+          Hashtbl.replace du d.Dataflow.ds_id (uses.(i) :: prev))
+        ds)
+    ud;
+  let du =
+    Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) du []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  { ch_reaching = r; ch_uses = uses; ch_ud = ud; ch_du = du }
+
+(** Definitions that may feed the given use of [var] at [node]. *)
+let defs_reaching (t : t) ~node ~var : Dataflow.def_site list =
+  Dataflow.reaching_defs_of t.ch_reaching ~node ~var
+
+(** Uses that definition [ds_id] may feed. *)
+let uses_of_def (t : t) ds_id : use_site list =
+  Option.value (List.assoc_opt ds_id t.ch_du) ~default:[]
+
+(** All uses of [var], in node order. *)
+let uses_of_var (t : t) var : use_site list =
+  Array.to_list t.ch_uses |> List.filter (fun u -> u.us_var = var)
+
+(** A use of [var] at [node] is {e upward exposed} if some definition
+    from outside the region (i.e. none at all in this CFG, or one at the
+    entry) may reach it.  With a CFG built from a loop body alone, a use
+    reached by zero definitions reads the value from before the body —
+    exactly the loop-carried-scalar situation [Lint] looks for. *)
+let upward_exposed (t : t) var : use_site list =
+  uses_of_var t var
+  |> List.filter (fun u -> defs_reaching t ~node:u.us_node ~var = [])
+
+(** Definition sites of [var] anywhere in the CFG. *)
+let defs_of_var (t : t) var : Dataflow.def_site list =
+  Array.to_list t.ch_reaching.Dataflow.rd_defs
+  |> List.filter (fun (d : Dataflow.def_site) -> d.Dataflow.ds_var = var)

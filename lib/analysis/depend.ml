@@ -105,8 +105,13 @@ let pp_verdict ppf = function
 
 (** Test one subscript pair in one dimension.  [a] is the subscript of the
     first reference, [b] of the second, both affine in the shared loop
-    variable. *)
-let siv_test (a : affine) (b : affine) : verdict =
+    variable.  [bounds], when known, is the constant iteration range
+    [(lo, hi)] of the loop; the weak SIV tests use it to discard solutions
+    outside the iteration space. *)
+let siv_test ?bounds (a : affine) (b : affine) : verdict =
+  let in_bounds i =
+    match bounds with Some (lo, hi) -> lo <= i && i <= hi | None -> true
+  in
   if not (sym_equal a.sym b.sym) then Unknown
   else if a.coeff = 0 && b.coeff = 0 then
     (* ZIV: constants — equal constants touch the same element in every
@@ -117,8 +122,33 @@ let siv_test (a : affine) (b : affine) : verdict =
     let diff = b.const - a.const in
     if diff mod a.coeff = 0 then Distance (diff / a.coeff) else Independent
   end
+  else if a.coeff = 0 || b.coeff = 0 then begin
+    (* weak-zero SIV: c*i + c1 = c2 — the invariant reference collides
+       with exactly one iteration, i = (c2 - c1)/c; independent when that
+       solution is fractional or outside the iteration space *)
+    let c, c1, c2 =
+      if b.coeff = 0 then (a.coeff, a.const, b.const)
+      else (b.coeff, b.const, a.const)
+    in
+    let diff = c2 - c1 in
+    if diff mod c <> 0 then Independent
+    else if not (in_bounds (diff / c)) then Independent
+    else Unknown
+  end
+  else if a.coeff = -b.coeff then begin
+    (* weak-crossing SIV: a*i1 + c1 = -a*i2 + c2  =>  i1 + i2 = (c2-c1)/a;
+       independent when the required sum is fractional or cannot be formed
+       by two iterations, i.e. lies outside [2*lo, 2*hi] *)
+    let diff = b.const - a.const in
+    if diff mod a.coeff <> 0 then Independent
+    else
+      let sum = diff / a.coeff in
+      match bounds with
+      | Some (lo, hi) when sum < (2 * lo) || sum > (2 * hi) -> Independent
+      | _ -> Unknown
+  end
   else begin
-    (* weak SIV / MIV territory: fall back to a GCD feasibility test *)
+    (* general MIV territory: fall back to a GCD feasibility test *)
     let rec gcd a b = if b = 0 then abs a else gcd b (a mod b) in
     let g = gcd a.coeff b.coeff in
     if g <> 0 && (b.const - a.const) mod g <> 0 then Independent else Unknown
@@ -148,6 +178,16 @@ type ref_info = {
   r_subs : expr list;
   r_is_write : bool;
 }
+
+(** Array references read by one expression. *)
+let expr_references (e : expr) : ref_info list =
+  Ast_util.fold_expr
+    (fun acc -> function
+      | EIdx (a, subs) ->
+          { r_array = a; r_subs = subs; r_is_write = false } :: acc
+      | _ -> acc)
+    [] e
+  |> List.rev
 
 (** Collect all array references in a block (reads and writes). *)
 let references (b : block) : ref_info list =
@@ -182,29 +222,37 @@ let references (b : block) : ref_info list =
   Ast_util.fold_stmts stmt_collect () b;
   List.rev !refs
 
+(** [refs_conflict ?bounds var invariant r1 r2] — the loop-carried verdict
+    for one pair of references: [None] when the pair cannot touch the same
+    element in different iterations of the loop over [var] (different
+    arrays, no write, proven independent, or dependence distance 0), and
+    [Some v] with the offending verdict otherwise. *)
+let refs_conflict ?bounds var invariant (r1 : ref_info) (r2 : ref_info) :
+    verdict option =
+  if not (r1.r_array = r2.r_array && (r1.r_is_write || r2.r_is_write)) then
+    None
+  else if List.length r1.r_subs <> List.length r2.r_subs then Some Unknown
+  else
+    let verdicts =
+      List.map2
+        (fun s1 s2 ->
+          match (extract var invariant s1, extract var invariant s2) with
+          | Some a, Some b -> siv_test ?bounds a b
+          | _ -> Unknown)
+        r1.r_subs r2.r_subs
+    in
+    match combine verdicts with
+    | Independent -> None
+    | Distance 0 -> None (* same iteration only *)
+    | (Distance _ | Unknown) as v -> Some v
+
 (** [loop_carried_array_dependence var invariant body] — true when some
     pair of references to the same array (at least one a write) may touch
     the same element in *different* iterations of the loop over [var]. *)
-let loop_carried_array_dependence var invariant (body : block) : bool =
+let loop_carried_array_dependence ?bounds var invariant (body : block) : bool =
   let refs = references body in
   let pairs_conflict r1 r2 =
-    r1.r_array = r2.r_array
-    && (r1.r_is_write || r2.r_is_write)
-    &&
-    if List.length r1.r_subs <> List.length r2.r_subs then true
-    else
-      let verdicts =
-        List.map2
-          (fun s1 s2 ->
-            match (extract var invariant s1, extract var invariant s2) with
-            | Some a, Some b -> siv_test a b
-            | _ -> Unknown)
-          r1.r_subs r2.r_subs
-      in
-      match combine verdicts with
-      | Independent -> false
-      | Distance 0 -> false  (* same iteration only *)
-      | Distance _ | Unknown -> true
+    refs_conflict ?bounds var invariant r1 r2 <> None
   in
   let rec any_pair = function
     | [] -> false

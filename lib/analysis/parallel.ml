@@ -105,8 +105,8 @@ let has_gotos (b : block) =
     certifies as side-effect free on shared state; [reductions] are
     scalars the caller will lower to per-processor partials (their carried
     dependence is therefore acceptable). *)
-let check ?(pure_subroutines = []) ?(invariants = []) ?(reductions = [])
-    (var : string) (body : block) : result =
+let check ?bounds ?(pure_subroutines = []) ?(invariants = [])
+    ?(reductions = []) (var : string) (body : block) : result =
   let assigned = Ast_util.assigned_vars body in
   let invariant v =
     v <> var && (List.mem v invariants || not (List.mem v assigned))
@@ -135,9 +135,16 @@ let check ?(pure_subroutines = []) ?(invariants = []) ?(reductions = [])
       if v <> var && SS.mem v exposed && not (List.mem v reductions) then
         obstacles := CarriedScalar v :: !obstacles)
     written_scalars;
-  if Depend.loop_carried_array_dependence var invariant body then
+  if Depend.loop_carried_array_dependence ?bounds var invariant body then
     obstacles := CarriedArray :: !obstacles;
   { parallel = !obstacles = []; obstacles = List.rev !obstacles }
+
+(** Constant iteration range of a DO control, when both bounds are integer
+    literals and the step is 1 — feeds the weak SIV tests in [Depend]. *)
+let const_bounds (c : do_control) : (int * int) option =
+  match (c.d_lo, c.d_hi, c.d_step) with
+  | EInt lo, EInt hi, (None | Some (EInt 1)) -> Some (lo, hi)
+  | _ -> None
 
 (** Decide parallelizability of a loop statement.  FORALL is accepted by
     assertion; DO loops are analyzed directly; WHILE loops are analyzed
@@ -150,7 +157,8 @@ let check_loop ?pure_subroutines ?invariants ?reductions ?(trusted = false)
   | SForall _ -> { parallel = true; obstacles = [] }
   | _ when trusted -> { parallel = true; obstacles = [] }
   | SDo (c, body) ->
-      check ?pure_subroutines ?invariants ?reductions c.d_var body
+      check ?bounds:(const_bounds c) ?pure_subroutines ?invariants ?reductions
+        c.d_var body
   | SWhile (test, body) -> (
       match Loop_info.induction_candidates test body with
       | [ var ] -> check ?pure_subroutines ?invariants ?reductions var body

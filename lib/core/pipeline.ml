@@ -182,11 +182,24 @@ let flatten_program ?(opts = default_options) (p : program) :
               ~trusted:opts.trusted_parallel loop_stmt
           in
           if not safety.Lf_analysis.Parallel.parallel then
+            (* cite the lint rule and source line for the refusal; the
+               lint re-analyzes the original (located) body, so the
+               citation points into the user's source *)
+            let citation =
+              let report =
+                Lf_analysis.Lint.check_program
+                  ~pure_subroutines:opts.pure_subroutines
+                  ~impure_funcs:opts.impure_funcs p
+              in
+              match Lf_analysis.Lint.first_error report with
+              | Some d -> Fmt.str " [%s]" (Lf_analysis.Lint.cite d)
+              | None -> ""
+            in
             Error
-              (Fmt.str "not safe: %a"
+              (Fmt.str "not safe: %a%s"
                  Fmt.(
                    list ~sep:(any "; ") Lf_analysis.Parallel.pp_obstacle)
-                 safety.Lf_analysis.Parallel.obstacles)
+                 safety.Lf_analysis.Parallel.obstacles citation)
           else
             let purity =
               Lf_analysis.Side_effects.env ~impure_funcs:opts.impure_funcs ()

@@ -154,6 +154,11 @@ let rec loc_of = function
       match loc_of s with Some _ as l -> l | None -> Some loc)
   | _ -> None
 
+(** First source location appearing in a block, if any. *)
+let rec block_loc = function
+  | [] -> None
+  | s :: rest -> ( match loc_of s with Some _ as l -> l | None -> block_loc rest)
+
 (** Remove the [SLoc] wrappers on one statement (not its sub-blocks). *)
 let rec strip_loc = function SLoc (_, s) -> strip_loc s | s -> s
 

@@ -36,6 +36,36 @@ let locate_runtime_error loc = function
   | Runtime_error m -> raise (Runtime_error_at (loc, m))
   | e -> raise e
 
+(* Source-context rendering for located diagnostics (the static checkers
+   and flattenlint print the offending line under the message). *)
+
+(** [source_line src n] — the [n]th line (1-based) of [src], if any. *)
+let source_line src n =
+  if n <= 0 then None
+  else
+    let rec nth i = function
+      | [] -> None
+      | l :: rest -> if i = n then Some l else nth (i + 1) rest
+    in
+    nth 1 (String.split_on_char '\n' src)
+
+(** Print the source line at [p] with its number and a caret under the
+    column, gutter-aligned:
+
+    {v
+       7 |     x(i) = x(i - 1) + j
+         |     ^
+    v}
+
+    Prints nothing when [p] is [no_pos] or past the end of [source]. *)
+let pp_context ~source ppf p =
+  match source_line source p.line with
+  | None -> ()
+  | Some text ->
+      let gutter = String.length (string_of_int p.line) in
+      Fmt.pf ppf "%d | %s@.%s | %s^@." p.line text (String.make gutter ' ')
+        (String.make (max 0 (p.col - 1)) ' ')
+
 (** Render any of the above exceptions as a one-line message; re-raises
     anything else. *)
 let to_message = function

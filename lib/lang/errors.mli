@@ -32,3 +32,11 @@ val locate_runtime_error : pos -> exn -> 'a
 (** Render any of the above exceptions as a one-line message; re-raises
     anything else. *)
 val to_message : exn -> string
+
+(** [source_line src n] — the [n]th line (1-based) of [src], if any. *)
+val source_line : string -> int -> string option
+
+(** Print the source line at a position with its number and a caret under
+    the column; prints nothing for [no_pos] or out-of-range lines.  Used
+    by the static checkers for located diagnostics. *)
+val pp_context : source:string -> pos Fmt.t

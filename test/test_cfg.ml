@@ -1,0 +1,130 @@
+(** Statement-grained CFG tests: structured edges, loop back edges, GOTO
+    edges, WHERE masking, and the defs/uses classification used by the
+    dataflow framework. *)
+
+open Helpers
+open Lf_lang.Ast
+module Cfg = Lf_analysis.Cfg
+
+let build src = Cfg.build (parse_block src)
+
+let find cfg pred =
+  let hit = ref None in
+  Array.iter
+    (fun n -> if !hit = None && pred n then hit := Some n)
+    cfg.Cfg.nodes;
+  match !hit with
+  | Some n -> n
+  | None -> Alcotest.fail "expected node not found in CFG"
+
+let assign_to cfg name =
+  find cfg (fun n ->
+      match n.Cfg.kind with
+      | Cfg.Stmt (SAssign (l, _)) -> l.lv_name = name
+      | _ -> false)
+
+let t_straight_line () =
+  let cfg = build "a = 1\nb = a + 2" in
+  checki "entry + two statements + exit" 4 (Cfg.size cfg);
+  let entry = Cfg.node cfg cfg.Cfg.entry in
+  let exit_ = Cfg.node cfg cfg.Cfg.exit_ in
+  checki "entry fans out to one node" 1 (List.length entry.Cfg.succ);
+  checki "exit has one predecessor" 1 (List.length exit_.Cfg.pred);
+  let a = assign_to cfg "a" and b = assign_to cfg "b" in
+  checkb "a flows to b" (a.Cfg.succ = [ b.Cfg.id ]);
+  checkb "b flows to exit" (b.Cfg.succ = [ cfg.Cfg.exit_ ]);
+  (* the parser located both statements *)
+  checkb "statements carry locations" (a.Cfg.loc <> None && b.Cfg.loc <> None)
+
+let t_if_diamond () =
+  let cfg = build "IF (a > 0) THEN\n  b = 1\nELSE\n  b = 2\nENDIF" in
+  checki "entry test two-arms join exit" 6 (Cfg.size cfg);
+  let test =
+    find cfg (fun n ->
+        match n.Cfg.kind with Cfg.Test _ -> true | _ -> false)
+  in
+  let join =
+    find cfg (fun n -> match n.Cfg.kind with Cfg.Join -> true | _ -> false)
+  in
+  checki "test branches both ways" 2 (List.length test.Cfg.succ);
+  checki "join merges both arms" 2 (List.length join.Cfg.pred)
+
+let t_do_back_edge () =
+  let cfg = build "DO i = 1, k\n  s = s + i\nENDDO" in
+  let head =
+    find cfg (fun n ->
+        match n.Cfg.kind with Cfg.Head (c, false) -> c.d_var = "i" | _ -> false)
+  in
+  let body = assign_to cfg "s" in
+  checkb "head enters the body" (List.mem body.Cfg.id head.Cfg.succ);
+  checkb "head can fall through to exit"
+    (List.mem cfg.Cfg.exit_ head.Cfg.succ);
+  checkb "body loops back to the head" (body.Cfg.succ = [ head.Cfg.id ]);
+  checkb "back edge recorded as a head predecessor"
+    (List.mem body.Cfg.id head.Cfg.pred)
+
+let t_goto_edges () =
+  let cfg =
+    build "  i = 1\n10 i = i + 1\n  IF (i <= k) GOTO 10\n  t = i"
+  in
+  let label =
+    find cfg (fun n ->
+        match n.Cfg.kind with Cfg.Stmt (SLabel "10") -> true | _ -> false)
+  in
+  let cgoto =
+    find cfg (fun n ->
+        match n.Cfg.kind with Cfg.Stmt (SCondGoto _) -> true | _ -> false)
+  in
+  checkb "conditional jump targets the label"
+    (List.mem label.Cfg.id cgoto.Cfg.succ);
+  let t = assign_to cfg "t" in
+  checkb "conditional jump also falls through"
+    (List.mem t.Cfg.id cgoto.Cfg.succ);
+  checki "jump has exactly the two successors" 2 (List.length cgoto.Cfg.succ)
+
+let t_where_masked () =
+  let cfg =
+    build "WHERE (x(i) > 0)\n  x(i) = 1\nELSEWHERE\n  y(i) = 2\nENDWHERE"
+  in
+  let xs = assign_to cfg "x" and ys = assign_to cfg "y" in
+  checkb "WHERE stores are masked" (xs.Cfg.masked && ys.Cfg.masked);
+  (* vector semantics: both branches execute, in order *)
+  checkb "branches are sequential, not alternatives"
+    (xs.Cfg.succ = [ ys.Cfg.id ]);
+  (match Cfg.defs xs with
+  | [ { Cfg.def_var = "x"; def_must = false } ] -> ()
+  | _ -> Alcotest.fail "masked element store must be a may-def");
+  let plain = build "s = 1" in
+  (match Cfg.defs (assign_to plain "s") with
+  | [ { Cfg.def_var = "s"; def_must = true } ] -> ()
+  | _ -> Alcotest.fail "unmasked scalar assignment must kill")
+
+let t_defs_uses () =
+  let cfg = build "x(i) = y + 1" in
+  let n = assign_to cfg "x" in
+  (match Cfg.defs n with
+  | [ { Cfg.def_var = "x"; def_must = false } ] -> ()
+  | _ -> Alcotest.fail "element store is a may-def");
+  checkb "element store reads index, rhs and the array itself"
+    (Cfg.uses n = [ "i"; "x"; "y" ]);
+  let callg = build "CALL foo(a, b + c)" in
+  let cn =
+    find callg (fun n ->
+        match n.Cfg.kind with Cfg.Stmt (SCall _) -> true | _ -> false)
+  in
+  checkb "call arguments are may-defs"
+    (List.for_all (fun d -> not d.Cfg.def_must) (Cfg.defs cn));
+  checkb "call arguments are uses" (Cfg.uses cn = [ "a"; "b"; "c" ]);
+  match Cfg.calls callg with
+  | [ ("foo", Some _) ] -> ()
+  | _ -> Alcotest.fail "calls must report the callee with its location"
+
+let suite =
+  [
+    case "straight-line blocks" t_straight_line;
+    case "IF builds a diamond" t_if_diamond;
+    case "DO header with back edge" t_do_back_edge;
+    case "GOTO and label edges" t_goto_edges;
+    case "WHERE branches are sequential and masked" t_where_masked;
+    case "defs and uses classification" t_defs_uses;
+  ]

@@ -1,0 +1,102 @@
+(** Dataflow-framework tests: reaching definitions (must-kill vs may-def),
+    liveness, and use-def/def-use chains on small blocks. *)
+
+open Helpers
+open Lf_lang.Ast
+module Cfg = Lf_analysis.Cfg
+module D = Lf_analysis.Dataflow
+module Ch = Lf_analysis.Chains
+
+let build src = Cfg.build (parse_block src)
+
+let node_of cfg pred =
+  let hit = ref None in
+  Array.iter
+    (fun n -> if !hit = None && pred n.Cfg.kind then hit := Some n.Cfg.id)
+    cfg.Cfg.nodes;
+  match !hit with
+  | Some id -> id
+  | None -> Alcotest.fail "expected node not found"
+
+let assign_to cfg name =
+  node_of cfg (function
+    | Cfg.Stmt (SAssign (l, _)) -> l.lv_name = name
+    | _ -> false)
+
+let t_reaching_kill () =
+  let cfg = build "a = 1\na = 2\nb = a" in
+  let r = D.reaching_definitions cfg in
+  let at_b = D.reaching_defs_of r ~node:(assign_to cfg "b") ~var:"a" in
+  checki "the second assignment kills the first" 1 (List.length at_b);
+  let d = List.hd at_b in
+  checkb "the reaching def is the must-def of a" (d.D.ds_must && d.D.ds_var = "a");
+  (* and it is the *later* definition *)
+  checkb "it is the downstream definition"
+    (match (Cfg.node cfg d.D.ds_node).Cfg.kind with
+    | Cfg.Stmt (SAssign (_, EInt 2)) -> true
+    | _ -> false)
+
+let t_reaching_element_stores () =
+  let cfg = build "x(i) = 1\nx(j) = 2\ns = x(k)" in
+  let r = D.reaching_definitions cfg in
+  let at_s = D.reaching_defs_of r ~node:(assign_to cfg "s") ~var:"x" in
+  checki "element stores never kill: both reach" 2 (List.length at_s);
+  checkb "both are may-defs" (List.for_all (fun d -> not d.D.ds_must) at_s)
+
+let t_reaching_around_loop () =
+  let cfg = build "s = 0\nDO i = 1, k\n  s = s + 1\nENDDO\nt = s" in
+  let r = D.reaching_definitions cfg in
+  let at_t = D.reaching_defs_of r ~node:(assign_to cfg "t") ~var:"s" in
+  (* the zero-trip path keeps the initialisation alive alongside the
+     in-loop update *)
+  checki "init and loop update both reach past the loop" 2
+    (List.length at_t)
+
+let t_liveness () =
+  let cfg = build "a = 1\nb = a + k\nc = 2" in
+  let l = D.liveness cfg in
+  checkb "only the never-defined input is live at entry"
+    (D.live_at_entry l = [ "k" ]);
+  checkb "a is live into its use"
+    (List.mem "a" (D.live_in l (assign_to cfg "b")))
+
+let t_liveness_loop () =
+  let cfg = build "DO i = 1, k\n  s = s + 1\nENDDO" in
+  let l = D.liveness cfg in
+  let live = D.live_at_entry l in
+  checkb "loop-carried scalar is live at entry" (List.mem "s" live);
+  checkb "the bound is live at entry" (List.mem "k" live);
+  checkb "the induction variable is not (the header kills it)"
+    (not (List.mem "i" live))
+
+let t_chains () =
+  let cfg = build "a = 1\nIF (p) THEN\n  a = 2\nENDIF\nb = a" in
+  let ch = Ch.build cfg in
+  let use_b = assign_to cfg "b" in
+  checki "both branches' definitions reach the merged use" 2
+    (List.length (Ch.defs_reaching ch ~node:use_b ~var:"a"));
+  (* def-use: the initial a = 1 feeds the use after the IF *)
+  let d1 =
+    List.find
+      (fun d ->
+        match (Cfg.node cfg d.D.ds_node).Cfg.kind with
+        | Cfg.Stmt (SAssign (_, EInt 1)) -> true
+        | _ -> false)
+      (Ch.defs_of_var ch "a")
+  in
+  checkb "def-use chain links a = 1 to the use"
+    (List.exists (fun u -> u.Ch.us_node = use_b) (Ch.uses_of_def ch d1.D.ds_id));
+  checkb "p has an upward-exposed use (never defined)"
+    (Ch.upward_exposed ch "p" <> []);
+  checkb "a has no upward-exposed use (defined on every path)"
+    (Ch.upward_exposed ch "a" = [])
+
+let suite =
+  [
+    case "reaching defs: must-defs kill" t_reaching_kill;
+    case "reaching defs: element stores are may-defs" t_reaching_element_stores;
+    case "reaching defs: zero-trip loop path" t_reaching_around_loop;
+    case "liveness on straight-line code" t_liveness;
+    case "liveness across a loop" t_liveness_loop;
+    case "use-def and def-use chains" t_chains;
+  ]

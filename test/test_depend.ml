@@ -52,6 +52,38 @@ let t_siv () =
        (aff 1 0)
     = D.Unknown)
 
+(* a(3) against a(c*i + k): the invariant reference collides with exactly
+   one iteration, i = (3 - k)/c *)
+let t_weak_zero () =
+  checkb "fractional solution independent"
+    (D.siv_test (aff 0 3) (aff 2 0) = D.Independent);
+  checkb "integral solution unknown without bounds"
+    (D.siv_test (aff 0 3) (aff 1 0) = D.Unknown);
+  checkb "solution inside the iteration space unknown"
+    (D.siv_test ~bounds:(1, 8) (aff 0 3) (aff 1 0) = D.Unknown);
+  checkb "solution outside the iteration space independent"
+    (D.siv_test ~bounds:(4, 8) (aff 0 3) (aff 1 0) = D.Independent);
+  checkb "symmetric in argument order"
+    (D.siv_test ~bounds:(4, 8) (aff 1 0) (aff 0 3) = D.Independent);
+  checkb "negative coefficient handled"
+    (D.siv_test ~bounds:(1, 8) (aff 0 3) (aff (-1) 0) = D.Independent)
+
+(* a(c*i + k1) against a(-c*i + k2): collisions need i1 + i2 = (k2-k1)/c,
+   which two iterations can only form inside [2*lo, 2*hi] *)
+let t_weak_crossing () =
+  checkb "fractional crossing independent"
+    (D.siv_test (aff 2 0) (aff (-2) 3) = D.Independent);
+  checkb "integral crossing unknown without bounds"
+    (D.siv_test (aff 1 0) (aff (-1) 4) = D.Unknown);
+  checkb "crossing inside the iteration space unknown"
+    (D.siv_test ~bounds:(1, 8) (aff 1 0) (aff (-1) 4) = D.Unknown);
+  checkb "crossing below the iteration space independent"
+    (D.siv_test ~bounds:(3, 8) (aff 1 0) (aff (-1) 4) = D.Independent);
+  checkb "crossing above the iteration space independent"
+    (D.siv_test ~bounds:(1, 8) (aff 1 0) (aff (-1) 20) = D.Independent);
+  checkb "boundary sum still unknown"
+    (D.siv_test ~bounds:(1, 8) (aff 1 0) (aff (-1) 16) = D.Unknown)
+
 let t_combine () =
   checkb "any independent wins"
     (D.combine [ D.Unknown; D.Independent ] = D.Independent);
@@ -94,6 +126,8 @@ let suite =
   [
     case "affine extraction" t_extract;
     case "ZIV and SIV tests" t_siv;
+    case "weak-zero SIV" t_weak_zero;
+    case "weak-crossing SIV" t_weak_crossing;
     case "verdict combination" t_combine;
     case "loop-carried decisions" t_loop_carried;
     case "reference collection" t_references;

@@ -1,0 +1,152 @@
+(** Flatten-safety lint tests: the paper's §6 preconditions as rules.
+
+    The safe programs (EXAMPLE, NBFORCE) must come out clean; each rule
+    has a small program it fires on, with a located diagnostic; and the
+    QCheck property ties the lint to the dynamic semantics: whenever the
+    lint reports a random nest safe, the flattened program agrees with
+    the original on all observables. *)
+
+open Helpers
+open Lf_lang
+module L = Lf_analysis.Lint
+
+let lint ?pure_subroutines src = L.check_block ?pure_subroutines (parse_block src)
+
+let has_rule (r : L.report) id =
+  List.exists (fun d -> d.L.d_rule = id) r.L.diags
+
+let t_safe_example () =
+  let r = lint "DO i = 1, k\n  DO j = 1, l(i)\n    x(i,j) = i * j\n  ENDDO\nENDDO" in
+  checkb "EXAMPLE is applicable" r.L.applicable;
+  checkb "EXAMPLE is safe" r.L.safe;
+  checkb "EXAMPLE has no diagnostics at all" (r.L.diags = [])
+
+let t_safe_nbforce () =
+  let p = Parser.program_of_string Lf_kernels.Nbforce_src.source in
+  let r = L.check_program p in
+  checkb "NBFORCE is applicable" r.L.applicable;
+  checkb "NBFORCE is safe" r.L.safe
+
+let t_carried_array () =
+  let r =
+    lint
+      {|
+  DO i = 2, k
+    DO j = 1, l(i)
+      x(i) = x(i - 1) + j
+    ENDDO
+  ENDDO
+|}
+  in
+  checkb "recurrence is rejected" (not r.L.safe);
+  match L.first_error r with
+  | Some d ->
+      checks "rule" "LF004" d.L.d_rule;
+      (match d.L.d_loc with
+      | Some p -> checki "diagnostic cites the store" 4 p.Errors.line
+      | None -> Alcotest.fail "carried-array diagnostic must be located");
+      checkb "citation names rule and position"
+        (Astring_contains.contains (L.cite d) "LF004 at 4:")
+  | None -> Alcotest.fail "expected an LF004 error"
+
+let t_carried_scalar () =
+  let r = lint "DO i = 1, k\n  DO j = 1, l(i)\n    s = s * 2\n  ENDDO\nENDDO" in
+  checkb "non-reduction carried scalar is rejected" (not r.L.safe);
+  checkb "as LF003" (has_rule r "LF003")
+
+let t_reduction_allowed () =
+  let r =
+    lint "DO i = 1, k\n  DO j = 1, l(i)\n    acc = acc + x(j)\n  ENDDO\nENDDO"
+  in
+  checkb "sum reduction is safe" r.L.safe;
+  checkb "no LF003 for the accumulator" (not (has_rule r "LF003"))
+
+let t_unknown_call () =
+  let src = "DO i = 1, k\n  DO j = 1, l(i)\n    CALL foo(i)\n  ENDDO\nENDDO" in
+  let r = lint src in
+  checkb "unknown subroutine is rejected" (not r.L.safe);
+  checkb "as LF005" (has_rule r "LF005");
+  let r2 = lint ~pure_subroutines:[ "foo" ] src in
+  checkb "certified-pure subroutine is allowed" r2.L.safe
+
+let t_irregular_control () =
+  let r = lint "REPEAT\n  DO j = 1, l(i)\n    x(j) = j\n  ENDDO\nUNTIL (i > k)" in
+  checkb "post-test receiving loop is rejected" (not r.L.safe);
+  checkb "as LF002" (has_rule r "LF002")
+
+let t_not_applicable () =
+  let r = lint "s = 1" in
+  checkb "no loop: not applicable" (not r.L.applicable);
+  checkb "but only a warning, not an error" r.L.safe;
+  checkb "as LF001" (has_rule r "LF001")
+
+let t_forall () =
+  let race = lint "FORALL (i = 1:k)\n  x(i + 1) = x(i)\nENDFORALL" in
+  checkb "FORALL race on x is an error" (not race.L.safe);
+  checkb "as LF007" (has_rule race "LF007");
+  let scalar = lint "FORALL (i = 1:k)\n  s = i\n  x(i) = s\nENDFORALL" in
+  checkb "scalar write in FORALL is only a warning" scalar.L.safe;
+  checkb "still reported as LF007" (has_rule scalar "LF007")
+
+let t_where () =
+  let r =
+    lint "WHERE (x(i) > 0)\n  x(i + 1) = x(i)\nENDWHERE"
+  in
+  checkb "shifted masked store warns" (has_rule r "LF008");
+  checkb "but stays safe (warning severity)" r.L.safe;
+  let ok = lint "WHERE (x(i) > 0)\n  x(i) = x(i) + 1\nENDWHERE" in
+  checkb "same-element masked update is clean" (not (has_rule ok "LF008"))
+
+let t_rule_docs () =
+  List.iter
+    (fun rule ->
+      checkb (rule ^ " is documented")
+        (not
+           (Astring_contains.contains (L.rule_doc rule) "unknown rule")))
+    [ "LF001"; "LF002"; "LF003"; "LF004"; "LF005"; "LF006"; "LF007"; "LF008" ]
+
+(* Soundness: the lint is at least as strict as the pipeline's own safety
+   analysis, so a lint-safe nest must flatten (no "not safe" refusal) and
+   the flattened program must agree with the original on the observables. *)
+let t_lint_sound =
+  qcheck_case ~count:150 "lint-safe nests flatten and preserve semantics"
+    Gen.exec_nest_gen
+    (fun en ->
+      let report = L.check_block en.Gen.src_block in
+      if not (report.L.safe && report.L.applicable) then true
+      else
+        let prog = Ast.program "lintfuzz" en.Gen.src_block in
+        let opts =
+          {
+            Lf_core.Pipeline.default_options with
+            assume_inner_nonempty = en.Gen.inner_nonempty;
+          }
+        in
+        match Lf_core.Pipeline.flatten_program ~opts prog with
+        | Error e when Astring_contains.contains e "not safe" ->
+            QCheck.Test.fail_reportf
+              "lint said safe but the pipeline refused: %s on@.%s" e
+              (Pretty.block_to_string en.Gen.src_block)
+        | Error _ -> true (* applicability refusals are not safety claims *)
+        | Ok o ->
+            let run p = Interp.run ~setup:(Gen.exec_setup en) p in
+            let c1 = run prog and c2 = run o.Lf_core.Pipeline.program in
+            Env.equal_on Gen.exec_observables c1.Interp.env c2.Interp.env
+            || QCheck.Test.fail_reportf "lint-safe flattening diverged on@.%s"
+                 (Pretty.program_to_string o.Lf_core.Pipeline.program))
+
+let suite =
+  [
+    case "EXAMPLE is clean" t_safe_example;
+    case "NBFORCE is clean" t_safe_nbforce;
+    case "LF004 carried array recurrence" t_carried_array;
+    case "LF003 carried scalar" t_carried_scalar;
+    case "sum reductions stay safe" t_reduction_allowed;
+    case "LF005 unknown subroutine" t_unknown_call;
+    case "LF002 irregular receiving loop" t_irregular_control;
+    case "LF001 applicability" t_not_applicable;
+    case "LF007 FORALL races" t_forall;
+    case "LF008 WHERE shifted stores" t_where;
+    case "every rule is documented" t_rule_docs;
+    t_lint_sound;
+  ]

@@ -12,6 +12,9 @@ let () =
       ("typecheck", Test_typecheck.suite);
       ("analysis", Test_analysis.suite);
       ("depend", Test_depend.suite);
+      ("cfg", Test_cfg.suite);
+      ("dataflow", Test_dataflow.suite);
+      ("lint", Test_lint.suite);
       ("parallel", Test_parallel.suite);
       ("normalize", Test_normalize.suite);
       ("flatten", Test_flatten.suite);
