@@ -92,10 +92,10 @@ let micro_tests () =
    The lane count is MasPar-scale (the paper's DECmpp sports 1K-16K
    PEs); the workload keeps ~2 atoms per lane so the masked-WHERE
    utilization pattern matches the smaller Table 1/2 configurations. *)
-let engine_tests () =
-  let open Bechamel in
-  let p = 1024 in
-  let mol = Lf_md.Workload.sod ~n:2048 () in
+(* Build a closure running the derived flat SIMD NBFORCE at a given lane
+   count (~2 atoms per lane, like the Table 1/2 configurations). *)
+let nbforce_runner ~p =
+  let mol = Lf_md.Workload.sod ~n:(2 * p) () in
   let pl = Lf_md.Workload.pairlist mol ~cutoff:8.0 in
   let n, maxp = Lf_kernels.Nbforce_src.params pl in
   let simd_opts =
@@ -115,16 +115,29 @@ let engine_tests () =
     | Ok o -> o.Lf_core.Pipeline.program
     | Error e -> Fmt.failwith "cannot derive SIMD NBFORCE: %s" e
   in
-  let run_nbforce engine () =
-    Lf_simd.Vm.run ~engine ~p
+  fun ?jobs engine () ->
+    Lf_simd.Vm.run ~engine ?jobs ~p
       ~setup:(fun vm ->
-        Lf_simd.Vm.register_func vm "force" (fun _ -> Values.VReal 1.0);
+        Lf_simd.Vm.register_func vm ~pure:true "force" (fun _ -> Values.VReal 1.0);
         Lf_simd.Vm.bind_scalar vm "n" (Values.VInt n);
         Lf_simd.Vm.bind_scalar vm "maxp" (Values.VInt maxp);
         Lf_simd.Vm.bind_scalar vm "p" (Values.VInt p);
         Lf_kernels.Nbforce_src.bind_arrays pl ~n ~maxp
           ~set_global:(fun name a -> Lf_simd.Vm.bind_global vm name a))
       nbforce_flat
+
+let engine_tests () =
+  let open Bechamel in
+  let p = 1024 in
+  let run_nbforce = nbforce_runner ~p in
+  let simd_opts =
+    {
+      Lf_core.Pipeline.default_options with
+      assume_inner_nonempty = true;
+      target =
+        Lf_core.Pipeline.Simd
+          { decomp = Lf_core.Simdize.Cyclic; p = Ast.EInt p };
+    }
   in
   (* the Fig. 7 shape: naive SIMDization of the ragged example nest *)
   let k = 4 * p in
@@ -136,8 +149,8 @@ let engine_tests () =
     | Ok o -> o.Lf_core.Pipeline.program
     | Error e -> Fmt.failwith "cannot derive naive SIMD example: %s" e
   in
-  let run_example engine () =
-    Lf_simd.Vm.run ~engine ~p
+  let run_example ?jobs engine () =
+    Lf_simd.Vm.run ~engine ?jobs ~p
       ~setup:(fun vm ->
         Lf_simd.Vm.bind_scalar vm "p" (Values.VInt p);
         Lf_simd.Vm.bind_scalar vm "k" (Values.VInt k);
@@ -151,13 +164,38 @@ let engine_tests () =
       (Staged.stage (run_nbforce `Tree_walk));
     Test.make ~name:"vm NBFORCE flat (compiled)"
       (Staged.stage (run_nbforce `Compiled));
+    Test.make ~name:"vm NBFORCE flat (parallel j4)"
+      (Staged.stage (run_nbforce ~jobs:4 `Parallel));
     Test.make ~name:"vm example naive (tree-walk)"
       (Staged.stage (run_example `Tree_walk));
     Test.make ~name:"vm example naive (compiled)"
       (Staged.stage (run_example `Compiled));
+    Test.make ~name:"vm example naive (parallel j4)"
+      (Staged.stage (run_example ~jobs:4 `Parallel));
   ]
 
-let run_micro ppf =
+(* The --jobs sweep: flat NBFORCE at MasPar scale (p = 4096) on the
+   serial compiled engine vs the lane-sharded parallel engine at each
+   requested shard count.  The chunk-aligned shard grid guarantees the
+   results are bitwise identical at every point of the sweep; only the
+   wall-clock changes. *)
+let sweep_p = 4096
+
+let sweep_tests ~jobs () =
+  let open Bechamel in
+  let run_nbforce = nbforce_runner ~p:sweep_p in
+  Test.make
+    ~name:(Printf.sprintf "vm NBFORCE flat p%d (compiled)" sweep_p)
+    (Staged.stage (run_nbforce `Compiled))
+  :: List.map
+       (fun j ->
+         Test.make
+           ~name:
+             (Printf.sprintf "vm NBFORCE flat p%d (parallel j%d)" sweep_p j)
+           (Staged.stage (run_nbforce ~jobs:j `Parallel)))
+       jobs
+
+let run_micro ~jobs ppf =
   let open Bechamel in
   Fmt.pf ppf "@.=== Micro-benchmarks (Bechamel; ns per run) ===@.@.";
   let ols =
@@ -189,7 +227,9 @@ let run_micro ppf =
       results []
   in
   let rows =
-    rows_of cfg (micro_tests ()) @ rows_of cfg_engine (engine_tests ())
+    rows_of cfg (micro_tests ())
+    @ rows_of cfg_engine (engine_tests ())
+    @ rows_of cfg_engine (sweep_tests ~jobs ())
     |> List.sort compare
   in
   List.iter
@@ -215,6 +255,21 @@ let run_micro ppf =
           Fmt.pf ppf "  engine speedup on %s: %.1fx@." kernel (tree /. comp)
       | _ -> ())
     [ "NBFORCE flat"; "example naive" ];
+  (match est_of (Printf.sprintf "vm NBFORCE flat p%d (compiled)" sweep_p) with
+  | Some serial when serial > 0.0 ->
+      List.iter
+        (fun j ->
+          match
+            est_of
+              (Printf.sprintf "vm NBFORCE flat p%d (parallel j%d)" sweep_p j)
+          with
+          | Some par when par > 0.0 ->
+              Fmt.pf ppf
+                "  parallel speedup on NBFORCE flat p%d, jobs=%d: %.2fx@."
+                sweep_p j (serial /. par)
+          | _ -> ())
+        jobs
+  | _ -> ());
   rows
 
 (* hand-rolled JSON writer: {"name": ns_per_run, ...}; estimates that did
@@ -249,25 +304,64 @@ let write_json file rows =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
+let usage =
+  "usage: bench [--experiment NAME] [--no-micro] [--csv DIR] [--json FILE] \
+   [--jobs N[,N...]]"
+
+(* Located usage error: name the offending option, print the usage line,
+   exit 124 (the CLI-error convention simdsim inherits from cmdliner). *)
+let usage_error fmt =
+  Fmt.kstr
+    (fun msg ->
+      Fmt.epr "bench: %s@.%s@." msg usage;
+      exit 124)
+    fmt
+
 let () =
   let ppf = Fmt.stdout in
-  let args = Array.to_list Sys.argv in
-  let experiment =
-    match args with
-    | _ :: "--experiment" :: name :: _ -> Some name
-    | _ -> None
+  let experiment = ref None in
+  let no_micro = ref false in
+  let csv_dir = ref None in
+  let json_file = ref None in
+  let jobs = ref [ 1; 2; 4 ] in
+  let parse_jobs s =
+    String.split_on_char ',' s
+    |> List.map (fun tok ->
+           match int_of_string_opt (String.trim tok) with
+           | Some n when n >= 1 -> n
+           | Some n ->
+               usage_error
+                 "option '--jobs': invalid jobs count %d: must be >= 1" n
+           | None -> usage_error "option '--jobs': invalid jobs count %S" tok)
   in
-  let no_micro = List.mem "--no-micro" args in
-  let find_opt flag =
-    let rec find = function
-      | f :: v :: _ when f = flag -> Some v
-      | _ :: rest -> find rest
-      | [] -> None
-    in
-    find args
+  let rec parse = function
+    | [] -> ()
+    | "--no-micro" :: rest ->
+        no_micro := true;
+        parse rest
+    | "--experiment" :: v :: rest ->
+        experiment := Some v;
+        parse rest
+    | "--csv" :: v :: rest ->
+        csv_dir := Some v;
+        parse rest
+    | "--json" :: v :: rest ->
+        json_file := Some v;
+        parse rest
+    | "--jobs" :: v :: rest ->
+        jobs := parse_jobs v;
+        parse rest
+    | [ flag ]
+      when List.mem flag [ "--experiment"; "--csv"; "--json"; "--jobs" ] ->
+        usage_error "option '%s' needs an argument" flag
+    | flag :: _ -> usage_error "unknown option %S" flag
   in
-  let csv_dir = find_opt "--csv" in
-  let json_file = find_opt "--json" in
+  parse (List.tl (Array.to_list Sys.argv));
+  let experiment = !experiment in
+  let no_micro = !no_micro in
+  let csv_dir = !csv_dir in
+  let json_file = !json_file in
+  let jobs = !jobs in
   Option.iter
     (fun dir ->
       Lf_report.Experiments.write_csvs ~dir;
@@ -284,7 +378,7 @@ let () =
   | None -> Lf_report.Experiments.all ppf);
   (* --json implies the micro-benchmarks even under --experiment *)
   if ((not no_micro) && experiment = None) || json_file <> None then begin
-    let rows = run_micro ppf in
+    let rows = run_micro ~jobs ppf in
     Option.iter
       (fun file ->
         write_json file rows;

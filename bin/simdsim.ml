@@ -90,7 +90,7 @@ let nbforce_workload atoms =
    onef), the n/maxp parameters, and the pcnt/partners/f arrays. *)
 let setup_nbforce_simd (mol, pl) vm =
   let n, maxp = Src.params pl in
-  Lf_simd.Vm.register_func vm "force" (Src.force_fn mol);
+  Lf_simd.Vm.register_func vm ~pure:true "force" (Src.force_fn mol);
   Lf_simd.Vm.register_proc vm "onef" (Src.onef_simd mol);
   Lf_simd.Vm.bind_scalar vm "n" (Values.VInt n);
   Lf_simd.Vm.bind_scalar vm "maxp" (Values.VInt maxp);
@@ -115,9 +115,13 @@ let max_abs_err reference f =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run path seq engine lanes sets fills dumps kernel atoms trace_file
+let run path seq engine jobs lanes sets fills dumps kernel atoms trace_file
     profile metrics_json occupancy_json chrome_file compare_mimd lint =
   try
+    if Option.is_some jobs && engine <> `Parallel then begin
+      Fmt.epr "simdsim: --jobs requires --engine parallel@.";
+      raise Exit
+    end;
     let src = read_source path in
     let prog = Parser.program_of_string src in
     if lint then begin
@@ -197,7 +201,7 @@ let run path seq engine lanes sets fills dumps kernel atoms trace_file
           trace_file
       in
       let vm =
-        Lf_simd.Vm.run ~engine ~p:lanes
+        Lf_simd.Vm.run ~engine ?jobs ~p:lanes
           ~setup:(fun vm ->
             Lf_simd.Vm.bind_scalar vm "p" (Values.VInt lanes);
             Option.iter (fun w -> setup_nbforce_simd w vm) workload;
@@ -322,7 +326,12 @@ let cmd =
   in
   let engine =
     let engine_conv =
-      Arg.enum [ ("tree-walk", `Tree_walk); ("compiled", `Compiled) ]
+      Arg.enum
+        [
+          ("tree-walk", `Tree_walk);
+          ("compiled", `Compiled);
+          ("parallel", `Parallel);
+        ]
     in
     Arg.(
       value
@@ -330,8 +339,33 @@ let cmd =
       & info [ "engine" ] ~docv:"ENGINE"
           ~doc:
             "SIMD execution engine: $(b,tree-walk) (the reference \
-             interpreter) or $(b,compiled) (slot-resolved closures; same \
-             results, faster).")
+             interpreter), $(b,compiled) (slot-resolved closures; same \
+             results, faster) or $(b,parallel) (the compiled engine with \
+             lanes sharded over a Domain pool; see $(b,--jobs)).  All \
+             three produce bit-identical state, metrics, traces and \
+             errors.")
+  in
+  let jobs =
+    let jobs_conv =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n >= 1 -> Ok n
+        | Some n ->
+            Error (`Msg (Fmt.str "invalid jobs count %d: must be >= 1" n))
+        | None -> Error (`Msg (Fmt.str "invalid jobs count %S" s))
+      in
+      Arg.conv (parse, Fmt.int)
+    in
+    Arg.(
+      value
+      & opt (some jobs_conv) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Shard count for $(b,--engine parallel): the lanes are split \
+             into at most $(docv) contiguous shards (chunk-aligned, so \
+             results do not depend on $(docv)).  Requires $(b,--engine \
+             parallel); defaults to the machine's recommended domain \
+             count.")
   in
   let lanes =
     Arg.(value & opt int 4 & info [ "lanes" ] ~doc:"SIMD lane count (P).")
@@ -436,7 +470,7 @@ let cmd =
     (Cmd.info "simdsim" ~version:"1.0"
        ~doc:"run pseudo-Fortran programs on the simulated SIMD machine")
     Term.(
-      const run $ path $ seq $ engine $ lanes $ sets $ fills $ dumps
+      const run $ path $ seq $ engine $ jobs $ lanes $ sets $ fills $ dumps
       $ kernel $ atoms $ trace_file $ profile $ metrics_json
       $ occupancy_json $ chrome_file $ compare_mimd $ lint)
 

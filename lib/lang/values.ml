@@ -115,6 +115,8 @@ let equal_value a b =
   | VBool x, VBool y -> x = y
   | VArr (AInt x), VArr (AInt y) -> Nd.equal Int.equal x y
   | VArr (AReal x), VArr (AReal y) ->
-      Nd.equal (fun a b -> Float.abs (a -. b) < 1e-9) x y
+      (* Float.equal first: identical non-finite elements (inf, nan)
+         must compare equal even though their difference is nan *)
+      Nd.equal (fun a b -> Float.equal a b || Float.abs (a -. b) < 1e-9) x y
   | VArr (ABool x), VArr (ABool y) -> Nd.equal Bool.equal x y
   | _ -> false

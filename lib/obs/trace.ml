@@ -119,6 +119,58 @@ module Log = struct
   let to_list l = List.rev l.events
 end
 
+(* ------------------------------------------------------------------ *)
+(* Shard-buffered sink (concurrent emission)                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Deterministic tracing under concurrent emission: each shard (Domain)
+    appends to its own private buffer — no locks, no cross-shard
+    traffic — and [flush] replays the buffered events into a downstream
+    sink in ascending shard order, then ascending emission order within
+    each shard.  As long as the shard partition is deterministic (the
+    lane-sharded engine's is: contiguous ascending lane ranges), the
+    flushed stream is identical run over run, so JSONL/Chrome traces
+    written through a [Sharded] buffer are byte-stable at any jobs
+    count.
+
+    The parallel SIMD engine itself emits all events from its control
+    thread (emission is sequenced with [Metrics] accounting), so it
+    never {e needs} this buffer; it exists for sinks that genuinely
+    receive events from several domains — custom per-shard
+    instrumentation, or future SPMD engines. *)
+module Sharded = struct
+  type buffer = {
+    shards : event list array;  (** per-shard reversed event lists *)
+  }
+
+  let create ~shards =
+    if shards < 1 then invalid_arg "Trace.Sharded.create: shards < 1";
+    { shards = Array.make shards [] }
+
+  let n_shards b = Array.length b.shards
+
+  (** The emitting side for one shard: safe to call concurrently with
+      other shards' sinks (each writes only its own slot). *)
+  let sink b ~shard : sink =
+    if shard < 0 || shard >= Array.length b.shards then
+      invalid_arg "Trace.Sharded.sink: shard out of range";
+    fun ev -> b.shards.(shard) <- ev :: b.shards.(shard)
+
+  (** Replay everything into [out] (shard order, then emission order)
+      and clear the buffers.  Call only after the emitting domains have
+      been joined or synchronized. *)
+  let flush b (out : sink) =
+    Array.iteri
+      (fun s evs ->
+        List.iter out (List.rev evs);
+        b.shards.(s) <- [])
+      b.shards
+
+  (** Buffered events without flushing, in flush order. *)
+  let to_list b =
+    List.concat_map List.rev (Array.to_list b.shards)
+end
+
 let event_to_json ev : Json.t =
   Json.Obj
     [

@@ -48,7 +48,10 @@ type host = {
       (** count a global reduction tree *)
   h_call_metric : string -> unit;  (** count an external CALL *)
   h_find_proc : string -> (mask:bool array -> Pval.t list -> unit) option;
-  h_find_func : string -> (value list -> value) option;
+  h_find_func : string -> ((value list -> value) * bool) option;
+      (** user function and its purity: only [pure] functions may be
+          applied lane-parallel (impure ones keep the serial ascending
+          per-lane application order) *)
   h_observer : unit -> (mask:bool array -> stmt -> unit) option;
   h_flush : unit -> unit;  (** frame -> VM variable table *)
   h_import : unit -> unit;  (** VM variable table -> frame *)
@@ -194,15 +197,24 @@ let renorm (m : Frame.Mask.t) (vs : value array) : rv =
 (** Typed vector kernel for [op], or [None] to fall back to the boxed
     path.  Division and MOD by zero are only checked on active lanes (the
     tree-walker never computes inactive lanes); every other fast path is
-    exception-free, so it may compute all lanes. *)
-let fast_binop p op : Frame.Mask.t -> rv -> rv -> rv option =
+    exception-free, so it may compute all lanes.
+
+    Every lane loop dispatches through [exec.x_run]: one inline call for
+    the serial engines, one shard per pool worker for the parallel one.
+    Shards write disjoint index ranges of the shared result buffers, so
+    the loops need no further coordination; a shard that raises (division
+    by zero) surfaces as the lowest-shard — i.e. first-failing-lane —
+    error, exactly as the serial scan. *)
+let fast_binop (exec : Pool.exec) op : Frame.Mask.t -> rv -> rv -> rv option =
   (* The shapes are matched directly (rather than through the [*_get]
      closures) so the hot combinations run as monomorphic loops with a
      single indirect call per lane.  [ri]/[rr]/[rb] are per-site result
      buffers: a site's previous result is always consumed (copied into
      frame storage, a mask, a Pval, ...) before the site can evaluate
      again, so reusing them is invisible — evaluation allocates nothing
-     on these paths. *)
+     on these paths beyond the dispatch closure. *)
+  let p = exec.Pool.x_p in
+  let run = exec.Pool.x_run in
   let ri = Array.make p 0 in
   let rr = Array.make p 0.0 in
   let rb = Array.make p false in
@@ -210,132 +222,177 @@ let fast_binop p op : Frame.Mask.t -> rv -> rv -> rv option =
     match (a, b) with
     | RI x, RI y ->
         let r = ri in
-        for i = 0 to p - 1 do
-          Array.unsafe_set r i
-            (fi (Array.unsafe_get x i) (Array.unsafe_get y i))
-        done;
+        run (fun _ lo hi ->
+            for i = lo to hi - 1 do
+              Array.unsafe_set r i
+                (fi (Array.unsafe_get x i) (Array.unsafe_get y i))
+            done);
         Some (RI r)
     | RI x, RS (VInt n) ->
         let r = ri in
-        for i = 0 to p - 1 do
-          Array.unsafe_set r i (fi (Array.unsafe_get x i) n)
-        done;
+        run (fun _ lo hi ->
+            for i = lo to hi - 1 do
+              Array.unsafe_set r i (fi (Array.unsafe_get x i) n)
+            done);
         Some (RI r)
     | RS (VInt n), RI y ->
         let r = ri in
-        for i = 0 to p - 1 do
-          Array.unsafe_set r i (fi n (Array.unsafe_get y i))
-        done;
+        run (fun _ lo hi ->
+            for i = lo to hi - 1 do
+              Array.unsafe_set r i (fi n (Array.unsafe_get y i))
+            done);
         Some (RI r)
     | RR x, RR y ->
         let r = rr in
-        for i = 0 to p - 1 do
-          Array.unsafe_set r i
-            (fr (Array.unsafe_get x i) (Array.unsafe_get y i))
-        done;
+        run (fun _ lo hi ->
+            for i = lo to hi - 1 do
+              Array.unsafe_set r i
+                (fr (Array.unsafe_get x i) (Array.unsafe_get y i))
+            done);
         Some (RR r)
     | RR x, RS (VReal c) ->
         let r = rr in
-        for i = 0 to p - 1 do
-          Array.unsafe_set r i (fr (Array.unsafe_get x i) c)
-        done;
+        run (fun _ lo hi ->
+            for i = lo to hi - 1 do
+              Array.unsafe_set r i (fr (Array.unsafe_get x i) c)
+            done);
         Some (RR r)
     | RS (VReal c), RR y ->
         let r = rr in
-        for i = 0 to p - 1 do
-          Array.unsafe_set r i (fr c (Array.unsafe_get y i))
-        done;
+        run (fun _ lo hi ->
+            for i = lo to hi - 1 do
+              Array.unsafe_set r i (fr c (Array.unsafe_get y i))
+            done);
         Some (RR r)
     | _ -> (
         (* remaining mixed promotions (int lanes with real operands, ...) *)
         match (float_get a, float_get b) with
         | Some ga, Some gb ->
-            Some (RR (Array.init p (fun i -> fr (ga i) (gb i))))
+            let r = Array.make p 0.0 in
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  Array.unsafe_set r i (fr (ga i) (gb i))
+                done);
+            Some (RR r)
         | _ -> None)
   in
   let cmp test _m a b =
     match (a, b) with
     | RI x, RI y ->
         let r = rb in
-        for i = 0 to p - 1 do
-          Array.unsafe_set r i
-            (test (Int.compare (Array.unsafe_get x i) (Array.unsafe_get y i)))
-        done;
+        run (fun _ lo hi ->
+            for i = lo to hi - 1 do
+              Array.unsafe_set r i
+                (test
+                   (Int.compare (Array.unsafe_get x i) (Array.unsafe_get y i)))
+            done);
         Some (RB r)
     | RI x, RS (VInt n) ->
         let r = rb in
-        for i = 0 to p - 1 do
-          Array.unsafe_set r i (test (Int.compare (Array.unsafe_get x i) n))
-        done;
+        run (fun _ lo hi ->
+            for i = lo to hi - 1 do
+              Array.unsafe_set r i
+                (test (Int.compare (Array.unsafe_get x i) n))
+            done);
         Some (RB r)
     | RS (VInt n), RI y ->
         let r = rb in
-        for i = 0 to p - 1 do
-          Array.unsafe_set r i (test (Int.compare n (Array.unsafe_get y i)))
-        done;
+        run (fun _ lo hi ->
+            for i = lo to hi - 1 do
+              Array.unsafe_set r i
+                (test (Int.compare n (Array.unsafe_get y i)))
+            done);
         Some (RB r)
     | RR x, RR y ->
         let r = rb in
-        for i = 0 to p - 1 do
-          Array.unsafe_set r i
-            (test
-               (Float.compare (Array.unsafe_get x i) (Array.unsafe_get y i)))
-        done;
+        run (fun _ lo hi ->
+            for i = lo to hi - 1 do
+              Array.unsafe_set r i
+                (test
+                   (Float.compare (Array.unsafe_get x i)
+                      (Array.unsafe_get y i)))
+            done);
         Some (RB r)
     | RR x, RS (VReal c) ->
         let r = rb in
-        for i = 0 to p - 1 do
-          Array.unsafe_set r i (test (Float.compare (Array.unsafe_get x i) c))
-        done;
+        run (fun _ lo hi ->
+            for i = lo to hi - 1 do
+              Array.unsafe_set r i
+                (test (Float.compare (Array.unsafe_get x i) c))
+            done);
         Some (RB r)
     | RS (VReal c), RR y ->
         let r = rb in
-        for i = 0 to p - 1 do
-          Array.unsafe_set r i (test (Float.compare c (Array.unsafe_get y i)))
-        done;
+        run (fun _ lo hi ->
+            for i = lo to hi - 1 do
+              Array.unsafe_set r i
+                (test (Float.compare c (Array.unsafe_get y i)))
+            done);
         Some (RB r)
     | _ -> (
         match (int_get a, int_get b) with
         | Some ga, Some gb ->
-            Some
-              (RB (Array.init p (fun i -> test (Int.compare (ga i) (gb i)))))
+            let r = Array.make p false in
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  Array.unsafe_set r i (test (Int.compare (ga i) (gb i)))
+                done);
+            Some (RB r)
         | _ -> (
             match (float_get a, float_get b) with
             | Some ga, Some gb ->
-                Some
-                  (RB
-                     (Array.init p (fun i ->
-                          test (Float.compare (ga i) (gb i)))))
+                let r = Array.make p false in
+                run (fun _ lo hi ->
+                    for i = lo to hi - 1 do
+                      Array.unsafe_set r i
+                        (test (Float.compare (ga i) (gb i)))
+                    done);
+                Some (RB r)
             | _ -> (
                 match (bool_get a, bool_get b) with
                 | Some ga, Some gb ->
-                    Some
-                      (RB
-                         (Array.init p (fun i ->
-                              test (Bool.compare (ga i) (gb i)))))
+                    let r = Array.make p false in
+                    run (fun _ lo hi ->
+                        for i = lo to hi - 1 do
+                          Array.unsafe_set r i
+                            (test (Bool.compare (ga i) (gb i)))
+                        done);
+                    Some (RB r)
                 | _ -> None)))
   in
   let logic f _m a b =
     match (bool_get a, bool_get b) with
-    | Some ga, Some gb -> Some (RB (Array.init p (fun i -> f (ga i) (gb i))))
+    | Some ga, Some gb ->
+        let r = Array.make p false in
+        run (fun _ lo hi ->
+            for i = lo to hi - 1 do
+              Array.unsafe_set r i (f (ga i) (gb i))
+            done);
+        Some (RB r)
     | _ -> None
   in
   let div_like name fi fr m a b =
     match (int_get a, int_get b) with
     | Some ga, Some gb ->
         let r = ri in
-        for i = 0 to p - 1 do
-          if Frame.Mask.get m i then begin
-            let y = gb i in
-            if y = 0 then Errors.runtime_error "%s" name;
-            r.(i) <- fi (ga i) y
-          end
-        done;
+        run (fun _ lo hi ->
+            for i = lo to hi - 1 do
+              if Frame.Mask.get m i then begin
+                let y = gb i in
+                if y = 0 then Errors.runtime_error "%s" name;
+                r.(i) <- fi (ga i) y
+              end
+            done);
         Some (RI r)
     | _ -> (
         match (float_get a, float_get b) with
         | Some ga, Some gb ->
-            Some (RR (Array.init p (fun i -> fr (ga i) (gb i))))
+            let r = Array.make p 0.0 in
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  Array.unsafe_set r i (fr (ga i) (gb i))
+                done);
+            Some (RR r)
         | _ -> None)
   in
   match op with
@@ -382,9 +439,12 @@ let first_active (m : Frame.Mask.t) =
 
 (** Partition [parent] into [mt] (condition holds) and [mf] (does not),
     writing into the preallocated per-site buffers.  Only active lanes
-    evaluate the condition, exactly like the tree-walker's [and_mask]. *)
-let split_mask (parent : Frame.Mask.t) cv (mt : Frame.Mask.t)
-    (mf : Frame.Mask.t) =
+    evaluate the condition, exactly like the tree-walker's [and_mask].
+    The unboxed [RB] split shards over [exec]: each shard fills its own
+    byte range of the two masks and reports a partial active count,
+    summed on the control thread. *)
+let split_mask (exec : Pool.exec) (parent : Frame.Mask.t) cv
+    (mt : Frame.Mask.t) (mf : Frame.Mask.t) =
   Frame.Mask.clear mt;
   Frame.Mask.clear mf;
   let p = Frame.Mask.length parent in
@@ -401,20 +461,43 @@ let split_mask (parent : Frame.Mask.t) cv (mt : Frame.Mask.t)
   | RB a ->
       let bp = parent.Frame.Mask.bits in
       let bt = mt.Frame.Mask.bits and bf = mf.Frame.Mask.bits in
-      let nt = ref 0 and nf = ref 0 in
-      for i = 0 to p - 1 do
-        if Bytes.unsafe_get bp i <> '\000' then
-          if Array.unsafe_get a i then begin
-            Bytes.unsafe_set bt i '\001';
-            incr nt
-          end
-          else begin
-            Bytes.unsafe_set bf i '\001';
-            incr nf
-          end
-      done;
-      mt.Frame.Mask.active_n <- !nt;
-      mf.Frame.Mask.active_n <- !nf
+      let ns = Pool.nshards exec in
+      if ns = 1 then begin
+        let nt = ref 0 and nf = ref 0 in
+        for i = 0 to p - 1 do
+          if Bytes.unsafe_get bp i <> '\000' then
+            if Array.unsafe_get a i then begin
+              Bytes.unsafe_set bt i '\001';
+              incr nt
+            end
+            else begin
+              Bytes.unsafe_set bf i '\001';
+              incr nf
+            end
+        done;
+        mt.Frame.Mask.active_n <- !nt;
+        mf.Frame.Mask.active_n <- !nf
+      end
+      else begin
+        let nts = Array.make ns 0 and nfs = Array.make ns 0 in
+        exec.Pool.x_run (fun s lo hi ->
+            let nt = ref 0 and nf = ref 0 in
+            for i = lo to hi - 1 do
+              if Bytes.unsafe_get bp i <> '\000' then
+                if Array.unsafe_get a i then begin
+                  Bytes.unsafe_set bt i '\001';
+                  incr nt
+                end
+                else begin
+                  Bytes.unsafe_set bf i '\001';
+                  incr nf
+                end
+            done;
+            nts.(s) <- !nt;
+            nfs.(s) <- !nf);
+        mt.Frame.Mask.active_n <- Array.fold_left ( + ) 0 nts;
+        mf.Frame.Mask.active_n <- Array.fold_left ( + ) 0 nfs
+      end
   | RP vs ->
       for i = 0 to p - 1 do
         if Frame.Mask.get parent i then
@@ -431,11 +514,14 @@ let split_mask (parent : Frame.Mask.t) cv (mt : Frame.Mask.t)
 (* ------------------------------------------------------------------ *)
 
 (** Masked store into an existing plural slot.  Type-matched writes go
-    straight into the unboxed storage; a type-changing write renormalizes
-    through the boxed view (producing exactly the mixed array the
-    tree-walker would hold, modulo re-specialization). *)
-let write_plural frame si lanes (m : Frame.Mask.t) rhs =
+    straight into the unboxed storage, sharded over [exec] (disjoint
+    lane ranges of the destination vector); a type-changing write
+    renormalizes through the boxed view on the control thread (producing
+    exactly the mixed array the tree-walker would hold, modulo
+    re-specialization). *)
+let write_plural (exec : Pool.exec) frame si lanes (m : Frame.Mask.t) rhs =
   let p = Frame.Mask.length m in
+  let run = exec.Pool.x_run in
   let renorm () =
     let vs = Frame.values_of_lanes lanes in
     for i = 0 to p - 1 do
@@ -445,29 +531,35 @@ let write_plural frame si lanes (m : Frame.Mask.t) rhs =
   in
   match (lanes, rhs) with
   | Frame.LInt d, RI s ->
-      for i = 0 to p - 1 do
-        if Frame.Mask.get m i then d.(i) <- Array.unsafe_get s i
-      done
+      run (fun _ lo hi ->
+          for i = lo to hi - 1 do
+            if Frame.Mask.get m i then d.(i) <- Array.unsafe_get s i
+          done)
   | Frame.LInt d, RS (VInt x) ->
-      for i = 0 to p - 1 do
-        if Frame.Mask.get m i then d.(i) <- x
-      done
+      run (fun _ lo hi ->
+          for i = lo to hi - 1 do
+            if Frame.Mask.get m i then d.(i) <- x
+          done)
   | Frame.LReal d, RR s ->
-      for i = 0 to p - 1 do
-        if Frame.Mask.get m i then d.(i) <- Array.unsafe_get s i
-      done
+      run (fun _ lo hi ->
+          for i = lo to hi - 1 do
+            if Frame.Mask.get m i then d.(i) <- Array.unsafe_get s i
+          done)
   | Frame.LReal d, RS (VReal x) ->
-      for i = 0 to p - 1 do
-        if Frame.Mask.get m i then d.(i) <- x
-      done
+      run (fun _ lo hi ->
+          for i = lo to hi - 1 do
+            if Frame.Mask.get m i then d.(i) <- x
+          done)
   | Frame.LBool d, RB s ->
-      for i = 0 to p - 1 do
-        if Frame.Mask.get m i then d.(i) <- Array.unsafe_get s i
-      done
+      run (fun _ lo hi ->
+          for i = lo to hi - 1 do
+            if Frame.Mask.get m i then d.(i) <- Array.unsafe_get s i
+          done)
   | Frame.LBool d, RS (VBool x) ->
-      for i = 0 to p - 1 do
-        if Frame.Mask.get m i then d.(i) <- x
-      done
+      run (fun _ lo hi ->
+          for i = lo to hi - 1 do
+            if Frame.Mask.get m i then d.(i) <- x
+          done)
   | _ -> renorm ()
 
 (** First assignment to an unbound name: the tree-walker binds a scalar,
@@ -506,6 +598,7 @@ type env = {
   host : host;
   frame : Frame.t;
   p : int;
+  exec : Pool.exec;  (** lane-loop dispatcher: serial or pool-sharded *)
   mutable cur_loc : Errors.pos;
       (** location of the [SLoc] wrapper being compiled; every tick site
           captures it at compile time, so the run-time closures carry
@@ -561,21 +654,35 @@ let rec compile_expr env (e : expr) : cexpr =
             | Frame.Plural (Frame.LBool a) -> RB a
             | Frame.Plural (Frame.LBox a) -> RP (Array.copy a)
             | Frame.Global a | Frame.PluralArr a -> RA a))
-  | EUn (op, a) -> compile_unop op (compile_expr env a)
+  | EUn (op, a) -> compile_unop env op (compile_expr env a)
   | EBin (op, a, b) ->
       compile_binop env op (compile_expr env a) (compile_expr env b)
   | ECall (name, args) -> compile_call env name args
   | EIdx (name, args) -> compile_index env name args
 
-and compile_unop op ca : cexpr =
+and compile_unop env op ca : cexpr =
   let gen = Scalar_ops.apply_unop op in
+  let run = env.exec.Pool.x_run in
+  let p = env.p in
   match op with
   | Neg -> (
       fun m ->
         match ca m with
         | RS x -> RS (gen x)
-        | RI a -> RI (Array.map (fun x -> -x) a)
-        | RR a -> RR (Array.map (fun x -> -.x) a)
+        | RI a ->
+            let r = Array.make p 0 in
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  Array.unsafe_set r i (-Array.unsafe_get a i)
+                done);
+            RI r
+        | RR a ->
+            let r = Array.make p 0.0 in
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  Array.unsafe_set r i (-.Array.unsafe_get a i)
+                done);
+            RR r
         | RA _ ->
             Errors.runtime_error "array operand in a lane-wise operation"
         | v -> renorm m (box_lift1 m gen v))
@@ -583,14 +690,20 @@ and compile_unop op ca : cexpr =
       fun m ->
         match ca m with
         | RS x -> RS (gen x)
-        | RB a -> RB (Array.map not a)
+        | RB a ->
+            let r = Array.make p false in
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  Array.unsafe_set r i (not (Array.unsafe_get a i))
+                done);
+            RB r
         | RA _ ->
             Errors.runtime_error "array operand in a lane-wise operation"
         | v -> renorm m (box_lift1 m gen v))
 
 and compile_binop env op ca cb : cexpr =
   let app = Scalar_ops.apply_binop op in
-  let fast = fast_binop env.p op in
+  let fast = fast_binop env.exec op in
   fun m ->
     let a = ca m in
     let b = cb m in
@@ -610,21 +723,37 @@ and compile_call env name args : cexpr =
     let cargs = List.map (compile_expr env) args in
     let p = env.p in
     let host = env.host in
+    let run = env.exec.Pool.x_run in
     fun m ->
       match host.h_find_func key with
-      | Some f ->
+      | Some (f, pure) ->
           let vargs = List.map (fun c -> c m) cargs in
           if List.exists rv_is_plural vargs then begin
             (* exactly one call per active lane (callees may count
-               invocations); inactive lanes keep the static [VInt 0] *)
+               invocations); inactive lanes keep the static [VInt 0].
+               Only [pure] functions may run lane-parallel — an impure
+               callee observes the serial ascending application order. *)
             let bp = m.Frame.Mask.bits in
             let vs = Array.make p (VInt 0) in
             (match vargs with
+            | [ a; b ] when pure ->
+                run (fun _ lo hi ->
+                    for i = lo to hi - 1 do
+                      if Bytes.unsafe_get bp i <> '\000' then
+                        Array.unsafe_set vs i (f [ rv_lane a i; rv_lane b i ])
+                    done)
             | [ a; b ] ->
                 for i = 0 to p - 1 do
                   if Bytes.unsafe_get bp i <> '\000' then
                     Array.unsafe_set vs i (f [ rv_lane a i; rv_lane b i ])
                 done
+            | _ when pure ->
+                run (fun _ lo hi ->
+                    for i = lo to hi - 1 do
+                      if Bytes.unsafe_get bp i <> '\000' then
+                        Array.unsafe_set vs i
+                          (f (List.map (fun v -> rv_lane v i) vargs))
+                    done)
             | _ ->
                 for i = 0 to p - 1 do
                   if Bytes.unsafe_get bp i <> '\000' then
@@ -636,17 +765,23 @@ and compile_call env name args : cexpr =
           else RS (f (List.map rv_front_scalar vargs))
       | None -> (
           let vargs = List.map (fun c -> c m) cargs in
-          if List.exists rv_is_plural vargs then
-            renorm m
-              (Array.init p (fun i ->
-                   if Frame.Mask.get m i then
-                     match
-                       Intrinsics.apply key
-                         (List.map (fun v -> rv_lane v i) vargs)
-                     with
-                     | Some r -> r
-                     | None -> Errors.runtime_error "unknown function %s" name
-                   else VInt 0))
+          if List.exists rv_is_plural vargs then begin
+            (* intrinsics are pure by construction: shardable *)
+            let vs = Array.make p (VInt 0) in
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  if Frame.Mask.get m i then
+                    Array.unsafe_set vs i
+                      (match
+                         Intrinsics.apply key
+                           (List.map (fun v -> rv_lane v i) vargs)
+                       with
+                      | Some r -> r
+                      | None ->
+                          Errors.runtime_error "unknown function %s" name)
+                done);
+            renorm m vs
+          end
           else
             let scalar_args =
               List.map
@@ -679,7 +814,9 @@ and compile_reduction env name key args : cexpr =
         | Some r -> RS r
         | None -> Errors.runtime_error "bad reduction %s" name)
     | RS s -> RS (reduce_scalar m name key s)
-    | v -> RS (reduce_plural m name key v)
+    | v ->
+        let is_var = match args with [ Ast.EVar _ ] -> true | _ -> false in
+        RS (reduce_plural env.exec ~is_var m name key v)
 
 (** Reduction over a broadcast front-end scalar — [Pval.reduce]'s
     [FScalar] case: the scalar itself if any lane is active, the identity
@@ -694,57 +831,126 @@ and reduce_scalar (m : Frame.Mask.t) name key s =
       if some_active then s else Pval.reduction_identity key s
   | _ -> Errors.runtime_error "unknown reduction %s" name
 
-and reduce_plural (m : Frame.Mask.t) name key v =
+and reduce_plural (exec : Pool.exec) ~is_var (m : Frame.Mask.t) name key v =
   let p = Frame.Mask.length m in
-  (* Typed folds; [acc]/[seen] replicate the tree-walker's
-     first-active-lane initialization exactly (so e.g. a lone NaN or -0.0
-     survives verbatim). *)
+  let run = exec.Pool.x_run in
+  let ns = Pool.nshards exec in
+  let nc = Pool.nchunks p in
+  (* Typed folds over the canonical chunked merge tree (see [Pool] /
+     [Pval.reduce]): one partial per 64-lane chunk, each initialized at
+     its first active lane (so e.g. a lone NaN or -0.0 survives
+     verbatim), merged left-to-right in ascending chunk order on the
+     control thread.  The chunk grid depends only on [p], never on the
+     shard layout, so the result — including a non-associative float
+     SUM — is bitwise identical at any jobs count, and identical to the
+     serial engines.  Shards fold whole chunks (shard boundaries are
+     chunk-aligned). *)
+  (* The tree-walker's witness reads lane 0 of the evaluated argument
+     regardless of activity.  A plural-variable read ([is_var]) exposes
+     the stored lane 0; any computed temporary holds the inert [VInt 0]
+     in lanes that were masked off during its evaluation.  The witness
+     only reaches the result on the empty-mask path (where lane 0 is
+     necessarily inactive), so for temporaries that path must yield the
+     integer identity even when the register is statically REAL. *)
+  let witness () =
+    if p = 0 then VInt 0
+    else if (not is_var) && not (Frame.Mask.get m 0) then VInt 0
+    else rv_lane v 0
+  in
   let float_fold f =
+    let ga = match float_get v with Some g -> g | None -> assert false in
+    let parts = Array.make (max 1 nc) 0.0 in
+    let filled = Bytes.make (max 1 nc) '\000' in
+    run (fun _ lo hi ->
+        for c = lo / Pool.chunk to ((hi + Pool.chunk - 1) / Pool.chunk) - 1 do
+          let l = c * Pool.chunk and h = min hi ((c + 1) * Pool.chunk) in
+          let acc = ref 0.0 and seen = ref false in
+          for i = l to h - 1 do
+            if Frame.Mask.get m i then
+              if !seen then acc := f !acc (ga i)
+              else begin
+                acc := ga i;
+                seen := true
+              end
+          done;
+          if !seen then begin
+            parts.(c) <- !acc;
+            Bytes.unsafe_set filled c '\001'
+          end
+        done);
     let acc = ref 0.0 and seen = ref false in
-    let ga =
-      match float_get v with Some g -> g | None -> assert false
-    in
-    for i = 0 to p - 1 do
-      if Frame.Mask.get m i then
-        if !seen then acc := f !acc (ga i)
+    for c = 0 to nc - 1 do
+      if Bytes.unsafe_get filled c <> '\000' then
+        if !seen then acc := f !acc parts.(c)
         else begin
-          acc := ga i;
+          acc := parts.(c);
           seen := true
         end
     done;
-    if !seen then VReal !acc
-    else Pval.reduction_identity key (rv_lane v 0)
+    if !seen then VReal !acc else Pval.reduction_identity key (witness ())
   in
   let int_fold f =
-    let acc = ref 0 and seen = ref false in
     let ga = match int_get v with Some g -> g | None -> assert false in
-    for i = 0 to p - 1 do
-      if Frame.Mask.get m i then
-        if !seen then acc := f !acc (ga i)
+    let parts = Array.make (max 1 nc) 0 in
+    let filled = Bytes.make (max 1 nc) '\000' in
+    run (fun _ lo hi ->
+        for c = lo / Pool.chunk to ((hi + Pool.chunk - 1) / Pool.chunk) - 1 do
+          let l = c * Pool.chunk and h = min hi ((c + 1) * Pool.chunk) in
+          let acc = ref 0 and seen = ref false in
+          for i = l to h - 1 do
+            if Frame.Mask.get m i then
+              if !seen then acc := f !acc (ga i)
+              else begin
+                acc := ga i;
+                seen := true
+              end
+          done;
+          if !seen then begin
+            parts.(c) <- !acc;
+            Bytes.unsafe_set filled c '\001'
+          end
+        done);
+    let acc = ref 0 and seen = ref false in
+    for c = 0 to nc - 1 do
+      if Bytes.unsafe_get filled c <> '\000' then
+        if !seen then acc := f !acc parts.(c)
         else begin
-          acc := ga i;
+          acc := parts.(c);
           seen := true
         end
     done;
-    if !seen then VInt !acc
-    else Pval.reduction_identity key (rv_lane v 0)
+    if !seen then VInt !acc else Pval.reduction_identity key (witness ())
   in
+  (* Boxed fallback: the same chunk grid, folded serially on the control
+     thread (mixed-type lanes are the slow path already) — bit-identical
+     to [Pval.reduce]'s grouping. *)
   let generic f empty =
     let acc = ref None in
-    for i = 0 to p - 1 do
-      if Frame.Mask.get m i then
-        let x = rv_lane v i in
-        acc := Some (match !acc with None -> x | Some a -> f a x)
+    for c = 0 to nc - 1 do
+      let l = c * Pool.chunk and h = min p ((c + 1) * Pool.chunk) in
+      let part = ref None in
+      for i = l to h - 1 do
+        if Frame.Mask.get m i then
+          let x = rv_lane v i in
+          part := Some (match !part with None -> x | Some a -> f a x)
+      done;
+      match !part with
+      | None -> ()
+      | Some pv ->
+          acc := Some (match !acc with None -> pv | Some a -> f a pv)
     done;
     match !acc with Some r -> r | None -> empty
   in
   match (key, v) with
   | "count", RB a ->
-      let n = ref 0 in
-      for i = 0 to p - 1 do
-        if Frame.Mask.get m i && Array.unsafe_get a i then incr n
-      done;
-      VInt !n
+      let parts = Array.make ns 0 in
+      run (fun s lo hi ->
+          let n = ref 0 in
+          for i = lo to hi - 1 do
+            if Frame.Mask.get m i && Array.unsafe_get a i then incr n
+          done;
+          parts.(s) <- !n);
+      VInt (Array.fold_left ( + ) 0 parts)
   | "count", _ ->
       let n = ref 0 in
       for i = 0 to p - 1 do
@@ -752,17 +958,23 @@ and reduce_plural (m : Frame.Mask.t) name key v =
       done;
       VInt !n
   | "any", RB a ->
-      let r = ref false in
-      for i = 0 to p - 1 do
-        if Frame.Mask.get m i then r := !r || Array.unsafe_get a i
-      done;
-      VBool !r
+      let parts = Array.make ns false in
+      run (fun s lo hi ->
+          let r = ref false in
+          for i = lo to hi - 1 do
+            if Frame.Mask.get m i then r := !r || Array.unsafe_get a i
+          done;
+          parts.(s) <- !r);
+      VBool (Array.exists Fun.id parts)
   | "all", RB a ->
-      let r = ref true in
-      for i = 0 to p - 1 do
-        if Frame.Mask.get m i then r := !r && Array.unsafe_get a i
-      done;
-      VBool !r
+      let parts = Array.make ns true in
+      run (fun s lo hi ->
+          let r = ref true in
+          for i = lo to hi - 1 do
+            if Frame.Mask.get m i then r := !r && Array.unsafe_get a i
+          done;
+          parts.(s) <- !r);
+      VBool (Array.for_all Fun.id parts)
   | "sum", RI _ -> int_fold ( + )
   | "sum", RR _ -> float_fold ( +. )
   | "maxval", RI _ -> int_fold (fun a x -> if a > x then a else x)
@@ -778,15 +990,15 @@ and reduce_plural (m : Frame.Mask.t) name key v =
   | "maxval", _ ->
       generic
         (fun a b -> if as_bool (Scalar_ops.apply_binop Gt a b) then a else b)
-        (Pval.reduction_identity key (rv_lane v 0))
+        (Pval.reduction_identity key (witness ()))
   | "minval", _ ->
       generic
         (fun a b -> if as_bool (Scalar_ops.apply_binop Lt a b) then a else b)
-        (Pval.reduction_identity key (rv_lane v 0))
+        (Pval.reduction_identity key (witness ()))
   | "sum", _ ->
       generic
         (fun a b -> Scalar_ops.apply_binop Add a b)
-        (Pval.reduction_identity key (rv_lane v 0))
+        (Pval.reduction_identity key (witness ()))
   | _ -> Errors.runtime_error "unknown reduction %s" name
 
 and compile_index env name args : cexpr =
@@ -800,10 +1012,17 @@ and compile_index env name args : cexpr =
      falls back to the call path when the slot is unbound) *)
   let ccall = compile_call env name args in
   let p = env.p in
+  let exec = env.exec in
+  let run = exec.Pool.x_run in
   (* per-site gather result buffers, reused like [fast_binop]'s *)
   let ri = Array.make p 0 in
   let rr = Array.make p 0.0 in
   let rb = Array.make p false in
+  (* the generic gather paths stage each lane's subscript vector in a
+     scratch buffer: the compile-time one serially, a fresh shard-local
+     one per shard under the pool *)
+  let local_scratch sc n = if Pool.nshards exec = 1 then sc else Array.make n 0
+  in
   fun m ->
     match Frame.get frame si with
     | Frame.Scalar _ | Frame.Plural _ ->
@@ -814,95 +1033,99 @@ and compile_index env name args : cexpr =
         match (ivs, a) with
         (* rank-1/rank-2 int-vector subscripts: gather via flat offsets,
            replicating [Nd.linear_index]'s bounds checks (same message,
-           same dimension order, same first-failing-lane) *)
+           same dimension order, same first-failing-lane — shards check
+           ascending and the pool rethrows the lowest shard's error) *)
         | [ RI ix ], AInt d when Nd.rank d = 1 ->
             let d1 = Nd.size d in
-            for i = 0 to p - 1 do
-              if Frame.Mask.get m i then begin
-                let j = Array.unsafe_get ix i in
-                if j < 1 || j > d1 then
-                  Errors.runtime_error
-                    "index %d out of bounds 1..%d in dimension %d" j d1 1;
-                Array.unsafe_set ri i (Nd.get_flat d (j - 1))
-              end
-            done;
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  if Frame.Mask.get m i then begin
+                    let j = Array.unsafe_get ix i in
+                    if j < 1 || j > d1 then
+                      Errors.runtime_error
+                        "index %d out of bounds 1..%d in dimension %d" j d1 1;
+                    Array.unsafe_set ri i (Nd.get_flat d (j - 1))
+                  end
+                done);
             RI ri
         | [ RI ix ], AReal d when Nd.rank d = 1 ->
             let d1 = Nd.size d in
-            for i = 0 to p - 1 do
-              if Frame.Mask.get m i then begin
-                let j = Array.unsafe_get ix i in
-                if j < 1 || j > d1 then
-                  Errors.runtime_error
-                    "index %d out of bounds 1..%d in dimension %d" j d1 1;
-                Array.unsafe_set rr i (Nd.get_flat d (j - 1))
-              end
-            done;
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  if Frame.Mask.get m i then begin
+                    let j = Array.unsafe_get ix i in
+                    if j < 1 || j > d1 then
+                      Errors.runtime_error
+                        "index %d out of bounds 1..%d in dimension %d" j d1 1;
+                    Array.unsafe_set rr i (Nd.get_flat d (j - 1))
+                  end
+                done);
             RR rr
         | [ RI ix1; RI ix2 ], AInt d when Nd.rank d = 2 ->
             let dims = Nd.dims d in
             let d1 = dims.(0) and d2 = dims.(1) in
-            for i = 0 to p - 1 do
-              if Frame.Mask.get m i then begin
-                let j1 = Array.unsafe_get ix1 i in
-                if j1 < 1 || j1 > d1 then
-                  Errors.runtime_error
-                    "index %d out of bounds 1..%d in dimension %d" j1 d1 1;
-                let j2 = Array.unsafe_get ix2 i in
-                if j2 < 1 || j2 > d2 then
-                  Errors.runtime_error
-                    "index %d out of bounds 1..%d in dimension %d" j2 d2 2;
-                Array.unsafe_set ri i (Nd.get_flat d (j1 - 1 + ((j2 - 1) * d1)))
-              end
-            done;
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  if Frame.Mask.get m i then begin
+                    let j1 = Array.unsafe_get ix1 i in
+                    if j1 < 1 || j1 > d1 then
+                      Errors.runtime_error
+                        "index %d out of bounds 1..%d in dimension %d" j1 d1 1;
+                    let j2 = Array.unsafe_get ix2 i in
+                    if j2 < 1 || j2 > d2 then
+                      Errors.runtime_error
+                        "index %d out of bounds 1..%d in dimension %d" j2 d2 2;
+                    Array.unsafe_set ri i
+                      (Nd.get_flat d (j1 - 1 + ((j2 - 1) * d1)))
+                  end
+                done);
             RI ri
         | [ RI ix1; RI ix2 ], AReal d when Nd.rank d = 2 ->
             let dims = Nd.dims d in
             let d1 = dims.(0) and d2 = dims.(1) in
-            for i = 0 to p - 1 do
-              if Frame.Mask.get m i then begin
-                let j1 = Array.unsafe_get ix1 i in
-                if j1 < 1 || j1 > d1 then
-                  Errors.runtime_error
-                    "index %d out of bounds 1..%d in dimension %d" j1 d1 1;
-                let j2 = Array.unsafe_get ix2 i in
-                if j2 < 1 || j2 > d2 then
-                  Errors.runtime_error
-                    "index %d out of bounds 1..%d in dimension %d" j2 d2 2;
-                Array.unsafe_set rr i (Nd.get_flat d (j1 - 1 + ((j2 - 1) * d1)))
-              end
-            done;
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  if Frame.Mask.get m i then begin
+                    let j1 = Array.unsafe_get ix1 i in
+                    if j1 < 1 || j1 > d1 then
+                      Errors.runtime_error
+                        "index %d out of bounds 1..%d in dimension %d" j1 d1 1;
+                    let j2 = Array.unsafe_get ix2 i in
+                    if j2 < 1 || j2 > d2 then
+                      Errors.runtime_error
+                        "index %d out of bounds 1..%d in dimension %d" j2 d2 2;
+                    Array.unsafe_set rr i
+                      (Nd.get_flat d (j1 - 1 + ((j2 - 1) * d1)))
+                  end
+                done);
             RR rr
         | _ ->
         let sels = List.map rv_sel ivs in
         if List.exists snd sels then begin
           (* gather: one element per active lane *)
           let fs = Array.of_list (List.map fst sels) in
-          let idx i =
-            for k = 0 to nargs - 1 do
-              scratch.(k) <- (Array.unsafe_get fs k) i
-            done;
-            scratch
+          let gather get =
+            run (fun _ lo hi ->
+                let sc = local_scratch scratch nargs in
+                for i = lo to hi - 1 do
+                  if Frame.Mask.get m i then begin
+                    for k = 0 to nargs - 1 do
+                      sc.(k) <- (Array.unsafe_get fs k) i
+                    done;
+                    get i sc
+                  end
+                done)
           in
           match a with
           | AInt d ->
-              let r = ri in
-              for i = 0 to p - 1 do
-                if Frame.Mask.get m i then r.(i) <- Nd.get d (idx i)
-              done;
-              RI r
+              gather (fun i sc -> ri.(i) <- Nd.get d sc);
+              RI ri
           | AReal d ->
-              let r = rr in
-              for i = 0 to p - 1 do
-                if Frame.Mask.get m i then r.(i) <- Nd.get d (idx i)
-              done;
-              RR r
+              gather (fun i sc -> rr.(i) <- Nd.get d sc);
+              RR rr
           | ABool d ->
-              let r = rb in
-              for i = 0 to p - 1 do
-                if Frame.Mask.get m i then r.(i) <- Nd.get d (idx i)
-              done;
-              RB r
+              gather (fun i sc -> rb.(i) <- Nd.get d sc);
+              RB rb
         end
         else begin
           List.iteri (fun k (f, _) -> scratch.(k) <- f 0) sels;
@@ -911,32 +1134,29 @@ and compile_index env name args : cexpr =
     | Frame.PluralArr a -> (
         let sels = List.map (fun c -> rv_sel (c m)) cargs in
         let fs = Array.of_list (List.map fst sels) in
-        let idx i =
-          scratch1.(0) <- i + 1;
-          for k = 0 to nargs - 1 do
-            scratch1.(k + 1) <- (Array.unsafe_get fs k) i
-          done;
-          scratch1
+        let gather get =
+          run (fun _ lo hi ->
+              let sc = local_scratch scratch1 (nargs + 1) in
+              for i = lo to hi - 1 do
+                if Frame.Mask.get m i then begin
+                  sc.(0) <- i + 1;
+                  for k = 0 to nargs - 1 do
+                    sc.(k + 1) <- (Array.unsafe_get fs k) i
+                  done;
+                  get i sc
+                end
+              done)
         in
         match a with
         | AInt d ->
-            let r = ri in
-            for i = 0 to p - 1 do
-              if Frame.Mask.get m i then r.(i) <- Nd.get d (idx i)
-            done;
-            RI r
+            gather (fun i sc -> ri.(i) <- Nd.get d sc);
+            RI ri
         | AReal d ->
-            let r = rr in
-            for i = 0 to p - 1 do
-              if Frame.Mask.get m i then r.(i) <- Nd.get d (idx i)
-            done;
-            RR r
+            gather (fun i sc -> rr.(i) <- Nd.get d sc);
+            RR rr
         | ABool d ->
-            let r = rb in
-            for i = 0 to p - 1 do
-              if Frame.Mask.get m i then r.(i) <- Nd.get d (idx i)
-            done;
-            RB r)
+            gather (fun i sc -> rb.(i) <- Nd.get d sc);
+            RB rb)
 
 (* ------------------------------------------------------------------ *)
 (* Assignment                                                          *)
@@ -952,7 +1172,7 @@ and compile_assign env (l : lvalue) : Frame.Mask.t -> rv -> unit =
       fun m rhs -> (
         match Frame.get frame si with
         | Frame.Scalar r -> r := rv_front_scalar rhs
-        | Frame.Plural lanes -> write_plural frame si lanes m rhs
+        | Frame.Plural lanes -> write_plural env.exec frame si lanes m rhs
         | Frame.Global a -> (
             match rhs with
             | RS v -> arr_fill a v
@@ -978,17 +1198,25 @@ and compile_assign env (l : lvalue) : Frame.Mask.t -> rv -> unit =
       let scratch = Array.make nargs 0 in
       let scratch1 = Array.make (nargs + 1) 0 in
       let p = env.p in
+      let exec = env.exec in
+      let run = exec.Pool.x_run in
       let scatter a m rhs (fs : (int -> int) array) ~plural_arr =
-        let sc = if plural_arr then scratch1 else scratch in
-        let off = if plural_arr then 1 else 0 in
-        let idx i =
-          if plural_arr then sc.(0) <- i + 1;
-          for k = 0 to nargs - 1 do
-            sc.(k + off) <- (Array.unsafe_get fs k) i
-          done;
-          sc
-        in
-        let put =
+        (* Several lanes may scatter to the {e same} element of a global
+           array, and the machine model resolves the collision in lane
+           order (last active lane wins), so global scatters always run
+           serially on the control thread.  A plural array's leading
+           subscript is the lane itself — element sets are shard-disjoint
+           by construction — so that scatter shards, with a fresh
+           subscript buffer per shard. *)
+        let put sc =
+          let off = if plural_arr then 1 else 0 in
+          let idx i =
+            if plural_arr then sc.(0) <- i + 1;
+            for k = 0 to nargs - 1 do
+              sc.(k + off) <- (Array.unsafe_get fs k) i
+            done;
+            sc
+          in
           match (a, rhs) with
           | AInt d, RI s -> fun i -> Nd.set d (idx i) (Array.unsafe_get s i)
           | AReal d, RR s -> fun i -> Nd.set d (idx i) (Array.unsafe_get s i)
@@ -997,9 +1225,18 @@ and compile_assign env (l : lvalue) : Frame.Mask.t -> rv -> unit =
           | ABool d, RB s -> fun i -> Nd.set d (idx i) (Array.unsafe_get s i)
           | _ -> fun i -> arr_set a (idx i) (rv_lane rhs i)
         in
-        for i = 0 to p - 1 do
-          if Frame.Mask.get m i then put i
-        done
+        if plural_arr && Pool.nshards exec > 1 then
+          run (fun _ lo hi ->
+              let f = put (Array.make (nargs + 1) 0) in
+              for i = lo to hi - 1 do
+                if Frame.Mask.get m i then f i
+              done)
+        else begin
+          let f = put (if plural_arr then scratch1 else scratch) in
+          for i = 0 to p - 1 do
+            if Frame.Mask.get m i then f i
+          done
+        end
       in
       fun m rhs -> (
         match Frame.get frame si with
@@ -1144,6 +1381,7 @@ and compile_stmt env (s : stmt) : cstmt =
       let ct = compile_block env t and cf = compile_block env f in
       let mt = Frame.Mask.create_empty env.p in
       let mf = Frame.Mask.create_empty env.p in
+      let exec = env.exec in
       fun m ->
         match cc m with
         | RS v ->
@@ -1155,7 +1393,7 @@ and compile_stmt env (s : stmt) : cstmt =
                [SWhere] dispatch it re-evaluates the condition *)
             let cv = cc m in
             host.h_tick_vector ~loc ~kind:Lf_obs.Trace.Where m;
-            split_mask m cv mt mf;
+            split_mask exec m cv mt mf;
             ct mt;
             cf mf)
   | SWhere (c, t, f) ->
@@ -1163,10 +1401,11 @@ and compile_stmt env (s : stmt) : cstmt =
       let ct = compile_block env t and cf = compile_block env f in
       let mt = Frame.Mask.create_empty env.p in
       let mf = Frame.Mask.create_empty env.p in
+      let exec = env.exec in
       fun m ->
         let cv = cc m in
         host.h_tick_vector ~loc ~kind:Lf_obs.Trace.Where m;
-        split_mask m cv mt mf;
+        split_mask exec m cv mt mf;
         ct mt;
         cf mf
   | SWhile (c, body) ->
@@ -1335,6 +1574,7 @@ let var_names (prog : program) : string list =
   blk prog.p_body;
   List.rev !order
 
-let compile ~host ~frame (body : block) : Frame.Mask.t -> unit =
-  let env = { host; frame; p = host.h_p; cur_loc = Errors.no_pos } in
+let compile ~host ~frame ~exec (body : block) : Frame.Mask.t -> unit =
+  assert (exec.Pool.x_p = host.h_p);
+  let env = { host; frame; p = host.h_p; exec; cur_loc = Errors.no_pos } in
   compile_block env body

@@ -29,7 +29,9 @@ type host = {
   h_call_metric : string -> unit;  (** count an external CALL *)
   h_find_proc :
     string -> (mask:bool array -> Pval.t list -> unit) option;
-  h_find_func : string -> (Values.value list -> Values.value) option;
+  h_find_func : string -> ((Values.value list -> Values.value) * bool) option;
+      (** user function and its purity flag; only pure functions may be
+          applied lane-parallel *)
   h_observer : unit -> (mask:bool array -> Ast.stmt -> unit) option;
   h_flush : unit -> unit;  (** frame -> VM variable table *)
   h_import : unit -> unit;  (** VM variable table -> frame *)
@@ -42,7 +44,12 @@ val is_reduction : string -> bool
     heads).  The frame passed to [compile] must cover at least these. *)
 val var_names : Ast.program -> string list
 
-(** [compile ~host ~frame body] returns the compiled body; run it by
-    applying it to a full activity mask. *)
+(** [compile ~host ~frame ~exec body] returns the compiled body; run it
+    by applying it to a full activity mask.  [exec] dispatches every
+    per-lane loop: [Pool.serial_exec] gives the serial compiled engine,
+    [Pool.parallel_exec] the lane-sharded parallel one — same closures,
+    same bit-identical results (reductions fold the canonical chunked
+    merge tree of [Pool] in every case). *)
 val compile :
-  host:host -> frame:Frame.t -> Ast.block -> Frame.Mask.t -> unit
+  host:host -> frame:Frame.t -> exec:Pool.exec -> Ast.block ->
+  Frame.Mask.t -> unit

@@ -1,0 +1,258 @@
+(** Lane-sharded execution: a persistent Domain pool and the [exec]
+    dispatch record threaded through the compiled engine.
+
+    The parallel engine keeps the paper's machine model intact: one
+    control unit (the caller's domain) issues every vector instruction,
+    accounts [Metrics], burns fuel and emits trace events; only the
+    per-lane loop of each instruction is fanned out, with the [p] lanes
+    partitioned into contiguous shards — exactly a CM-2 sequencer
+    broadcasting one instruction to banks of independent PEs.
+
+    Shard boundaries are aligned to the reduction [chunk] (64 lanes), so
+    every shard folds whole chunks.  Reductions compute one partial per
+    {e chunk} (not per shard) and merge the partials left-to-right in
+    ascending chunk order; because the chunk grid is independent of
+    [jobs], a float SUM is bitwise identical at any jobs count, and the
+    serial compiled engine (which folds the same grid with one shard) and
+    the tree-walker (see [Pval.reduce]) agree bit-for-bit.
+
+    Workers hand off through a [Mutex]/[Condition] per worker (blocking,
+    not spinning — correct even when the host has fewer cores than
+    jobs).  Shards are not pre-assigned to workers: every participant —
+    the control domain included — pulls shard indices from a per-dispatch
+    atomic counter.  On an oversubscribed host the control domain
+    typically drains every shard itself before a worker is even
+    scheduled, so a dispatch degrades to the serial loop plus a few
+    condition signals instead of a context-switch round trip per vector
+    instruction; on a machine with spare cores the workers wake and
+    steal the remaining shards.  Which domain runs a shard is
+    irrelevant to determinism: shard [k] always executes thunk [k], so
+    reduction merge order, error ordering and trace-buffer assignment
+    depend only on the partition.  A shard that raises is recorded;
+    after the join the exception of the {e lowest} shard index is
+    rethrown, which is the error of the globally first failing lane —
+    the same error the serial engines raise. *)
+
+(* ------------------------------------------------------------------ *)
+(* Chunked lane partitioning                                           *)
+(* ------------------------------------------------------------------ *)
+
+let chunk = 64
+let nchunks p = (p + chunk - 1) / chunk
+
+(** Partition [0, p) into at most [jobs] contiguous, chunk-aligned,
+    non-empty shards (a single possibly-empty shard when [p = 0]).
+    Ascending, disjoint, covering. *)
+let ranges ~p ~jobs =
+  if jobs < 1 then invalid_arg "Pool.ranges: jobs must be >= 1";
+  let nc = nchunks p in
+  if nc <= 1 then [| (0, p) |]
+  else
+    let n = min jobs nc in
+    Array.init n (fun k ->
+        let lo_c = k * nc / n and hi_c = (k + 1) * nc / n in
+        (lo_c * chunk, min p (hi_c * chunk)))
+
+(* ------------------------------------------------------------------ *)
+(* Persistent worker pool                                              *)
+(* ------------------------------------------------------------------ *)
+
+type job = Idle | Run of (unit -> unit) | Quit
+
+type worker = {
+  w_mu : Mutex.t;
+  w_cv : Condition.t;
+  mutable w_job : job;
+  mutable w_dom : unit Domain.t option;  (** filled right after spawn *)
+}
+
+type pool = {
+  p_mu : Mutex.t;  (** guards [p_workers] growth and [p_busy] *)
+  mutable p_workers : worker list;  (** newest first *)
+  mutable p_busy : bool;  (** a dispatch is in flight *)
+  done_mu : Mutex.t;
+  done_cv : Condition.t;
+}
+
+let the_pool =
+  {
+    p_mu = Mutex.create ();
+    p_workers = [];
+    p_busy = false;
+    done_mu = Mutex.create ();
+    done_cv = Condition.create ();
+  }
+
+let rec worker_loop (w : worker) =
+  Mutex.lock w.w_mu;
+  while w.w_job = Idle do
+    Condition.wait w.w_cv w.w_mu
+  done;
+  let job = w.w_job in
+  w.w_job <- Idle;
+  Mutex.unlock w.w_mu;
+  match job with
+  | Idle -> assert false
+  | Quit -> ()
+  | Run f ->
+      (* [f] traps its own exception into the dispatch's error slots; a
+         leak here must never kill the worker. *)
+      (try f () with _ -> ());
+      worker_loop w
+
+let shutdown () =
+  Mutex.lock the_pool.p_mu;
+  let ws = the_pool.p_workers in
+  the_pool.p_workers <- [];
+  Mutex.unlock the_pool.p_mu;
+  List.iter
+    (fun w ->
+      Mutex.lock w.w_mu;
+      w.w_job <- Quit;
+      Condition.signal w.w_cv;
+      Mutex.unlock w.w_mu)
+    ws;
+  List.iter (fun w -> Option.iter Domain.join w.w_dom) ws
+
+let at_exit_registered = ref false
+
+(* Helpers beyond the host's spare cores cannot run concurrently anyway;
+   waking them only buys scheduler round trips (and every transiently
+   awake domain must be rendezvoused by each stop-the-world minor GC).
+   Shards are decoupled from workers by the stealing counter, so
+   [min (nshards - 1) (cores - 1)] helpers suffice for any partition —
+   on a single-core host that is zero, and a dispatch degrades to the
+   caller draining every shard inline. *)
+let spare_cores = lazy (max 0 (Domain.recommended_domain_count () - 1))
+
+(** Grow the pool to at least [n] workers (idempotent). *)
+let ensure_workers n =
+  Mutex.lock the_pool.p_mu;
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    Stdlib.at_exit shutdown
+  end;
+  let have = List.length the_pool.p_workers in
+  for _ = have + 1 to n do
+    let w =
+      { w_mu = Mutex.create (); w_cv = Condition.create (); w_job = Idle;
+        w_dom = None }
+    in
+    w.w_dom <- Some (Domain.spawn (fun () -> worker_loop w));
+    the_pool.p_workers <- w :: the_pool.p_workers
+  done;
+  Mutex.unlock the_pool.p_mu
+
+(** Run every thunk once, shared between the calling domain and the
+    pool workers; returns after all complete.  Every participant pulls
+    indices from a per-dispatch atomic counter, so whichever domains the
+    scheduler actually runs, each thunk executes exactly once and the
+    caller never blocks unless a worker is mid-thunk.  The per-dispatch
+    closure captures its own counters: a worker waking up late (after
+    the caller has already drained the counter) finds it exhausted and
+    goes back to sleep, and can never touch a later dispatch's thunks.
+    Falls back to running everything inline on the caller when a
+    dispatch is already in flight (re-entrant use, e.g. a per-lane
+    callback that itself spins up a VM) — slower, never wrong. *)
+let dispatch (thunks : (unit -> unit) array) =
+  let n = Array.length thunks in
+  Mutex.lock the_pool.p_mu;
+  let workers =
+    if the_pool.p_busy then None
+    else begin
+      the_pool.p_busy <- true;
+      (* newest-first list: any subset of workers will do *)
+      Some (Array.of_list the_pool.p_workers)
+    end
+  in
+  Mutex.unlock the_pool.p_mu;
+  match workers with
+  | None -> Array.iter (fun t -> t ()) thunks
+  | Some ws ->
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock the_pool.p_mu;
+          the_pool.p_busy <- false;
+          Mutex.unlock the_pool.p_mu)
+        (fun () ->
+          let next = Atomic.make 0 in
+          let completed = Atomic.make 0 in
+          let drain () =
+            let rec go () =
+              let k = Atomic.fetch_and_add next 1 in
+              if k < n then begin
+                thunks.(k) ();
+                Atomic.incr completed;
+                go ()
+              end
+            in
+            go ();
+            (* wake the caller iff we just finished the last thunk and
+               it may be waiting; signalling under [done_mu] pairs with
+               the caller's check-then-wait and cannot be lost *)
+            if Atomic.get completed = n then begin
+              Mutex.lock the_pool.done_mu;
+              Condition.signal the_pool.done_cv;
+              Mutex.unlock the_pool.done_mu
+            end
+          in
+          let helpers = min (n - 1) (Array.length ws) in
+          for k = 1 to helpers do
+            let w = ws.(k - 1) in
+            Mutex.lock w.w_mu;
+            w.w_job <- Run drain;
+            Condition.signal w.w_cv;
+            Mutex.unlock w.w_mu
+          done;
+          drain ();
+          Mutex.lock the_pool.done_mu;
+          while Atomic.get completed < n do
+            Condition.wait the_pool.done_cv the_pool.done_mu
+          done;
+          Mutex.unlock the_pool.done_mu)
+
+(* ------------------------------------------------------------------ *)
+(* The exec record                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type exec = {
+  x_p : int;  (** number of lanes *)
+  x_ranges : (int * int) array;
+      (** the shard partition of [0, p); singleton for serial execution *)
+  x_run : (int -> int -> int -> unit) -> unit;
+      (** [x_run f] applies [f shard lo hi] to every shard; shards run
+          concurrently when pool-backed.  If several shards raise, the
+          lowest shard's exception is rethrown after the join. *)
+}
+
+let nshards e = Array.length e.x_ranges
+
+let serial_exec ~p =
+  { x_p = p; x_ranges = [| (0, p) |]; x_run = (fun f -> f 0 0 p) }
+
+let run_sharded ranges f =
+  let n = Array.length ranges in
+  let errs = Array.make n None in
+  let thunk k () =
+    let lo, hi = ranges.(k) in
+    try f k lo hi with e -> errs.(k) <- Some e
+  in
+  dispatch (Array.init n thunk);
+  Array.iter (function Some e -> raise e | None -> ()) errs
+
+let max_jobs = 64
+
+let parallel_exec ~p ~jobs =
+  if jobs < 1 then invalid_arg "Pool.parallel_exec: jobs must be >= 1";
+  let jobs = min jobs max_jobs in
+  let rs = ranges ~p ~jobs in
+  if Array.length rs = 1 then
+    (* jobs = 1, or too few chunks to split: the serial fast path — no
+       pool traffic, no error-slot allocation. *)
+    { (serial_exec ~p) with x_ranges = rs }
+  else begin
+    ensure_workers (min (Array.length rs - 1) (Lazy.force spare_cores));
+    { x_p = p; x_ranges = rs; x_run = (fun f -> run_sharded rs f) }
+  end
+
+let default_jobs () = max 1 (min 8 (Domain.recommended_domain_count ()))

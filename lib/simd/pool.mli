@@ -1,0 +1,54 @@
+(** Lane-sharded execution for the compiled SIMD engine: a persistent
+    Domain pool plus the [exec] dispatch record.
+
+    Control flow, scalar state, [Metrics], fuel and trace emission stay
+    on the calling domain (the paper's single control unit); only the
+    per-lane loop of each vector instruction fans out, over contiguous
+    chunk-aligned shards of the [p] lanes.
+
+    All reductions — in every engine — fold one partial per 64-lane
+    {e chunk} and merge partials in ascending chunk order.  The chunk
+    grid depends only on [p], never on [jobs], so a float SUM is bitwise
+    identical across the tree-walker, the serial compiled engine and the
+    parallel engine at any jobs count. *)
+
+val chunk : int
+(** Reduction chunk width (64 lanes); shard boundaries are multiples. *)
+
+val nchunks : int -> int
+(** [nchunks p] = number of chunks covering [0, p) (0 when [p = 0]). *)
+
+val ranges : p:int -> jobs:int -> (int * int) array
+(** Partition [0, p) into at most [jobs] contiguous chunk-aligned
+    non-empty half-open shards [(lo, hi)], ascending, disjoint,
+    covering.  A single (possibly empty) shard when [p <= chunk] or
+    [jobs = 1].  @raise Invalid_argument when [jobs < 1]. *)
+
+type exec = {
+  x_p : int;  (** number of lanes *)
+  x_ranges : (int * int) array;  (** the shard partition of [0, p) *)
+  x_run : (int -> int -> int -> unit) -> unit;
+      (** [x_run f] applies [f shard lo hi] to every shard, concurrently
+          when pool-backed.  All shards complete before [x_run] returns;
+          if several raise, the lowest shard's exception is rethrown —
+          the error of the globally first failing lane, matching the
+          serial engines. *)
+}
+
+val nshards : exec -> int
+
+val serial_exec : p:int -> exec
+(** One shard, run inline — the serial compiled engine's executor. *)
+
+val parallel_exec : p:int -> jobs:int -> exec
+(** Shard over the persistent pool ([jobs - 1] workers grown on demand;
+    the caller runs shard 0).  Degenerates to [serial_exec] when the
+    partition has a single shard ([jobs = 1] or [p <= chunk]).  Workers
+    block on a condition variable between dispatches and are joined at
+    process exit.  @raise Invalid_argument when [jobs < 1]. *)
+
+val default_jobs : unit -> int
+(** [min 8 (Domain.recommended_domain_count ())], at least 1. *)
+
+val shutdown : unit -> unit
+(** Quit and join all pool workers (registered [at_exit]; idempotent). *)

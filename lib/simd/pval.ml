@@ -97,16 +97,33 @@ let reduction_identity key (witness : Values.value) : Values.value =
       | _ -> Values.VInt 0)
 
 (** Reduce a plural value over the active lanes.  [empty] is returned when
-    no lane is active. *)
+    no lane is active.
+
+    The fold follows the canonical chunked merge tree shared by all
+    engines (see [Pool]): one partial per [Pool.chunk]-lane chunk, each
+    initialized at its first active lane, then the non-empty partials are
+    merged left-to-right in ascending chunk order.  The chunk grid
+    depends only on [p], so a float SUM is bitwise identical whether the
+    lanes are folded here, by the serial compiled engine, or by the
+    parallel engine at any jobs count. *)
 let reduce ~(mask : bool array) ~empty f v =
   match v with
   | Plural vs ->
+      let p = Array.length mask in
       let acc = ref None in
-      Array.iteri
-        (fun i active ->
-          if active then
-            acc := Some (match !acc with None -> vs.(i) | Some a -> f a vs.(i)))
-        mask;
+      for c = 0 to Pool.nchunks p - 1 do
+        let l = c * Pool.chunk and h = min p ((c + 1) * Pool.chunk) in
+        let part = ref None in
+        for i = l to h - 1 do
+          if mask.(i) then
+            part :=
+              Some (match !part with None -> vs.(i) | Some a -> f a vs.(i))
+        done;
+        match !part with
+        | None -> ()
+        | Some pv ->
+            acc := Some (match !acc with None -> pv | Some a -> f a pv)
+      done;
       Option.value ~default:empty !acc
   | FScalar s -> if Array.exists Fun.id mask then s else empty
   | FArr _ -> Errors.runtime_error "array operand in a plural reduction"

@@ -37,7 +37,9 @@ and t = {
   metrics : Metrics.t;
   mutable fuel : int;
   procs : (string, proc) Hashtbl.t;
-  funcs : (string, value list -> value) Hashtbl.t;  (** per-lane pure functions *)
+  funcs : (string, (value list -> value) * bool) Hashtbl.t;
+      (** per-lane functions, with a purity flag: only functions
+          registered [~pure:true] may be applied lane-parallel *)
   mutable observer : (t -> mask:bool array -> Ast.stmt -> unit) option;
       (** called before every vector-step statement with its mask *)
   trace : Lf_obs.Trace.t;
@@ -77,8 +79,8 @@ let set_observer vm f = vm.observer <- Some f
 let observe vm ~mask s =
   match vm.observer with Some f -> f vm ~mask s | None -> ()
 
-let register_func vm name f =
-  Hashtbl.replace vm.funcs (String.lowercase_ascii name) f
+let register_func vm ?(pure = false) name f =
+  Hashtbl.replace vm.funcs (String.lowercase_ascii name) (f, pure)
 
 let full_mask vm = Array.make vm.p true
 let active_count mask = Array.fold_left (fun n b -> if b then n + 1 else n) 0 mask
@@ -290,7 +292,7 @@ and eval_call vm ~mask name args : Pval.t =
   end
   else
     match Hashtbl.find_opt vm.funcs key with
-    | Some f ->
+    | Some (f, _pure) ->
         let vargs = List.map (eval vm ~mask) args in
         if List.exists Pval.is_plural vargs then
           Pval.Plural
@@ -541,7 +543,7 @@ let declare vm (decls : decl list) =
 (* The compiled engine                                                 *)
 (* ------------------------------------------------------------------ *)
 
-type engine = [ `Tree_walk | `Compiled ]
+type engine = [ `Tree_walk | `Compiled | `Parallel ]
 
 (** VM variable table -> frame.  Names absent from the table keep their
     current slot (at run start every slot is [Unbound]). *)
@@ -574,8 +576,13 @@ let flush_frame vm (frame : Frame.t) =
     plus anything pre-seeded in [vm.vars], then run it under a full mask.
     State is imported at the start and after every external CALL, and
     flushed back at the end (also on the error path, so a failing compiled
-    run leaves the same partial state as a failing tree-walk). *)
-let run_compiled vm (prog : program) =
+    run leaves the same partial state as a failing tree-walk).
+
+    [exec] dispatches the per-lane loops: [Pool.serial_exec] is the
+    serial compiled engine, [Pool.parallel_exec] shards the lanes over
+    the Domain pool while everything sequential — control flow, metrics,
+    fuel, trace emission, front-end state — stays on this thread. *)
+let run_compiled vm ~(exec : Pool.exec) (prog : program) =
   let names =
     let from_ast = Compile.var_names prog in
     let seen = Hashtbl.create 64 in
@@ -637,7 +644,7 @@ let run_compiled vm (prog : program) =
       h_import = (fun () -> import_frame vm frame);
     }
   in
-  let compiled = Compile.compile ~host ~frame prog.p_body in
+  let compiled = Compile.compile ~host ~frame ~exec prog.p_body in
   import_frame vm frame;
   Fun.protect
     ~finally:(fun () -> flush_frame vm frame)
@@ -645,16 +652,25 @@ let run_compiled vm (prog : program) =
 
 (** Run a program on the VM.  [setup] may pre-bind globals and parameters
     (problem sizes, input arrays) before declarations are processed.
-    [engine] selects the tree-walking interpreter (default) or the
-    compiled closure engine; both produce identical state and metrics. *)
-let run ?fuel ?(engine = `Tree_walk) ~p ?(setup = fun _ -> ())
+    [engine] selects the tree-walking interpreter (default), the serial
+    compiled closure engine, or the lane-sharded parallel engine; all
+    three produce bit-identical state, metrics and errors.  [jobs] (only
+    meaningful — and only validated — with [`Parallel]) bounds the shard
+    count; it defaults to [Pool.default_jobs ()]. *)
+let run ?fuel ?(engine = `Tree_walk) ?jobs ~p ?(setup = fun _ -> ())
     (prog : program) : t =
   let vm = create ?fuel ~p () in
   setup vm;
   declare vm prog.p_decls;
   (match engine with
   | `Tree_walk -> exec_block vm ~mask:(full_mask vm) prog.p_body
-  | `Compiled -> run_compiled vm prog);
+  | `Compiled -> run_compiled vm ~exec:(Pool.serial_exec ~p) prog
+  | `Parallel ->
+      let jobs =
+        match jobs with Some j -> j | None -> Pool.default_jobs ()
+      in
+      if jobs < 1 then invalid_arg "Vm.run: jobs must be >= 1";
+      run_compiled vm ~exec:(Pool.parallel_exec ~p ~jobs) prog);
   vm
 
 (* ------------------------------------------------------------------ *)

@@ -26,7 +26,8 @@ and t = {
   metrics : Metrics.t;
   mutable fuel : int;
   procs : (string, proc) Hashtbl.t;
-  funcs : (string, Values.value list -> Values.value) Hashtbl.t;
+  funcs : (string, (Values.value list -> Values.value) * bool) Hashtbl.t;
+      (** per-lane functions with their purity flag *)
   mutable observer : (t -> mask:bool array -> Ast.stmt -> unit) option;
   trace : Lf_obs.Trace.t;
       (** per-vector-step event collector; off (one flat branch per
@@ -48,9 +49,14 @@ val set_observer : t -> (t -> mask:bool array -> Ast.stmt -> unit) -> unit
     the issuing statement's source location and activity mask. *)
 val add_trace_sink : t -> Lf_obs.Trace.sink -> unit
 
-(** Register a pure per-lane function (applied pointwise under the mask
-    when any argument is plural). *)
-val register_func : t -> string -> (Values.value list -> Values.value) -> unit
+(** Register a per-lane function (applied pointwise under the mask when
+    any argument is plural).  [pure] (default [false]) promises the
+    function has no observable side effects and no dependence on
+    application order, which lets the parallel engine apply it
+    lane-parallel; impure functions always see the serial ascending
+    per-lane order, on every engine. *)
+val register_func :
+  t -> ?pure:bool -> string -> (Values.value list -> Values.value) -> unit
 
 val full_mask : t -> bool array
 val active_count : bool array -> int
@@ -81,16 +87,21 @@ val exec_block : t -> mask:bool array -> Ast.block -> unit
     kept. *)
 val declare : t -> Ast.decl list -> unit
 
-(** Execution engine: the tree-walking interpreter, or the compiled
-    closure engine ([Compile] / [Frame]) — a drop-in replacement that
-    produces identical variable state and [Metrics]. *)
-type engine = [ `Tree_walk | `Compiled ]
+(** Execution engine: the tree-walking interpreter, the compiled closure
+    engine ([Compile] / [Frame]), or the lane-sharded parallel engine
+    (the compiled engine dispatching per-lane loops over the [Pool]
+    Domain pool) — drop-in replacements producing identical variable
+    state, [Metrics], trace events and error messages. *)
+type engine = [ `Tree_walk | `Compiled | `Parallel ]
 
 (** Run a program on a fresh VM.  [setup] may pre-bind globals and
     parameters before declarations are processed; [engine] defaults to
-    the tree-walker. *)
+    the tree-walker.  [jobs] bounds the [`Parallel] shard count
+    (default [Pool.default_jobs ()]; ignored by the serial engines).
+    @raise Invalid_argument when [engine] is [`Parallel] and [jobs < 1]. *)
 val run :
-  ?fuel:int -> ?engine:engine -> p:int -> ?setup:(t -> unit) -> Ast.program -> t
+  ?fuel:int -> ?engine:engine -> ?jobs:int -> p:int -> ?setup:(t -> unit) ->
+  Ast.program -> t
 
 (** Same variable table: same names, same entry kinds, equal values.
     Together with [Metrics.equal] this is the engine-equivalence oracle

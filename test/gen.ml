@@ -140,6 +140,217 @@ let exec_nest_gen =
   in
   return { src_block = nest; k; l; inner_nonempty = nonempty }
 
+(* ------------------------------------------------------------------ *)
+(* Random SIMD programs for the engine-differential harness            *)
+(* ------------------------------------------------------------------ *)
+
+(** Random programs in the SIMD dialect itself: plural arithmetic over
+    [iproc], nested WHERE, reductions (including REAL sums, which
+    exercise the chunked merge tree), gathers and scatters on globals
+    and per-lane arrays, bounded while-any loops, and division for the
+    error paths.  Nothing in a generated program depends on the lane
+    count, so the differential harness can replay the same program at
+    any [p] and any [jobs] — the environment is bound by
+    [simd_prog_setup ~p].
+
+    Termination is by construction (DO bounds are constants, while-any
+    counters strictly increase and are touched nowhere else), so a modest
+    fuel is only a backstop — and fuel exhaustion, like any runtime
+    error, must itself be identical across engines. *)
+
+let simd_global_n = 8
+
+(** Plural integer variables, seeded from [iproc] by the prologue. *)
+let simd_ivar = oneofl [ "u"; "v"; "w" ]
+
+let rec iexpr_sized n =
+  if n <= 0 then
+    frequency
+      [
+        (3, map (fun v -> EVar v) simd_ivar);
+        (2, return (EVar "iproc"));
+        (2, map (fun i -> EInt i) (0 -- 9));
+      ]
+  else
+    let sub = iexpr_sized (n / 2) in
+    frequency
+      [
+        (3, map2 (fun a b -> EBin (Add, a, b)) sub sub);
+        (2, map2 (fun a b -> EBin (Sub, a, b)) sub sub);
+        (2, map2 (fun a b -> EBin (Mul, a, b)) sub sub);
+        (1, map2 (fun a c -> EBin (Mod, a, EInt (1 + c))) sub (0 -- 4));
+        (* may divide by zero: an error-path generator *)
+        (1, map2 (fun a b -> EBin (Div, a, b)) sub sub);
+        (1, map2 (fun a b -> ECall ("max", [ a; b ])) sub sub);
+        (1, map (fun a -> ECall ("abs", [ a ])) sub);
+      ]
+
+(** Mostly in-bounds subscript into a size-[simd_global_n] global;
+    occasionally arbitrary, to exercise the bounds-error path. *)
+let simd_idx =
+  frequency
+    [
+      ( 4,
+        map
+          (fun c ->
+            EBin
+              ( Add,
+                EBin (Mod, EBin (Add, EVar "iproc", EInt c), EInt simd_global_n),
+                EInt 1 ))
+          (0 -- 9) );
+      (1, iexpr_sized 1);
+    ]
+
+(** Subscript into the 3-element per-lane array [f]. *)
+let simd_idx_f =
+  frequency
+    [ (4, map (fun c -> EInt (1 + (c mod 3))) (0 -- 9)); (1, iexpr_sized 1) ]
+
+let simd_bexpr =
+  let* op = oneofl [ Le; Lt; Eq; Ge ] in
+  map2 (fun a b -> EBin (op, a, b)) (iexpr_sized 2) (iexpr_sized 2)
+
+let rec rexpr_sized n =
+  if n <= 0 then
+    frequency
+      [
+        (3, return (EVar "r"));
+        (2, map (fun c -> EReal (0.25 *. float_of_int c)) (0 -- 9));
+        (1, map (fun c -> EBin (Mul, EVar "iproc", EReal (0.5 *. float_of_int (1 + c)))) (0 -- 4));
+      ]
+  else
+    let sub = rexpr_sized (n / 2) in
+    frequency
+      [
+        (3, map2 (fun a b -> EBin (Add, a, b)) sub sub);
+        (2, map2 (fun a b -> EBin (Mul, a, b)) sub sub);
+        (2, map2 (fun a b -> EBin (Sub, a, b)) sub sub);
+        (1, map2 (fun a b -> EBin (Div, a, b)) sub sub);
+      ]
+
+let simd_lv name index = { lv_name = name; lv_index = index }
+
+(** A reduction into the front-end scalar [s]: the boolean forms, the
+    integer folds, and — crucially for the shard merge tree — REAL sums. *)
+let simd_reduction =
+  frequency
+    [
+      ( 2,
+        let* name = oneofl [ "any"; "all"; "count" ] in
+        map (fun c -> SAssign (simd_lv "s" [], ECall (name, [ c ]))) simd_bexpr
+      );
+      ( 2,
+        let* name = oneofl [ "sum"; "maxval"; "minval" ] in
+        map
+          (fun e -> SAssign (simd_lv "s" [], ECall (name, [ e ])))
+          (iexpr_sized 2) );
+      ( 2,
+        let* name = oneofl [ "sum"; "maxval"; "minval" ] in
+        map
+          (fun e -> SAssign (simd_lv "s" [], ECall (name, [ e ])))
+          (rexpr_sized 2) );
+    ]
+
+(** One statement; [n] bounds the WHERE/DO nesting depth.  WHILE loops
+    are generated separately (top level only) so their counters cannot
+    be clobbered by a surrounding loop. *)
+let rec simd_stmt_sized n =
+  let leaf =
+    frequency
+      [
+        (3, map2 (fun v e -> SAssign (simd_lv v [], e)) simd_ivar (iexpr_sized 2));
+        (2, map (fun e -> SAssign (simd_lv "r" [], e)) (rexpr_sized 2));
+        (2, simd_reduction);
+        (* gathers *)
+        (2, map2 (fun v i -> SAssign (simd_lv v [], EIdx ("g", [ i ]))) simd_ivar simd_idx);
+        (1, map (fun i -> SAssign (simd_lv "r" [], EIdx ("h", [ i ]))) simd_idx);
+        (1, map2 (fun v i -> SAssign (simd_lv v [], EIdx ("f", [ i ]))) simd_ivar simd_idx_f);
+        (* scatters *)
+        (2, map2 (fun i e -> SAssign (simd_lv "g" [ i ], e)) simd_idx (iexpr_sized 2));
+        (1, map2 (fun i e -> SAssign (simd_lv "h" [ i ], e)) simd_idx (rexpr_sized 2));
+        (1, map2 (fun i e -> SAssign (simd_lv "f" [ i ], e)) simd_idx_f (iexpr_sized 2));
+        (* a lane-indexed divisor: fails on exactly one lane when p is
+           large enough, so the first-failing-lane contract is exercised
+           at some sweep widths and not others *)
+        ( 1,
+          map
+            (fun c ->
+              SAssign
+                ( simd_lv "u" [],
+                  EBin (Div, EVar "v", EBin (Sub, EVar "iproc", EInt c)) ))
+            (1 -- 9) );
+      ]
+  in
+  if n <= 0 then leaf
+  else
+    let blk = list_size (1 -- 3) (simd_stmt_sized (n - 1)) in
+    frequency
+      [
+        (5, leaf);
+        (2, map3 (fun c t f -> SWhere (c, t, f)) simd_bexpr blk blk);
+        (1, map3 (fun c t f -> SIf (c, t, f)) simd_bexpr blk blk);
+        ( 1,
+          map2
+            (fun c b -> SDo (do_control "d" (EInt 1) (EInt (1 + c)), b))
+            (0 -- 3) blk );
+      ]
+
+(** The while-any idiom with a private, strictly increasing counter. *)
+let simd_while_any idx =
+  let wc = Printf.sprintf "wc%d" idx in
+  let* bound = 1 -- 5 in
+  let* step = 1 -- 2 in
+  let* body = list_size (1 -- 2) (simd_stmt_sized 1) in
+  let cond = EBin (Le, EVar wc, EInt bound) in
+  return
+    [
+      SAssign (simd_lv wc [], EVar "iproc");
+      SWhile
+        ( ECall ("any", [ cond ]),
+          [
+            SWhere
+              ( cond,
+                body @ [ SAssign (simd_lv wc [], EBin (Add, EVar wc, EInt step)) ],
+                [] );
+          ] );
+    ]
+
+let simd_prog_gen =
+  let* c1 = 0 -- 9 in
+  let* c2 = 1 -- 4 in
+  let* c3 = 0 -- 9 in
+  let prologue =
+    [
+      SAssign (simd_lv "u" [], EVar "iproc");
+      SAssign (simd_lv "v" [], EBin (Mul, EVar "iproc", EInt c2));
+      SAssign (simd_lv "w" [], EBin (Sub, EVar "iproc", EInt c1));
+      SAssign (simd_lv "r" [], EBin (Mul, EVar "iproc", EReal (0.5 +. (0.125 *. float_of_int c3))));
+      SAssign (simd_lv "s" [], EInt 0);
+    ]
+  in
+  let* body = list_size (2 -- 5) (simd_stmt_sized 2) in
+  let* nloops = 0 -- 2 in
+  let rec loops i acc =
+    if i >= nloops then return (List.concat (List.rev acc))
+    else
+      let* l = simd_while_any i in
+      loops (i + 1) (l :: acc)
+  in
+  let* loop_stmts = loops 0 [] in
+  return (Ast.program "diff" (prologue @ body @ loop_stmts))
+
+(** Bind the environment every generated program runs in, at width [p]:
+    the size-[simd_global_n] globals [g] (INTEGER) and [h] (REAL), the
+    3-slot per-lane array [f], and the scalar [n]. *)
+let simd_prog_setup ~p:_ vm =
+  Lf_simd.Vm.bind_scalar vm "n" (Values.VInt simd_global_n);
+  Lf_simd.Vm.bind_global vm "g"
+    (Values.AInt (Nd.of_array (Array.init simd_global_n (fun i -> 10 * (i + 1)))));
+  Lf_simd.Vm.bind_global vm "h"
+    (Values.AReal
+       (Nd.of_array (Array.init simd_global_n (fun i -> 0.5 *. float_of_int (i + 1)))));
+  Lf_simd.Vm.bind_plural_arr vm "f" Ast.TInt [| 3 |]
+
 let exec_setup (en : exec_nest) ctx =
   let maxl = Array.fold_left max 1 en.l in
   Env.set ctx.Interp.env "k" (Values.VInt en.k);

@@ -1,0 +1,213 @@
+(** Differential engine-equivalence harness.
+
+    The three execution engines — the tree-walking reference, the
+    compiled closure engine, and the lane-sharded parallel engine — are
+    drop-in replacements: same final variable state, same [Metrics],
+    same error messages.  This suite drives that contract with random
+    SIMD-dialect programs ([Gen.simd_prog_gen]) replayed on every engine
+    across a sweep of lane counts (including the degenerate [p = 0] and
+    the multi-chunk [p = 1024]) and shard counts, plus a fixed corpus
+    (the paper's flattened EXAMPLE and the flattened NBFORCE kernel).
+
+    The float-sum contract is checked {e bitwise}: every engine folds
+    the same canonical chunked merge tree ([Pool.chunk]-sized chunks,
+    merged in ascending order), so REAL sums are identical down to the
+    last bit at any jobs count — not merely within tolerance. *)
+
+open Helpers
+open Lf_lang
+module Vm = Lf_simd.Vm
+module Metrics = Lf_simd.Metrics
+
+(* a modest fuel: termination is by construction, fuel exhaustion is
+   only a backstop — and must itself be engine-identical *)
+let fuel = 20_000
+let ps = [ 0; 1; 5; 64; 1024 ]
+let jobs_sweep = [ 1; 2; 3; 7 ]
+
+let run_one ?jobs engine ~p prog : (Vm.t, string) result =
+  match
+    Vm.run ~fuel ~engine ?jobs ~p ~setup:(Gen.simd_prog_setup ~p) prog
+  with
+  | vm -> Ok vm
+  | exception ((Errors.Runtime_error _ | Errors.Runtime_error_at _) as e) ->
+      Error (Errors.to_message e)
+
+(* the oracle: both succeed with equal state and metrics, or both fail
+   with the identical message — anything else is a counterexample *)
+let pair_agrees ~what ~prog a b =
+  match (a, b) with
+  | Ok vm_a, Ok vm_b ->
+      (Vm.state_equal vm_a vm_b
+      && Metrics.equal vm_a.Vm.metrics vm_b.Vm.metrics)
+      || QCheck.Test.fail_reportf "%s: state/metrics diverged on@.%s" what
+           (Pretty.program_to_string prog)
+  | Error m_a, Error m_b ->
+      m_a = m_b
+      || QCheck.Test.fail_reportf "%s: errors differ (%S vs %S) on@.%s" what
+           m_a m_b
+           (Pretty.program_to_string prog)
+  | Ok _, Error m ->
+      QCheck.Test.fail_reportf "%s: only the second engine failed (%S) on@.%s"
+        what m
+        (Pretty.program_to_string prog)
+  | Error m, Ok _ ->
+      QCheck.Test.fail_reportf "%s: only the first engine failed (%S) on@.%s"
+        what m
+        (Pretty.program_to_string prog)
+
+let prop_engines_equivalent prog =
+  List.for_all
+    (fun p ->
+      let tree = run_one `Tree_walk ~p prog in
+      let compiled = run_one `Compiled ~p prog in
+      pair_agrees ~what:(Fmt.str "tree vs compiled, p=%d" p) ~prog tree
+        compiled
+      && List.for_all
+           (fun jobs ->
+             let par = run_one ~jobs `Parallel ~p prog in
+             pair_agrees
+               ~what:(Fmt.str "tree vs parallel, p=%d jobs=%d" p jobs)
+               ~prog tree par)
+           jobs_sweep)
+    ps
+
+let t_random_programs =
+  qcheck_case ~count:500
+    "differential: 3 engines, p in {0,1,5,64,1024}, jobs in {1,2,3,7}"
+    Gen.simd_prog_gen prop_engines_equivalent
+
+(* ------------------------------------------------------------------ *)
+(* Bitwise float-sum identity                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* 0.1 is not representable, so naive left-to-right vs shard-partial
+   summation of iproc * 0.1 WOULD differ in the low bits at large p; the
+   canonical chunked merge tree makes every engine produce the same
+   bits at every jobs count *)
+let t_float_sum_bitwise () =
+  let src = "r = iproc * 0.1\nWHERE (iproc - (iproc / 3) * 3 >= 1)\n  s = sum(r)\nENDWHERE\nt = sum(r)" in
+  let prog = Ast.program "fsum" (Parser.block_of_string src) in
+  let bits_of ?jobs engine p name =
+    let vm = Vm.run ~engine ?jobs ~p prog in
+    match Vm.find vm name with
+    | Vm.VScalar { contents = Values.VReal f } -> Int64.bits_of_float f
+    | Vm.VScalar { contents = Values.VInt i } -> Int64.of_int i
+    | _ -> Alcotest.fail (name ^ " is not scalar")
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun name ->
+          let reference = bits_of `Tree_walk p name in
+          checkb
+            (Fmt.str "compiled %s bitwise at p=%d" name p)
+            (Int64.equal reference (bits_of `Compiled p name));
+          List.iter
+            (fun jobs ->
+              checkb
+                (Fmt.str "parallel %s bitwise at p=%d jobs=%d" name p jobs)
+                (Int64.equal reference (bits_of ~jobs `Parallel p name)))
+            [ 1; 2; 3; 7; 16 ])
+        [ "s"; "t" ])
+    [ 1; 5; 64; 65; 128; 1000; 1024 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fixed corpus: the paper's kernels                                   *)
+(* ------------------------------------------------------------------ *)
+
+let derive_example () =
+  let p = Parser.program_of_string Lf_report.Experiments.example_source in
+  let opts =
+    {
+      Lf_core.Pipeline.default_options with
+      assume_inner_nonempty = true;
+      target =
+        Lf_core.Pipeline.Simd
+          { decomp = Lf_core.Simdize.Block; p = Ast.EVar "p" };
+    }
+  in
+  match Lf_core.Pipeline.flatten_program ~opts p with
+  | Ok o -> o.Lf_core.Pipeline.program
+  | Error e -> Alcotest.fail e
+
+let t_example_corpus () =
+  let prog = derive_example () in
+  let run ?jobs engine p =
+    Vm.run ~engine ?jobs ~p
+      ~setup:(fun vm ->
+        Vm.bind_scalar vm "k" (Values.VInt 8);
+        Vm.bind_scalar vm "p" (Values.VInt p);
+        Vm.bind_global vm "l" (Values.AInt (Nd.of_array paper_l));
+        Vm.bind_global vm "x" (Values.AInt (Nd.create [| 8; 4 |] 0)))
+      prog
+  in
+  List.iter
+    (fun p ->
+      let tree = run `Tree_walk p in
+      List.iter
+        (fun (what, vm) ->
+          checkb (Fmt.str "EXAMPLE %s state at p=%d" what p)
+            (Vm.state_equal tree vm);
+          checkb
+            (Fmt.str "EXAMPLE %s metrics at p=%d" what p)
+            (Metrics.equal tree.Vm.metrics vm.Vm.metrics))
+        [
+          ("compiled", run `Compiled p);
+          ("parallel j1", run ~jobs:1 `Parallel p);
+          ("parallel j4", run ~jobs:4 `Parallel p);
+        ])
+    [ 1; 2; 8 ]
+
+let t_nbforce_corpus () =
+  let p = 8 in
+  let mol = Lf_md.Workload.sod ~n:32 () in
+  let pl = Lf_md.Workload.pairlist mol ~cutoff:8.0 in
+  let opts =
+    {
+      Lf_core.Pipeline.default_options with
+      assume_inner_nonempty = true;
+      target =
+        Lf_core.Pipeline.Simd
+          { decomp = Lf_core.Simdize.Cyclic; p = Ast.EInt p };
+    }
+  in
+  let prog =
+    match
+      Lf_core.Pipeline.flatten_program ~opts
+        (Lf_kernels.Nbforce_src.program ())
+    with
+    | Ok o -> o.Lf_core.Pipeline.program
+    | Error e -> Alcotest.fail e
+  in
+  let f_tree, m_tree =
+    Lf_kernels.Nbforce_src.run_simd ~engine:`Tree_walk prog mol pl ~p
+  in
+  List.iter
+    (fun (what, engine, jobs) ->
+      let f, m =
+        Lf_kernels.Nbforce_src.run_simd ~engine ?jobs prog mol pl ~p
+      in
+      checkb (Fmt.str "NBFORCE %s metrics" what) (Metrics.equal m_tree m);
+      checki (Fmt.str "NBFORCE %s force count" what) (Array.length f_tree)
+        (Array.length f);
+      Array.iteri
+        (fun i x ->
+          checkb
+            (Fmt.str "NBFORCE %s force %d bitwise" what i)
+            (Int64.equal (Int64.bits_of_float f_tree.(i))
+               (Int64.bits_of_float x)))
+        f)
+    [
+      ("compiled", `Compiled, None);
+      ("parallel j1", `Parallel, Some 1);
+      ("parallel j4", `Parallel, Some 4);
+    ]
+
+let suite =
+  [
+    t_random_programs;
+    case "REAL sums are bitwise engine-identical" t_float_sum_bitwise;
+    case "fixed corpus: flattened EXAMPLE" t_example_corpus;
+    case "fixed corpus: flattened NBFORCE" t_nbforce_corpus;
+  ]

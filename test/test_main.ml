@@ -21,6 +21,8 @@ let () =
       ("simdize", Test_simdize.suite);
       ("pipeline", Test_pipeline.suite);
       ("simd-vm", Test_simd_vm.suite);
+      ("pool", Test_pool.suite);
+      ("engines-diff", Test_engines_diff.suite);
       ("vm-trace", Test_vm_trace.suite);
       ("mimd", Test_mimd.suite);
       ("mimdize", Test_mimdize.suite);

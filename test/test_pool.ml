@@ -1,0 +1,243 @@
+(** Unit tests for the Domain pool and the shard partition: edge cases
+    of [Pool.ranges] (p not divisible by jobs, jobs > p, jobs = 1,
+    p = 0), the partition invariants as a QCheck property, exception
+    ordering across shards (lowest shard wins = globally first failing
+    lane), empty-mask reductions with empty per-shard partials, and the
+    [Trace.Sharded] buffer under genuinely concurrent emission. *)
+
+open Helpers
+module Pool = Lf_simd.Pool
+module Vm = Lf_simd.Vm
+module Trace = Lf_obs.Trace
+open Lf_lang
+
+let pp_ranges ppf rs =
+  Fmt.pf ppf "%a"
+    Fmt.(array ~sep:(any ";") (pair ~sep:(any ",") int int))
+    rs
+
+let check_ranges msg expected actual =
+  checkb
+    (Fmt.str "%s: expected %a, got %a" msg pp_ranges expected pp_ranges actual)
+    (expected = actual)
+
+let t_ranges_edges () =
+  (* p = 0: one empty shard *)
+  check_ranges "p=0" [| (0, 0) |] (Pool.ranges ~p:0 ~jobs:4);
+  (* p below one chunk: a single shard regardless of jobs *)
+  check_ranges "p=5 jobs=3" [| (0, 5) |] (Pool.ranges ~p:5 ~jobs:3);
+  check_ranges "p=64 jobs=8" [| (0, 64) |] (Pool.ranges ~p:64 ~jobs:8);
+  (* jobs = 1 degenerates to the serial partition *)
+  check_ranges "p=1000 jobs=1" [| (0, 1000) |] (Pool.ranges ~p:1000 ~jobs:1);
+  (* p not divisible by jobs: chunk-aligned boundaries, ragged tail *)
+  check_ranges "p=100 jobs=2" [| (0, 64); (64, 100) |]
+    (Pool.ranges ~p:100 ~jobs:2);
+  check_ranges "p=1024 jobs=3"
+    [| (0, 320); (320, 640); (640, 1024) |]
+    (Pool.ranges ~p:1024 ~jobs:3);
+  (* jobs > number of chunks: one shard per chunk, never an empty shard *)
+  check_ranges "p=130 jobs=64"
+    [| (0, 64); (64, 128); (128, 130) |]
+    (Pool.ranges ~p:130 ~jobs:64);
+  (* invalid jobs *)
+  (match Pool.ranges ~p:8 ~jobs:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jobs=0 must be rejected");
+  match Pool.ranges ~p:8 ~jobs:(-3) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative jobs must be rejected"
+
+(* the partition invariants, for arbitrary p and jobs *)
+let t_ranges_invariants =
+  qcheck_case ~count:500 "ranges: ascending, disjoint, covering, aligned"
+    QCheck.Gen.(pair (0 -- 5000) (1 -- 100))
+    (fun (p, jobs) ->
+      let rs = Pool.ranges ~p ~jobs in
+      let n = Array.length rs in
+      n >= 1
+      && n <= jobs
+      && fst rs.(0) = 0
+      && snd rs.(n - 1) = p
+      && Array.for_all (fun (lo, hi) -> lo <= hi) rs
+      && (n = 1 || Array.for_all (fun (lo, hi) -> lo < hi) rs)
+      (* contiguous: each shard starts where the previous ended *)
+      && List.for_all
+           (fun i -> snd rs.(i) = fst rs.(i + 1))
+           (List.init (n - 1) Fun.id)
+      (* interior boundaries are chunk multiples *)
+      && List.for_all
+           (fun i -> fst rs.(i) mod Pool.chunk = 0)
+           (List.init n Fun.id)
+      (* the grid depends only on p: refining jobs never moves a
+         boundary off the chunk grid *)
+      && Array.for_all
+           (fun (lo, hi) -> hi - lo <= Pool.chunk * Pool.nchunks p)
+           rs)
+
+(* jobs = 1 degenerates to the serial executor: same single shard,
+   inline execution *)
+let t_degenerate_serial () =
+  let par = Pool.parallel_exec ~p:1000 ~jobs:1 in
+  let ser = Pool.serial_exec ~p:1000 in
+  checkb "same partition" (par.Pool.x_ranges = ser.Pool.x_ranges);
+  let seen = ref [] in
+  par.Pool.x_run (fun s lo hi -> seen := (s, lo, hi) :: !seen);
+  checkb "one inline shard" (!seen = [ (0, 0, 1000) ])
+
+(* every shard of a pool-backed executor runs exactly once, covering
+   the whole range *)
+let t_pool_dispatch_covers () =
+  let p = 1024 in
+  let exec = Pool.parallel_exec ~p ~jobs:4 in
+  checki "four shards" 4 (Pool.nshards exec);
+  let hits = Array.make p 0 in
+  exec.Pool.x_run (fun _ lo hi ->
+      for i = lo to hi - 1 do
+        (* each lane belongs to exactly one shard: no racing writes *)
+        hits.(i) <- hits.(i) + 1
+      done);
+  checkb "every lane executed exactly once"
+    (Array.for_all (fun c -> c = 1) hits)
+
+(* when several shards raise, the lowest shard's exception wins — the
+   globally first failing lane, matching the serial scan order *)
+let t_exception_ordering () =
+  let exec = Pool.parallel_exec ~p:1024 ~jobs:7 in
+  checkb "enough shards for the test" (Pool.nshards exec >= 3);
+  (match
+     exec.Pool.x_run (fun s _ _ ->
+         if s >= 1 then failwith (Printf.sprintf "shard %d" s))
+   with
+  | exception Failure m -> checks "lowest failing shard wins" "shard 1" m
+  | () -> Alcotest.fail "expected a rethrown shard failure");
+  (* and the pool survives for the next dispatch *)
+  let total = ref 0 in
+  let mu = Mutex.create () in
+  exec.Pool.x_run (fun _ lo hi ->
+      Mutex.lock mu;
+      total := !total + (hi - lo);
+      Mutex.unlock mu);
+  checki "pool usable after a failure" 1024 !total
+
+(* dividing by (iproc - c) fails first on lane c-1; at jobs > 1 that
+   lane sits in shard 0 while later shards also fail — the reported
+   error must still be lane c-1's, identically to the serial engines *)
+let t_first_failing_lane () =
+  let src = "u = 1 / (iproc - 2)\n" in
+  let prog = Ast.program "t" (parse_block src) in
+  let msg ?jobs engine =
+    match Vm.run ~engine ?jobs ~p:1024 prog with
+    | _ -> Alcotest.fail "expected a division error"
+    | exception ((Errors.Runtime_error _ | Errors.Runtime_error_at _) as e) ->
+        Errors.to_message e
+  in
+  let reference = msg `Tree_walk in
+  checks "compiled error" reference (msg `Compiled);
+  List.iter
+    (fun jobs -> checks "parallel error" reference (msg ~jobs `Parallel))
+    [ 1; 2; 7; 16 ]
+
+(* empty-mask reductions at multi-chunk widths: some shards (and some
+   chunks inside a shard) have no active lane, so their partials are
+   absent and must not perturb the merge *)
+let t_empty_partials () =
+  let src =
+    {|
+  r = iproc * 0.125
+  WHERE (iproc >= 900)
+    s = sum(r)
+    m = maxval(r)
+    c = count(iproc > 0)
+    t = any(iproc > 1000)
+    a = all(iproc >= 900)
+  ENDWHERE
+  WHERE (iproc > 9999)
+    z = sum(r)
+  ENDWHERE
+|}
+  in
+  let prog = Ast.program "t" (parse_block src) in
+  let run ?jobs engine = Vm.run ~engine ?jobs ~p:1024 prog in
+  let tree = run `Tree_walk in
+  List.iter
+    (fun (what, vm) ->
+      checkb (what ^ " state") (Vm.state_equal tree vm);
+      checkb (what ^ " metrics")
+        (Lf_simd.Metrics.equal tree.Vm.metrics vm.Vm.metrics))
+    [
+      ("compiled", run `Compiled);
+      ("parallel j2", run ~jobs:2 `Parallel);
+      ("parallel j7", run ~jobs:7 `Parallel);
+      ("parallel j16", run ~jobs:16 `Parallel);
+    ];
+  (* the fully-empty reduction yields the identity on every engine *)
+  match Vm.find tree "z" with
+  | Vm.VScalar { contents = Values.VReal z } -> checkb "empty sum" (z = 0.0)
+  | _ -> Alcotest.fail "z shape"
+
+(* Vm.run rejects invalid jobs *)
+let t_vm_jobs_validation () =
+  let prog = Ast.program "t" (parse_block "u = iproc") in
+  match Vm.run ~engine:`Parallel ~jobs:0 ~p:4 prog with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jobs=0 must be rejected"
+
+(* Trace.Sharded: concurrent emission from several domains, flushed in
+   deterministic shard order *)
+let t_sharded_trace () =
+  let mk_ev shard i =
+    {
+      Trace.loc = { Errors.line = shard; col = i };
+      step = i;
+      active = 1;
+      p = 4;
+      kind = Trace.Assign;
+      mask = [| true |];
+    }
+  in
+  (match Trace.Sharded.create ~shards:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "shards=0 must be rejected");
+  let b = Trace.Sharded.create ~shards:3 in
+  checki "shard count" 3 (Trace.Sharded.n_shards b);
+  (try
+     let _sink : Trace.sink = Trace.Sharded.sink b ~shard:3 in
+     Alcotest.fail "out-of-range shard must be rejected"
+   with Invalid_argument _ -> ());
+  let domains =
+    List.init 3 (fun shard ->
+        let sink = Trace.Sharded.sink b ~shard in
+        Domain.spawn (fun () ->
+            for i = 0 to 9 do
+              sink (mk_ev shard i)
+            done))
+  in
+  List.iter Domain.join domains;
+  let evs = Trace.Sharded.to_list b in
+  checki "all events buffered" 30 (List.length evs);
+  (* flush order: ascending shard, then emission order within a shard *)
+  let expected =
+    List.concat_map
+      (fun shard -> List.init 10 (fun i -> mk_ev shard i))
+      [ 0; 1; 2 ]
+  in
+  List.iter2
+    (fun a b -> checkb "deterministic flush order" (Trace.equal_event a b))
+    expected evs;
+  let log = Trace.Log.create () in
+  Trace.Sharded.flush b (Trace.Log.sink log);
+  checki "flush replays everything" 30 (List.length (Trace.Log.to_list log));
+  checki "flush clears the buffers" 0 (List.length (Trace.Sharded.to_list b))
+
+let suite =
+  [
+    case "ranges: edge cases" t_ranges_edges;
+    t_ranges_invariants;
+    case "jobs=1 degenerates to serial" t_degenerate_serial;
+    case "pool dispatch covers every lane once" t_pool_dispatch_covers;
+    case "lowest shard's exception wins" t_exception_ordering;
+    case "first failing lane reported at any jobs" t_first_failing_lane;
+    case "empty per-shard reduction partials" t_empty_partials;
+    case "Vm.run validates jobs" t_vm_jobs_validation;
+    case "Trace.Sharded concurrent emission" t_sharded_trace;
+  ]

@@ -194,12 +194,16 @@ let t_reduction_identity () =
 let run_both ?(p = 4) ?(setup = fun _ -> ()) src =
   let prog = Ast.program "t" (parse_block src) in
   ( Vm.run ~engine:`Tree_walk ~p ~setup prog,
-    Vm.run ~engine:`Compiled ~p ~setup prog )
+    Vm.run ~engine:`Compiled ~p ~setup prog,
+    Vm.run ~engine:`Parallel ~jobs:3 ~p ~setup prog )
 
-let check_agree name (t, c) =
+let check_agree name (t, c, par) =
   checkb (name ^ ": state") (Vm.state_equal t c);
   checkb (name ^ ": metrics")
     (Lf_simd.Metrics.equal t.Vm.metrics c.Vm.metrics);
+  checkb (name ^ ": parallel state") (Vm.state_equal t par);
+  checkb (name ^ ": parallel metrics")
+    (Lf_simd.Metrics.equal t.Vm.metrics par.Vm.metrics);
   c
 
 let t_compiled_basics () =
@@ -299,16 +303,18 @@ let t_compiled_procs () =
     (Lf_simd.Metrics.call_count vm.Vm.metrics "probe")
 
 let t_compiled_errors () =
-  (* both engines fail identically: same error, same message *)
+  (* all engines fail identically: same error, same message *)
   let src = "i = iproc\nWHILE (i < 3)\n  i = i + 1\nENDWHILE" in
-  let msg engine =
+  let msg ?jobs engine =
     let prog = Ast.program "t" (parse_block src) in
-    match Vm.run ~engine ~p:4 prog with
+    match Vm.run ~engine ?jobs ~p:4 prog with
     | _ -> Alcotest.fail "divergent vector WHILE must be rejected"
     | exception ((Errors.Runtime_error _ | Errors.Runtime_error_at _) as e) ->
         Errors.to_message e
   in
-  Alcotest.(check string) "same error" (msg `Tree_walk) (msg `Compiled)
+  Alcotest.(check string) "same error" (msg `Tree_walk) (msg `Compiled);
+  Alcotest.(check string)
+    "same error (parallel)" (msg `Tree_walk) (msg ~jobs:3 `Parallel)
 
 let suite =
   [

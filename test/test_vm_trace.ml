@@ -112,17 +112,17 @@ let traced_src =
   ENDWHILE
 END|}
 
-let run_traced engine sinks =
+let run_traced ?jobs ?(p = 2) engine sinks =
   let prog = Parser.program_of_string traced_src in
-  Lf_simd.Vm.run ~engine ~p:2
+  Lf_simd.Vm.run ~engine ?jobs ~p
     ~setup:(fun vm ->
       Lf_simd.Vm.bind_scalar vm "k" (Values.VInt 8);
-      Lf_simd.Vm.bind_scalar vm "p" (Values.VInt 2);
+      Lf_simd.Vm.bind_scalar vm "p" (Values.VInt p);
       Lf_simd.Vm.bind_global vm "l" (Values.AInt (Nd.of_array paper_l));
       List.iter (Lf_simd.Vm.add_trace_sink vm) sinks)
     prog
 
-(* differential: both engines emit the exact same event stream *)
+(* differential: all three engines emit the exact same event stream *)
 let t_engines_trace_identical () =
   let log_t = Trace.Log.create () and log_c = Trace.Log.create () in
   let vm_t = run_traced `Tree_walk [ Trace.Log.sink log_t ] in
@@ -145,14 +145,24 @@ let t_engines_trace_identical () =
   checki "one event per vector step" m.Lf_simd.Metrics.steps
     (List.length (List.filter Trace.is_step et));
   checki "one event per reduction" m.Lf_simd.Metrics.reductions
-    (List.length (List.filter (fun e -> not (Trace.is_step e)) et))
+    (List.length (List.filter (fun e -> not (Trace.is_step e)) et));
+  (* the parallel engine emits from its control thread: same stream *)
+  let log_p = Trace.Log.create () in
+  let vm_p = run_traced ~jobs:3 `Parallel [ Trace.Log.sink log_p ] in
+  checkb "parallel state equal" (Lf_simd.Vm.state_equal vm_t vm_p);
+  let ep = Trace.Log.to_list log_p in
+  checki "parallel stream same length" (List.length et) (List.length ep);
+  List.iter2
+    (fun a b ->
+      checkb "parallel events identical" (Trace.equal_event a b))
+    et ep
 
-(* the per-line profile's totals reproduce the metrics, on both engines *)
+(* the per-line profile's totals reproduce the metrics, on every engine *)
 let t_profile_ties_out () =
   List.iter
-    (fun engine ->
+    (fun (engine, jobs) ->
       let prof = Lf_obs.Profile.create () in
-      let vm = run_traced engine [ Lf_obs.Profile.sink prof ] in
+      let vm = run_traced ?jobs engine [ Lf_obs.Profile.sink prof ] in
       checkb "profile totals reproduce the metrics"
         (Lf_report.Obs_report.check_totals prof vm.Lf_simd.Vm.metrics);
       let rows = Lf_obs.Profile.rows_by_line prof in
@@ -172,7 +182,28 @@ let t_profile_ties_out () =
       Fmt.flush ppf ();
       checkb "table has a totals row"
         (Astring_contains.contains (Buffer.contents buf) "total"))
-    [ `Tree_walk; `Compiled ]
+    [ (`Tree_walk, None); (`Compiled, None); (`Parallel, Some 3) ]
+
+(* at a multi-shard width the profile still ties out against the metrics
+   under parallel execution, and both are invariant in the jobs count *)
+let t_parallel_profile_multishard () =
+  let p = 200 in
+  let ref_vm = run_traced ~p `Compiled [] in
+  List.iter
+    (fun jobs ->
+      let prof = Lf_obs.Profile.create () in
+      let vm = run_traced ~jobs ~p `Parallel [ Lf_obs.Profile.sink prof ] in
+      checkb
+        (Fmt.str "profile ties out at jobs=%d" jobs)
+        (Lf_report.Obs_report.check_totals prof vm.Lf_simd.Vm.metrics);
+      checkb
+        (Fmt.str "metrics = serial compiled at jobs=%d" jobs)
+        (Lf_simd.Metrics.equal ref_vm.Lf_simd.Vm.metrics
+           vm.Lf_simd.Vm.metrics);
+      checkb
+        (Fmt.str "state = serial compiled at jobs=%d" jobs)
+        (Lf_simd.Vm.state_equal ref_vm vm))
+    [ 1; 2; 3; 7 ]
 
 (* ring buffer: keeps the last [capacity] events, reports the drop count *)
 let t_ring_buffer () =
@@ -355,6 +386,8 @@ let suite =
     case "naive VM trace = Figure 6" t_naive_vm_trace;
     case "engines emit identical trace streams" t_engines_trace_identical;
     case "profile totals reproduce the metrics" t_profile_ties_out;
+    case "parallel profile ties out at multi-shard widths"
+      t_parallel_profile_multishard;
     case "ring buffer keeps the newest events" t_ring_buffer;
     case "occupancy downsampling invariants" t_occupancy_downsampling;
     case "JSON round-trip (values and events)" t_json_roundtrip;
