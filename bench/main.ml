@@ -115,8 +115,8 @@ let nbforce_runner ~p =
     | Ok o -> o.Lf_core.Pipeline.program
     | Error e -> Fmt.failwith "cannot derive SIMD NBFORCE: %s" e
   in
-  fun ?jobs engine () ->
-    Lf_simd.Vm.run ~engine ?jobs ~p
+  fun ?jobs ?opt engine () ->
+    Lf_simd.Vm.run ~engine ?jobs ?opt ~p
       ~setup:(fun vm ->
         Lf_simd.Vm.register_func vm ~pure:true "force" (fun _ -> Values.VReal 1.0);
         Lf_simd.Vm.bind_scalar vm "n" (Values.VInt n);
@@ -149,8 +149,8 @@ let engine_tests () =
     | Ok o -> o.Lf_core.Pipeline.program
     | Error e -> Fmt.failwith "cannot derive naive SIMD example: %s" e
   in
-  let run_example ?jobs engine () =
-    Lf_simd.Vm.run ~engine ?jobs ~p
+  let run_example ?jobs ?opt engine () =
+    Lf_simd.Vm.run ~engine ?jobs ?opt ~p
       ~setup:(fun vm ->
         Lf_simd.Vm.bind_scalar vm "p" (Values.VInt p);
         Lf_simd.Vm.bind_scalar vm "k" (Values.VInt k);
@@ -159,17 +159,27 @@ let engine_tests () =
           (Values.AInt (Nd.create [| k; maxl |] 0)))
       example_naive
   in
+  (* the un-suffixed compiled/parallel rows run at the default -O1; the
+     -O0 rows pin the optimizer off so the fusion win is measurable from
+     one sweep (and comparable against pre-fusion baseline files, whose
+     un-suffixed rows were effectively -O0) *)
   [
     Test.make ~name:"vm NBFORCE flat (tree-walk)"
       (Staged.stage (run_nbforce `Tree_walk));
     Test.make ~name:"vm NBFORCE flat (compiled)"
       (Staged.stage (run_nbforce `Compiled));
+    Test.make ~name:"vm NBFORCE flat (compiled -O0)"
+      (Staged.stage (run_nbforce ~opt:0 `Compiled));
     Test.make ~name:"vm NBFORCE flat (parallel j4)"
       (Staged.stage (run_nbforce ~jobs:4 `Parallel));
+    Test.make ~name:"vm NBFORCE flat (parallel j4 -O0)"
+      (Staged.stage (run_nbforce ~jobs:4 ~opt:0 `Parallel));
     Test.make ~name:"vm example naive (tree-walk)"
       (Staged.stage (run_example `Tree_walk));
     Test.make ~name:"vm example naive (compiled)"
       (Staged.stage (run_example `Compiled));
+    Test.make ~name:"vm example naive (compiled -O0)"
+      (Staged.stage (run_example ~opt:0 `Compiled));
     Test.make ~name:"vm example naive (parallel j4)"
       (Staged.stage (run_example ~jobs:4 `Parallel));
   ]
@@ -255,6 +265,17 @@ let run_micro ~jobs ppf =
           Fmt.pf ppf "  engine speedup on %s: %.1fx@." kernel (tree /. comp)
       | _ -> ())
     [ "NBFORCE flat"; "example naive" ];
+  List.iter
+    (fun kernel ->
+      match
+        ( est_of (Printf.sprintf "vm %s (compiled -O0)" kernel),
+          est_of (Printf.sprintf "vm %s (compiled)" kernel) )
+      with
+      | Some o0, Some o1 when o1 > 0.0 ->
+          Fmt.pf ppf "  fusion speedup (-O0 vs -O1) on %s: %.2fx@." kernel
+            (o0 /. o1)
+      | _ -> ())
+    [ "NBFORCE flat"; "example naive" ];
   (match est_of (Printf.sprintf "vm NBFORCE flat p%d (compiled)" sweep_p) with
   | Some serial when serial > 0.0 ->
       List.iter
@@ -271,6 +292,64 @@ let run_micro ~jobs ppf =
         jobs
   | _ -> ());
   rows
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison (--baseline FILE)                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The speedup table: every current row matched against the baseline by
+   test name; speedup > 1 means the current run is faster. *)
+let print_baseline_table ppf ~baseline_file baseline rows =
+  Fmt.pf ppf "@.=== Comparison vs baseline %s ===@.@." baseline_file;
+  Fmt.pf ppf "  %-45s %14s %14s %9s@." "" "baseline ns" "current ns"
+    "speedup";
+  let matched = ref 0 in
+  List.iter
+    (fun (name, est) ->
+      match (est, List.assoc_opt name baseline) with
+      | Some cur, Some base when cur > 0.0 ->
+          incr matched;
+          Fmt.pf ppf "  %-45s %14.1f %14.1f %8.2fx@." name base cur
+            (base /. cur)
+      | Some cur, None -> Fmt.pf ppf "  %-45s %14s %14.1f@." name "-" cur
+      | _ -> ())
+    rows;
+  if !matched = 0 then
+    Fmt.pf ppf "  (no test names in common with the baseline)@.";
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name rows) then
+        Fmt.pf ppf "  %-45s (baseline only)@." name)
+    baseline
+
+(* With --baseline, --json records the deltas instead of the flat
+   estimates: {"name": {"ns": .., "baseline_ns": .., "speedup": ..}};
+   rows absent from the baseline carry only "ns".  Without --baseline the
+   flat {"name": ns_per_run} format is kept (that is what --baseline
+   loads back). *)
+let write_json_deltas file baseline rows =
+  let fields =
+    List.filter_map
+      (fun (name, est) ->
+        Option.map
+          (fun ns ->
+            let deltas =
+              match List.assoc_opt name baseline with
+              | Some base when ns > 0.0 ->
+                  [
+                    ("baseline_ns", Lf_obs.Json.Float base);
+                    ("speedup", Lf_obs.Json.Float (base /. ns));
+                  ]
+              | _ -> []
+            in
+            (name, Lf_obs.Json.Obj (("ns", Lf_obs.Json.Float ns) :: deltas)))
+          est)
+      rows
+  in
+  let oc = open_out file in
+  Lf_obs.Json.to_channel oc (Lf_obs.Json.Obj fields);
+  output_char oc '\n';
+  close_out oc
 
 (* hand-rolled JSON writer: {"name": ns_per_run, ...}; estimates that did
    not converge are omitted *)
@@ -306,7 +385,7 @@ let write_json file rows =
 
 let usage =
   "usage: bench [--experiment NAME] [--no-micro] [--csv DIR] [--json FILE] \
-   [--jobs N[,N...]]"
+   [--baseline FILE] [--jobs N[,N...]]"
 
 (* Located usage error: name the offending option, print the usage line,
    exit 124 (the CLI-error convention simdsim inherits from cmdliner). *)
@@ -317,12 +396,41 @@ let usage_error fmt =
       exit 124)
     fmt
 
+(* Load a prior --json estimates file ({"name": ns_per_run, ...}) as an
+   assoc list; an unreadable or malformed baseline is a usage error
+   (exit 124), like any other bad option argument. *)
+let load_baseline file =
+  let contents =
+    try
+      let ic = open_in file in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      s
+    with Sys_error msg -> usage_error "option '--baseline': %s" msg
+  in
+  match Lf_obs.Json.parse contents with
+  | Error msg ->
+      usage_error "option '--baseline': %s: invalid JSON (%s)" file msg
+  | Ok (Lf_obs.Json.Obj fields) ->
+      List.filter_map
+        (fun (name, v) ->
+          match v with
+          | Lf_obs.Json.Float f -> Some (name, f)
+          | Lf_obs.Json.Int n -> Some (name, float_of_int n)
+          | _ -> None)
+        fields
+  | Ok _ ->
+      usage_error "option '--baseline': %s: expected a top-level JSON object"
+        file
+
 let () =
   let ppf = Fmt.stdout in
   let experiment = ref None in
   let no_micro = ref false in
   let csv_dir = ref None in
   let json_file = ref None in
+  let baseline_file = ref None in
   let jobs = ref [ 1; 2; 4 ] in
   let parse_jobs s =
     String.split_on_char ',' s
@@ -348,11 +456,15 @@ let () =
     | "--json" :: v :: rest ->
         json_file := Some v;
         parse rest
+    | "--baseline" :: v :: rest ->
+        baseline_file := Some v;
+        parse rest
     | "--jobs" :: v :: rest ->
         jobs := parse_jobs v;
         parse rest
     | [ flag ]
-      when List.mem flag [ "--experiment"; "--csv"; "--json"; "--jobs" ] ->
+      when List.mem flag
+             [ "--experiment"; "--csv"; "--json"; "--baseline"; "--jobs" ] ->
         usage_error "option '%s' needs an argument" flag
     | flag :: _ -> usage_error "unknown option %S" flag
   in
@@ -362,6 +474,11 @@ let () =
   let csv_dir = !csv_dir in
   let json_file = !json_file in
   let jobs = !jobs in
+  (* load eagerly so a bad --baseline argument fails before the (slow)
+     benchmark run, with the usual usage-error exit *)
+  let baseline =
+    Option.map (fun file -> (file, load_baseline file)) !baseline_file
+  in
   Option.iter
     (fun dir ->
       Lf_report.Experiments.write_csvs ~dir;
@@ -376,12 +493,21 @@ let () =
             (String.concat ", " (List.map fst Lf_report.Experiments.by_name));
           exit 1)
   | None -> Lf_report.Experiments.all ppf);
-  (* --json implies the micro-benchmarks even under --experiment *)
-  if ((not no_micro) && experiment = None) || json_file <> None then begin
+  (* --json and --baseline imply the micro-benchmarks even under
+     --experiment *)
+  if
+    ((not no_micro) && experiment = None)
+    || json_file <> None || baseline <> None
+  then begin
     let rows = run_micro ~jobs ppf in
     Option.iter
+      (fun (file, base) -> print_baseline_table ppf ~baseline_file:file base rows)
+      baseline;
+    Option.iter
       (fun file ->
-        write_json file rows;
+        (match baseline with
+        | Some (_, base) -> write_json_deltas file base rows
+        | None -> write_json file rows);
         Fmt.pf ppf "wrote micro-benchmark estimates to %s@." file)
       json_file
   end;

@@ -53,8 +53,13 @@ let lint_refuses ~path ~src ~pure_subs prog =
     report.Lf_analysis.Lint.diags;
   not report.Lf_analysis.Lint.safe
 
-let run path variant target decomp p naive assume_nonempty trusted pure_subs
-    deep check lint verbose =
+let run path variant target decomp p olevel dump_ir naive assume_nonempty
+    trusted pure_subs deep check lint verbose =
+  if Option.is_some dump_ir && target <> "simd" then begin
+    Fmt.epr "flattenc: --dump-ir requires --target simd@.";
+    1
+  end
+  else
   let src = read_source path in
   match Lf_lang.Parser.program_of_string src with
   | exception e ->
@@ -128,6 +133,21 @@ let run path variant target decomp p naive assume_nonempty trusted pure_subs
                 (String.concat ", " o.Lf_core.Pipeline.plural_vars);
             List.iter (Fmt.epr "note:       %s@.") o.Lf_core.Pipeline.notes
           end;
+          Option.iter
+            (fun f ->
+              let json =
+                Lf_simd.Vm.dump_ir ~opt:olevel ~p
+                  o.Lf_core.Pipeline.program
+              in
+              let s = Lf_obs.Json.to_string json in
+              if f = "-" then Fmt.pr "%s@." s
+              else begin
+                let oc = open_out f in
+                output_string oc s;
+                output_char oc '\n';
+                close_out oc
+              end)
+            dump_ir;
           print_string
             (Lf_lang.Pretty.program_to_string o.Lf_core.Pipeline.program);
           0)
@@ -163,6 +183,38 @@ let cmd =
     Arg.(
       value & opt int 64
       & info [ "p"; "nproc" ] ~doc:"Processor count for the SIMD target.")
+  in
+  let olevel =
+    let olevel_conv =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n = 0 || n = 1 -> Ok n
+        | Some n ->
+            Error
+              (`Msg (Fmt.str "invalid optimizer level %d: expected 0 or 1" n))
+        | None -> Error (`Msg (Fmt.str "invalid optimizer level %S" s))
+      in
+      Arg.conv (parse, Fmt.int)
+    in
+    Arg.(
+      value
+      & opt olevel_conv 1
+      & info [ "O"; "opt-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Optimizer level for $(b,--dump-ir): $(b,0) dumps the \
+             unannotated slot-resolved IR, $(b,1) (the default) the IR \
+             after fusion, reduction fusion, scratch planning and the \
+             peephole passes.  Has no effect on the printed program.")
+  in
+  let dump_ir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-ir" ] ~docv:"FILE"
+          ~doc:
+            "Also write the SIMD VM's annotated IR for the transformed \
+             program as JSON to $(docv) ('-' for stdout).  Requires \
+             $(b,--target simd).")
   in
   let naive =
     Arg.(
@@ -218,8 +270,8 @@ let cmd =
     (Cmd.info "flattenc" ~version:"1.0"
        ~doc:"source-to-source loop flattening for SIMD machines")
     Term.(
-      const run $ path $ variant $ target $ decomp $ p $ naive
-      $ assume_nonempty $ trusted $ pure_subs $ deep $ check $ lint
+      const run $ path $ variant $ target $ decomp $ p $ olevel $ dump_ir
+      $ naive $ assume_nonempty $ trusted $ pure_subs $ deep $ check $ lint
       $ verbose)
 
 let () = exit (Cmd.eval' cmd)

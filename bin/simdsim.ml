@@ -115,11 +115,16 @@ let max_abs_err reference f =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run path seq engine jobs lanes sets fills dumps kernel atoms trace_file
-    profile metrics_json occupancy_json chrome_file compare_mimd lint =
+let run path seq engine jobs lanes olevel dump_ir sets fills dumps kernel
+    atoms trace_file profile metrics_json occupancy_json chrome_file
+    compare_mimd lint =
   try
     if Option.is_some jobs && engine <> `Parallel then begin
       Fmt.epr "simdsim: --jobs requires --engine parallel@.";
+      raise Exit
+    end;
+    if Option.is_some dump_ir && seq then begin
+      Fmt.epr "simdsim: --dump-ir requires a SIMD engine (drop --seq)@.";
       raise Exit
     end;
     let src = read_source path in
@@ -200,17 +205,29 @@ let run path seq engine jobs lanes sets fills dumps kernel atoms trace_file
           (fun f -> if f = "-" then stdout else open_out f)
           trace_file
       in
+      let bind_inputs vm =
+        Lf_simd.Vm.bind_scalar vm "p" (Values.VInt lanes);
+        Option.iter (fun w -> setup_nbforce_simd w vm) workload;
+        List.iter
+          (fun (k, v) -> Lf_simd.Vm.bind_scalar vm k (scalar_value v))
+          sets;
+        List.iter
+          (fun (k, v) -> Lf_simd.Vm.bind_global vm k (fill_array v))
+          fills
+      in
+      Option.iter
+        (fun f ->
+          let json =
+            Lf_simd.Vm.dump_ir ~opt:olevel ~p:lanes ~setup:bind_inputs prog
+          in
+          if f = "-" then
+            Fmt.pr "%s@." (Lf_obs.Json.to_string json)
+          else write_json f json)
+        dump_ir;
       let vm =
-        Lf_simd.Vm.run ~engine ?jobs ~p:lanes
+        Lf_simd.Vm.run ~engine ?jobs ~opt:olevel ~p:lanes
           ~setup:(fun vm ->
-            Lf_simd.Vm.bind_scalar vm "p" (Values.VInt lanes);
-            Option.iter (fun w -> setup_nbforce_simd w vm) workload;
-            List.iter
-              (fun (k, v) -> Lf_simd.Vm.bind_scalar vm k (scalar_value v))
-              sets;
-            List.iter
-              (fun (k, v) -> Lf_simd.Vm.bind_global vm k (fill_array v))
-              fills;
+            bind_inputs vm;
             Option.iter
               (fun p -> Lf_simd.Vm.add_trace_sink vm (Lf_obs.Profile.sink p))
               prof;
@@ -370,6 +387,40 @@ let cmd =
   let lanes =
     Arg.(value & opt int 4 & info [ "lanes" ] ~doc:"SIMD lane count (P).")
   in
+  let olevel =
+    let olevel_conv =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n = 0 || n = 1 -> Ok n
+        | Some n ->
+            Error
+              (`Msg (Fmt.str "invalid optimizer level %d: expected 0 or 1" n))
+        | None -> Error (`Msg (Fmt.str "invalid optimizer level %S" s))
+      in
+      Arg.conv (parse, Fmt.int)
+    in
+    Arg.(
+      value
+      & opt olevel_conv 1
+      & info [ "O"; "opt-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Compiled-engine optimizer level: $(b,0) runs the unoptimized \
+             per-operator closures, $(b,1) (the default) enables fusion, \
+             fused reductions, scratch-slot reuse and the peephole passes. \
+             Both levels are bit-identical on state, metrics, traces and \
+             errors; only the wall-clock changes.  Ignored by \
+             $(b,tree-walk) and $(b,--seq).")
+  in
+  let dump_ir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-ir" ] ~docv:"FILE"
+          ~doc:
+            "Write the compiled engine's annotated IR (after the $(b,-O) \
+             pipeline) as JSON to $(docv) ('-' for stdout) before running.  \
+             Requires a SIMD engine (conflicts with $(b,--seq)).")
+  in
   let sets =
     Arg.(
       value
@@ -470,8 +521,8 @@ let cmd =
     (Cmd.info "simdsim" ~version:"1.0"
        ~doc:"run pseudo-Fortran programs on the simulated SIMD machine")
     Term.(
-      const run $ path $ seq $ engine $ jobs $ lanes $ sets $ fills $ dumps
-      $ kernel $ atoms $ trace_file $ profile $ metrics_json
-      $ occupancy_json $ chrome_file $ compare_mimd $ lint)
+      const run $ path $ seq $ engine $ jobs $ lanes $ olevel $ dump_ir
+      $ sets $ fills $ dumps $ kernel $ atoms $ trace_file $ profile
+      $ metrics_json $ occupancy_json $ chrome_file $ compare_mimd $ lint)
 
 let () = exit (Cmd.eval' cmd)

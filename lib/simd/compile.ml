@@ -57,10 +57,7 @@ type host = {
   h_import : unit -> unit;  (** VM variable table -> frame *)
 }
 
-let is_reduction f =
-  List.mem
-    (String.lowercase_ascii f)
-    [ "any"; "all"; "maxval"; "minval"; "sum"; "count" ]
+let is_reduction = Ir.is_reduction
 
 (* ------------------------------------------------------------------ *)
 (* Runtime values                                                      *)
@@ -108,10 +105,6 @@ let rv_to_pval ~exact (m : Frame.Mask.t) v =
       Pval.Plural
         (Array.init p (fun i ->
              if exact || Frame.Mask.get m i then rv_lane v i else VInt 0))
-
-(** Does the tree-walker leave this expression's inactive lanes intact
-    (rather than inert [VInt 0])?  Only variable reads and ranges. *)
-let exact_lanes = function EVar _ | ERange _ -> true | _ -> false
 
 (* Typed lane "getters": [Some get] when the operand can be viewed as a
    uniform int/float/bool vector (broadcasting front-end scalars). *)
@@ -205,19 +198,23 @@ let renorm (m : Frame.Mask.t) (vs : value array) : rv =
     the loops need no further coordination; a shard that raises (division
     by zero) surfaces as the lowest-shard — i.e. first-failing-lane —
     error, exactly as the serial scan. *)
-let fast_binop (exec : Pool.exec) op : Frame.Mask.t -> rv -> rv -> rv option =
+let fast_binop ?buffers (exec : Pool.exec) op :
+    Frame.Mask.t -> rv -> rv -> rv option =
   (* The shapes are matched directly (rather than through the [*_get]
      closures) so the hot combinations run as monomorphic loops with a
-     single indirect call per lane.  [ri]/[rr]/[rb] are per-site result
-     buffers: a site's previous result is always consumed (copied into
-     frame storage, a mask, a Pval, ...) before the site can evaluate
-     again, so reusing them is invisible — evaluation allocates nothing
-     on these paths beyond the dispatch closure. *)
+     single indirect call per lane.  [ri]/[rr]/[rb] are result buffers —
+     per-site by default, or the site's scratch-pool vectors when the
+     caller passes them: a site's previous result is always consumed
+     (copied into frame storage, a mask, a Pval, ...) before the site
+     can evaluate again, so reusing them is invisible — evaluation
+     allocates nothing on these paths beyond the dispatch closure. *)
   let p = exec.Pool.x_p in
   let run = exec.Pool.x_run in
-  let ri = Array.make p 0 in
-  let rr = Array.make p 0.0 in
-  let rb = Array.make p false in
+  let ri, rr, rb =
+    match buffers with
+    | Some b -> b
+    | None -> (Array.make p 0, Array.make p 0.0, Array.make p false)
+  in
   let arith fi fr _m a b =
     match (a, b) with
     | RI x, RI y ->
@@ -268,7 +265,7 @@ let fast_binop (exec : Pool.exec) op : Frame.Mask.t -> rv -> rv -> rv option =
         (* remaining mixed promotions (int lanes with real operands, ...) *)
         match (float_get a, float_get b) with
         | Some ga, Some gb ->
-            let r = Array.make p 0.0 in
+            let r = rr in
             run (fun _ lo hi ->
                 for i = lo to hi - 1 do
                   Array.unsafe_set r i (fr (ga i) (gb i))
@@ -332,7 +329,7 @@ let fast_binop (exec : Pool.exec) op : Frame.Mask.t -> rv -> rv -> rv option =
     | _ -> (
         match (int_get a, int_get b) with
         | Some ga, Some gb ->
-            let r = Array.make p false in
+            let r = rb in
             run (fun _ lo hi ->
                 for i = lo to hi - 1 do
                   Array.unsafe_set r i (test (Int.compare (ga i) (gb i)))
@@ -341,7 +338,7 @@ let fast_binop (exec : Pool.exec) op : Frame.Mask.t -> rv -> rv -> rv option =
         | _ -> (
             match (float_get a, float_get b) with
             | Some ga, Some gb ->
-                let r = Array.make p false in
+                let r = rb in
                 run (fun _ lo hi ->
                     for i = lo to hi - 1 do
                       Array.unsafe_set r i
@@ -351,7 +348,7 @@ let fast_binop (exec : Pool.exec) op : Frame.Mask.t -> rv -> rv -> rv option =
             | _ -> (
                 match (bool_get a, bool_get b) with
                 | Some ga, Some gb ->
-                    let r = Array.make p false in
+                    let r = rb in
                     run (fun _ lo hi ->
                         for i = lo to hi - 1 do
                           Array.unsafe_set r i
@@ -363,7 +360,7 @@ let fast_binop (exec : Pool.exec) op : Frame.Mask.t -> rv -> rv -> rv option =
   let logic f _m a b =
     match (bool_get a, bool_get b) with
     | Some ga, Some gb ->
-        let r = Array.make p false in
+        let r = rb in
         run (fun _ lo hi ->
             for i = lo to hi - 1 do
               Array.unsafe_set r i (f (ga i) (gb i))
@@ -387,7 +384,7 @@ let fast_binop (exec : Pool.exec) op : Frame.Mask.t -> rv -> rv -> rv option =
     | _ -> (
         match (float_get a, float_get b) with
         | Some ga, Some gb ->
-            let r = Array.make p 0.0 in
+            let r = rr in
             run (fun _ lo hi ->
                 for i = lo to hi - 1 do
                   Array.unsafe_set r i (fr (ga i) (gb i))
@@ -603,14 +600,14 @@ type env = {
       (** location of the [SLoc] wrapper being compiled; every tick site
           captures it at compile time, so the run-time closures carry
           their source attribution for free *)
+  mutable cur_full : bool;
+      (** [Ir.s_full] of the statement being compiled: its context mask
+          is provably the full entry mask, so fused loops under it may
+          skip the per-lane mask test *)
+  opt : int;  (** optimizer level; gates the [-O1]-only emitter paths *)
 }
 type cexpr = Frame.Mask.t -> rv
 type cstmt = Frame.Mask.t -> unit
-
-let slot_of env name =
-  match Frame.slot_index env.frame name with
-  | Some i -> i
-  | None -> invalid_arg ("Compile: unresolved variable " ^ name)
 
 let observe env (m : Frame.Mask.t) s =
   match env.host.h_observer () with
@@ -620,18 +617,616 @@ let observe env (m : Frame.Mask.t) s =
       env.host.h_flush ();
       f ~mask:(Frame.Mask.to_bool_array m) s
 
-let rec compile_expr env (e : expr) : cexpr =
-  match e with
-  | EInt n ->
-      let v = RS (VInt n) in
+(** Result buffers for a buffer-owning site: at [-O1] the scratch-pool
+    vectors of the site's [Opt.plan_scratch] group ([Ir.x_scr]); fresh
+    per-site arrays at [-O0] or for a site the planner did not reach. *)
+let site_buffers env (scr : int) : int array * float array * bool array =
+  if env.opt >= 1 && scr >= 0 then
+    ( Frame.scr_int env.frame scr,
+      Frame.scr_real env.frame scr,
+      Frame.scr_bool env.frame scr )
+  else (Array.make env.p 0, Array.make env.p 0.0, Array.make env.p false)
+
+(* ------------------------------------------------------------------ *)
+(* Fused regions (-O1)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Typed per-lane closure over a fused region's postorder program: the
+    whole elementwise chain collapses into one [int -> _] evaluated once
+    per lane, with no intermediate plural temporaries. *)
+type fcell =
+  | FI of (int -> int)
+  | FR of (int -> float)
+  | FB of (int -> bool)
+
+(** A fused op that can raise, by error identity.  A plan admits at most
+    one distinct class: every instance of the same class raises the same
+    message for the same lane inputs, so the fused per-lane order hits
+    the same first-failing-lane (serial and lowest-shard alike) as the
+    unfused per-operator passes.  Two distinct classes could surface the
+    {e other} error first, so such regions fall back. *)
+type rclass =
+  | CDiv  (** integer division by zero *)
+  | CMod  (** MOD by zero *)
+  | CGather of int  (** bounds check of the gather op at this index *)
+
+exception Not_fusible
+
+(** Specialize a region against the current frame bindings.  Returns the
+    validation pins and — when the region is fusible under those
+    bindings — the root's per-lane closure plus whether the loop must
+    run masked (a raising class is present).
+
+    Pins are closures re-checked before every execution: a plural leaf
+    pins its binding's physical identity (in-place stores keep it;
+    renormalizing or rebinding writes replace it), a scalar leaf
+    additionally re-checks the value's type and refreshes the cached
+    cell, an intrinsic pins that no user function shadows the name.
+    When a pin fails the plan is rebuilt; an unfusible result is cached
+    the same way, pinned by the bindings that made it unfusible, so the
+    fallback closures run without re-planning until something changes.
+
+    The typing mirrors the unfused operator dispatch exactly: a
+    combination is only admitted when the [-O0] engine would take a
+    total (exception-free) fast path for it, every type mismatch the
+    [-O0] boxed paths would fault on falls back, and a raising op whose
+    operands are all front-end scalars falls back (the [-O0] scalar
+    path raises unconditionally, even under an empty mask, which a
+    masked fused loop would not replicate). *)
+let region_plan env (rg : Ir.region) :
+    (unit -> bool) array * (fcell * bool) option =
+  let frame = env.frame in
+  let host = env.host in
+  let ops = rg.Ir.rg_ops in
+  let nops = Array.length ops in
+  let cells = Array.make nops (FI (fun _ -> 0)) in
+  let plural = Array.make nops false in
+  let checks = ref [] in
+  let note c = checks := c :: !checks in
+  let classes = ref [] in
+  let add_class c =
+    if not (List.mem c !classes) then classes := c :: !classes
+  in
+  let pin_bad slot b0 =
+    note (fun () -> Frame.get frame slot == b0);
+    raise Not_fusible
+  in
+  let as_f = function
+    | FI f -> Some (fun i -> float_of_int (f i))
+    | FR f -> Some f
+    | FB _ -> None
+  in
+  let var_leaf slot =
+    match Frame.get frame slot with
+    | Frame.Scalar r as b0 -> (
+        match !r with
+        | VInt x ->
+            let c = ref x in
+            note (fun () ->
+                Frame.get frame slot == b0
+                && match !r with
+                   | VInt x ->
+                       c := x;
+                       true
+                   | _ -> false);
+            (FI (fun _ -> !c), false)
+        | VReal x ->
+            let c = ref x in
+            note (fun () ->
+                Frame.get frame slot == b0
+                && match !r with
+                   | VReal x ->
+                       c := x;
+                       true
+                   | _ -> false);
+            (FR (fun _ -> !c), false)
+        | VBool x ->
+            let c = ref x in
+            note (fun () ->
+                Frame.get frame slot == b0
+                && match !r with
+                   | VBool x ->
+                       c := x;
+                       true
+                   | _ -> false);
+            (FB (fun _ -> !c), false)
+        | VArr _ ->
+            note (fun () ->
+                Frame.get frame slot == b0
+                && match !r with VArr _ -> true | _ -> false);
+            raise Not_fusible)
+    | Frame.Plural (Frame.LInt a) as b0 ->
+        note (fun () -> Frame.get frame slot == b0);
+        (FI (fun i -> Array.unsafe_get a i), true)
+    | Frame.Plural (Frame.LReal a) as b0 ->
+        note (fun () -> Frame.get frame slot == b0);
+        (FR (fun i -> Array.unsafe_get a i), true)
+    | Frame.Plural (Frame.LBool a) as b0 ->
+        note (fun () -> Frame.get frame slot == b0);
+        (FB (fun i -> Array.unsafe_get a i), true)
+    | (Frame.Plural (Frame.LBox _) | Frame.Global _ | Frame.PluralArr _
+      | Frame.Unbound) as b0 ->
+        pin_bad slot b0
+  in
+  let bin_cell op a b =
+    let ca = cells.(a) and cb = cells.(b) in
+    let pl = plural.(a) || plural.(b) in
+    let arith fi fr =
+      match (ca, cb) with
+      | FI fa, FI fb -> FI (fun i -> fi (fa i) (fb i))
+      | _ -> (
+          match (as_f ca, as_f cb) with
+          | Some fa, Some fb -> FR (fun i -> fr (fa i) (fb i))
+          | _ -> raise Not_fusible)
+    in
+    let cmp test =
+      match (ca, cb) with
+      | FI fa, FI fb -> FB (fun i -> test (Int.compare (fa i) (fb i)))
+      | FB fa, FB fb -> FB (fun i -> test (Bool.compare (fa i) (fb i)))
+      | _ -> (
+          match (as_f ca, as_f cb) with
+          | Some fa, Some fb -> FB (fun i -> test (Float.compare (fa i) (fb i)))
+          | _ -> raise Not_fusible)
+    in
+    let logic f =
+      match (ca, cb) with
+      | FB fa, FB fb -> FB (fun i -> f (fa i) (fb i))
+      | _ -> raise Not_fusible
+    in
+    let div_like cls cname fi fr =
+      match (ca, cb) with
+      | FI fa, FI fb ->
+          if not pl then raise Not_fusible;
+          add_class cls;
+          FI
+            (fun i ->
+              let y = fb i in
+              if y = 0 then Errors.runtime_error "%s" cname;
+              fi (fa i) y)
+      | _ -> (
+          match (as_f ca, as_f cb) with
+          | Some fa, Some fb -> FR (fun i -> fr (fa i) (fb i))
+          | _ -> raise Not_fusible)
+    in
+    let cell =
+      match op with
+      | Add -> arith ( + ) ( +. )
+      | Sub -> arith ( - ) ( -. )
+      | Mul -> arith ( * ) ( *. )
+      | Div -> div_like CDiv "integer division by zero" ( / ) ( /. )
+      | Mod -> div_like CMod "MOD by zero" (fun x y -> x mod y) Float.rem
+      | Eq -> cmp (fun c -> c = 0)
+      | Ne -> cmp (fun c -> c <> 0)
+      | Lt -> cmp (fun c -> c < 0)
+      | Le -> cmp (fun c -> c <= 0)
+      | Gt -> cmp (fun c -> c > 0)
+      | Ge -> cmp (fun c -> c >= 0)
+      | And -> logic ( && )
+      | Or -> logic ( || )
+      | Pow -> raise Not_fusible
+    in
+    (cell, pl)
+  in
+  let un_cell op a =
+    let c = cells.(a) in
+    let cell =
+      match (op, c) with
+      | Neg, FI f -> FI (fun i -> -f i)
+      | Neg, FR f -> FR (fun i -> -.f i)
+      | Not, FB f -> FB (fun i -> not (f i))
+      | _ -> raise Not_fusible
+    in
+    (cell, plural.(a))
+  in
+  let intr_cell key a =
+    (match host.h_find_func key with
+    | Some _ ->
+        note (fun () ->
+            match host.h_find_func key with Some _ -> true | None -> false);
+        raise Not_fusible
+    | None ->
+        note (fun () ->
+            match host.h_find_func key with None -> true | Some _ -> false));
+    let c = cells.(a) in
+    let cell =
+      match (key, c) with
+      | "abs", FI f -> FI (fun i -> abs (f i))
+      | "abs", FR f -> FR (fun i -> Float.abs (f i))
+      | _, FB _ -> raise Not_fusible
+      | "sqrt", _ -> (
+          match as_f c with
+          | Some f -> FR (fun i -> Float.sqrt (f i))
+          | None -> raise Not_fusible)
+      | "exp", _ -> (
+          match as_f c with
+          | Some f -> FR (fun i -> Float.exp (f i))
+          | None -> raise Not_fusible)
+      | "real", _ -> (
+          match as_f c with Some f -> FR f | None -> raise Not_fusible)
+      | "int", _ -> (
+          (* [-O0] round-trips through float even for INTEGER operands *)
+          match as_f c with
+          | Some f -> FI (fun i -> int_of_float (Float.trunc (f i)))
+          | None -> raise Not_fusible)
+      | "nint", _ -> (
+          match as_f c with
+          | Some f -> FI (fun i -> int_of_float (Float.round (f i)))
+          | None -> raise Not_fusible)
+      | _ -> raise Not_fusible
+    in
+    (cell, plural.(a))
+  in
+  let gather_cell k slot ixs =
+    let nix = Array.length ixs in
+    let fis =
+      Array.map
+        (fun j ->
+          match cells.(j) with FI f -> f | _ -> raise Not_fusible)
+        ixs
+    in
+    let pl = Array.exists (fun j -> plural.(j)) ixs in
+    match Frame.get frame slot with
+    | Frame.Global (AInt d) as b0 when Nd.rank d = 1 && nix = 1 ->
+        note (fun () -> Frame.get frame slot == b0);
+        if not pl then raise Not_fusible;
+        add_class (CGather k);
+        let f1 = fis.(0) in
+        let d1 = Nd.size d in
+        ( FI
+            (fun i ->
+              let j = f1 i in
+              if j < 1 || j > d1 then
+                Errors.runtime_error
+                  "index %d out of bounds 1..%d in dimension %d" j d1 1;
+              Nd.get_flat d (j - 1)),
+          true )
+    | Frame.Global (AReal d) as b0 when Nd.rank d = 1 && nix = 1 ->
+        note (fun () -> Frame.get frame slot == b0);
+        if not pl then raise Not_fusible;
+        add_class (CGather k);
+        let f1 = fis.(0) in
+        let d1 = Nd.size d in
+        ( FR
+            (fun i ->
+              let j = f1 i in
+              if j < 1 || j > d1 then
+                Errors.runtime_error
+                  "index %d out of bounds 1..%d in dimension %d" j d1 1;
+              Nd.get_flat d (j - 1)),
+          true )
+    | Frame.Global (AInt d) as b0 when Nd.rank d = 2 && nix = 2 ->
+        note (fun () -> Frame.get frame slot == b0);
+        if not pl then raise Not_fusible;
+        add_class (CGather k);
+        let f1 = fis.(0) and f2 = fis.(1) in
+        let dims = Nd.dims d in
+        let d1 = dims.(0) and d2 = dims.(1) in
+        ( FI
+            (fun i ->
+              let j1 = f1 i in
+              if j1 < 1 || j1 > d1 then
+                Errors.runtime_error
+                  "index %d out of bounds 1..%d in dimension %d" j1 d1 1;
+              let j2 = f2 i in
+              if j2 < 1 || j2 > d2 then
+                Errors.runtime_error
+                  "index %d out of bounds 1..%d in dimension %d" j2 d2 2;
+              Nd.get_flat d (j1 - 1 + ((j2 - 1) * d1))),
+          true )
+    | Frame.Global (AReal d) as b0 when Nd.rank d = 2 && nix = 2 ->
+        note (fun () -> Frame.get frame slot == b0);
+        if not pl then raise Not_fusible;
+        add_class (CGather k);
+        let f1 = fis.(0) and f2 = fis.(1) in
+        let dims = Nd.dims d in
+        let d1 = dims.(0) and d2 = dims.(1) in
+        ( FR
+            (fun i ->
+              let j1 = f1 i in
+              if j1 < 1 || j1 > d1 then
+                Errors.runtime_error
+                  "index %d out of bounds 1..%d in dimension %d" j1 d1 1;
+              let j2 = f2 i in
+              if j2 < 1 || j2 > d2 then
+                Errors.runtime_error
+                  "index %d out of bounds 1..%d in dimension %d" j2 d2 2;
+              Nd.get_flat d (j1 - 1 + ((j2 - 1) * d1))),
+          true )
+    | b0 -> pin_bad slot b0
+  in
+  let go () =
+    for k = 0 to nops - 1 do
+      let cell, pl =
+        match ops.(k) with
+        | Ir.OConst (VInt n) -> (FI (fun _ -> n), false)
+        | Ir.OConst (VReal x) -> (FR (fun _ -> x), false)
+        | Ir.OConst (VBool b) -> (FB (fun _ -> b), false)
+        | Ir.OConst (VArr _) -> raise Not_fusible
+        | Ir.OVar (slot, _) -> var_leaf slot
+        | Ir.OUn (op, a) -> un_cell op a
+        | Ir.OBin (op, a, b) -> bin_cell op a b
+        | Ir.OIntr (key, a) -> intr_cell key a
+        | Ir.OGather (slot, _, ixs) -> gather_cell k slot ixs
+      in
+      cells.(k) <- cell;
+      plural.(k) <- pl
+    done;
+    if List.length !classes > 1 then raise Not_fusible;
+    (* a front-end-scalar root means the [-O0] result is an [RS] (one
+       [h_tick_frontend] instead of a vector tick downstream) *)
+    if not plural.(nops - 1) then raise Not_fusible;
+    (cells.(nops - 1), !classes <> [])
+  in
+  let res = try Some (go ()) with Not_fusible -> None in
+  (Array.of_list !checks, res)
+
+let rec compile_expr env (e : Ir.expr) : cexpr =
+  match e.Ir.x_fused with
+  | Some (Ir.FRegion rg) -> compile_region env e rg
+  | Some (Ir.FReduce (key, rg)) -> compile_fused_reduction env e key rg
+  | None -> compile_expr_node env e
+
+(** A fused elementwise region: one lane loop over the whole subtree.
+    The plan (typed closure tree + validation pins) is cached per site
+    and rebuilt when a pin fails; bindings the plan cannot fuse run the
+    unoptimized per-operator closures instead, cached the same way.
+    Raise-free plans run unmasked over all lanes exactly like the
+    unfused arithmetic fast paths (inactive-lane garbage is laundered at
+    every escape point); a raising class runs masked — unless the
+    statement's context mask is provably full ([Ir.s_full]). *)
+and compile_region env (e : Ir.expr) (rg : Ir.region) : cexpr =
+  let fallback = compile_expr_node env e in
+  let full = env.cur_full in
+  let run = env.exec.Pool.x_run in
+  let ri, rr, rb = site_buffers env e.Ir.x_scr in
+  let make_runner (root, raising) : Frame.Mask.t -> rv =
+    if (not raising) || full then
+      match root with
+      | FI f ->
+          fun _ ->
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  Array.unsafe_set ri i (f i)
+                done);
+            RI ri
+      | FR f ->
+          fun _ ->
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  Array.unsafe_set rr i (f i)
+                done);
+            RR rr
+      | FB f ->
+          fun _ ->
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  Array.unsafe_set rb i (f i)
+                done);
+            RB rb
+    else
+      match root with
+      | FI f ->
+          fun m ->
+            let bp = m.Frame.Mask.bits in
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  if Bytes.unsafe_get bp i <> '\000' then
+                    Array.unsafe_set ri i (f i)
+                done);
+            RI ri
+      | FR f ->
+          fun m ->
+            let bp = m.Frame.Mask.bits in
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  if Bytes.unsafe_get bp i <> '\000' then
+                    Array.unsafe_set rr i (f i)
+                done);
+            RR rr
+      | FB f ->
+          fun m ->
+            let bp = m.Frame.Mask.bits in
+            run (fun _ lo hi ->
+                for i = lo to hi - 1 do
+                  if Bytes.unsafe_get bp i <> '\000' then
+                    Array.unsafe_set rb i (f i)
+                done);
+            RB rb
+  in
+  let checks = ref [||] in
+  let runner = ref None in
+  let fresh = ref true in
+  fun m ->
+    if !fresh || not (Array.for_all (fun c -> c ()) !checks) then begin
+      let cks, plan = region_plan env rg in
+      checks := cks;
+      runner := Option.map make_runner plan;
+      fresh := false
+    end;
+    (match !runner with Some r -> r m | None -> fallback m)
+
+(** A reduction over a fused region folds the per-lane closure straight
+    into the canonical 64-lane-chunk merge tree — the argument vector is
+    never materialized.  Chunk grid, first-active initialization and
+    ascending merge are ported verbatim from the unfused folds, so the
+    result (including non-associative float SUM) stays bitwise identical
+    at any shard count. *)
+and compile_fused_reduction env (e : Ir.expr) key rg : cexpr =
+  let name, arg =
+    match e.Ir.x_node with
+    | Ir.XCall (n, [ a ]) -> (n, a)
+    | _ -> assert false
+  in
+  let carg = compile_expr env arg in
+  let host = env.host in
+  let loc = env.cur_loc in
+  let exec = env.exec in
+  let p = env.p in
+  let run = exec.Pool.x_run in
+  let ns = Pool.nshards exec in
+  let nc = Pool.nchunks p in
+  let parts_i = Array.make (max 1 nc) 0 in
+  let parts_f = Array.make (max 1 nc) 0.0 in
+  let filled = Bytes.make (max 1 nc) '\000' in
+  let sh_i = Array.make ns 0 in
+  let sh_b = Array.make ns false in
+  let float_fold f (ga : int -> float) (m : Frame.Mask.t) =
+    Bytes.fill filled 0 (max 1 nc) '\000';
+    run (fun _ lo hi ->
+        for c = lo / Pool.chunk to ((hi + Pool.chunk - 1) / Pool.chunk) - 1 do
+          let l = c * Pool.chunk and h = min hi ((c + 1) * Pool.chunk) in
+          let acc = ref 0.0 and seen = ref false in
+          for i = l to h - 1 do
+            if Frame.Mask.get m i then
+              if !seen then acc := f !acc (ga i)
+              else begin
+                acc := ga i;
+                seen := true
+              end
+          done;
+          if !seen then begin
+            parts_f.(c) <- !acc;
+            Bytes.unsafe_set filled c '\001'
+          end
+        done);
+    let acc = ref 0.0 and seen = ref false in
+    for c = 0 to nc - 1 do
+      if Bytes.unsafe_get filled c <> '\000' then
+        if !seen then acc := f !acc parts_f.(c)
+        else begin
+          acc := parts_f.(c);
+          seen := true
+        end
+    done;
+    (* regions are never bare variable reads, so the empty-mask witness
+       is the tree-walker's inert [VInt 0] (lane 0 is inactive there) *)
+    if !seen then VReal !acc else Pval.reduction_identity key (VInt 0)
+  in
+  let int_fold f (ga : int -> int) (m : Frame.Mask.t) =
+    Bytes.fill filled 0 (max 1 nc) '\000';
+    run (fun _ lo hi ->
+        for c = lo / Pool.chunk to ((hi + Pool.chunk - 1) / Pool.chunk) - 1 do
+          let l = c * Pool.chunk and h = min hi ((c + 1) * Pool.chunk) in
+          let acc = ref 0 and seen = ref false in
+          for i = l to h - 1 do
+            if Frame.Mask.get m i then
+              if !seen then acc := f !acc (ga i)
+              else begin
+                acc := ga i;
+                seen := true
+              end
+          done;
+          if !seen then begin
+            parts_i.(c) <- !acc;
+            Bytes.unsafe_set filled c '\001'
+          end
+        done);
+    let acc = ref 0 and seen = ref false in
+    for c = 0 to nc - 1 do
+      if Bytes.unsafe_get filled c <> '\000' then
+        if !seen then acc := f !acc parts_i.(c)
+        else begin
+          acc := parts_i.(c);
+          seen := true
+        end
+    done;
+    if !seen then VInt !acc else Pval.reduction_identity key (VInt 0)
+  in
+  let make_runner ((root : fcell), raising) :
+      (Frame.Mask.t -> value) option =
+    match (key, root) with
+    | "sum", FI f -> Some (int_fold ( + ) f)
+    | "sum", FR f -> Some (float_fold ( +. ) f)
+    | "maxval", FI f -> Some (int_fold (fun a x -> if a > x then a else x) f)
+    | "maxval", FR f ->
+        Some (float_fold (fun a x -> if Float.compare a x > 0 then a else x) f)
+    | "minval", FI f -> Some (int_fold (fun a x -> if a < x then a else x) f)
+    | "minval", FR f ->
+        Some (float_fold (fun a x -> if Float.compare a x < 0 then a else x) f)
+    | "count", FB f ->
+        Some
+          (fun m ->
+            run (fun s lo hi ->
+                let n = ref 0 in
+                for i = lo to hi - 1 do
+                  if Frame.Mask.get m i && f i then incr n
+                done;
+                sh_i.(s) <- !n);
+            VInt (Array.fold_left ( + ) 0 sh_i))
+    | "any", FB f ->
+        Some
+          (fun m ->
+            run (fun s lo hi ->
+                let r = ref false in
+                if raising then
+                  for i = lo to hi - 1 do
+                    (* no short-circuit: a raising lane must still raise *)
+                    if Frame.Mask.get m i then
+                      let x = f i in
+                      r := !r || x
+                  done
+                else begin
+                  (* raise-free region: the OR-fold order is
+                     unobservable, so stop at the first true lane *)
+                  let i = ref lo in
+                  while (not !r) && !i < hi do
+                    if Frame.Mask.get m !i then r := f !i;
+                    incr i
+                  done
+                end;
+                sh_b.(s) <- !r);
+            VBool (Array.exists Fun.id sh_b))
+    | "all", FB f ->
+        Some
+          (fun m ->
+            run (fun s lo hi ->
+                let r = ref true in
+                if raising then
+                  for i = lo to hi - 1 do
+                    if Frame.Mask.get m i then
+                      let x = f i in
+                      r := !r && x
+                  done
+                else begin
+                  let i = ref lo in
+                  while !r && !i < hi do
+                    if Frame.Mask.get m !i then r := f !i;
+                    incr i
+                  done
+                end;
+                sh_b.(s) <- !r);
+            VBool (Array.for_all Fun.id sh_b))
+    | _ -> None
+  in
+  let fb m =
+    let v = carg m in
+    match v with
+    | RA a -> (
+        match Intrinsics.apply key [ VArr a ] with
+        | Some r -> RS r
+        | None -> Errors.runtime_error "bad reduction %s" name)
+    | RS s -> RS (reduce_scalar m name key s)
+    | v -> RS (reduce_plural exec ~is_var:false m name key v)
+  in
+  let checks = ref [||] in
+  let runner = ref None in
+  let fresh = ref true in
+  fun m ->
+    host.h_reduction ~loc m;
+    if !fresh || not (Array.for_all (fun c -> c ()) !checks) then begin
+      let cks, plan = region_plan env rg in
+      checks := cks;
+      runner := Option.bind plan make_runner;
+      fresh := false
+    end;
+    (match !runner with Some r -> RS (r m) | None -> fb m)
+
+and compile_expr_node env (e : Ir.expr) : cexpr =
+  match e.Ir.x_node with
+  | Ir.XConst v ->
+      let v = RS v in
       fun _ -> v
-  | EReal f ->
-      let v = RS (VReal f) in
-      fun _ -> v
-  | EBool b ->
-      let v = RS (VBool b) in
-      fun _ -> v
-  | ERange (lo, hi) ->
+  | Ir.XRange (lo, hi) ->
       let clo = compile_expr env lo and chi = compile_expr env hi in
       let p = env.p in
       fun m ->
@@ -640,9 +1235,9 @@ let rec compile_expr env (e : expr) : cexpr =
         let n = max 0 (hi - lo + 1) in
         if n = p then RI (Array.init n (fun i -> lo + i))
         else RA (AInt (Nd.of_array (Array.init n (fun i -> lo + i))))
-  | EVar v -> (
+  | Ir.XVar (slot, v) -> (
       let frame = env.frame in
-      match Frame.slot_index frame v with
+      match slot with
       | None -> fun _ -> Errors.runtime_error "undefined variable %s" v
       | Some si -> (
           fun _ ->
@@ -654,30 +1249,31 @@ let rec compile_expr env (e : expr) : cexpr =
             | Frame.Plural (Frame.LBool a) -> RB a
             | Frame.Plural (Frame.LBox a) -> RP (Array.copy a)
             | Frame.Global a | Frame.PluralArr a -> RA a))
-  | EUn (op, a) -> compile_unop env op (compile_expr env a)
-  | EBin (op, a, b) ->
-      compile_binop env op (compile_expr env a) (compile_expr env b)
-  | ECall (name, args) -> compile_call env name args
-  | EIdx (name, args) -> compile_index env name args
+  | Ir.XUn (op, a) -> compile_unop env e.Ir.x_scr op (compile_expr env a)
+  | Ir.XBin (op, a, b) ->
+      compile_binop env e.Ir.x_scr op (compile_expr env a)
+        (compile_expr env b)
+  | Ir.XCall (name, args) -> compile_call env e.Ir.x_scr name args
+  | Ir.XIdx (si, name, args) -> compile_index env e.Ir.x_scr si name args
 
-and compile_unop env op ca : cexpr =
+and compile_unop env scr op ca : cexpr =
   let gen = Scalar_ops.apply_unop op in
   let run = env.exec.Pool.x_run in
-  let p = env.p in
+  let ri, rr, rb = site_buffers env scr in
   match op with
   | Neg -> (
       fun m ->
         match ca m with
         | RS x -> RS (gen x)
         | RI a ->
-            let r = Array.make p 0 in
+            let r = ri in
             run (fun _ lo hi ->
                 for i = lo to hi - 1 do
                   Array.unsafe_set r i (-Array.unsafe_get a i)
                 done);
             RI r
         | RR a ->
-            let r = Array.make p 0.0 in
+            let r = rr in
             run (fun _ lo hi ->
                 for i = lo to hi - 1 do
                   Array.unsafe_set r i (-.Array.unsafe_get a i)
@@ -691,7 +1287,7 @@ and compile_unop env op ca : cexpr =
         match ca m with
         | RS x -> RS (gen x)
         | RB a ->
-            let r = Array.make p false in
+            let r = rb in
             run (fun _ lo hi ->
                 for i = lo to hi - 1 do
                   Array.unsafe_set r i (not (Array.unsafe_get a i))
@@ -701,9 +1297,9 @@ and compile_unop env op ca : cexpr =
             Errors.runtime_error "array operand in a lane-wise operation"
         | v -> renorm m (box_lift1 m gen v))
 
-and compile_binop env op ca cb : cexpr =
+and compile_binop env scr op ca cb : cexpr =
   let app = Scalar_ops.apply_binop op in
-  let fast = fast_binop env.exec op in
+  let fast = fast_binop ~buffers:(site_buffers env scr) env.exec op in
   fun m ->
     let a = ca m in
     let b = cb m in
@@ -716,7 +1312,7 @@ and compile_binop env op ca cb : cexpr =
         | Some r -> r
         | None -> renorm m (box_lift2 m app a b))
 
-and compile_call env name args : cexpr =
+and compile_call env scr name args : cexpr =
   let key = String.lowercase_ascii name in
   if is_reduction key then compile_reduction env name key args
   else
@@ -724,6 +1320,81 @@ and compile_call env name args : cexpr =
     let p = env.p in
     let host = env.host in
     let run = env.exec.Pool.x_run in
+    (* [-O1], serial engine: results of a plural call are almost always
+       one scalar type across the active lanes — store them straight
+       into per-site unboxed buffers, skipping the boxed staging vector
+       and the [renorm] re-specialization pass.  The first active lane's
+       result picks the buffer; a mismatching lane falls back mid-loop
+       by re-boxing the already-stored prefix (value boxes carry no
+       identity, so the rebuilt vector is indistinguishable from the
+       staged one) and finishing on the legacy path — still exactly one
+       call per active lane, still ascending. *)
+    let typed = env.opt >= 1 && Pool.nshards env.exec = 1 in
+    let tri, trr, trb =
+      if typed then site_buffers env scr else ([||], [||], [||])
+    in
+    let call_typed (call : int -> value) (m : Frame.Mask.t) : rv =
+      let bp = m.Frame.Mask.bits in
+      let bail rebox i0 v0 =
+        let vs = Array.make p (VInt 0) in
+        for k = 0 to i0 - 1 do
+          if Bytes.unsafe_get bp k <> '\000' then vs.(k) <- rebox k
+        done;
+        vs.(i0) <- v0;
+        for i = i0 + 1 to p - 1 do
+          if Bytes.unsafe_get bp i <> '\000' then
+            Array.unsafe_set vs i (call i)
+        done;
+        renorm m vs
+      in
+      let rec go_i i =
+        if i >= p then RI tri
+        else if Bytes.unsafe_get bp i = '\000' then go_i (i + 1)
+        else
+          match call i with
+          | VInt x ->
+              Array.unsafe_set tri i x;
+              go_i (i + 1)
+          | v -> bail (fun k -> VInt tri.(k)) i v
+      in
+      let rec go_r i =
+        if i >= p then RR trr
+        else if Bytes.unsafe_get bp i = '\000' then go_r (i + 1)
+        else
+          match call i with
+          | VReal x ->
+              Array.unsafe_set trr i x;
+              go_r (i + 1)
+          | v -> bail (fun k -> VReal trr.(k)) i v
+      in
+      let rec go_b i =
+        if i >= p then RB trb
+        else if Bytes.unsafe_get bp i = '\000' then go_b (i + 1)
+        else
+          match call i with
+          | VBool x ->
+              Array.unsafe_set trb i x;
+              go_b (i + 1)
+          | v -> bail (fun k -> VBool trb.(k)) i v
+      in
+      let rec start i =
+        if i >= p then RP (Array.make p (VInt 0))
+        else if Bytes.unsafe_get bp i = '\000' then start (i + 1)
+        else
+          match call i with
+          | VInt x ->
+              Array.unsafe_set tri i x;
+              go_i (i + 1)
+          | VReal x ->
+              Array.unsafe_set trr i x;
+              go_r (i + 1)
+          | VBool x ->
+              Array.unsafe_set trb i x;
+              go_b (i + 1)
+          | v -> bail (fun _ -> assert false) i v
+      in
+      start 0
+    in
     fun m ->
       match host.h_find_func key with
       | Some (f, pure) ->
@@ -733,34 +1404,43 @@ and compile_call env name args : cexpr =
                invocations); inactive lanes keep the static [VInt 0].
                Only [pure] functions may run lane-parallel — an impure
                callee observes the serial ascending application order. *)
-            let bp = m.Frame.Mask.bits in
-            let vs = Array.make p (VInt 0) in
-            (match vargs with
-            | [ a; b ] when pure ->
-                run (fun _ lo hi ->
-                    for i = lo to hi - 1 do
-                      if Bytes.unsafe_get bp i <> '\000' then
-                        Array.unsafe_set vs i (f [ rv_lane a i; rv_lane b i ])
-                    done)
-            | [ a; b ] ->
-                for i = 0 to p - 1 do
-                  if Bytes.unsafe_get bp i <> '\000' then
-                    Array.unsafe_set vs i (f [ rv_lane a i; rv_lane b i ])
-                done
-            | _ when pure ->
-                run (fun _ lo hi ->
-                    for i = lo to hi - 1 do
-                      if Bytes.unsafe_get bp i <> '\000' then
-                        Array.unsafe_set vs i
-                          (f (List.map (fun v -> rv_lane v i) vargs))
-                    done)
-            | _ ->
-                for i = 0 to p - 1 do
-                  if Bytes.unsafe_get bp i <> '\000' then
-                    Array.unsafe_set vs i
-                      (f (List.map (fun v -> rv_lane v i) vargs))
-                done);
-            renorm m vs
+            if typed then
+              let call =
+                match vargs with
+                | [ a; b ] -> fun i -> f [ rv_lane a i; rv_lane b i ]
+                | _ -> fun i -> f (List.map (fun v -> rv_lane v i) vargs)
+              in
+              call_typed call m
+            else begin
+              let bp = m.Frame.Mask.bits in
+              let vs = Array.make p (VInt 0) in
+              (match vargs with
+              | [ a; b ] when pure ->
+                  run (fun _ lo hi ->
+                      for i = lo to hi - 1 do
+                        if Bytes.unsafe_get bp i <> '\000' then
+                          Array.unsafe_set vs i (f [ rv_lane a i; rv_lane b i ])
+                      done)
+              | [ a; b ] ->
+                  for i = 0 to p - 1 do
+                    if Bytes.unsafe_get bp i <> '\000' then
+                      Array.unsafe_set vs i (f [ rv_lane a i; rv_lane b i ])
+                  done
+              | _ when pure ->
+                  run (fun _ lo hi ->
+                      for i = lo to hi - 1 do
+                        if Bytes.unsafe_get bp i <> '\000' then
+                          Array.unsafe_set vs i
+                            (f (List.map (fun v -> rv_lane v i) vargs))
+                      done)
+              | _ ->
+                  for i = 0 to p - 1 do
+                    if Bytes.unsafe_get bp i <> '\000' then
+                      Array.unsafe_set vs i
+                        (f (List.map (fun v -> rv_lane v i) vargs))
+                  done);
+              renorm m vs
+            end
           end
           else RS (f (List.map rv_front_scalar vargs))
       | None -> (
@@ -815,7 +1495,11 @@ and compile_reduction env name key args : cexpr =
         | None -> Errors.runtime_error "bad reduction %s" name)
     | RS s -> RS (reduce_scalar m name key s)
     | v ->
-        let is_var = match args with [ Ast.EVar _ ] -> true | _ -> false in
+        let is_var =
+          match args with
+          | [ { Ir.x_ast = Ast.EVar _; _ } ] -> true
+          | _ -> false
+        in
         RS (reduce_plural env.exec ~is_var m name key v)
 
 (** Reduction over a broadcast front-end scalar — [Pval.reduce]'s
@@ -1001,23 +1685,19 @@ and reduce_plural (exec : Pool.exec) ~is_var (m : Frame.Mask.t) name key v =
         (Pval.reduction_identity key (witness ()))
   | _ -> Errors.runtime_error "unknown reduction %s" name
 
-and compile_index env name args : cexpr =
+and compile_index env scr si name args : cexpr =
   let frame = env.frame in
-  let si = slot_of env name in
   let cargs = List.map (compile_expr env) args in
   let nargs = List.length args in
   let scratch = Array.make nargs 0 in
   let scratch1 = Array.make (nargs + 1) 0 in
   (* the name may turn out to be a function at run time (tree-walker
      falls back to the call path when the slot is unbound) *)
-  let ccall = compile_call env name args in
-  let p = env.p in
+  let ccall = compile_call env scr name args in
   let exec = env.exec in
   let run = exec.Pool.x_run in
-  (* per-site gather result buffers, reused like [fast_binop]'s *)
-  let ri = Array.make p 0 in
-  let rr = Array.make p 0.0 in
-  let rb = Array.make p false in
+  (* gather result buffers, reused like [fast_binop]'s *)
+  let ri, rr, rb = site_buffers env scr in
   (* the generic gather paths stage each lane's subscript vector in a
      scratch buffer: the compile-time one serially, a fresh shard-local
      one per shard under the pool *)
@@ -1162,11 +1842,11 @@ and compile_index env name args : cexpr =
 (* Assignment                                                          *)
 (* ------------------------------------------------------------------ *)
 
-and compile_assign env (l : lvalue) : Frame.Mask.t -> rv -> unit =
+and compile_assign env (l : Ir.lv) : Frame.Mask.t -> rv -> unit =
   let frame = env.frame in
-  let si = slot_of env l.lv_name in
-  let name = l.lv_name in
-  match l.lv_index with
+  let si = l.Ir.l_slot in
+  let name = l.Ir.l_name in
+  match l.Ir.l_index with
   | [] ->
       let p = env.p in
       fun m rhs -> (
@@ -1327,15 +2007,277 @@ and compile_assign env (l : lvalue) : Frame.Mask.t -> rv -> unit =
               (Array.of_list (List.map fst sels))
               ~plural_arr:true)
 
+(** [-O1] fused store: [v = a op b] over variable/literal operands with
+    a total operator, assigned to a typed plural.  The unfused engine
+    runs an {e unmasked} compute pass into the operator's buffer and a
+    masked copy into the binding; this runs one masked compute-store
+    pass straight into the binding's lanes — active lanes get the same
+    values, inactive lanes keep their old ones, exactly like the copy.
+    Only total operators are admitted (the compute can slide past the
+    tick unobserved), and only operand/destination typings the unfused
+    path handles without rebinding; anything else — including a
+    front-end-scalar result, whose unfused tick is a front-end tick —
+    falls back to the factored unfused sequence.  In-place updates
+    ([v = v + 1]) alias destination and operand, which is safe: the
+    store is elementwise at the same lane. *)
+and compile_store_fused env ast (l : Ir.lv) e op ea eb : cstmt =
+  let host = env.host in
+  let loc = env.cur_loc in
+  let frame = env.frame in
+  let si = l.Ir.l_slot in
+  let run = env.exec.Pool.x_run in
+  let ce = compile_expr env e in
+  let casgn = compile_assign env l in
+  let fii =
+    match (op : Ast.binop) with
+    | Ast.Add -> ( + )
+    | Ast.Sub -> ( - )
+    | Ast.Mul -> ( * )
+    | _ -> assert false
+  in
+  let frr =
+    match (op : Ast.binop) with
+    | Ast.Add -> ( +. )
+    | Ast.Sub -> ( -. )
+    | Ast.Mul -> ( *. )
+    | _ -> assert false
+  in
+  let resolve o =
+    match o with
+    | `C (VInt x) -> `KIc x
+    | `C (VReal x) -> `KRc x
+    | `C _ -> `KBad
+    | `V slot -> (
+        match Frame.get frame slot with
+        | Frame.Plural (Frame.LInt a) -> `KI a
+        | Frame.Plural (Frame.LReal a) -> `KR a
+        | Frame.Scalar r -> (
+            match !r with
+            | VInt x -> `KIc x
+            | VReal x -> `KRc x
+            | _ -> `KBad)
+        | _ -> `KBad)
+  in
+  let oa =
+    match ea.Ir.x_node with
+    | Ir.XConst v -> `C v
+    | Ir.XVar (Some s, _) -> `V s
+    | _ -> assert false
+  in
+  let ob =
+    match eb.Ir.x_node with
+    | Ir.XConst v -> `C v
+    | Ir.XVar (Some s, _) -> `V s
+    | _ -> assert false
+  in
+  (* per-lane float getter; constants broadcast, [float_of_int] promotes *)
+  let fget = function
+    | `KI a -> Some (fun i -> float_of_int (Array.unsafe_get a i))
+    | `KR (a : float array) -> Some (fun i -> Array.unsafe_get a i)
+    | `KIc c ->
+        let c = float_of_int c in
+        Some (fun _ -> c)
+    | `KRc c -> Some (fun (_ : int) -> c)
+    | `KBad -> None
+  in
+  let is_arr = function `KI _ | `KR _ -> true | _ -> false in
+  let is_real = function `KR _ | `KRc _ -> true | _ -> false in
+  fun m ->
+    observe env m ast;
+    (* resolve a compute-store pass first; the tick fires between the
+       decision and the store, exactly where the unfused tick sits
+       (a fuel fault at the tick must leave the binding untouched) *)
+    let fused : (unit -> unit) option =
+      match Frame.get frame si with
+      | Frame.Plural (Frame.LInt d) -> (
+          let iloop f =
+            Some
+              (fun () ->
+                let bp = m.Frame.Mask.bits in
+                run (fun _ lo hi ->
+                    for i = lo to hi - 1 do
+                      if Bytes.unsafe_get bp i <> '\000' then
+                        Array.unsafe_set d i (f i)
+                    done))
+          in
+          match (resolve oa, resolve ob) with
+          | `KI a, `KI b ->
+              iloop (fun i ->
+                  fii (Array.unsafe_get a i) (Array.unsafe_get b i))
+          | `KI a, `KIc c -> iloop (fun i -> fii (Array.unsafe_get a i) c)
+          | `KIc c, `KI b -> iloop (fun i -> fii c (Array.unsafe_get b i))
+          | _ -> None)
+      | Frame.Plural (Frame.LReal d) -> (
+          let rloop f =
+            Some
+              (fun () ->
+                let bp = m.Frame.Mask.bits in
+                run (fun _ lo hi ->
+                    for i = lo to hi - 1 do
+                      if Bytes.unsafe_get bp i <> '\000' then
+                        Array.unsafe_set d i (f i)
+                    done))
+          in
+          let ka = resolve oa and kb = resolve ob in
+          match (ka, kb) with
+          | `KR a, `KR b ->
+              rloop (fun i ->
+                  frr (Array.unsafe_get a i) (Array.unsafe_get b i))
+          | `KR a, `KRc c -> rloop (fun i -> frr (Array.unsafe_get a i) c)
+          | `KRc c, `KR b -> rloop (fun i -> frr c (Array.unsafe_get b i))
+          | _ ->
+              (* mixed int/real: the unfused op float-promotes whenever a
+                 real side is present; both-constant operands stay a
+                 front-end scalar there, so they must fall back *)
+              if (is_arr ka || is_arr kb) && (is_real ka || is_real kb) then
+                match (fget ka, fget kb) with
+                | Some fa, Some fb -> rloop (fun i -> frr (fa i) (fb i))
+                | _ -> None
+              else None)
+      | _ -> None
+    in
+    match fused with
+    | Some store ->
+        host.h_tick_vector ~loc ~kind:Lf_obs.Trace.Assign m;
+        store ()
+    | None ->
+        let rhs = ce m in
+        if rv_is_plural rhs then
+          host.h_tick_vector ~loc ~kind:Lf_obs.Trace.Assign m
+        else host.h_tick_frontend ();
+        casgn m rhs
+
+(** [-O1] scatter-accumulate ([Ir.s_accum]): [a(ix) = a(ix) + rest] with
+    a pure arithmetic subscript.  The gather keeps its own pass (both
+    for its error order and because the scatter must see the {e
+    pre-statement} values — colliding lanes overwrite, they do not
+    accumulate), but the final add is folded into the scatter loop, so
+    the sum is never materialized.  Evaluation order matches the
+    unfused statement exactly: gather, rest, tick, subscript, store
+    pass (the add is total on the typed shapes admitted here, so moving
+    it across the tick is invisible).  Shapes outside the typed
+    rank-1 fast paths — and the scalar-subscript case, whose unfused
+    tick is a front-end tick — run the factored unfused sequence. *)
+and compile_accum env ast (l : Ir.lv) scr g rest : cstmt =
+  let host = env.host in
+  let loc = env.cur_loc in
+  let frame = env.frame in
+  let si = l.Ir.l_slot in
+  let p = env.p in
+  let cg = compile_expr env g in
+  let crest = compile_expr env rest in
+  let cix =
+    match l.Ir.l_index with [ ix ] -> compile_expr env ix | _ -> assert false
+  in
+  (* the factored unfused add: same dispatch, its own buffer site *)
+  let app = Scalar_ops.apply_binop Ast.Add in
+  let fast = fast_binop ~buffers:(site_buffers env scr) env.exec Ast.Add in
+  let casgn = compile_assign env l in
+  let bounds j d1 =
+    if j < 1 || j > d1 then
+      Errors.runtime_error "index %d out of bounds 1..%d in dimension %d" j d1
+        1
+  in
+  fun m ->
+    observe env m ast;
+    let gv = cg m in
+    let rv = crest m in
+    let fallback () =
+      let rhs =
+        match (gv, rv) with
+        | RS x, RS y -> RS (app x y)
+        | RA _, _ | _, RA _ ->
+            Errors.runtime_error "array operand in a lane-wise operation"
+        | _ -> (
+            match fast m gv rv with
+            | Some r -> r
+            | None -> renorm m (box_lift2 m app gv rv))
+      in
+      if rv_is_plural rhs then
+        host.h_tick_vector ~loc ~kind:Lf_obs.Trace.Assign m
+      else host.h_tick_frontend ();
+      casgn m rhs
+    in
+    let merged store =
+      host.h_tick_vector ~loc ~kind:Lf_obs.Trace.Assign m;
+      match cix m with
+      | RI ix ->
+          let bp = m.Frame.Mask.bits in
+          for i = 0 to p - 1 do
+            if Bytes.unsafe_get bp i <> '\000' then
+              store i (Array.unsafe_get ix i)
+          done;
+          true
+      | _ -> false
+    in
+    match Frame.get frame si with
+    | Frame.Global (AReal d) when Nd.rank d = 1 -> (
+        let d1 = Nd.size d in
+        let fadd : (int -> float) option =
+          match (gv, rv) with
+          | RR x, RR y ->
+              Some
+                (fun i -> Array.unsafe_get x i +. Array.unsafe_get y i)
+          | RR x, RI y ->
+              Some
+                (fun i ->
+                  Array.unsafe_get x i +. float_of_int (Array.unsafe_get y i))
+          | RR x, RS (VReal c) -> Some (fun i -> Array.unsafe_get x i +. c)
+          | RR x, RS (VInt c) ->
+              let c = float_of_int c in
+              Some (fun i -> Array.unsafe_get x i +. c)
+          | _ -> None
+        in
+        match fadd with
+        | Some fadd ->
+            if
+              not
+                (merged (fun i j ->
+                     bounds j d1;
+                     Nd.set_flat d (j - 1) (fadd i)))
+            then
+              (* non-int-vector subscript: finish unfused (the vector
+                 tick has fired — the unfused add result is plural) *)
+              casgn m
+                (match fast m gv rv with
+                | Some r -> r
+                | None -> renorm m (box_lift2 m app gv rv))
+        | None -> fallback ())
+    | Frame.Global (AInt d) when Nd.rank d = 1 -> (
+        let d1 = Nd.size d in
+        let iadd : (int -> int) option =
+          match (gv, rv) with
+          | RI x, RI y ->
+              Some (fun i -> Array.unsafe_get x i + Array.unsafe_get y i)
+          | RI x, RS (VInt c) -> Some (fun i -> Array.unsafe_get x i + c)
+          | _ -> None
+        in
+        match iadd with
+        | Some iadd ->
+            if
+              not
+                (merged (fun i j ->
+                     bounds j d1;
+                     Nd.set_flat d (j - 1) (iadd i)))
+            then
+              casgn m
+                (match fast m gv rv with
+                | Some r -> r
+                | None -> renorm m (box_lift2 m app gv rv))
+        | None -> fallback ())
+    | _ -> fallback ()
+
 (* ------------------------------------------------------------------ *)
 (* Statements                                                          *)
 (* ------------------------------------------------------------------ *)
 
-and compile_stmt env (s : stmt) : cstmt =
+and compile_stmt env (s : Ir.stmt) : cstmt =
   let host = env.host in
   let loc = env.cur_loc in
-  match s with
-  | SLoc (loc, s) ->
+  let ast = s.Ir.s_ast in
+  env.cur_full <- s.Ir.s_full;
+  match s.Ir.s_node with
+  | Ir.LLoc (loc, s) ->
       (* compile the wrapped statement under its location; annotate
          runtime errors escaping the compiled closure (innermost located
          statement wins, already-located errors pass through) *)
@@ -1347,24 +2289,43 @@ and compile_stmt env (s : stmt) : cstmt =
         (try cs m
          with Errors.Runtime_error msg ->
            raise (Errors.Runtime_error_at (loc, msg)))
-  | SComment _ | SLabel _ -> fun _ -> ()
-  | SAssign (l, e) ->
+  | Ir.LNop -> fun _ -> ()
+  | Ir.LAssign (l, e) when s.Ir.s_accum -> (
+      match e.Ir.x_node with
+      | Ir.XBin (Ast.Add, g, rest) ->
+          compile_accum env ast l e.Ir.x_scr g rest
+      | _ -> assert false (* [Opt.mark_accum] only marks this shape *))
+  | Ir.LAssign (l, e)
+    when env.opt >= 1 && l.Ir.l_index = []
+         && (match e.Ir.x_node with
+            | Ir.XBin ((Ast.Add | Ast.Sub | Ast.Mul), a, b) ->
+                let leaf x =
+                  match x.Ir.x_node with
+                  | Ir.XConst _ | Ir.XVar (Some _, _) -> true
+                  | _ -> false
+                in
+                leaf a && leaf b
+            | _ -> false) -> (
+      match e.Ir.x_node with
+      | Ir.XBin (op, a, b) -> compile_store_fused env ast l e op a b
+      | _ -> assert false)
+  | Ir.LAssign (l, e) ->
       let ce = compile_expr env e in
       let casgn = compile_assign env l in
       fun m ->
-        observe env m s;
+        observe env m ast;
         let rhs = ce m in
         if rv_is_plural rhs then
           host.h_tick_vector ~loc ~kind:Lf_obs.Trace.Assign m
         else host.h_tick_frontend ();
         casgn m rhs
-  | SCall (name, args) -> (
+  | Ir.LScall (name, args) -> (
       let key = String.lowercase_ascii name in
       let cargs =
-        List.map (fun e -> (compile_expr env e, exact_lanes e)) args
+        List.map (fun (e, exact) -> (compile_expr env e, exact)) args
       in
       fun m ->
-        observe env m s;
+        observe env m ast;
         match host.h_find_proc key with
         | None -> Errors.runtime_error "unknown subroutine %s" name
         | Some f ->
@@ -1376,7 +2337,7 @@ and compile_stmt env (s : stmt) : cstmt =
             host.h_flush ();
             f ~mask:(Frame.Mask.to_bool_array m) vargs;
             host.h_import ())
-  | SIf (c, t, f) -> (
+  | Ir.LIf (c, t, f) -> (
       let cc = compile_expr env c in
       let ct = compile_block env t and cf = compile_block env f in
       let mt = Frame.Mask.create_empty env.p in
@@ -1396,7 +2357,7 @@ and compile_stmt env (s : stmt) : cstmt =
             split_mask exec m cv mt mf;
             ct mt;
             cf mf)
-  | SWhere (c, t, f) ->
+  | Ir.LWhere (c, t, f) ->
       let cc = compile_expr env c in
       let ct = compile_block env t and cf = compile_block env f in
       let mt = Frame.Mask.create_empty env.p in
@@ -1408,7 +2369,7 @@ and compile_stmt env (s : stmt) : cstmt =
         split_mask exec m cv mt mf;
         ct mt;
         cf mf
-  | SWhile (c, body) ->
+  | Ir.LWhile (c, body) ->
       let cc = compile_expr env c in
       let cb = compile_block env body in
       let p = env.p in
@@ -1453,7 +2414,7 @@ and compile_stmt env (s : stmt) : cstmt =
         while continue_ () do
           cb m
         done
-  | SDoWhile (body, c) ->
+  | Ir.LDoWhile (body, c) ->
       let cc = compile_expr env c in
       let cb = compile_block env body in
       fun m ->
@@ -1468,19 +2429,17 @@ and compile_stmt env (s : stmt) : cstmt =
             | _ ->
                 Errors.runtime_error "DO WHILE condition must be front-end")
         done
-  | SDo (c, body) | SForall (c, body) ->
-      let clo = compile_expr env c.d_lo in
-      let chi = compile_expr env c.d_hi in
-      let cstep = Option.map (compile_expr env) c.d_step in
+  | Ir.LDo (si, vname, lo_e, hi_e, step_e, body) ->
+      let clo = compile_expr env lo_e in
+      let chi = compile_expr env hi_e in
+      let cstep = Option.map (compile_expr env) step_e in
       let cb = compile_block env body in
       let frame = env.frame in
-      let si = slot_of env c.d_var in
       let set_var v =
         match Frame.get frame si with
         | Frame.Scalar r -> r := v
         | Frame.Unbound -> Frame.set frame si (Frame.Scalar (ref v))
-        | _ ->
-            Errors.runtime_error "%s is not a front-end scalar" c.d_var
+        | _ -> Errors.runtime_error "%s is not a front-end scalar" vname
       in
       fun m ->
         let lo = rv_front_int (clo m) in
@@ -1500,11 +2459,10 @@ and compile_stmt env (s : stmt) : cstmt =
         done;
         (* Fortran: the DO variable keeps the first failing value *)
         set_var (VInt !i)
-  | SGoto _ | SCondGoto _ ->
-      fun _ -> Errors.runtime_error "GOTO is not part of F90simd"
+  | Ir.LGoto -> fun _ -> Errors.runtime_error "GOTO is not part of F90simd"
 
-and compile_block env (b : block) : cstmt =
-  let cs = Array.of_list (List.map (compile_stmt env) b) in
+and compile_block env (b : Ir.block) : cstmt =
+  let cs = Array.map (compile_stmt env) b in
   let n = Array.length cs in
   fun m ->
     for i = 0 to n - 1 do
@@ -1574,7 +2532,19 @@ let var_names (prog : program) : string list =
   blk prog.p_body;
   List.rev !order
 
-let compile ~host ~frame ~exec (body : block) : Frame.Mask.t -> unit =
+let compile ~host ~frame ~exec ?(opt = 1) (body : block) : Frame.Mask.t -> unit
+    =
   assert (exec.Pool.x_p = host.h_p);
-  let env = { host; frame; p = host.h_p; exec; cur_loc = Errors.no_pos } in
-  compile_block env body
+  let env =
+    {
+      host;
+      frame;
+      p = host.h_p;
+      exec;
+      cur_loc = Errors.no_pos;
+      cur_full = false;
+      opt;
+    }
+  in
+  let ir = Opt.run ~level:opt (Ir.of_block frame body) in
+  compile_block env ir

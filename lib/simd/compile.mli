@@ -44,12 +44,18 @@ val is_reduction : string -> bool
     heads).  The frame passed to [compile] must cover at least these. *)
 val var_names : Ast.program -> string list
 
-(** [compile ~host ~frame ~exec body] returns the compiled body; run it
-    by applying it to a full activity mask.  [exec] dispatches every
+(** [compile ~host ~frame ~exec ?opt body] returns the compiled body; run
+    it by applying it to a full activity mask.  [exec] dispatches every
     per-lane loop: [Pool.serial_exec] gives the serial compiled engine,
     [Pool.parallel_exec] the lane-sharded parallel one — same closures,
     same bit-identical results (reductions fold the canonical chunked
-    merge tree of [Pool] in every case). *)
+    merge tree of [Pool] in every case).
+
+    [opt] (default 1) selects the optimizer level applied to the
+    slot-resolved IR ([Ir] / [Opt]) before emission: 0 compiles each AST
+    node to its own lane loop; 1 fuses elementwise chains and reductions,
+    recycles scratch buffers and simplifies provably-full masks — with
+    the same bit-identity contract as the engine itself. *)
 val compile :
-  host:host -> frame:Frame.t -> exec:Pool.exec -> Ast.block ->
+  host:host -> frame:Frame.t -> exec:Pool.exec -> ?opt:int -> Ast.block ->
   Frame.Mask.t -> unit

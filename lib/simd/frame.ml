@@ -39,19 +39,72 @@ type t = {
   names : string array;  (** slot index -> variable name *)
   slots : slot array;  (** mutable per-element; kinds may change at run time *)
   index : (string, int) Hashtbl.t;  (** compile-time name resolution *)
+  mutable scr_i : int array array;  (** scratch pool, one lane vector per group *)
+  mutable scr_r : float array array;
+  mutable scr_b : bool array array;
 }
 
 let create ~p names =
   let names = Array.of_list names in
   let index = Hashtbl.create (Array.length names * 2) in
   Array.iteri (fun i n -> Hashtbl.replace index n i) names;
-  { p; names; slots = Array.make (Array.length names) Unbound; index }
+  {
+    p;
+    names;
+    slots = Array.make (Array.length names) Unbound;
+    index;
+    scr_i = [||];
+    scr_r = [||];
+    scr_b = [||];
+  }
 
 let slot_index f name = Hashtbl.find_opt f.index name
 let name_of f i = f.names.(i)
 let n_slots f = Array.length f.slots
 let get f i = f.slots.(i)
 let set f i s = f.slots.(i) <- s
+
+(* ------------------------------------------------------------------ *)
+(* Scratch pool                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* The optimizer's liveness pass ([Opt.plan_scratch]) proves which
+   operator result buffers are never simultaneously live and colors them
+   into groups; sites in the same group share one lane vector per
+   element type.  Vectors are allocated on first demand and live for the
+   frame's lifetime, so steady-state execution allocates nothing.
+   Shards of the parallel engine write disjoint lane ranges, so sharing
+   the vectors across shards is race-free. *)
+
+let scr_int f g =
+  let n = Array.length f.scr_i in
+  if g >= n then begin
+    let t = Array.make (g + 1) [||] in
+    Array.blit f.scr_i 0 t 0 n;
+    f.scr_i <- t
+  end;
+  if Array.length f.scr_i.(g) <> f.p then f.scr_i.(g) <- Array.make f.p 0;
+  f.scr_i.(g)
+
+let scr_real f g =
+  let n = Array.length f.scr_r in
+  if g >= n then begin
+    let t = Array.make (g + 1) [||] in
+    Array.blit f.scr_r 0 t 0 n;
+    f.scr_r <- t
+  end;
+  if Array.length f.scr_r.(g) <> f.p then f.scr_r.(g) <- Array.make f.p 0.0;
+  f.scr_r.(g)
+
+let scr_bool f g =
+  let n = Array.length f.scr_b in
+  if g >= n then begin
+    let t = Array.make (g + 1) [||] in
+    Array.blit f.scr_b 0 t 0 n;
+    f.scr_b <- t
+  end;
+  if Array.length f.scr_b.(g) <> f.p then f.scr_b.(g) <- Array.make f.p false;
+  f.scr_b.(g)
 
 (* ------------------------------------------------------------------ *)
 (* Lane-vector conversions                                             *)

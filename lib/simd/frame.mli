@@ -28,6 +28,9 @@ type t = {
   names : string array;
   slots : slot array;
   index : (string, int) Hashtbl.t;
+  mutable scr_i : int array array;
+  mutable scr_r : float array array;
+  mutable scr_b : bool array array;
 }
 
 val create : p:int -> string list -> t
@@ -36,6 +39,20 @@ val name_of : t -> int -> string
 val n_slots : t -> int
 val get : t -> int -> slot
 val set : t -> int -> slot -> unit
+
+(** Scratch lane vectors, shared between operator sites whose result
+    buffers [Opt.plan_scratch] proved never simultaneously live (sites
+    carry their group in [Ir.x_scr]).  Allocated on first demand, one
+    vector per (group, element type), reused for the frame's lifetime:
+    steady-state vector-op execution allocates nothing.  Sharing is safe
+    because every consumer of an operator result either folds it or
+    copies it before the next site of the same group runs, and the
+    parallel engine's shards write disjoint lane ranges. *)
+
+val scr_int : t -> int -> int array
+
+val scr_real : t -> int -> float array
+val scr_bool : t -> int -> bool array
 
 (** Unbox a boxed lane vector when type-uniform; retains (does not copy)
     the boxed array otherwise. *)

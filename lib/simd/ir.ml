@@ -1,0 +1,361 @@
+(** Slot-resolved intermediate representation between [Compile] and
+    execution.
+
+    Lowering mirrors the AST one-to-one — every [Ast.expr]/[Ast.stmt]
+    constructor has a counterpart here — but variable references are
+    resolved to dense [Frame] slots once, at lowering time, and every
+    node carries its source expression so the emitter can replay the
+    tree-walker's exact behaviour (observer callbacks receive original
+    statements, [EIdx] heads that turn out to be functions fall back to
+    the call path, reduction witnesses distinguish bare variable
+    arguments).
+
+    The optimizer ([Opt]) never rewrites the shape of the tree (except
+    for constant folding); it {e annotates} it:
+    - [x_fused] marks a subtree that may be evaluated as a single
+      per-lane fused region ([region]) — or, on a reduction call, folded
+      directly into the canonical chunked merge tree ([FReduce]);
+    - [x_scr] assigns the node's result buffer to a recycled scratch
+      group in [Frame] (set by the liveness pass; [-1] = private
+      per-site buffers, the [-O0] behaviour);
+    - [s_full] marks statements whose context mask is provably the full
+      entry mask (never nested under WHERE / a plural IF), letting fused
+      loops drop the per-lane mask test;
+    - [s_accum] marks a gather/accumulate/scatter assignment
+      [a(ix) = a(ix) + e] whose final add can be merged into the
+      scatter pass.
+
+    A fused region is a postorder instruction array: operands precede
+    users, the last instruction is the root.  Leaves are restricted to
+    slot-resolved variable reads and literals (pure, so the emitter can
+    evaluate and type them before committing to a fused loop), interior
+    nodes to elementwise arithmetic / comparison / logic, a few unary
+    numeric intrinsics, and global-array gathers. *)
+
+open Lf_lang
+
+(** Fused-region instruction; integer operands index earlier entries of
+    the region's postorder array. *)
+type rop =
+  | OConst of Values.value
+  | OVar of int * string  (** frame slot, source name *)
+  | OUn of Ast.unop * int
+  | OBin of Ast.binop * int * int
+  | OIntr of string * int
+      (** unary numeric intrinsic (abs, sqrt, exp, real, int, nint) by
+          its lowercase key; only fusible when no user function shadows
+          the name *)
+  | OGather of int * string * int array
+      (** global-array gather: frame slot, source name, subscript ops *)
+
+type region = {
+  rg_ops : rop array;  (** postorder; the last entry is the root *)
+}
+
+type fuse =
+  | FRegion of region  (** evaluate this subtree as one fused loop *)
+  | FReduce of string * region
+      (** reduction call [key(arg)]: fold the fused argument region
+          inside the chunked merge tree without materializing it *)
+
+type expr = {
+  x_ast : Ast.expr;  (** original source expression *)
+  mutable x_node : xnode;
+  mutable x_fused : fuse option;  (** set by [Opt.run] at [-O1] *)
+  mutable x_scr : int;
+      (** scratch group for this site's result buffers; [-1] = private *)
+}
+
+and xnode =
+  | XConst of Values.value
+  | XVar of int option * string  (** slot if resolvable *)
+  | XRange of expr * expr
+  | XUn of Ast.unop * expr
+  | XBin of Ast.binop * expr * expr
+  | XCall of string * expr list  (** function call, reductions included *)
+  | XIdx of int * string * expr list
+
+type lv = {
+  l_slot : int;
+  l_name : string;
+  l_index : expr list;
+}
+
+type stmt = {
+  s_ast : Ast.stmt;  (** original statement, handed to observers *)
+  s_node : snode;
+  mutable s_full : bool;  (** context mask provably full (set by [Opt]) *)
+  mutable s_accum : bool;  (** scatter-accumulate peephole (set by [Opt]) *)
+}
+
+and snode =
+  | LLoc of Errors.pos * stmt
+  | LNop
+  | LAssign of lv * expr
+  | LScall of string * (expr * bool) list
+      (** argument and its [exact_lanes] flag (variable / range reads
+          expose true lane contents to procedures) *)
+  | LIf of expr * block * block
+  | LWhere of expr * block * block
+  | LWhile of expr * block
+  | LDoWhile of block * expr
+  | LDo of int * string * expr * expr * expr option * block
+      (** DO/FORALL: variable slot and name, lo, hi, step, body *)
+  | LGoto
+
+and block = stmt array
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let slot_of frame name =
+  match Frame.slot_index frame name with
+  | Some i -> i
+  | None -> invalid_arg ("Compile: unresolved variable " ^ name)
+
+let is_reduction f =
+  List.mem
+    (String.lowercase_ascii f)
+    [ "any"; "all"; "maxval"; "minval"; "sum"; "count" ]
+
+(** Unary numeric intrinsics a fused region may absorb.  All are total
+    on numeric operands (no per-lane failure), so they never add a
+    raising class to a region; whether a user function shadows the name
+    is checked when the region's runtime plan is built. *)
+let fusible_intrinsics = [ "abs"; "sqrt"; "exp"; "real"; "int"; "nint" ]
+
+(** Does the tree-walker leave this expression's inactive lanes intact
+    (rather than inert [VInt 0])?  Only variable reads and ranges. *)
+let exact_lanes = function Ast.EVar _ | Ast.ERange _ -> true | _ -> false
+
+let rec lower_expr frame (e : Ast.expr) : expr =
+  let node =
+    match e with
+    | Ast.EInt n -> XConst (Values.VInt n)
+    | Ast.EReal f -> XConst (Values.VReal f)
+    | Ast.EBool b -> XConst (Values.VBool b)
+    | Ast.EVar v -> XVar (Frame.slot_index frame v, v)
+    | Ast.ERange (lo, hi) -> XRange (lower_expr frame lo, lower_expr frame hi)
+    | Ast.EUn (op, a) -> XUn (op, lower_expr frame a)
+    | Ast.EBin (op, a, b) ->
+        XBin (op, lower_expr frame a, lower_expr frame b)
+    | Ast.ECall (name, args) ->
+        XCall (name, List.map (lower_expr frame) args)
+    | Ast.EIdx (name, args) ->
+        XIdx (slot_of frame name, name, List.map (lower_expr frame) args)
+  in
+  { x_ast = e; x_node = node; x_fused = None; x_scr = -1 }
+
+let rec lower_stmt frame (s : Ast.stmt) : stmt =
+  let node =
+    match s with
+    | Ast.SLoc (loc, inner) -> LLoc (loc, lower_stmt frame inner)
+    | Ast.SComment _ | Ast.SLabel _ -> LNop
+    | Ast.SAssign (l, e) ->
+        LAssign
+          ( {
+              l_slot = slot_of frame l.Ast.lv_name;
+              l_name = l.Ast.lv_name;
+              l_index = List.map (lower_expr frame) l.Ast.lv_index;
+            },
+            lower_expr frame e )
+    | Ast.SCall (name, args) ->
+        LScall
+          (name, List.map (fun a -> (lower_expr frame a, exact_lanes a)) args)
+    | Ast.SIf (c, t, f) ->
+        LIf (lower_expr frame c, lower_block frame t, lower_block frame f)
+    | Ast.SWhere (c, t, f) ->
+        LWhere (lower_expr frame c, lower_block frame t, lower_block frame f)
+    | Ast.SWhile (c, b) -> LWhile (lower_expr frame c, lower_block frame b)
+    | Ast.SDoWhile (b, c) ->
+        LDoWhile (lower_block frame b, lower_expr frame c)
+    | Ast.SDo (c, b) | Ast.SForall (c, b) ->
+        LDo
+          ( slot_of frame c.Ast.d_var,
+            c.Ast.d_var,
+            lower_expr frame c.Ast.d_lo,
+            lower_expr frame c.Ast.d_hi,
+            Option.map (lower_expr frame) c.Ast.d_step,
+            lower_block frame b )
+    | Ast.SGoto _ | Ast.SCondGoto _ -> LGoto
+  in
+  { s_ast = s; s_node = node; s_full = false; s_accum = false }
+
+and lower_block frame (b : Ast.block) : block =
+  Array.of_list (List.map (lower_stmt frame) b)
+
+let of_block = lower_block
+
+(* ------------------------------------------------------------------ *)
+(* JSON dump (--dump-ir)                                               *)
+(* ------------------------------------------------------------------ *)
+
+module J = Lf_obs.Json
+
+let value_json (v : Values.value) =
+  match v with
+  | Values.VInt n -> J.Int n
+  | Values.VReal f -> J.Float f
+  | Values.VBool b -> J.Bool b
+  | Values.VArr _ -> J.Str "<array>"
+
+let unop_name = function Ast.Neg -> "neg" | Ast.Not -> "not"
+
+let binop_name = function
+  | Ast.Add -> "add"
+  | Ast.Sub -> "sub"
+  | Ast.Mul -> "mul"
+  | Ast.Div -> "div"
+  | Ast.Mod -> "mod"
+  | Ast.Pow -> "pow"
+  | Ast.Eq -> "eq"
+  | Ast.Ne -> "ne"
+  | Ast.Lt -> "lt"
+  | Ast.Le -> "le"
+  | Ast.Gt -> "gt"
+  | Ast.Ge -> "ge"
+  | Ast.And -> "and"
+  | Ast.Or -> "or"
+
+let rop_json = function
+  | OConst v -> J.Obj [ ("op", J.Str "const"); ("value", value_json v) ]
+  | OVar (slot, name) ->
+      J.Obj [ ("op", J.Str "var"); ("name", J.Str name); ("slot", J.Int slot) ]
+  | OUn (op, a) ->
+      J.Obj [ ("op", J.Str (unop_name op)); ("arg", J.Int a) ]
+  | OBin (op, a, b) ->
+      J.Obj [ ("op", J.Str (binop_name op)); ("lhs", J.Int a); ("rhs", J.Int b) ]
+  | OIntr (key, a) ->
+      J.Obj [ ("op", J.Str "intrinsic"); ("name", J.Str key); ("arg", J.Int a) ]
+  | OGather (slot, name, ix) ->
+      J.Obj
+        [
+          ("op", J.Str "gather");
+          ("array", J.Str name);
+          ("slot", J.Int slot);
+          ("index", J.List (Array.to_list (Array.map (fun i -> J.Int i) ix)));
+        ]
+
+let region_json rg =
+  J.List (Array.to_list (Array.map rop_json rg.rg_ops))
+
+let with_annots e fields =
+  let fields =
+    match e.x_fused with
+    | None -> fields
+    | Some (FRegion rg) -> fields @ [ ("fused", region_json rg) ]
+    | Some (FReduce (key, rg)) ->
+        fields
+        @ [ ("fused_reduce", J.Str key); ("fused", region_json rg) ]
+  in
+  let fields =
+    if e.x_scr >= 0 then fields @ [ ("scratch", J.Int e.x_scr) ] else fields
+  in
+  J.Obj fields
+
+let rec expr_json e =
+  match e.x_node with
+  | XConst v -> with_annots e [ ("expr", J.Str "const"); ("value", value_json v) ]
+  | XVar (slot, name) ->
+      with_annots e
+        [
+          ("expr", J.Str "var");
+          ("name", J.Str name);
+          ( "slot",
+            match slot with Some i -> J.Int i | None -> J.Null );
+        ]
+  | XRange (lo, hi) ->
+      with_annots e
+        [ ("expr", J.Str "range"); ("lo", expr_json lo); ("hi", expr_json hi) ]
+  | XUn (op, a) ->
+      with_annots e [ ("expr", J.Str (unop_name op)); ("arg", expr_json a) ]
+  | XBin (op, a, b) ->
+      with_annots e
+        [
+          ("expr", J.Str (binop_name op));
+          ("lhs", expr_json a);
+          ("rhs", expr_json b);
+        ]
+  | XCall (name, args) ->
+      with_annots e
+        [
+          ("expr", J.Str "call");
+          ("name", J.Str name);
+          ("args", J.List (List.map expr_json args));
+        ]
+  | XIdx (slot, name, args) ->
+      with_annots e
+        [
+          ("expr", J.Str "index");
+          ("name", J.Str name);
+          ("slot", J.Int slot);
+          ("args", J.List (List.map expr_json args));
+        ]
+
+let rec stmt_json s =
+  let base =
+    match s.s_node with
+    | LLoc (loc, inner) ->
+        [
+          ("stmt", J.Str "loc");
+          ("line", J.Int loc.Errors.line);
+          ("body", stmt_json inner);
+        ]
+    | LNop -> [ ("stmt", J.Str "nop") ]
+    | LAssign (l, e) ->
+        [
+          ("stmt", J.Str "assign");
+          ("target", J.Str l.l_name);
+          ("slot", J.Int l.l_slot);
+          ("index", J.List (List.map expr_json l.l_index));
+          ("rhs", expr_json e);
+        ]
+    | LScall (name, args) ->
+        [
+          ("stmt", J.Str "call");
+          ("name", J.Str name);
+          ("args", J.List (List.map (fun (a, _) -> expr_json a) args));
+        ]
+    | LIf (c, t, f) ->
+        [
+          ("stmt", J.Str "if");
+          ("cond", expr_json c);
+          ("then", block_json t);
+          ("else", block_json f);
+        ]
+    | LWhere (c, t, f) ->
+        [
+          ("stmt", J.Str "where");
+          ("cond", expr_json c);
+          ("then", block_json t);
+          ("else", block_json f);
+        ]
+    | LWhile (c, b) ->
+        [ ("stmt", J.Str "while"); ("cond", expr_json c); ("body", block_json b) ]
+    | LDoWhile (b, c) ->
+        [
+          ("stmt", J.Str "dowhile");
+          ("body", block_json b);
+          ("cond", expr_json c);
+        ]
+    | LDo (_, v, lo, hi, step, b) ->
+        [
+          ("stmt", J.Str "do");
+          ("var", J.Str v);
+          ("lo", expr_json lo);
+          ("hi", expr_json hi);
+          ( "step",
+            match step with Some s -> expr_json s | None -> J.Null );
+          ("body", block_json b);
+        ]
+    | LGoto -> [ ("stmt", J.Str "goto") ]
+  in
+  let base = if s.s_full then base @ [ ("full_mask", J.Bool true) ] else base in
+  let base = if s.s_accum then base @ [ ("accum", J.Bool true) ] else base in
+  J.Obj base
+
+and block_json b = J.List (Array.to_list (Array.map stmt_json b))
+
+let to_json ~opt (b : block) =
+  J.Obj [ ("opt_level", J.Int opt); ("body", block_json b) ]

@@ -1,7 +1,21 @@
 (** Execution counters of the SIMD VM.  [steps] counts vector instructions
     issued by the single control unit — the paper's SIMD time unit
     (Eq. 2); [busy_lanes / lane_slots] measures how much of that lockstep
-    work was useful, i.e. the control-flow waste flattening removes. *)
+    work was useful, i.e. the control-flow waste flattening removes.
+
+    {b Fusion invariance.}  Counters tick per {e source} operation, never
+    per compiled closure: one [vector_step] per vector statement
+    execution, one [frontend_step] per scalar statement, one [reduction]
+    per reduction call, one [call] per vector CALL.  Expression
+    evaluation itself never ticks.  The optimizer ([Opt], [-O1]) only
+    merges and reorders {e expression-level} work — fused regions, fused
+    reductions, direct stores — so an optimized run increments every
+    counter exactly as the unoptimized run would, operator for original
+    operator.  Any new fused path must preserve this: decide the tick
+    (and its activity mask) from the source statement being executed,
+    not from the number of closures that remain after fusion.  The
+    [-O0]/[-O1] differential suite and the profile tie-out tests check
+    the equality counter for counter. *)
 
 type t = {
   mutable steps : int;  (** vector instructions issued *)

@@ -1,0 +1,504 @@
+(** The optimizer pipeline over the slot-resolved IR ([Ir]).
+
+    [run ~level] is the identity at [-O0].  At [-O1] it applies, in
+    order:
+
+    + {b constant folding} — [XBin]/[XUn] over literal operands are
+      folded through [Scalar_ops] at compile time; an operation that
+      would raise (integer division by zero) is kept, so the error still
+      surfaces at run time with the original message;
+    + {b elementwise fusion} — maximal subtrees of elementwise
+      arithmetic / comparison / logic nodes, unary numeric intrinsics
+      and global-array gathers over variable/literal leaves are
+      annotated as fused regions ([Ir.FRegion]) {e when the subtree
+      applies at least one intrinsic} (the shape the unfused engine can
+      only run through its boxed per-lane call path — intrinsic-free
+      chains already run as unboxed monomorphic loops and measure
+      faster unfused, see [has_intr]); a reduction call whose argument
+      is any fusible subtree is annotated [Ir.FReduce] so the fold
+      happens inside the chunked merge tree without materializing the
+      argument.  Region construction value-numbers its postorder
+      program, so a gather or subexpression repeated within one
+      statement (CSE) is evaluated once per lane;
+    + {b scatter-accumulate} — [a(ix) = a(ix) + e] with a pure
+      arithmetic subscript is annotated [s_accum]: the emitter may merge
+      the final add into the scatter pass;
+    + {b mask simplification} — statements whose context mask is
+      provably the full entry mask (never nested under WHERE or a
+      plural IF branch) are annotated [s_full], letting fused loops drop
+      the per-lane mask test;
+    + {b scratch planning} — every buffer-bearing site (binary/unary
+      operators, gathers, calls, fused regions) is assigned a recycled
+      scratch group in [Frame] by a liveness analysis over the
+      linearized evaluation order, reusing [Lf_analysis.Dataflow]'s
+      worklist solver: sites whose result buffers are never
+      simultaneously live share a group, so steady-state vector-op
+      execution allocates nothing even for unfused residue.
+
+    Every annotation is advisory: the emitter re-validates fusibility
+    against runtime operand shapes and falls back to the unoptimized
+    evaluation order whenever the typed plan does not apply, which is
+    what keeps [-O1] bit-identical to [-O0]. *)
+
+open Lf_lang
+open Ir
+module Dataflow = Lf_analysis.Dataflow
+module Cfg = Lf_analysis.Cfg
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let const_of e = match e.x_node with XConst v -> Some v | _ -> None
+
+let rec fold_expr (e : expr) : unit =
+  (match e.x_node with
+  | XConst _ | XVar _ -> ()
+  | XRange (a, b) ->
+      fold_expr a;
+      fold_expr b
+  | XUn (op, a) -> (
+      fold_expr a;
+      match const_of a with
+      | Some v -> (
+          match Scalar_ops.apply_unop op v with
+          | v' -> e.x_node <- XConst v'
+          | exception Errors.Runtime_error _ -> ())
+      | None -> ())
+  | XBin (op, a, b) -> (
+      fold_expr a;
+      fold_expr b;
+      match (const_of a, const_of b) with
+      | Some x, Some y -> (
+          match Scalar_ops.apply_binop op x y with
+          | v -> e.x_node <- XConst v
+          | exception Errors.Runtime_error _ -> ())
+      | _ -> ())
+  | XCall (_, args) -> List.iter fold_expr args
+  | XIdx (_, _, args) -> List.iter fold_expr args);
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Fusion                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Number of interior (operator) nodes if the subtree is fusible:
+    leaves are slot-resolved variables and literals; interior nodes are
+    non-POW binary operators, unary operators, fusible unary intrinsics
+    and rank-1/2 gathers.  POW is excluded (its int/real result split is
+    per-lane), ranges and general calls break the region. *)
+let rec fusible_ops (e : expr) : int option =
+  match e.x_node with
+  | XConst (Values.VInt _ | Values.VReal _ | Values.VBool _) -> Some 0
+  | XConst _ -> None
+  | XVar (Some _, _) -> Some 0
+  | XVar (None, _) -> None
+  | XRange _ -> None
+  | XUn (_, a) -> Option.map (fun n -> n + 1) (fusible_ops a)
+  | XBin (Ast.Pow, _, _) -> None
+  | XBin (_, a, b) -> (
+      match (fusible_ops a, fusible_ops b) with
+      | Some x, Some y -> Some (x + y + 1)
+      | _ -> None)
+  | XCall (name, [ a ])
+    when List.mem (String.lowercase_ascii name) fusible_intrinsics
+         && not (is_reduction name) ->
+      Option.map (fun n -> n + 1) (fusible_ops a)
+  | XCall _ -> None
+  | XIdx (_, _, args) when List.length args >= 1 && List.length args <= 2 ->
+      List.fold_left
+        (fun acc a ->
+          match (acc, fusible_ops a) with
+          | Some x, Some y -> Some (x + y)
+          | _ -> None)
+        (Some 1) args
+  | XIdx _ -> None
+
+(** Build the postorder region program for a fusible subtree,
+    value-numbering every instruction: a repeated gather, variable read
+    or subexpression gets a single slot (CSE within the statement; sound
+    because region leaves are pure and nothing can write between two
+    occurrences inside one expression). *)
+let build_region (e : expr) : region =
+  let ops = ref [] in
+  let n = ref 0 in
+  let tbl = Hashtbl.create 16 in
+  let emit (op : rop) : int =
+    match Hashtbl.find_opt tbl op with
+    | Some id -> id
+    | None ->
+        let id = !n in
+        incr n;
+        ops := op :: !ops;
+        Hashtbl.add tbl op id;
+        id
+  in
+  let rec go e =
+    match e.x_node with
+    | XConst v -> emit (OConst v)
+    | XVar (Some slot, name) -> emit (OVar (slot, name))
+    | XUn (op, a) ->
+        let ia = go a in
+        emit (OUn (op, ia))
+    | XBin (op, a, b) ->
+        let ia = go a in
+        let ib = go b in
+        emit (OBin (op, ia, ib))
+    | XCall (name, [ a ]) ->
+        let ia = go a in
+        emit (OIntr (String.lowercase_ascii name, ia))
+    | XIdx (slot, name, args) ->
+        let ix = List.map go args in
+        emit (OGather (slot, name, Array.of_list ix))
+    | _ -> assert false (* excluded by [fusible_ops] *)
+  in
+  let root = go e in
+  assert (root = !n - 1);
+  { rg_ops = Array.of_list (List.rev !ops) }
+
+(** Whether a fusible subtree applies an intrinsic.  The unfused engine
+    evaluates intrinsics through the boxed per-lane call path — the one
+    elementwise shape where a fused loop is a large measured win (no
+    [value] boxing, no argument array).  Plain arithmetic, comparisons
+    and gathers already run as monomorphic unboxed loops at [-O0];
+    fusing those trades a scratch-buffer round-trip for an indirect
+    call per operand per lane, which benchmarks as a net loss at every
+    chain depth — so intrinsic-free regions are left to the
+    per-operator fast paths.  (Reductions are different: folding the
+    region into the merge tree also skips materializing and
+    renormalizing the argument vector, which pays for the calls; see
+    [annotate_expr].) *)
+let rec has_intr (e : expr) : bool =
+  match e.x_node with
+  | XConst _ | XVar _ | XRange _ -> false
+  | XCall _ -> true
+  | XUn (_, a) -> has_intr a
+  | XBin (_, a, b) -> has_intr a || has_intr b
+  | XIdx (_, _, args) -> List.exists has_intr args
+
+let rec annotate_expr (e : expr) : unit =
+  match fusible_ops e with
+  | Some n when n >= 1 && has_intr e ->
+      e.x_fused <- Some (FRegion (build_region e))
+  | _ -> (
+      match e.x_node with
+      | XConst _ | XVar _ -> ()
+      | XRange (a, b) ->
+          annotate_expr a;
+          annotate_expr b
+      | XUn (_, a) -> annotate_expr a
+      | XBin (_, a, b) ->
+          annotate_expr a;
+          annotate_expr b
+      | XCall (name, ([ a ] as args)) when is_reduction name -> (
+          match fusible_ops a with
+          | Some n when n >= 1 ->
+              e.x_fused <-
+                Some (FReduce (String.lowercase_ascii name, build_region a))
+          | _ -> List.iter annotate_expr args)
+      | XCall (_, args) -> List.iter annotate_expr args
+      | XIdx (_, _, args) -> List.iter annotate_expr args)
+
+(* ------------------------------------------------------------------ *)
+(* Scatter-accumulate                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Pure, deterministic and frame-only: safe to evaluate once where the
+    unoptimized engine evaluates twice (gather subscript and scatter
+    subscript are the same expression).  Function calls are excluded
+    (impure callees observe invocation counts), as are gathers (a call
+    in between could mutate the global being read). *)
+let rec pure_arith (e : expr) : bool =
+  match e.x_node with
+  | XConst _ | XVar (Some _, _) -> true
+  | XUn (_, a) -> pure_arith a
+  | XBin (_, a, b) -> pure_arith a && pure_arith b
+  | _ -> false
+
+let mark_accum (s : stmt) : unit =
+  match s.s_node with
+  | LAssign ({ l_slot; l_index = [ ix ]; _ }, rhs) when rhs.x_fused = None -> (
+      match rhs.x_node with
+      | XBin (Ast.Add, g, _rest) -> (
+          match g.x_node with
+          | XIdx (gslot, _, [ gix ])
+            when gslot = l_slot && gix.x_ast = ix.x_ast && pure_arith ix ->
+              s.s_accum <- true
+          | _ -> ())
+      | _ -> ())
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Mask simplification                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** [s_full] is sound because [Compile.compile]'s closure is entered
+    with the full mask (see [Vm.run_compiled]); WHERE branches and both
+    branches of an IF (whose plural dispatch runs them under split
+    masks) reset the flag, loop bodies inherit it. *)
+let rec mark_full under (s : stmt) : unit =
+  s.s_full <- under;
+  match s.s_node with
+  | LLoc (_, inner) -> mark_full under inner
+  | LIf (_, t, f) | LWhere (_, t, f) ->
+      Array.iter (mark_full false) t;
+      Array.iter (mark_full false) f
+  | LWhile (_, b) | LDoWhile (b, _) | LDo (_, _, _, _, _, b) ->
+      Array.iter (mark_full under) b
+  | LNop | LAssign _ | LScall _ | LGoto -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Statement walks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec walk_stmt_exprs f (s : stmt) : unit =
+  match s.s_node with
+  | LLoc (_, inner) -> walk_stmt_exprs f inner
+  | LNop | LGoto -> ()
+  | LAssign (l, e) ->
+      f e;
+      List.iter f l.l_index
+  | LScall (_, args) -> List.iter (fun (a, _) -> f a) args
+  | LIf (c, t, bf) | LWhere (c, t, bf) ->
+      f c;
+      Array.iter (walk_stmt_exprs f) t;
+      Array.iter (walk_stmt_exprs f) bf
+  | LWhile (c, b) ->
+      f c;
+      Array.iter (walk_stmt_exprs f) b
+  | LDoWhile (b, c) ->
+      Array.iter (walk_stmt_exprs f) b;
+      f c
+  | LDo (_, _, lo, hi, step, b) ->
+      f lo;
+      f hi;
+      Option.iter f step;
+      Array.iter (walk_stmt_exprs f) b
+
+let rec walk_stmts f (s : stmt) : unit =
+  f s;
+  match s.s_node with
+  | LLoc (_, inner) -> walk_stmts f inner
+  | LIf (_, t, bf) | LWhere (_, t, bf) ->
+      Array.iter (walk_stmts f) t;
+      Array.iter (walk_stmts f) bf
+  | LWhile (_, b) | LDoWhile (b, _) | LDo (_, _, _, _, _, b) ->
+      Array.iter (walk_stmts f) b
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Scratch planning (liveness over the linearized evaluation order)    *)
+(* ------------------------------------------------------------------ *)
+
+(** A site is an IR node whose evaluation owns result buffers (the
+    per-site [ri]/[rr]/[rb] arrays of the emitter).  The linearized
+    evaluation order is exact within a statement (operands before
+    operators, right siblings after left, subscripts after an
+    assignment's right-hand side) and conservative across statements —
+    which is enough, because no site's result survives its statement:
+    it is consumed by a store, a mask split, a reduction fold or an
+    argument conversion before the next statement runs. *)
+type step = {
+  st_uses : int list;
+  st_def : int option;
+}
+
+let plan_scratch (b : block) : unit =
+  let sites : expr list ref = ref [] in
+  let nsites = ref 0 in
+  let steps : step list ref = ref [] in
+  let new_temp (e : expr) =
+    let id = !nsites in
+    incr nsites;
+    sites := e :: !sites;
+    id
+  in
+  let push uses def = steps := { st_uses = uses; st_def = def } :: !steps in
+  (* Returns the temp holding the expression's result buffers, if the
+     node owns any.  Mirrors the emitter's evaluation order. *)
+  let rec ex (e : expr) : int option =
+    match e.x_fused with
+    | Some (FRegion _) ->
+        (* leaves are read inside the fused loop; one step, one temp *)
+        let t = new_temp e in
+        e.x_scr <- t (* provisional: rewritten to a group below *);
+        push [] (Some t);
+        Some t
+    | Some (FReduce _) ->
+        (* folds straight to a front-end scalar: no result buffers *)
+        push [] None;
+        None
+    | None -> (
+        match e.x_node with
+        | XConst _ | XVar _ -> None
+        | XRange (lo, hi) ->
+            let a = ex lo in
+            let b = ex hi in
+            push (List.filter_map Fun.id [ a; b ]) None;
+            None
+        | XUn (_, a) ->
+            let ta = ex a in
+            let t = new_temp e in
+            e.x_scr <- t;
+            push (Option.to_list ta) (Some t);
+            Some t
+        | XBin (_, a, b) ->
+            let ta = ex a in
+            let tb = ex b in
+            let t = new_temp e in
+            e.x_scr <- t;
+            push (List.filter_map Fun.id [ ta; tb ]) (Some t);
+            Some t
+        | XCall (name, args) when is_reduction name ->
+            let ts = List.filter_map ex args in
+            push ts None;
+            None
+        | XCall (_, args) ->
+            let ts = List.filter_map ex args in
+            let t = new_temp e in
+            e.x_scr <- t;
+            push ts (Some t);
+            Some t
+        | XIdx (_, _, args) ->
+            let ts = List.filter_map ex args in
+            let t = new_temp e in
+            e.x_scr <- t;
+            push ts (Some t);
+            Some t)
+  in
+  let rec st (s : stmt) : unit =
+    match s.s_node with
+    | LLoc (_, inner) -> st inner
+    | LNop | LGoto -> ()
+    | LAssign (l, e) ->
+        let te = ex e in
+        let tix = List.filter_map ex l.l_index in
+        (* the merged scatter-accumulate pass additionally reads the
+           subscript evaluated inside the gather; it is covered by [te]
+           (the gather is part of the right-hand side's subtree and its
+           temp is kept live through the final step) *)
+        let extra =
+          if s.s_accum then
+            match e.x_node with
+            | XBin (_, g, rest) ->
+                let t e = if e.x_scr >= 0 then [ e.x_scr ] else [] in
+                t g @ t rest
+                @ (match g.x_node with
+                  | XIdx (_, _, [ gix ]) -> t gix
+                  | _ -> [])
+            | _ -> []
+          else []
+        in
+        push (Option.to_list te @ tix @ extra) None
+    | LScall (_, args) ->
+        let ts = List.filter_map (fun (a, _) -> ex a) args in
+        push ts None
+    | LIf (c, t, f) | LWhere (c, t, f) ->
+        let tc = ex c in
+        push (Option.to_list tc) None;
+        Array.iter st t;
+        Array.iter st f
+    | LWhile (c, b) ->
+        let tc = ex c in
+        push (Option.to_list tc) None;
+        Array.iter st b
+    | LDoWhile (b, c) ->
+        Array.iter st b;
+        let tc = ex c in
+        push (Option.to_list tc) None
+    | LDo (_, _, lo, hi, step, b) ->
+        let ts =
+          List.filter_map Fun.id
+            [ ex lo; ex hi; Option.bind step ex ]
+        in
+        push ts None;
+        Array.iter st b
+  in
+  Array.iter st b;
+  let steps = Array.of_list (List.rev !steps) in
+  let sites = Array.of_list (List.rev !sites) in
+  let ntemps = !nsites in
+  if ntemps = 0 then ()
+  else begin
+    (* Linear CFG over the evaluation steps: entry -> s0 -> ... -> exit.
+       Liveness is exact within a statement and conservative across
+       control flow (no temp is live across a statement boundary, so
+       branch and back edges carry no facts). *)
+    let nsteps = Array.length steps in
+    let nnodes = nsteps + 2 in
+    let nodes =
+      Array.init nnodes (fun id ->
+          {
+            Cfg.id;
+            kind =
+              (if id = 0 then Cfg.Entry
+               else if id = nnodes - 1 then Cfg.Exit
+               else Cfg.Join);
+            loc = None;
+            masked = false;
+            succ = (if id = nnodes - 1 then [] else [ id + 1 ]);
+            pred = (if id = 0 then [] else [ id - 1 ]);
+          })
+    in
+    let cfg = { Cfg.nodes; entry = 0; exit_ = nnodes - 1 } in
+    let set_of l = List.fold_left (fun s x -> Dataflow.IntSet.add x s)
+        Dataflow.IntSet.empty l
+    in
+    let gen i =
+      if i = 0 || i = nnodes - 1 then Dataflow.IntSet.empty
+      else set_of steps.(i - 1).st_uses
+    in
+    let kill i =
+      if i = 0 || i = nnodes - 1 then Dataflow.IntSet.empty
+      else
+        match steps.(i - 1).st_def with
+        | Some d -> Dataflow.IntSet.singleton d
+        | None -> Dataflow.IntSet.empty
+    in
+    let sol =
+      Dataflow.solve cfg
+        { Dataflow.dir = Dataflow.Backward; nfacts = ntemps; gen; kill }
+    in
+    (* Interference: a temp defined at a step conflicts with every other
+       temp still live after that step. *)
+    let conflict = Array.make ntemps Dataflow.IntSet.empty in
+    Array.iteri
+      (fun i step ->
+        match step.st_def with
+        | None -> ()
+        | Some d ->
+            let live = Dataflow.IntSet.remove d sol.Dataflow.out.(i + 1) in
+            conflict.(d) <- Dataflow.IntSet.union conflict.(d) live;
+            Dataflow.IntSet.iter
+              (fun o -> conflict.(o) <- Dataflow.IntSet.add d conflict.(o))
+              live)
+      steps;
+    (* Greedy coloring in definition order: the smallest group not taken
+       by an interfering, already-colored temp. *)
+    let color = Array.make ntemps (-1) in
+    for t = 0 to ntemps - 1 do
+      let taken =
+        Dataflow.IntSet.fold
+          (fun o acc -> if color.(o) >= 0 then color.(o) :: acc else acc)
+          conflict.(t) []
+      in
+      let rec first g = if List.mem g taken then first (g + 1) else g in
+      color.(t) <- first 0
+    done;
+    Array.iteri (fun t site -> site.x_scr <- color.(t)) sites
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ~level (b : block) : block =
+  if level <= 0 then b
+  else begin
+    Array.iter (walk_stmt_exprs fold_expr) b;
+    Array.iter (walk_stmt_exprs annotate_expr) b;
+    Array.iter (walk_stmts mark_accum) b;
+    Array.iter (mark_full true) b;
+    plan_scratch b;
+    b
+  end

@@ -1,0 +1,18 @@
+(** The optimizer pipeline over the slot-resolved IR ([Ir]).
+
+    [run ~level] is the identity at level 0 ([-O0]).  At level 1 and
+    above it applies, in order: constant folding, elementwise fusion
+    ([Ir.FRegion], only for intrinsic-bearing subtrees — see the
+    rationale in the implementation), reduction fusion ([Ir.FReduce]),
+    scatter-accumulate marking ([Ir.s_accum]), mask simplification
+    ([Ir.s_full]) and scratch planning ([Ir.x_scr], a liveness analysis
+    over the linearized evaluation order reusing
+    [Lf_analysis.Dataflow]'s worklist solver).
+
+    Every annotation is advisory: the emitter ([Compile]) re-validates
+    fusibility against runtime operand shapes and falls back to the
+    unoptimized evaluation order whenever a typed plan does not apply,
+    which is what keeps [-O1] bit-identical to [-O0] on state, metrics,
+    error strings, first-failing-lane semantics and trace events. *)
+
+val run : level:int -> Ir.block -> Ir.block

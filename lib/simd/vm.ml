@@ -572,6 +572,19 @@ let flush_frame vm (frame : Frame.t) =
     | Frame.PluralArr a -> Hashtbl.replace vm.vars name (VPluralArr a)
   done
 
+(** Frame name table: every variable the program mentions plus every
+    pre-seeded VM binding (setup-bound globals, parameters). *)
+let frame_names vm (prog : program) =
+  let from_ast = Compile.var_names prog in
+  let seen = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace seen n ()) from_ast;
+  let extra =
+    Hashtbl.fold
+      (fun n _ acc -> if Hashtbl.mem seen n then acc else n :: acc)
+      vm.vars []
+  in
+  from_ast @ List.sort compare extra
+
 (** Compile [prog.p_body] against a frame covering the program's names
     plus anything pre-seeded in [vm.vars], then run it under a full mask.
     State is imported at the start and after every external CALL, and
@@ -582,19 +595,8 @@ let flush_frame vm (frame : Frame.t) =
     serial compiled engine, [Pool.parallel_exec] shards the lanes over
     the Domain pool while everything sequential — control flow, metrics,
     fuel, trace emission, front-end state — stays on this thread. *)
-let run_compiled vm ~(exec : Pool.exec) (prog : program) =
-  let names =
-    let from_ast = Compile.var_names prog in
-    let seen = Hashtbl.create 64 in
-    List.iter (fun n -> Hashtbl.replace seen n ()) from_ast;
-    let extra =
-      Hashtbl.fold
-        (fun k _ acc -> if Hashtbl.mem seen k then acc else k :: acc)
-        vm.vars []
-    in
-    from_ast @ List.sort compare extra
-  in
-  let frame = Frame.create ~p:vm.p names in
+let run_compiled vm ~(exec : Pool.exec) ?opt (prog : program) =
+  let frame = Frame.create ~p:vm.p (frame_names vm prog) in
   let host =
     {
       Compile.h_p = vm.p;
@@ -644,7 +646,7 @@ let run_compiled vm ~(exec : Pool.exec) (prog : program) =
       h_import = (fun () -> import_frame vm frame);
     }
   in
-  let compiled = Compile.compile ~host ~frame ~exec prog.p_body in
+  let compiled = Compile.compile ~host ~frame ~exec ?opt prog.p_body in
   import_frame vm frame;
   Fun.protect
     ~finally:(fun () -> flush_frame vm frame)
@@ -657,21 +659,29 @@ let run_compiled vm ~(exec : Pool.exec) (prog : program) =
     three produce bit-identical state, metrics and errors.  [jobs] (only
     meaningful — and only validated — with [`Parallel]) bounds the shard
     count; it defaults to [Pool.default_jobs ()]. *)
-let run ?fuel ?(engine = `Tree_walk) ?jobs ~p ?(setup = fun _ -> ())
+let run ?fuel ?(engine = `Tree_walk) ?jobs ?opt ~p ?(setup = fun _ -> ())
     (prog : program) : t =
   let vm = create ?fuel ~p () in
   setup vm;
   declare vm prog.p_decls;
   (match engine with
   | `Tree_walk -> exec_block vm ~mask:(full_mask vm) prog.p_body
-  | `Compiled -> run_compiled vm ~exec:(Pool.serial_exec ~p) prog
+  | `Compiled -> run_compiled vm ~exec:(Pool.serial_exec ~p) ?opt prog
   | `Parallel ->
       let jobs =
         match jobs with Some j -> j | None -> Pool.default_jobs ()
       in
       if jobs < 1 then invalid_arg "Vm.run: jobs must be >= 1";
-      run_compiled vm ~exec:(Pool.parallel_exec ~p ~jobs) prog);
+      run_compiled vm ~exec:(Pool.parallel_exec ~p ~jobs) ?opt prog);
   vm
+
+let dump_ir ?(opt = 1) ~p ?(setup = fun _ -> ()) (prog : program) :
+    Lf_obs.Json.t =
+  let vm = create ~p () in
+  setup vm;
+  declare vm prog.p_decls;
+  let frame = Frame.create ~p (frame_names vm prog) in
+  Ir.to_json ~opt (Opt.run ~level:opt (Ir.of_block frame prog.p_body))
 
 (* ------------------------------------------------------------------ *)
 (* Engine-equivalence checks                                           *)

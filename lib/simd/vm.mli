@@ -98,10 +98,20 @@ type engine = [ `Tree_walk | `Compiled | `Parallel ]
     parameters before declarations are processed; [engine] defaults to
     the tree-walker.  [jobs] bounds the [`Parallel] shard count
     (default [Pool.default_jobs ()]; ignored by the serial engines).
+    [opt] is the compiled-engine optimizer level (see [Compile.compile];
+    default 1, ignored by the tree-walker) — every level is bit-identical
+    to every other, only the wall-clock changes.
     @raise Invalid_argument when [engine] is [`Parallel] and [jobs < 1]. *)
 val run :
-  ?fuel:int -> ?engine:engine -> ?jobs:int -> p:int -> ?setup:(t -> unit) ->
-  Ast.program -> t
+  ?fuel:int -> ?engine:engine -> ?jobs:int -> ?opt:int -> p:int ->
+  ?setup:(t -> unit) -> Ast.program -> t
+
+(** The compiled engine's annotated IR for [prog] as JSON (the
+    [--dump-ir] payload), without executing anything: lower against the
+    same frame name table [run] would use, run the [Opt] pipeline at
+    [opt] (default 1), render with [Ir.to_json]. *)
+val dump_ir :
+  ?opt:int -> p:int -> ?setup:(t -> unit) -> Ast.program -> Lf_obs.Json.t
 
 (** Same variable table: same names, same entry kinds, equal values.
     Together with [Metrics.equal] this is the engine-equivalence oracle

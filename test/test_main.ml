@@ -21,6 +21,7 @@ let () =
       ("simdize", Test_simdize.suite);
       ("pipeline", Test_pipeline.suite);
       ("simd-vm", Test_simd_vm.suite);
+      ("opt", Test_opt.suite);
       ("pool", Test_pool.suite);
       ("engines-diff", Test_engines_diff.suite);
       ("vm-trace", Test_vm_trace.suite);

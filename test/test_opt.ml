@@ -1,0 +1,263 @@
+(** Unit tests for the slot-resolved IR ([Ir]) and the optimizer
+    pipeline ([Opt]): where each annotation lands (constant folding,
+    fusion policy, fused reductions, scatter-accumulate, full-mask
+    marking, scratch planning) plus targeted [-O0]/[-O1] behavioural
+    equalities for the emitter's fused fast paths and their documented
+    fallbacks — cases the differential suite only reaches
+    statistically. *)
+
+open Helpers
+open Lf_lang
+module Ir = Lf_simd.Ir
+module Opt = Lf_simd.Opt
+module Vm = Lf_simd.Vm
+
+let ir_of ?(level = 1) ?(p = 4) src =
+  let prog = parse_program src in
+  let frame = Lf_simd.Frame.create ~p (Lf_simd.Compile.var_names prog) in
+  Opt.run ~level (Ir.of_block frame prog.Ast.p_body)
+
+let rec unloc (s : Ir.stmt) =
+  match s.Ir.s_node with Ir.LLoc (_, inner) -> unloc inner | _ -> s
+
+(** The [n]th top-level statement, location wrappers stripped. *)
+let nth (b : Ir.block) n = unloc b.(n)
+
+let rhs_of (s : Ir.stmt) =
+  match (unloc s).Ir.s_node with
+  | Ir.LAssign (_, e) -> e
+  | _ -> Alcotest.fail "statement is not an assignment"
+
+(* ------------------------------------------------------------------ *)
+(* Annotation placement                                                *)
+(* ------------------------------------------------------------------ *)
+
+let t_const_fold () =
+  let src = "PROGRAM t\n  PLURAL INTEGER i\n  i = 2 + 3 * 4\nEND" in
+  (match (rhs_of (nth (ir_of src) 0)).Ir.x_node with
+  | Ir.XConst (Values.VInt 14) -> ()
+  | _ -> Alcotest.fail "constant expression did not fold at -O1");
+  match (rhs_of (nth (ir_of ~level:0 src) 0)).Ir.x_node with
+  | Ir.XBin _ -> ()
+  | _ -> Alcotest.fail "-O0 must leave the tree untouched"
+
+(* FRegion only on intrinsic-bearing subtrees: intrinsic-free chains
+   already run as monomorphic unboxed loops at -O0 and measure faster
+   unfused (see [Opt]'s has_intr rationale) *)
+let t_fusion_policy () =
+  checkb "sqrt is a fusible intrinsic"
+    (List.mem "sqrt" Ir.fusible_intrinsics);
+  let b =
+    ir_of
+      "PROGRAM t\n\
+      \  PLURAL REAL r\n\
+      \  PLURAL REAL a\n\
+      \  r = sqrt(a * a) + 1.0\n\
+      \  r = a * a + a\n\
+       END"
+  in
+  (match (rhs_of (nth b 0)).Ir.x_fused with
+  | Some (Ir.FRegion _) -> ()
+  | _ -> Alcotest.fail "intrinsic-bearing subtree must fuse");
+  checkb "pure-arithmetic chain stays unfused"
+    ((rhs_of (nth b 1)).Ir.x_fused = None)
+
+(* region construction value-numbers its postorder program: a gather
+   (and the intrinsic applied to it) repeated within one statement is
+   emitted once *)
+let t_region_cse () =
+  let b =
+    ir_of
+      "PROGRAM t\n\
+      \  PLURAL INTEGER i\n\
+      \  PLURAL REAL r\n\
+      \  REAL x(8)\n\
+      \  i = iproc\n\
+      \  r = sqrt(x(i)) + sqrt(x(i))\n\
+       END"
+  in
+  match (rhs_of (nth b 1)).Ir.x_fused with
+  | Some (Ir.FRegion { rg_ops }) ->
+      let count p = Array.to_list rg_ops |> List.filter p |> List.length in
+      checki "one gather after CSE" 1
+        (count (function Ir.OGather _ -> true | _ -> false));
+      checki "one sqrt after CSE" 1
+        (count (function Ir.OIntr _ -> true | _ -> false))
+  | _ -> Alcotest.fail "repeated-gather statement must fuse"
+
+(* a reduction fuses any fusible argument — including intrinsic-free
+   chains, where skipping the materialized argument still pays *)
+let t_fused_reduction () =
+  let b =
+    ir_of
+      "PROGRAM t\n\
+      \  PLURAL REAL r\n\
+      \  REAL s\n\
+      \  r = iproc * 0.5\n\
+      \  s = sum(r * r)\n\
+       END"
+  in
+  match (rhs_of (nth b 1)).Ir.x_fused with
+  | Some (Ir.FReduce ("sum", _)) -> ()
+  | _ -> Alcotest.fail "sum over a fusible argument must fuse"
+
+let t_scatter_accumulate () =
+  let b =
+    ir_of
+      "PROGRAM t\n\
+      \  PLURAL INTEGER i\n\
+      \  PLURAL REAL r\n\
+      \  REAL x(8)\n\
+      \  i = iproc\n\
+      \  x(i) = x(i) + r\n\
+      \  x(i) = r + x(i)\n\
+       END"
+  in
+  checkb "x(i) = x(i) + e is scatter-accumulate" (nth b 1).Ir.s_accum;
+  checkb "x(i) = e + x(i) is not (gather must be the left operand)"
+    (not (nth b 2).Ir.s_accum)
+
+let t_full_mask () =
+  let b =
+    ir_of
+      "PROGRAM t\n\
+      \  PLURAL INTEGER i\n\
+      \  i = 1\n\
+      \  WHERE (i > 0)\n\
+      \    i = 2\n\
+      \  ENDWHERE\n\
+       END"
+  in
+  checkb "top-level statement runs under the full mask" (nth b 0).Ir.s_full;
+  checkb "the WHERE itself runs under the full mask" (nth b 1).Ir.s_full;
+  (match (nth b 1).Ir.s_node with
+  | Ir.LWhere (_, t, _) ->
+      checkb "WHERE-body statement does not" (not (unloc t.(0)).Ir.s_full)
+  | _ -> Alcotest.fail "expected a WHERE");
+  let b0 =
+    ir_of ~level:0 "PROGRAM t\n  PLURAL INTEGER i\n  i = 1\nEND"
+  in
+  checkb "-O0 never marks full masks" (not (nth b0 0).Ir.s_full)
+
+(* scratch planning: result buffers of sites whose values are dead
+   across statements share a pool group; -O0 plans nothing *)
+let t_scratch_plan () =
+  let src =
+    "PROGRAM t\n\
+    \  PLURAL REAL r\n\
+    \  PLURAL REAL q\n\
+    \  PLURAL REAL a\n\
+    \  PLURAL REAL b\n\
+    \  r = sqrt(a) + 1.0\n\
+    \  q = sqrt(b) + 1.0\n\
+     END"
+  in
+  let b = ir_of src in
+  let s0 = (rhs_of (nth b 0)).Ir.x_scr
+  and s1 = (rhs_of (nth b 1)).Ir.x_scr in
+  checkb "first region site gets a scratch group" (s0 >= 0);
+  checkb "dead-across-statements sites share the group" (s0 = s1);
+  let b0 = ir_of ~level:0 src in
+  checki "-O0 leaves every site private" (-1) (rhs_of (nth b0 0)).Ir.x_scr
+
+(* ------------------------------------------------------------------ *)
+(* Targeted -O0/-O1 behavioural equalities                             *)
+(* ------------------------------------------------------------------ *)
+
+let check_levels ?setup name src =
+  let prog = parse_program src in
+  let go opt = Vm.run ~engine:`Compiled ~opt ~p:8 ?setup prog in
+  let a = go 0 and b = go 1 in
+  checkb (name ^ ": state -O0 = -O1") (Vm.state_equal a b);
+  checkb
+    (name ^ ": metrics -O0 = -O1")
+    (Lf_simd.Metrics.equal a.Vm.metrics b.Vm.metrics)
+
+(* the direct-store fast path (v = a op b over resolved leaves) and
+   every documented fallback: mixed int/real promotion, in-place
+   updates, masked stores, a scalar-only rhs (front-end tick at -O0)
+   and a dest whose binding type the assignment changes *)
+let t_direct_store_shapes () =
+  check_levels "direct store"
+    "PROGRAM t\n\
+    \  PLURAL INTEGER a\n\
+    \  PLURAL INTEGER b\n\
+    \  PLURAL INTEGER v\n\
+    \  PLURAL REAL x\n\
+    \  PLURAL REAL y\n\
+    \  PLURAL REAL w\n\
+    \  PLURAL INTEGER v2\n\
+    \  INTEGER k\n\
+    \  k = 7\n\
+    \  a = iproc\n\
+    \  b = a * 2\n\
+    \  v = a + b\n\
+    \  v = v + 1\n\
+    \  x = iproc * 0.5\n\
+    \  y = x - 1.5\n\
+    \  w = x * y\n\
+    \  w = a + x\n\
+    \  v = k + 1\n\
+    \  WHERE (a > 3)\n\
+    \    v = a - b\n\
+    \  ENDWHERE\n\
+    \  v2 = x + y\n\
+     END"
+
+(* a raising fused reduction must not short-circuit: lane 1 satisfies
+   the predicate before lane 2 divides by zero, yet both levels must
+   raise the identical error *)
+let t_reduction_raises_like_o0 () =
+  let prog =
+    parse_program
+      "PROGRAM t\n\
+      \  PLURAL INTEGER z\n\
+      \  z = iproc - 2\n\
+      \  WHILE (any(10 / z > -100))\n\
+      \    z = z + 100\n\
+      \  ENDWHILE\n\
+       END"
+  in
+  let err opt =
+    match Vm.run ~engine:`Compiled ~opt ~p:8 prog with
+    | _ -> None
+    | exception ((Errors.Runtime_error _ | Errors.Runtime_error_at _) as e)
+      ->
+        Some (Errors.to_message e)
+  in
+  match (err 0, err 1) with
+  | Some m0, Some m1 ->
+      checks "identical division-by-zero message across levels" m0 m1
+  | _ -> Alcotest.fail "both levels must raise"
+
+(* the typed per-lane call path re-boxes and bails when a user function
+   changes its return type mid-vector *)
+let t_typed_call_bail () =
+  let setup vm =
+    Vm.register_func vm ~pure:true "mix" (fun args ->
+        match args with
+        | [ Values.VInt n ] ->
+            if n <= 2 then Values.VInt n
+            else Values.VReal (float_of_int n)
+        | _ -> Values.VInt 0)
+  in
+  check_levels ~setup "typed call bail"
+    "PROGRAM t\n\
+    \  PLURAL REAL r\n\
+    \  r = mix(iproc)\n\
+     END"
+
+let suite =
+  [
+    case "constant folding (and -O0 identity)" t_const_fold;
+    case "fusion only on intrinsic-bearing regions" t_fusion_policy;
+    case "region CSE: repeated gathers evaluate once" t_region_cse;
+    case "reductions fuse fusible arguments" t_fused_reduction;
+    case "scatter-accumulate marking" t_scatter_accumulate;
+    case "full-mask marking" t_full_mask;
+    case "scratch planning shares dead buffers" t_scratch_plan;
+    case "direct-store shapes and fallbacks" t_direct_store_shapes;
+    case "raising fused reduction never short-circuits"
+      t_reduction_raises_like_o0;
+    case "typed call path bails on mixed return types" t_typed_call_bail;
+  ]

@@ -112,9 +112,9 @@ let traced_src =
   ENDWHILE
 END|}
 
-let run_traced ?jobs ?(p = 2) engine sinks =
+let run_traced ?jobs ?(p = 2) ?opt engine sinks =
   let prog = Parser.program_of_string traced_src in
-  Lf_simd.Vm.run ~engine ?jobs ~p
+  Lf_simd.Vm.run ~engine ?jobs ?opt ~p
     ~setup:(fun vm ->
       Lf_simd.Vm.bind_scalar vm "k" (Values.VInt 8);
       Lf_simd.Vm.bind_scalar vm "p" (Values.VInt p);
@@ -183,6 +183,38 @@ let t_profile_ties_out () =
       checkb "table has a totals row"
         (Astring_contains.contains (Buffer.contents buf) "total"))
     [ (`Tree_walk, None); (`Compiled, None); (`Parallel, Some 3) ]
+
+(* fused execution still ticks Metrics per original operator: at -O1
+   (fused reductions, scatter-accumulate, scratch reuse all fire on this
+   program) the profile totals tie out against the metrics exactly as
+   they do at -O0, and the two levels agree on metrics, state and the
+   full event stream — on the serial and the parallel engine *)
+let t_profile_ties_out_optimized () =
+  let log0 = Trace.Log.create () and log1 = Trace.Log.create () in
+  let vm0 = run_traced ~opt:0 `Compiled [ Trace.Log.sink log0 ] in
+  let prof = Lf_obs.Profile.create () in
+  let vm1 =
+    run_traced ~opt:1 `Compiled
+      [ Trace.Log.sink log1; Lf_obs.Profile.sink prof ]
+  in
+  checkb "-O1 profile totals reproduce the -O1 metrics"
+    (Lf_report.Obs_report.check_totals prof vm1.Lf_simd.Vm.metrics);
+  checkb "-O1 metrics = -O0 metrics"
+    (Lf_simd.Metrics.equal vm0.Lf_simd.Vm.metrics vm1.Lf_simd.Vm.metrics);
+  checkb "-O1 state = -O0 state" (Lf_simd.Vm.state_equal vm0 vm1);
+  let e0 = Trace.Log.to_list log0 and e1 = Trace.Log.to_list log1 in
+  checki "-O1 emits the -O0 event stream" (List.length e0) (List.length e1);
+  List.iter2
+    (fun a b -> checkb "-O0/-O1 events identical" (Trace.equal_event a b))
+    e0 e1;
+  let prof_p = Lf_obs.Profile.create () in
+  let vm_p =
+    run_traced ~jobs:3 ~opt:1 `Parallel [ Lf_obs.Profile.sink prof_p ]
+  in
+  checkb "parallel -O1 profile ties out"
+    (Lf_report.Obs_report.check_totals prof_p vm_p.Lf_simd.Vm.metrics);
+  checkb "parallel -O1 metrics = -O0 metrics"
+    (Lf_simd.Metrics.equal vm0.Lf_simd.Vm.metrics vm_p.Lf_simd.Vm.metrics)
 
 (* at a multi-shard width the profile still ties out against the metrics
    under parallel execution, and both are invariant in the jobs count *)
@@ -386,6 +418,8 @@ let suite =
     case "naive VM trace = Figure 6" t_naive_vm_trace;
     case "engines emit identical trace streams" t_engines_trace_identical;
     case "profile totals reproduce the metrics" t_profile_ties_out;
+    case "profile ties out and stream is identical at -O1"
+      t_profile_ties_out_optimized;
     case "parallel profile ties out at multi-shard widths"
       t_parallel_profile_multishard;
     case "ring buffer keeps the newest events" t_ring_buffer;
