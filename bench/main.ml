@@ -14,7 +14,16 @@
    fig18.csv into DIR for external plotting.
    With [--json FILE]: write the Bechamel estimates (test name -> ns per
    run) to FILE as JSON; implies running the micro-benchmarks even when
-   an experiment is selected.  See EXPERIMENTS.md for the format. *)
+   an experiment is selected.  The dump leads with a "header" object
+   (engine p, sweep p, jobs list, experiment, build profile, quick) that
+   the baseline loader skips.  See EXPERIMENTS.md for the format.
+   With [--quick]: run only the parse/transform micro subset with a
+   short quota, and skip the paper experiments — the fast configuration
+   the bench-gate smoke uses.
+   With [--check --baseline FILE [--tolerance PCT]]: regression gate —
+   after the run, compare every row against the baseline by name and
+   exit 2 if any row is slower than baseline * (1 + PCT/100), or if no
+   row matches the baseline at all.  Default tolerance 25%. *)
 
 open Lf_lang
 
@@ -126,9 +135,11 @@ let nbforce_runner ~p =
           ~set_global:(fun name a -> Lf_simd.Vm.bind_global vm name a))
       nbforce_flat
 
+let engine_p = 1024
+
 let engine_tests () =
   let open Bechamel in
-  let p = 1024 in
+  let p = engine_p in
   let run_nbforce = nbforce_runner ~p in
   let simd_opts =
     {
@@ -170,6 +181,12 @@ let engine_tests () =
       (Staged.stage (run_nbforce `Compiled));
     Test.make ~name:"vm NBFORCE flat (compiled -O0)"
       (Staged.stage (run_nbforce ~opt:0 `Compiled));
+    (* the telemetry cost-model guard: the same run with the stats
+       registry armed (per-opcode counters, mask buckets, GC deltas) *)
+    Test.make ~name:"vm NBFORCE flat (compiled, stats)"
+      (Staged.stage (fun () ->
+           Lf_obs.Stats.enable ();
+           Fun.protect ~finally:Lf_obs.Stats.disable (run_nbforce `Compiled)));
     Test.make ~name:"vm NBFORCE flat (parallel j4)"
       (Staged.stage (run_nbforce ~jobs:4 `Parallel));
     Test.make ~name:"vm NBFORCE flat (parallel j4 -O0)"
@@ -205,7 +222,7 @@ let sweep_tests ~jobs () =
            (Staged.stage (run_nbforce ~jobs:j `Parallel)))
        jobs
 
-let run_micro ~jobs ppf =
+let run_micro ~jobs ~quick ppf =
   let open Bechamel in
   Fmt.pf ppf "@.=== Micro-benchmarks (Bechamel; ns per run) ===@.@.";
   let ols =
@@ -213,7 +230,10 @@ let run_micro ~jobs ppf =
   in
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    if quick then
+      Benchmark.cfg ~limit:500 ~quota:(Time.second 0.125) ~stabilize:true ()
+    else
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
   in
   (* a single tree-walk run of the engine comparison takes ~0.2 s; give
      that group a larger quota so the OLS fit sees enough samples *)
@@ -237,9 +257,11 @@ let run_micro ~jobs ppf =
       results []
   in
   let rows =
-    rows_of cfg (micro_tests ())
-    @ rows_of cfg_engine (engine_tests ())
-    @ rows_of cfg_engine (sweep_tests ~jobs ())
+    (if quick then rows_of cfg (micro_tests ())
+     else
+       rows_of cfg (micro_tests ())
+       @ rows_of cfg_engine (engine_tests ())
+       @ rows_of cfg_engine (sweep_tests ~jobs ()))
     |> List.sort compare
   in
   List.iter
@@ -276,6 +298,14 @@ let run_micro ~jobs ppf =
             (o0 /. o1)
       | _ -> ())
     [ "NBFORCE flat"; "example naive" ];
+  (match
+     ( est_of "vm NBFORCE flat (compiled)",
+       est_of "vm NBFORCE flat (compiled, stats)" )
+   with
+  | Some off, Some on when off > 0.0 ->
+      Fmt.pf ppf "  stats overhead on NBFORCE flat (compiled): %+.2f%%@."
+        (100.0 *. (on -. off) /. off)
+  | _ -> ());
   (match est_of (Printf.sprintf "vm NBFORCE flat p%d (compiled)" sweep_p) with
   | Some serial when serial > 0.0 ->
       List.iter
@@ -322,12 +352,35 @@ let print_baseline_table ppf ~baseline_file baseline rows =
         Fmt.pf ppf "  %-45s (baseline only)@." name)
     baseline
 
+(* The dump header: which configuration produced these numbers.  The
+   baseline loader keeps only numeric fields, so a "header" object is
+   invisible to --baseline / --check and older dumps without one load
+   unchanged. *)
+let dump_header ~experiment ~jobs ~quick =
+  Lf_obs.Json.Obj
+    [
+      ("p", Lf_obs.Json.Int engine_p);
+      ("sweep_p", Lf_obs.Json.Int sweep_p);
+      ("jobs", Lf_obs.Json.List (List.map (fun j -> Lf_obs.Json.Int j) jobs));
+      ( "experiment",
+        match experiment with
+        | Some e -> Lf_obs.Json.Str e
+        | None -> Lf_obs.Json.Null );
+      ( "profile",
+        Lf_obs.Json.Str
+          (Option.value ~default:"unknown" (Sys.getenv_opt "DUNE_PROFILE")) );
+      ("quick", Lf_obs.Json.Bool quick);
+    ]
+
+(* one decimal, like the historical hand-rolled dumps *)
+let round1 ns = Float.round (ns *. 10.0) /. 10.0
+
 (* With --baseline, --json records the deltas instead of the flat
    estimates: {"name": {"ns": .., "baseline_ns": .., "speedup": ..}};
    rows absent from the baseline carry only "ns".  Without --baseline the
    flat {"name": ns_per_run} format is kept (that is what --baseline
-   loads back). *)
-let write_json_deltas file baseline rows =
+   loads back).  Both begin with the header object. *)
+let write_json_deltas ~header file baseline rows =
   let fields =
     List.filter_map
       (fun (name, est) ->
@@ -347,45 +400,123 @@ let write_json_deltas file baseline rows =
       rows
   in
   let oc = open_out file in
-  Lf_obs.Json.to_channel oc (Lf_obs.Json.Obj fields);
+  Lf_obs.Json.to_channel oc (Lf_obs.Json.Obj (("header", header) :: fields));
   output_char oc '\n';
   close_out oc
 
-(* hand-rolled JSON writer: {"name": ns_per_run, ...}; estimates that did
-   not converge are omitted *)
-let write_json file rows =
-  let escape s =
-    let buf = Buffer.create (String.length s) in
-    String.iter
-      (function
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.contents buf
-  in
-  let oc = open_out file in
-  let numbered =
+(* flat estimates dump: {"header": {...}, "name": ns_per_run, ...};
+   estimates that did not converge are omitted *)
+let write_json ~header file rows =
+  let fields =
     List.filter_map
-      (fun (name, est) -> Option.map (fun e -> (name, e)) est)
+      (fun (name, est) ->
+        Option.map (fun e -> (name, Lf_obs.Json.Float (round1 e))) est)
       rows
   in
-  output_string oc "{\n";
-  List.iteri
-    (fun i (name, est) ->
-      Printf.fprintf oc "  \"%s\": %.1f%s\n" (escape name) est
-        (if i = List.length numbered - 1 then "" else ","))
-    numbered;
-  output_string oc "}\n";
+  let oc = open_out file in
+  Lf_obs.Json.to_channel oc (Lf_obs.Json.Obj (("header", header) :: fields));
+  output_char oc '\n';
   close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate (--check)                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Compare every current row against the baseline by name; a row is a
+   regression when it is slower than baseline * (1 + tolerance/100).
+   An empty intersection also fails: a gate that silently compares
+   nothing would pass forever.  Returns [true] when the gate failed. *)
+let check_gate ppf ~tolerance ~baseline_file base rows =
+  let limit = 1.0 +. (tolerance /. 100.0) in
+  Fmt.pf ppf "@.=== Regression gate vs %s (tolerance %.1f%%) ===@.@."
+    baseline_file tolerance;
+  let matched = ref 0 in
+  let regressed = ref 0 in
+  List.iter
+    (fun (name, est) ->
+      match (est, List.assoc_opt name base) with
+      | Some cur, Some b when b > 0.0 && cur > 0.0 ->
+          incr matched;
+          let ratio = cur /. b in
+          if ratio > limit then begin
+            incr regressed;
+            Fmt.pf ppf "  FAIL %-45s %12.1f -> %12.1f ns  (%.2fx > %.2fx)@."
+              name b cur ratio limit
+          end
+          else
+            Fmt.pf ppf "  ok   %-45s %12.1f -> %12.1f ns  (%.2fx)@." name b
+              cur ratio
+      | _ -> ())
+    rows;
+  if !matched = 0 then begin
+    Fmt.pf ppf "@.  no rows in common with the baseline: failing the gate@.";
+    true
+  end
+  else if !regressed > 0 then begin
+    Fmt.pf ppf "@.  %d of %d rows regressed beyond %.1f%%@." !regressed
+      !matched tolerance;
+    true
+  end
+  else begin
+    Fmt.pf ppf "@.  all %d matched rows within %.1f%% of baseline@." !matched
+      tolerance;
+    false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Paired telemetry-overhead measurement (--stats-overhead)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock noise between separate sweeps on this host swings far
+   above the effect being measured (see EXPERIMENTS.md, fusion study),
+   so the telemetry cost-model claim is taken the same way the fusion
+   tuning decisions were: paired interleaved best-of-N runs within one
+   process.  Each round times the compiled NBFORCE kernel once with the
+   registry disabled and once enabled; the overhead is the ratio of the
+   two minima. *)
+let run_stats_overhead ppf ~rounds =
+  let run = nbforce_runner ~p:engine_p in
+  let time f =
+    let t0 = Lf_obs.Stats.now_ns () in
+    ignore (f ());
+    Int64.to_float (Int64.sub (Lf_obs.Stats.now_ns ()) t0)
+  in
+  (* warm-up: fault in code and heap for both arms *)
+  ignore (run `Compiled ());
+  Lf_obs.Stats.enable ();
+  ignore (run `Compiled ());
+  Lf_obs.Stats.disable ();
+  let best_off = ref infinity and best_on = ref infinity in
+  let ratios =
+    Array.init rounds (fun _ ->
+        let off = time (run `Compiled) in
+        let on =
+          Lf_obs.Stats.enable ();
+          Fun.protect ~finally:Lf_obs.Stats.disable (fun () ->
+              time (run `Compiled))
+        in
+        if off < !best_off then best_off := off;
+        if on < !best_on then best_on := on;
+        on /. off)
+  in
+  Array.sort compare ratios;
+  let median = ratios.(rounds / 2) in
+  Fmt.pf ppf
+    "stats overhead on NBFORCE flat (compiled, p=%d), %d paired rounds:@.  \
+     median of on/off ratios %+.2f%%   best-of-%d %.0f -> %.0f ns (%+.2f%%)@."
+    engine_p rounds
+    (100.0 *. (median -. 1.0))
+    rounds !best_off !best_on
+    (100.0 *. (!best_on -. !best_off) /. !best_off)
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
 let usage =
-  "usage: bench [--experiment NAME] [--no-micro] [--csv DIR] [--json FILE] \
-   [--baseline FILE] [--jobs N[,N...]]"
+  "usage: bench [--experiment NAME] [--no-micro] [--quick] [--csv DIR] \
+   [--json FILE] [--baseline FILE] [--check] [--tolerance PCT] \
+   [--jobs N[,N...]] [--stats-overhead]"
 
 (* Located usage error: name the offending option, print the usage line,
    exit 124 (the CLI-error convention simdsim inherits from cmdliner). *)
@@ -428,10 +559,14 @@ let () =
   let ppf = Fmt.stdout in
   let experiment = ref None in
   let no_micro = ref false in
+  let quick = ref false in
   let csv_dir = ref None in
   let json_file = ref None in
   let baseline_file = ref None in
+  let check = ref false in
+  let tolerance = ref None in
   let jobs = ref [ 1; 2; 4 ] in
+  let stats_overhead = ref false in
   let parse_jobs s =
     String.split_on_char ',' s
     |> List.map (fun tok ->
@@ -459,20 +594,52 @@ let () =
     | "--baseline" :: v :: rest ->
         baseline_file := Some v;
         parse rest
+    | "--check" :: rest ->
+        check := true;
+        parse rest
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--tolerance" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t > 0.0 -> tolerance := Some t
+        | Some t ->
+            usage_error
+              "option '--tolerance': invalid tolerance %g: must be > 0" t
+        | None -> usage_error "option '--tolerance': invalid tolerance %S" v);
+        parse rest
     | "--jobs" :: v :: rest ->
         jobs := parse_jobs v;
         parse rest
+    | "--stats-overhead" :: rest ->
+        stats_overhead := true;
+        parse rest
     | [ flag ]
       when List.mem flag
-             [ "--experiment"; "--csv"; "--json"; "--baseline"; "--jobs" ] ->
+             [
+               "--experiment"; "--csv"; "--json"; "--baseline"; "--tolerance";
+               "--jobs";
+             ] ->
         usage_error "option '%s' needs an argument" flag
     | flag :: _ -> usage_error "unknown option %S" flag
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !stats_overhead then begin
+    run_stats_overhead ppf ~rounds:15;
+    Fmt.flush ppf ();
+    exit 0
+  end;
+  if Option.is_some !tolerance && not !check then
+    usage_error "option '--tolerance' requires --check";
+  if !check && Option.is_none !baseline_file then
+    usage_error "option '--check' requires --baseline";
   let experiment = !experiment in
   let no_micro = !no_micro in
+  let quick = !quick in
   let csv_dir = !csv_dir in
   let json_file = !json_file in
+  let check = !check in
+  let tolerance = Option.value ~default:25.0 !tolerance in
   let jobs = !jobs in
   (* load eagerly so a bad --baseline argument fails before the (slow)
      benchmark run, with the usual usage-error exit *)
@@ -492,23 +659,33 @@ let () =
           Fmt.pf ppf "unknown experiment %s; available: %s@." name
             (String.concat ", " (List.map fst Lf_report.Experiments.by_name));
           exit 1)
-  | None -> Lf_report.Experiments.all ppf);
+  | None -> if not quick then Lf_report.Experiments.all ppf);
   (* --json and --baseline imply the micro-benchmarks even under
      --experiment *)
-  if
-    ((not no_micro) && experiment = None)
-    || json_file <> None || baseline <> None
-  then begin
-    let rows = run_micro ~jobs ppf in
-    Option.iter
-      (fun (file, base) -> print_baseline_table ppf ~baseline_file:file base rows)
-      baseline;
-    Option.iter
-      (fun file ->
-        (match baseline with
-        | Some (_, base) -> write_json_deltas file base rows
-        | None -> write_json file rows);
-        Fmt.pf ppf "wrote micro-benchmark estimates to %s@." file)
-      json_file
-  end;
-  Fmt.flush ppf ()
+  let gate_failed =
+    if
+      ((not no_micro) && experiment = None)
+      || json_file <> None || baseline <> None
+    then begin
+      let rows = run_micro ~jobs ~quick ppf in
+      Option.iter
+        (fun (file, base) ->
+          print_baseline_table ppf ~baseline_file:file base rows)
+        baseline;
+      let header = dump_header ~experiment ~jobs ~quick in
+      Option.iter
+        (fun file ->
+          (match baseline with
+          | Some (_, base) -> write_json_deltas ~header file base rows
+          | None -> write_json ~header file rows);
+          Fmt.pf ppf "wrote micro-benchmark estimates to %s@." file)
+        json_file;
+      match (check, baseline) with
+      | true, Some (file, base) ->
+          check_gate ppf ~tolerance ~baseline_file:file base rows
+      | _ -> false
+    end
+    else false
+  in
+  Fmt.flush ppf ();
+  if gate_failed then exit 2

@@ -4,7 +4,15 @@
    traces, occupancy timelines, Chrome trace events) without external
    JSON tooling.
 
-   Usage: jsonlint [--jsonl] FILE...                                    *)
+   --cmp-ignoring KEY[,KEY...] A B compares two JSON files structurally
+   after deleting the named keys from every object at any depth — how
+   the smoke aliases assert that metrics/stats dumps from different
+   engine configurations agree on everything except their provenance
+   ("run") and scheduler-dependent ("volatile") parts.  Exit 1 when the
+   stripped values differ.
+
+   Usage: jsonlint [--jsonl] FILE...
+          jsonlint --cmp-ignoring KEYS FILE1 FILE2                      *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -13,7 +21,56 @@ let read_file path =
   close_in ic;
   text
 
+let rec strip_keys keys (j : Lf_obs.Json.t) : Lf_obs.Json.t =
+  match j with
+  | Lf_obs.Json.Obj fields ->
+      Lf_obs.Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if List.mem k keys then None else Some (k, strip_keys keys v))
+           fields)
+  | Lf_obs.Json.List items ->
+      Lf_obs.Json.List (List.map (strip_keys keys) items)
+  | other -> other
+
+let cmp_ignoring keys a b =
+  let parse path =
+    match Lf_obs.Json.parse (read_file path) with
+    | Ok j -> j
+    | Error msg ->
+        Printf.eprintf "jsonlint: %s: %s\n" path msg;
+        exit 1
+  in
+  let keys = String.split_on_char ',' keys in
+  let ja = strip_keys keys (parse a) in
+  let jb = strip_keys keys (parse b) in
+  (* canonicalize field order so dumps that agree on content but not on
+     emission order still compare equal *)
+  let rec canon (j : Lf_obs.Json.t) : Lf_obs.Json.t =
+    match j with
+    | Lf_obs.Json.Obj fields ->
+        Lf_obs.Json.Obj
+          (List.map (fun (k, v) -> (k, canon v)) fields
+          |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2))
+    | Lf_obs.Json.List items -> Lf_obs.Json.List (List.map canon items)
+    | other -> other
+  in
+  if Lf_obs.Json.to_string (canon ja) = Lf_obs.Json.to_string (canon jb)
+  then begin
+    Printf.printf "jsonlint: %s == %s (ignoring %s)\n" a b
+      (String.concat "," keys);
+    exit 0
+  end
+  else begin
+    Printf.eprintf "jsonlint: %s and %s differ outside ignored keys %s\n" a b
+      (String.concat "," keys);
+    exit 1
+  end
+
 let () =
+  (match Sys.argv with
+  | [| _; "--cmp-ignoring"; keys; a; b |] -> cmp_ignoring keys a b
+  | _ -> ());
   let jsonl = ref false in
   let files = ref [] in
   Array.iteri
@@ -21,6 +78,9 @@ let () =
       if i > 0 then
         match arg with
         | "--jsonl" -> jsonl := true
+        | "--cmp-ignoring" ->
+            prerr_endline "usage: jsonlint --cmp-ignoring KEYS FILE1 FILE2";
+            exit 2
         | f -> files := f :: !files)
     Sys.argv;
   if !files = [] then begin

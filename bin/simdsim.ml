@@ -117,8 +117,10 @@ let max_abs_err reference f =
 
 let run path seq engine jobs lanes olevel dump_ir sets fills dumps kernel
     atoms trace_file profile metrics_json occupancy_json chrome_file
-    compare_mimd lint =
+    compare_mimd lint stats stats_json manifest =
   try
+    if stats || Option.is_some stats_json || Option.is_some manifest then
+      Lf_obs.Stats.enable ();
     if Option.is_some jobs && engine <> `Parallel then begin
       Fmt.epr "simdsim: --jobs requires --engine parallel@.";
       raise Exit
@@ -155,6 +157,8 @@ let run path seq engine jobs lanes olevel dump_ir sets fills dumps kernel
     end;
     if seq then begin
       let line_table : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      let t0 = Lf_obs.Stats.now_ns () in
+      let c0 = Sys.time () in
       let ctx =
         Interp.run
           ~params:(List.map (fun (k, v) -> (k, scalar_value v)) sets)
@@ -175,7 +179,21 @@ let run path seq engine jobs lanes olevel dump_ir sets fills dumps kernel
               fills)
           prog
       in
+      let wall_ns = Int64.sub (Lf_obs.Stats.now_ns ()) t0 in
+      let cpu_s = Sys.time () -. c0 in
       Fmt.pr "sequential run: %d interpreter steps@." ctx.Interp.steps;
+      if stats then Fmt.pr "@.%a" Lf_obs.Stats.pp ();
+      Option.iter (fun f -> write_json f (Lf_obs.Stats.to_json ())) stats_json;
+      Option.iter
+        (fun f ->
+          Lf_obs.Manifest.write f
+            (Lf_obs.Manifest.make ~program:path ~source:src ~engine:"seq"
+               ~opt:0 ~jobs:1 ~p:1 ~wall_ns ~cpu_s
+               ~metrics:
+                 (Lf_obs.Json.Obj
+                    [ ("steps", Lf_obs.Json.Int ctx.Interp.steps) ])
+               ~stats:(Lf_obs.Stats.to_json ())))
+        manifest;
       if profile then begin
         let rows =
           Hashtbl.fold (fun l c acc -> (l, [| c |]) :: acc) line_table []
@@ -224,6 +242,8 @@ let run path seq engine jobs lanes olevel dump_ir sets fills dumps kernel
             Fmt.pr "%s@." (Lf_obs.Json.to_string json)
           else write_json f json)
         dump_ir;
+      let t0 = Lf_obs.Stats.now_ns () in
+      let c0 = Sys.time () in
       let vm =
         Lf_simd.Vm.run ~engine ?jobs ~opt:olevel ~p:lanes
           ~setup:(fun vm ->
@@ -242,9 +262,24 @@ let run path seq engine jobs lanes olevel dump_ir sets fills dumps kernel
               trace_oc)
           prog
       in
+      let wall_ns = Int64.sub (Lf_obs.Stats.now_ns ()) t0 in
+      let cpu_s = Sys.time () -. c0 in
       Option.iter
         (fun oc -> if oc != stdout then close_out oc else flush oc)
         trace_oc;
+      let engine_name =
+        match engine with
+        | `Tree_walk -> "tree-walk"
+        | `Compiled -> "compiled"
+        | `Parallel -> "parallel"
+      in
+      let opt_used = match engine with `Tree_walk -> 0 | _ -> olevel in
+      let jobs_used =
+        match engine with
+        | `Parallel ->
+            Option.value jobs ~default:(Lf_simd.Pool.default_jobs ())
+        | _ -> 1
+      in
       let metrics = vm.Lf_simd.Vm.metrics in
       Fmt.pr "SIMD run on %d lanes: %a@." lanes Lf_simd.Metrics.pp metrics;
       Option.iter
@@ -301,8 +336,24 @@ let run path seq engine jobs lanes olevel dump_ir sets fills dumps kernel
         Obs.region_table Fmt.stdout ~simd_src:src ~prof:(Option.get prof)
           ~metrics ~mimd
       end;
+      if stats then Fmt.pr "@.%a" Lf_obs.Stats.pp ();
+      Option.iter (fun f -> write_json f (Lf_obs.Stats.to_json ())) stats_json;
       Option.iter
-        (fun path -> write_json path (Lf_simd.Metrics.to_json metrics))
+        (fun f ->
+          Lf_obs.Manifest.write f
+            (Lf_obs.Manifest.make ~program:path ~source:src
+               ~engine:engine_name ~opt:opt_used ~jobs:jobs_used ~p:lanes
+               ~wall_ns ~cpu_s
+               ~metrics:
+                 (Lf_simd.Metrics.to_json ~engine:engine_name ~opt:opt_used
+                    ~jobs:jobs_used metrics)
+               ~stats:(Lf_obs.Stats.to_json ())))
+        manifest;
+      Option.iter
+        (fun path ->
+          write_json path
+            (Lf_simd.Metrics.to_json ~engine:engine_name ~opt:opt_used
+               ~jobs:jobs_used metrics))
         metrics_json;
       Option.iter
         (fun path ->
@@ -517,12 +568,47 @@ let cmd =
             "Run the flatten-safety lint before executing and refuse \
              (exit 1) on lint errors.")
   in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Enable the engine telemetry registry for the run and print \
+             it afterwards: per-opcode dispatch counts, mask-density \
+             buckets, optimizer and pool-health counters, GC deltas and \
+             the run timer, grouped by determinism class.")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Enable the telemetry registry and write its dump as JSON to \
+             $(docv).  The $(b,counters) section is byte-identical across \
+             engines, $(b,--jobs) and $(b,-O) levels; $(b,opt) varies \
+             only with $(b,-O); $(b,volatile) (GC, pool health, timers) \
+             is exempt from any determinism guarantee.")
+  in
+  let manifest =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"FILE"
+          ~doc:
+            "Write a run manifest to $(docv): program path, MD5 and size, \
+             engine, $(b,-O) level, jobs, lanes, wall/CPU time, the \
+             execution metrics and the full telemetry dump — one \
+             self-contained JSON record tying a result to the exact \
+             configuration that produced it.")
+  in
   Cmd.v
     (Cmd.info "simdsim" ~version:"1.0"
        ~doc:"run pseudo-Fortran programs on the simulated SIMD machine")
     Term.(
       const run $ path $ seq $ engine $ jobs $ lanes $ olevel $ dump_ir
       $ sets $ fills $ dumps $ kernel $ atoms $ trace_file $ profile
-      $ metrics_json $ occupancy_json $ chrome_file $ compare_mimd $ lint)
+      $ metrics_json $ occupancy_json $ chrome_file $ compare_mimd $ lint
+      $ stats $ stats_json $ manifest)
 
 let () = exit (Cmd.eval' cmd)

@@ -37,6 +37,17 @@ and t = {
 
 exception Jump of string
 
+(** Process-wide statement-dispatch hook: called once per executed
+    statement with its kind ("assign", "if", "do", ...), before the
+    statement runs.  The observability layer (which sits above this
+    library and therefore cannot be referenced here) installs a counter
+    here while telemetry is enabled; [None] — the default — costs one
+    load and branch per statement. *)
+let dispatch_hook : (string -> unit) option ref = ref None
+
+let dispatched kind =
+  match !dispatch_hook with None -> () | Some h -> h kind
+
 let default_fuel = 10_000_000
 
 let create ?(fuel = default_fuel) () =
@@ -240,9 +251,11 @@ and exec_stmt ctx (s : stmt) =
       ctx.cur_loc <- saved
   | SComment _ | SLabel _ -> ()
   | SAssign (l, e) ->
+      dispatched "assign";
       tick ctx;
       assign ctx l (eval ctx e)
   | SCall (name, args) -> (
+      dispatched "call";
       tick ctx;
       let key = String.lowercase_ascii name in
       match Hashtbl.find_opt ctx.procs key with
@@ -252,35 +265,44 @@ and exec_stmt ctx (s : stmt) =
           f ctx vargs
       | None -> Errors.runtime_error "unknown subroutine %s" name)
   | SGoto l ->
+      dispatched "goto";
       tick ctx;
       raise (Jump l)
   | SCondGoto (e, l) ->
+      dispatched "cond_goto";
       tick ctx;
       if as_bool (eval ctx e) then raise (Jump l)
   | SIf (e, t, f) ->
+      dispatched "if";
       tick ctx;
       if as_bool (eval ctx e) then exec_block ctx t else exec_block ctx f
   | SWhile (e, b) ->
+      dispatched "while";
       tick ctx;
       while as_bool (eval ctx e) do
         exec_block ctx b;
         tick ctx
       done
   | SDoWhile (b, e) ->
+      dispatched "do_while";
       let continue_ = ref true in
       while !continue_ do
         exec_block ctx b;
         tick ctx;
         continue_ := as_bool (eval ctx e)
       done
-  | SDo (c, b) -> exec_counted ctx c b
+  | SDo (c, b) ->
+      dispatched "do";
+      exec_counted ctx c b
   | SForall (c, b) ->
       (* sequential semantics; independence of iterations is the
          transformation passes' responsibility to check *)
+      dispatched "forall";
       exec_counted ctx c b
   | SWhere (e, t, f) ->
       (* scalar WHERE behaves as IF; the vector semantics lives in the
          SIMD VM *)
+      dispatched "where";
       tick ctx;
       if as_bool (eval ctx e) then exec_block ctx t else exec_block ctx f
 

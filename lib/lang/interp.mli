@@ -33,6 +33,14 @@ and t = {
 exception Jump of string
 (** Unresolved GOTO (label not found in any enclosing block). *)
 
+val dispatch_hook : (string -> unit) option ref
+(** Process-wide statement-dispatch hook: when set, called once per
+    executed statement (before it runs) with the statement kind —
+    "assign", "call", "goto", "cond_goto", "if", "while", "do_while",
+    "do", "forall" or "where".  Installed by the observability layer's
+    telemetry registry while enabled; [None] (the default) costs one
+    load and branch per statement. *)
+
 val default_fuel : int
 val create : ?fuel:int -> unit -> t
 val register_proc : t -> string -> proc -> unit

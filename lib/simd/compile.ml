@@ -59,6 +59,22 @@ type host = {
 
 let is_reduction = Ir.is_reduction
 
+(* Runtime optimizer telemetry (section [Opt]).  All four counters tick
+   on the control thread only, once per fused construct {e executed}
+   (not per lane and not per shard), so they are deterministic across
+   jobs; they vary with [-O] by construction.  [opt.short_circuits]
+   counts executions of short-circuit-{e eligible} fused any/all plans
+   (raise-free boolean regions) rather than lanes actually skipped —
+   the latter depends on shard geometry. *)
+module Stats = Lf_obs.Stats
+
+let st_region_runs = Stats.counter ~section:Stats.Opt "opt.fused_region_runs"
+let st_reduce_runs = Stats.counter ~section:Stats.Opt "opt.fused_reduce_runs"
+let st_short_circuits = Stats.counter ~section:Stats.Opt "opt.short_circuits"
+
+let st_accum_merged =
+  Stats.counter ~section:Stats.Opt "opt.accum_merged_runs"
+
 (* ------------------------------------------------------------------ *)
 (* Runtime values                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -1043,7 +1059,11 @@ and compile_region env (e : Ir.expr) (rg : Ir.region) : cexpr =
       runner := Option.map make_runner plan;
       fresh := false
     end;
-    (match !runner with Some r -> r m | None -> fallback m)
+    (match !runner with
+    | Some r ->
+        Stats.incr st_region_runs;
+        r m
+    | None -> fallback m)
 
 (** A reduction over a fused region folds the per-lane closure straight
     into the canonical 64-lane-chunk merge tree — the argument vector is
@@ -1210,6 +1230,7 @@ and compile_fused_reduction env (e : Ir.expr) key rg : cexpr =
   in
   let checks = ref [||] in
   let runner = ref None in
+  let sc_eligible = ref false in
   let fresh = ref true in
   fun m ->
     host.h_reduction ~loc m;
@@ -1217,9 +1238,19 @@ and compile_fused_reduction env (e : Ir.expr) key rg : cexpr =
       let cks, plan = region_plan env rg in
       checks := cks;
       runner := Option.bind plan make_runner;
+      sc_eligible :=
+        Option.is_some !runner
+        && (match plan with
+           | Some (_, raising) -> (not raising) && (key = "any" || key = "all")
+           | None -> false);
       fresh := false
     end;
-    (match !runner with Some r -> RS (r m) | None -> fb m)
+    (match !runner with
+    | Some r ->
+        Stats.incr st_reduce_runs;
+        if !sc_eligible then Stats.incr st_short_circuits;
+        RS (r m)
+    | None -> fb m)
 
 and compile_expr_node env (e : Ir.expr) : cexpr =
   match e.Ir.x_node with
@@ -2207,6 +2238,7 @@ and compile_accum env ast (l : Ir.lv) scr g rest : cstmt =
             if Bytes.unsafe_get bp i <> '\000' then
               store i (Array.unsafe_get ix i)
           done;
+          Stats.incr st_accum_merged;
           true
       | _ -> false
     in

@@ -55,9 +55,19 @@ let utilization m =
   if m.lane_slots = 0 then 1.0
   else float_of_int m.busy_lanes /. float_of_int m.lane_slots
 
-let to_json m : Lf_obs.Json.t =
+let to_json ?engine ?opt ?jobs m : Lf_obs.Json.t =
+  let run =
+    let field name f v = Option.map (fun v -> (name, f v)) v in
+    List.filter_map Fun.id
+      [
+        field "engine" (fun e -> Lf_obs.Json.Str e) engine;
+        field "opt" (fun o -> Lf_obs.Json.Int o) opt;
+        field "jobs" (fun j -> Lf_obs.Json.Int j) jobs;
+      ]
+  in
   Lf_obs.Json.Obj
-    [
+    ((if run = [] then [] else [ ("run", Lf_obs.Json.Obj run) ])
+    @ [
       ("steps", Lf_obs.Json.Int m.steps);
       ("busy_lanes", Lf_obs.Json.Int m.busy_lanes);
       ("lane_slots", Lf_obs.Json.Int m.lane_slots);
@@ -68,7 +78,7 @@ let to_json m : Lf_obs.Json.t =
         Lf_obs.Json.Obj
           (Hashtbl.fold (fun k v acc -> (k, Lf_obs.Json.Int v) :: acc) m.calls []
           |> List.sort compare) );
-    ]
+    ])
 
 let pp ppf m =
   Fmt.pf ppf

@@ -41,7 +41,12 @@ val equal : t -> t -> bool
 val utilization : t -> float
 
 (** All counters (including per-subroutine calls) as a JSON object — the
-    payload of [simdsim --metrics-json]. *)
-val to_json : t -> Lf_obs.Json.t
+    payload of [simdsim --metrics-json].  When any of [engine]/[opt]/
+    [jobs] is given, a leading ["run"] object records that provenance;
+    the counter fields themselves are identical across engines, opt
+    levels and jobs counts (the fusion-invariance contract above), so
+    two dumps from different configurations differ only in ["run"]. *)
+val to_json :
+  ?engine:string -> ?opt:int -> ?jobs:int -> t -> Lf_obs.Json.t
 
 val pp : t Fmt.t

@@ -303,7 +303,7 @@ type step = {
   st_def : int option;
 }
 
-let plan_scratch (b : block) : unit =
+let plan_scratch (b : block) : int * int =
   let sites : expr list ref = ref [] in
   let nsites = ref 0 in
   let steps : step list ref = ref [] in
@@ -418,7 +418,7 @@ let plan_scratch (b : block) : unit =
   let steps = Array.of_list (List.rev !steps) in
   let sites = Array.of_list (List.rev !sites) in
   let ntemps = !nsites in
-  if ntemps = 0 then ()
+  if ntemps = 0 then (0, 0)
   else begin
     (* Linear CFG over the evaluation steps: entry -> s0 -> ... -> exit.
        Liveness is exact within a statement and conservative across
@@ -485,12 +485,67 @@ let plan_scratch (b : block) : unit =
       let rec first g = if List.mem g taken then first (g + 1) else g in
       color.(t) <- first 0
     done;
-    Array.iteri (fun t site -> site.x_scr <- color.(t)) sites
+    Array.iteri (fun t site -> site.x_scr <- color.(t)) sites;
+    (ntemps, 1 + Array.fold_left max (-1) color)
   end
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
+
+(* Compile-time optimizer telemetry (section [Opt]: deterministic for a
+   given program and [-O] level, independent of the engine and jobs).
+   Counters accumulate across optimizer invocations — one per compile,
+   so one per [Vm.run] with a compiled engine. *)
+module Stats = Lf_obs.Stats
+
+let st_fused_regions = Stats.counter ~section:Stats.Opt "opt.fused_regions"
+
+let st_fused_reductions =
+  Stats.counter ~section:Stats.Opt "opt.fused_reductions"
+
+let st_accum_marks = Stats.counter ~section:Stats.Opt "opt.accum_marks"
+let st_full_mask = Stats.counter ~section:Stats.Opt "opt.full_mask_stmts"
+let st_scratch_sites = Stats.counter ~section:Stats.Opt "opt.scratch_sites"
+let st_scratch_groups = Stats.counter ~section:Stats.Opt "opt.scratch_groups"
+
+let st_scratch_reused =
+  Stats.counter ~section:Stats.Opt "opt.scratch_reused"
+
+let record_stats (b : block) ~sites ~groups =
+  let regions = ref 0 and reduces = ref 0 in
+  let rec count_expr (e : expr) =
+    (match e.x_fused with
+    | Some (FRegion _) -> incr regions
+    | Some (FReduce _) -> incr reduces
+    | None -> ());
+    match e.x_node with
+    | XConst _ | XVar _ -> ()
+    | XRange (a, b) | XBin (_, a, b) ->
+        count_expr a;
+        count_expr b
+    | XUn (_, a) -> count_expr a
+    | XCall (_, args) | XIdx (_, _, args) -> List.iter count_expr args
+  in
+  Array.iter (walk_stmt_exprs count_expr) b;
+  let accums = ref 0 and fulls = ref 0 in
+  (* [LLoc] wrappers carry the same [s_full] flag as their payload
+     statement; count only the payload to avoid double counting. *)
+  Array.iter
+    (walk_stmts (fun s ->
+         match s.s_node with
+         | LLoc _ -> ()
+         | _ ->
+             if s.s_accum then incr accums;
+             if s.s_full then incr fulls))
+    b;
+  Stats.add st_fused_regions !regions;
+  Stats.add st_fused_reductions !reduces;
+  Stats.add st_accum_marks !accums;
+  Stats.add st_full_mask !fulls;
+  Stats.add st_scratch_sites sites;
+  Stats.add st_scratch_groups groups;
+  Stats.add st_scratch_reused (sites - groups)
 
 let run ~level (b : block) : block =
   if level <= 0 then b
@@ -499,6 +554,7 @@ let run ~level (b : block) : block =
     Array.iter (walk_stmt_exprs annotate_expr) b;
     Array.iter (walk_stmts mark_accum) b;
     Array.iter (mark_full true) b;
-    plan_scratch b;
+    let sites, groups = plan_scratch b in
+    if Stats.enabled () then record_stats b ~sites ~groups;
     b
   end

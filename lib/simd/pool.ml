@@ -34,6 +34,28 @@
     the same error the serial engines raise. *)
 
 (* ------------------------------------------------------------------ *)
+(* Pool-health telemetry                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* All pool metrics live in the [Volatile] section: which participant
+   drains a shard — and how long it stays busy — depends on the OS
+   scheduler, so none of these are deterministic across runs.  The
+   sharded accumulators give every dispatch participant a private cell
+   (cell 0 = the control domain draining inline, cells 1.. = pool
+   workers, bounded by [max_jobs] < [Stats.max_cells]); the pool join
+   orders the workers' plain writes before the control thread's merge. *)
+module Stats = Lf_obs.Stats
+
+let st_dispatches = Stats.counter ~section:Stats.Volatile "pool.dispatches"
+
+let st_reentrant =
+  Stats.counter ~section:Stats.Volatile "pool.reentrant_dispatches"
+
+let st_shards_drained = Stats.sharded "pool.shards_drained"
+let st_busy_ns = Stats.sharded "pool.busy_ns"
+let st_imbalance = Stats.gauge "pool.shard_imbalance"
+
+(* ------------------------------------------------------------------ *)
 (* Chunked lane partitioning                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -167,8 +189,18 @@ let dispatch (thunks : (unit -> unit) array) =
   in
   Mutex.unlock the_pool.p_mu;
   match workers with
-  | None -> Array.iter (fun t -> t ()) thunks
+  | None ->
+      let stats_on = Stats.enabled () in
+      let t0 = if stats_on then Stats.now_ns () else 0L in
+      Array.iter (fun t -> t ()) thunks;
+      if stats_on then begin
+        Stats.incr st_reentrant;
+        Stats.cell_add st_shards_drained ~cell:0 n;
+        Stats.cell_add st_busy_ns ~cell:0
+          (Int64.to_int (Int64.sub (Stats.now_ns ()) t0))
+      end
   | Some ws ->
+      Stats.incr st_dispatches;
       Fun.protect
         ~finally:(fun () ->
           Mutex.lock the_pool.p_mu;
@@ -177,16 +209,27 @@ let dispatch (thunks : (unit -> unit) array) =
         (fun () ->
           let next = Atomic.make 0 in
           let completed = Atomic.make 0 in
-          let drain () =
+          (* [pid] is the participant's private telemetry cell: 0 for
+             the control domain, the 1-based helper index otherwise. *)
+          let drain pid =
+            let stats_on = Stats.enabled () in
+            let t0 = if stats_on then Stats.now_ns () else 0L in
+            let mine = ref 0 in
             let rec go () =
               let k = Atomic.fetch_and_add next 1 in
               if k < n then begin
                 thunks.(k) ();
                 Atomic.incr completed;
+                incr mine;
                 go ()
               end
             in
             go ();
+            if stats_on then begin
+              Stats.cell_add st_shards_drained ~cell:pid !mine;
+              Stats.cell_add st_busy_ns ~cell:pid
+                (Int64.to_int (Int64.sub (Stats.now_ns ()) t0))
+            end;
             (* wake the caller iff we just finished the last thunk and
                it may be waiting; signalling under [done_mu] pairs with
                the caller's check-then-wait and cannot be lost *)
@@ -200,11 +243,11 @@ let dispatch (thunks : (unit -> unit) array) =
           for k = 1 to helpers do
             let w = ws.(k - 1) in
             Mutex.lock w.w_mu;
-            w.w_job <- Run drain;
+            w.w_job <- Run (fun () -> drain k);
             Condition.signal w.w_cv;
             Mutex.unlock w.w_mu
           done;
-          drain ();
+          drain 0;
           Mutex.lock the_pool.done_mu;
           while Atomic.get completed < n do
             Condition.wait the_pool.done_cv the_pool.done_mu
@@ -251,6 +294,13 @@ let parallel_exec ~p ~jobs =
        pool traffic, no error-slot allocation. *)
     { (serial_exec ~p) with x_ranges = rs }
   else begin
+    if Stats.enabled () && p > 0 then begin
+      let mx =
+        Array.fold_left (fun acc (lo, hi) -> max acc (hi - lo)) 0 rs
+      in
+      let mean = float_of_int p /. float_of_int (Array.length rs) in
+      Stats.set_gauge st_imbalance (float_of_int mx /. mean)
+    end;
     ensure_workers (min (Array.length rs - 1) (Lazy.force spare_cores));
     { x_p = p; x_ranges = rs; x_run = (fun f -> run_sharded rs f) }
   end

@@ -88,9 +88,35 @@ let active_count mask = Array.fold_left (fun n b -> if b then n + 1 else n) 0 ma
 (** Attach a trace sink (see [Lf_obs.Trace]); arms event emission. *)
 let add_trace_sink vm sink = Lf_obs.Trace.attach vm.trace sink
 
+(* Telemetry handles (all recording is behind one flat [Stats.enabled]
+   branch, mirroring the trace sinks).  Dispatch counts and mask-density
+   buckets are [Counters] — stable across engines, jobs and opt levels
+   by the Metrics fusion-invariance contract; GC deltas and run timers
+   are [Volatile]. *)
+module Stats = Lf_obs.Stats
+
+let st_run_wall = Stats.timer "vm.run_wall"
+let st_run_cpu = Stats.gauge "vm.run_cpu_s"
+let st_minor_words = Stats.gauge "gc.minor_words"
+let st_promoted_words = Stats.gauge "gc.promoted_words"
+let st_major_words = Stats.gauge "gc.major_words"
+let st_minor_colls = Stats.counter ~section:Stats.Volatile "gc.minor_collections"
+let st_major_colls = Stats.counter ~section:Stats.Volatile "gc.major_collections"
+
+let stats_vector_step ~active ~p ~kind =
+  if Stats.enabled () then begin
+    Stats.incr (Stats.dispatch_counter kind);
+    Stats.incr (Stats.mask_counter ~active ~p)
+  end
+
+let stats_reduction () =
+  if Stats.enabled () then
+    Stats.incr (Stats.dispatch_counter Lf_obs.Trace.Reduce)
+
 let tick_vector vm ~mask ~kind =
   let active = active_count mask in
   Metrics.vector_step vm.metrics ~active ~p:vm.p;
+  stats_vector_step ~active ~p:vm.p ~kind;
   if vm.trace.Lf_obs.Trace.enabled then
     Lf_obs.Trace.emit vm.trace
       {
@@ -119,6 +145,7 @@ let trace_reduction vm ~mask =
 
 let tick_frontend vm =
   Metrics.frontend_step vm.metrics;
+  if Stats.enabled () then Stats.incr Stats.frontend_counter;
   vm.fuel <- vm.fuel - 1;
   if vm.fuel <= 0 then Errors.runtime_error "SIMD VM fuel exhausted"
 
@@ -235,6 +262,7 @@ and eval_call vm ~mask name args : Pval.t =
   let key = String.lowercase_ascii name in
   if is_reduction key then begin
     Metrics.reduction vm.metrics;
+    stats_reduction ();
     trace_reduction vm ~mask;
     let v =
       match args with
@@ -604,6 +632,7 @@ let run_compiled vm ~(exec : Pool.exec) ?opt (prog : program) =
         (fun ~loc ~kind m ->
           let active = Frame.Mask.active m in
           Metrics.vector_step vm.metrics ~active ~p:vm.p;
+          stats_vector_step ~active ~p:vm.p ~kind;
           if vm.trace.Lf_obs.Trace.enabled then
             Lf_obs.Trace.emit vm.trace
               {
@@ -620,6 +649,7 @@ let run_compiled vm ~(exec : Pool.exec) ?opt (prog : program) =
       h_reduction =
         (fun ~loc m ->
           Metrics.reduction vm.metrics;
+          stats_reduction ();
           if vm.trace.Lf_obs.Trace.enabled then
             Lf_obs.Trace.emit vm.trace
               {
@@ -664,15 +694,41 @@ let run ?fuel ?(engine = `Tree_walk) ?jobs ?opt ~p ?(setup = fun _ -> ())
   let vm = create ?fuel ~p () in
   setup vm;
   declare vm prog.p_decls;
-  (match engine with
-  | `Tree_walk -> exec_block vm ~mask:(full_mask vm) prog.p_body
-  | `Compiled -> run_compiled vm ~exec:(Pool.serial_exec ~p) ?opt prog
-  | `Parallel ->
-      let jobs =
-        match jobs with Some j -> j | None -> Pool.default_jobs ()
-      in
-      if jobs < 1 then invalid_arg "Vm.run: jobs must be >= 1";
-      run_compiled vm ~exec:(Pool.parallel_exec ~p ~jobs) ?opt prog);
+  let exec_engine () =
+    match engine with
+    | `Tree_walk -> exec_block vm ~mask:(full_mask vm) prog.p_body
+    | `Compiled -> run_compiled vm ~exec:(Pool.serial_exec ~p) ?opt prog
+    | `Parallel ->
+        let jobs =
+          match jobs with Some j -> j | None -> Pool.default_jobs ()
+        in
+        if jobs < 1 then invalid_arg "Vm.run: jobs must be >= 1";
+        run_compiled vm ~exec:(Pool.parallel_exec ~p ~jobs) ?opt prog
+  in
+  (if not (Stats.enabled ()) then exec_engine ()
+   else
+     (* GC and wall/CPU telemetry bracket the whole engine dispatch; the
+        [finally] records even when the run dies (fuel, runtime error) so
+        manifests of failing runs still carry the cost up to the fault. *)
+     let g0 = Gc.quick_stat () in
+     let c0 = Sys.time () in
+     let t0 = Stats.now_ns () in
+     Fun.protect
+       ~finally:(fun () ->
+         let t1 = Stats.now_ns () in
+         let c1 = Sys.time () in
+         let g1 = Gc.quick_stat () in
+         Stats.add_span_ns st_run_wall (Int64.sub t1 t0);
+         Stats.add_gauge st_run_cpu (c1 -. c0);
+         Stats.add_gauge st_minor_words (g1.minor_words -. g0.minor_words);
+         Stats.add_gauge st_promoted_words
+           (g1.promoted_words -. g0.promoted_words);
+         Stats.add_gauge st_major_words (g1.major_words -. g0.major_words);
+         Stats.add st_minor_colls
+           (g1.minor_collections - g0.minor_collections);
+         Stats.add st_major_colls
+           (g1.major_collections - g0.major_collections))
+       exec_engine);
   vm
 
 let dump_ir ?(opt = 1) ~p ?(setup = fun _ -> ()) (prog : program) :

@@ -25,6 +25,8 @@ let () =
       ("pool", Test_pool.suite);
       ("engines-diff", Test_engines_diff.suite);
       ("vm-trace", Test_vm_trace.suite);
+      ("stats", Test_stats.suite);
+      ("manifest", Test_manifest.suite);
       ("mimd", Test_mimd.suite);
       ("mimdize", Test_mimdize.suite);
       ("layout", Test_layout.suite);

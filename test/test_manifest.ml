@@ -1,0 +1,98 @@
+(** Run manifests ([Lf_obs.Manifest]): the JSON artifact round-trips
+    exactly ([of_json (to_json m) = Ok m]), survives a write-to-disk
+    cycle, and rejects malformed input with a message naming the
+    problem. *)
+
+open Helpers
+module Manifest = Lf_obs.Manifest
+module Json = Lf_obs.Json
+
+let sample () =
+  Manifest.make ~program:"examples/fortran/example_flat_simd.f"
+    ~source:"DO i = 1, k\n  x(i) = i\nENDDO\n" ~engine:"parallel" ~opt:1
+    ~jobs:4 ~p:128 ~wall_ns:123_456_789L ~cpu_s:0.042
+    ~metrics:(Json.Obj [ ("vector_steps", Json.Int 17) ])
+    ~stats:
+      (Json.Obj
+         [
+           ("version", Json.Int 1);
+           ("counters", Json.Obj [ ("dispatch.assign", Json.Int 9) ]);
+         ])
+
+let t_round_trip () =
+  let m = sample () in
+  match Manifest.of_json (Manifest.to_json m) with
+  | Ok m' -> checkb "of_json (to_json m) = m" (m = m')
+  | Error e -> Alcotest.fail ("round trip failed: " ^ e)
+
+let t_md5 () =
+  let m = sample () in
+  let m2 =
+    Manifest.make ~program:"other.f" ~source:"DO i = 1, k\n  x(i) = i\nENDDO\n"
+      ~engine:"seq" ~opt:0 ~jobs:1 ~p:1 ~wall_ns:1L ~cpu_s:0.0
+      ~metrics:(Json.Obj []) ~stats:(Json.Obj [])
+  in
+  (match Manifest.to_json m with
+  | Json.Obj fields ->
+      (match List.assoc_opt "program_md5" fields with
+      | Some (Json.Str hex) ->
+          checki "md5 is 32 hex chars" 32 (String.length hex);
+          checkb "md5 is derived from the source bytes, not the path"
+            (match Manifest.to_json m2 with
+            | Json.Obj f2 -> List.assoc_opt "program_md5" f2 = Some (Json.Str hex)
+            | _ -> false)
+      | _ -> Alcotest.fail "manifest has no program_md5");
+      checkb "byte count recorded"
+        (List.assoc_opt "program_bytes" fields
+        = Some (Json.Int (String.length "DO i = 1, k\n  x(i) = i\nENDDO\n")))
+  | _ -> Alcotest.fail "to_json is not an object")
+
+let t_write_read () =
+  let m = sample () in
+  let path = Filename.temp_file "lf_manifest" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Manifest.write path m;
+      let ic = open_in_bin path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.parse text with
+      | Error e -> Alcotest.fail ("written manifest does not parse: " ^ e)
+      | Ok j -> (
+          match Manifest.of_json j with
+          | Ok m' -> checkb "disk round trip" (m = m')
+          | Error e -> Alcotest.fail ("written manifest rejected: " ^ e)))
+
+let expect_error what j =
+  match Manifest.of_json j with
+  | Ok _ -> Alcotest.fail (what ^ ": malformed manifest accepted")
+  | Error e -> checkb (what ^ ": error names the problem") (String.length e > 0)
+
+let t_rejects () =
+  expect_error "non-object" (Json.Int 3);
+  expect_error "empty object" (Json.Obj []);
+  (match Manifest.to_json (sample ()) with
+  | Json.Obj fields ->
+      expect_error "missing engine"
+        (Json.Obj (List.remove_assoc "engine" fields));
+      expect_error "wrong schema version"
+        (Json.Obj
+           (("schema", Json.Int 99) :: List.remove_assoc "schema" fields));
+      expect_error "jobs not an integer"
+        (Json.Obj
+           (("jobs", Json.Str "four") :: List.remove_assoc "jobs" fields))
+  | _ -> Alcotest.fail "to_json is not an object");
+  (* a specific message spot-check so the errors stay actionable *)
+  match Manifest.of_json (Json.Obj [ ("schema", Json.Int 1) ]) with
+  | Error e -> checks "missing-field message names the field"
+      "manifest: missing field \"program\"" e
+  | Ok _ -> Alcotest.fail "manifest with only a schema accepted"
+
+let suite =
+  [
+    case "JSON round trip" t_round_trip;
+    case "program identity: md5 + byte count" t_md5;
+    case "disk write/read round trip" t_write_read;
+    case "malformed input rejected" t_rejects;
+  ]
