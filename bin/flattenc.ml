@@ -188,10 +188,11 @@ let cmd =
     let olevel_conv =
       let parse s =
         match int_of_string_opt s with
-        | Some n when n = 0 || n = 1 -> Ok n
+        | Some n when n >= 0 && n <= 2 -> Ok n
         | Some n ->
             Error
-              (`Msg (Fmt.str "invalid optimizer level %d: expected 0 or 1" n))
+              (`Msg
+                (Fmt.str "invalid optimizer level %d: expected 0, 1 or 2" n))
         | None -> Error (`Msg (Fmt.str "invalid optimizer level %S" s))
       in
       Arg.conv (parse, Fmt.int)
@@ -204,7 +205,9 @@ let cmd =
             "Optimizer level for $(b,--dump-ir): $(b,0) dumps the \
              unannotated slot-resolved IR, $(b,1) (the default) the IR \
              after fusion, reduction fusion, scratch planning and the \
-             peephole passes.  Has no effect on the printed program.")
+             peephole passes, $(b,2) additionally the range and \
+             parallel-scatter annotations.  Has no effect on the printed \
+             program.")
   in
   let dump_ir =
     Arg.(

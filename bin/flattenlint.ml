@@ -73,10 +73,26 @@ let parse_failure_json name msg : Json.t =
       ("parse_error", Json.Str msg);
     ]
 
-let run files kernel json pure_subs impure_funcs explain quiet =
+let run files kernel json pure_subs impure_funcs explain rules quiet =
+  if rules then begin
+    Fmt.pr "Flatten-safety rules (LF, program-level):@.";
+    List.iter (fun (r, doc) -> Fmt.pr "  %s  %s@." r doc) Lint.rules;
+    Fmt.pr "@.IR-verifier rules (IR, optimizer-level; see simdsim \
+            --verify-ir):@.";
+    List.iter
+      (fun (r, doc) -> Fmt.pr "  %s  %s@." r doc)
+      Lf_simd.Verify.rules;
+    0
+  end
+  else
   match explain with
   | Some rule ->
-      Fmt.pr "%s: %s@." rule (Lint.rule_doc rule);
+      let doc =
+        match Lf_simd.Verify.rule_doc rule with
+        | Some doc -> doc
+        | None -> Lint.rule_doc rule
+      in
+      Fmt.pr "%s: %s@." rule doc;
       0
   | None -> (
       let inputs =
@@ -195,7 +211,18 @@ let cmd =
       value
       & opt (some string) None
       & info [ "explain" ] ~docv:"RULE"
-          ~doc:"Print the one-line description of a rule id and exit.")
+          ~doc:
+            "Print the one-line description of a rule id (LF or IR \
+             family) and exit.")
+  in
+  let rules =
+    Arg.(
+      value & flag
+      & info [ "rules" ]
+          ~doc:
+            "List every rule id with its one-line description — the LF \
+             flatten-safety family and the IR verifier family — and \
+             exit.")
   in
   let quiet =
     Arg.(
@@ -207,6 +234,6 @@ let cmd =
        ~doc:"static safety checking for loop flattening")
     Term.(
       const run $ files $ kernel $ json $ pure_subs $ impure_funcs $ explain
-      $ quiet)
+      $ rules $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -115,9 +115,9 @@ let max_abs_err reference f =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let run path seq engine jobs lanes olevel dump_ir sets fills dumps kernel
-    atoms trace_file profile metrics_json occupancy_json chrome_file
-    compare_mimd lint stats stats_json manifest =
+let run path seq engine jobs lanes olevel dump_ir dump_ir_phase verify_ir
+    sets fills dumps kernel atoms trace_file profile metrics_json
+    occupancy_json chrome_file compare_mimd lint stats stats_json manifest =
   try
     if stats || Option.is_some stats_json || Option.is_some manifest then
       Lf_obs.Stats.enable ();
@@ -127,6 +127,15 @@ let run path seq engine jobs lanes olevel dump_ir sets fills dumps kernel
     end;
     if Option.is_some dump_ir && seq then begin
       Fmt.epr "simdsim: --dump-ir requires a SIMD engine (drop --seq)@.";
+      raise Exit
+    end;
+    if Option.is_some dump_ir_phase && seq then begin
+      Fmt.epr
+        "simdsim: --dump-ir-phase requires a SIMD engine (drop --seq)@.";
+      raise Exit
+    end;
+    if verify_ir && seq then begin
+      Fmt.epr "simdsim: --verify-ir requires a SIMD engine (drop --seq)@.";
       raise Exit
     end;
     let src = read_source path in
@@ -242,10 +251,37 @@ let run path seq engine jobs lanes olevel dump_ir sets fills dumps kernel
             Fmt.pr "%s@." (Lf_obs.Json.to_string json)
           else write_json f json)
         dump_ir;
+      Option.iter
+        (fun dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          let phases =
+            Lf_simd.Vm.dump_ir_phases ~opt:olevel ~p:lanes
+              ~setup:bind_inputs prog
+          in
+          List.iteri
+            (fun i (name, json) ->
+              write_json
+                (Filename.concat dir (Fmt.str "%02d-%s.json" i name))
+                json)
+            phases)
+        dump_ir_phase;
+      if verify_ir then begin
+        try Lf_simd.Vm.verify_ir ~opt:olevel ~p:lanes ~setup:bind_inputs prog
+        with Lf_simd.Verify.Error diags ->
+          List.iter
+            (fun d ->
+              Fmt.epr "%a"
+                (Lf_analysis.Lint.pp_diag_with_context ~file:path
+                   ~source:src ())
+                d)
+            diags;
+          Fmt.epr "simdsim: IR verification failed for %s@." path;
+          raise Exit
+      end;
       let t0 = Lf_obs.Stats.now_ns () in
       let c0 = Sys.time () in
       let vm =
-        Lf_simd.Vm.run ~engine ?jobs ~opt:olevel ~p:lanes
+        Lf_simd.Vm.run ~engine ?jobs ~opt:olevel ~verify:verify_ir ~p:lanes
           ~setup:(fun vm ->
             bind_inputs vm;
             Option.iter
@@ -375,6 +411,13 @@ let run path seq engine jobs lanes olevel dump_ir sets fills dumps kernel
     end
   with
   | Exit -> 1
+  | Lf_simd.Verify.Error diags ->
+      List.iter
+        (fun d ->
+          Fmt.epr "%a" (Lf_analysis.Lint.pp_diag ~file:path ()) d)
+        diags;
+      Fmt.epr "simdsim: IR verification failed@.";
+      1
   | ( Errors.Lex_error _ | Errors.Parse_error _ | Errors.Type_error _
     | Errors.Runtime_error _ | Errors.Runtime_error_at _ ) as e ->
       Fmt.epr "simdsim: %s@." (Errors.to_message e);
@@ -442,10 +485,11 @@ let cmd =
     let olevel_conv =
       let parse s =
         match int_of_string_opt s with
-        | Some n when n = 0 || n = 1 -> Ok n
+        | Some n when n >= 0 && n <= 2 -> Ok n
         | Some n ->
             Error
-              (`Msg (Fmt.str "invalid optimizer level %d: expected 0 or 1" n))
+              (`Msg
+                (Fmt.str "invalid optimizer level %d: expected 0, 1 or 2" n))
         | None -> Error (`Msg (Fmt.str "invalid optimizer level %S" s))
       in
       Arg.conv (parse, Fmt.int)
@@ -457,10 +501,13 @@ let cmd =
           ~doc:
             "Compiled-engine optimizer level: $(b,0) runs the unoptimized \
              per-operator closures, $(b,1) (the default) enables fusion, \
-             fused reductions, scratch-slot reuse and the peephole passes. \
-             Both levels are bit-identical on state, metrics, traces and \
-             errors; only the wall-clock changes.  Ignored by \
-             $(b,tree-walk) and $(b,--seq).")
+             fused reductions, scratch-slot reuse and the peephole passes, \
+             $(b,2) adds value-range analysis (bounds-check discharge on \
+             gathers and scatters, and lane-disjointness proofs that let \
+             the parallel engine shard global-array scatters).  All levels \
+             are bit-identical on state, metrics, traces and errors; only \
+             the wall-clock changes.  Ignored by $(b,tree-walk) and \
+             $(b,--seq).")
   in
   let dump_ir =
     Arg.(
@@ -470,6 +517,30 @@ let cmd =
           ~doc:
             "Write the compiled engine's annotated IR (after the $(b,-O) \
              pipeline) as JSON to $(docv) ('-' for stdout) before running.  \
+             Requires a SIMD engine (conflicts with $(b,--seq)).")
+  in
+  let dump_ir_phase =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump-ir-phase" ] ~docv:"DIR"
+          ~doc:
+            "Write the annotated IR after $(i,every) optimizer phase as \
+             one JSON file per phase ($(i,NN-name.json), in pipeline \
+             order) into $(docv), creating it if needed.  Phases the \
+             $(b,-O) level does not run are omitted.  Requires a SIMD \
+             engine (conflicts with $(b,--seq)).")
+  in
+  let verify_ir =
+    Arg.(
+      value & flag
+      & info [ "verify-ir" ]
+          ~doc:
+            "Run the typed IR verifier after lowering and after every \
+             optimizer phase (slot typing, def-before-use, scratch \
+             interference, mask shapes, and every $(b,-O2) range and \
+             disjointness claim re-proved from scratch); print \
+             rule-coded diagnostics and exit 1 on a broken invariant.  \
              Requires a SIMD engine (conflicts with $(b,--seq)).")
   in
   let sets =
@@ -607,8 +678,8 @@ let cmd =
        ~doc:"run pseudo-Fortran programs on the simulated SIMD machine")
     Term.(
       const run $ path $ seq $ engine $ jobs $ lanes $ olevel $ dump_ir
-      $ sets $ fills $ dumps $ kernel $ atoms $ trace_file $ profile
-      $ metrics_json $ occupancy_json $ chrome_file $ compare_mimd $ lint
-      $ stats $ stats_json $ manifest)
+      $ dump_ir_phase $ verify_ir $ sets $ fills $ dumps $ kernel $ atoms
+      $ trace_file $ profile $ metrics_json $ occupancy_json $ chrome_file
+      $ compare_mimd $ lint $ stats $ stats_json $ manifest)
 
 let () = exit (Cmd.eval' cmd)

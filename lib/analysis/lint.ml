@@ -52,29 +52,38 @@ type report = {
 
 let severity_to_string = function Error -> "error" | Warning -> "warning"
 
-(** One-line description of each rule, for [--explain]-style output. *)
-let rule_doc = function
-  | "LF001" ->
-      "applicability: flattening needs a perfect two-level loop nest (§6)"
-  | "LF002" ->
-      "irregular control flow in the receiving loop prevents parallelization"
-  | "LF003" ->
+(** Every rule with its one-line description, in rule order — the
+    [--rules] listing. *)
+let rules =
+  [
+    ( "LF001",
+      "applicability: flattening needs a perfect two-level loop nest (§6)" );
+    ( "LF002",
+      "irregular control flow in the receiving loop prevents \
+       parallelization" );
+    ( "LF003",
       "a scalar carried across iterations of the receiving loop prevents \
-       parallelization (§6)"
-  | "LF004" ->
+       parallelization (§6)" );
+    ( "LF004",
       "a loop-carried array dependence in the receiving loop prevents \
-       parallelization (§6)"
-  | "LF005" ->
+       parallelization (§6)" );
+    ( "LF005",
       "a call with unknown side effects prevents parallelizing the \
-       receiving loop"
-  | "LF006" ->
+       receiving loop" );
+    ( "LF006",
       "an impure test/init phase restricts flattening to the general \
-       variant (§4, Figs. 9/10)"
-  | "LF007" -> "FORALL asserts independent iterations; the body violates it"
-  | "LF008" ->
+       variant (§4, Figs. 9/10)" );
+    ("LF007", "FORALL asserts independent iterations; the body violates it");
+    ( "LF008",
       "a masked (WHERE) assignment reads the array it writes at different \
-       elements"
-  | r -> "unknown rule " ^ r
+       elements" );
+  ]
+
+(** One-line description of each rule, for [--explain]-style output. *)
+let rule_doc r =
+  match List.assoc_opt r rules with
+  | Some doc -> doc
+  | None -> "unknown rule " ^ r
 
 let diag ~loc d_rule d_severity fmt =
   Fmt.kstr (fun d_msg -> { d_rule; d_severity; d_loc = loc; d_msg }) fmt

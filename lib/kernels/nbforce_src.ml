@@ -79,13 +79,14 @@ let run_sequential (prog : Ast.program) (mol : Lf_md.Molecule.t)
 
 (** Run a SIMDized version on the SIMD VM with [p] lanes; returns the
     force array and the VM metrics.  [engine] defaults to the compiled
-    engine (both engines produce identical results). *)
-let run_simd ?(engine = `Compiled) ?jobs (prog : Ast.program)
+    engine (every engine, optimizer level and [verify] setting produces
+    identical results). *)
+let run_simd ?(engine = `Compiled) ?jobs ?opt ?verify (prog : Ast.program)
     (mol : Lf_md.Molecule.t) (pl : Lf_md.Pairlist.t) ~p :
     float array * Lf_simd.Metrics.t =
   let n, maxp = params pl in
   let vm =
-    Lf_simd.Vm.run ~engine ?jobs ~p
+    Lf_simd.Vm.run ~engine ?jobs ?opt ?verify ~p
       ~setup:(fun vm ->
         Lf_simd.Vm.register_func vm ~pure:true "force" (force_fn mol);
         Lf_simd.Vm.bind_scalar vm "n" (Values.VInt n);

@@ -75,6 +75,24 @@ let st_short_circuits = Stats.counter ~section:Stats.Opt "opt.short_circuits"
 let st_accum_merged =
   Stats.counter ~section:Stats.Opt "opt.accum_merged_runs"
 
+(* [-O2] range-analysis telemetry, same control-thread discipline:
+   [opt.nocheck_runs] counts executions of a gather/scatter loop whose
+   bounds checks the claim discharged, [opt.bounds_checks_discharged]
+   the per-lane checks those executions skipped (active lanes times
+   discharged dimensions), and [opt.par_scatter_runs] executions of a
+   scatter whose lane-disjointness claim was honoured — counted
+   whenever the claim's runtime guard passes, whether or not the pool
+   actually has more than one shard, so the value is jobs-invariant. *)
+module Range = Lf_analysis.Range
+
+let st_nocheck_runs = Stats.counter ~section:Stats.Opt "opt.nocheck_runs"
+
+let st_checks_discharged =
+  Stats.counter ~section:Stats.Opt "opt.bounds_checks_discharged"
+
+let st_par_scatter_runs =
+  Stats.counter ~section:Stats.Opt "opt.par_scatter_runs"
+
 (* ------------------------------------------------------------------ *)
 (* Runtime values                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -621,6 +639,12 @@ type env = {
           is provably the full entry mask, so fused loops under it may
           skip the per-lane mask test *)
   opt : int;  (** optimizer level; gates the [-O1]-only emitter paths *)
+  mutable entry_ok : bool;
+      (** set by the [-O2] entry prologue, once per application of the
+          compiled body: the frame's [iproc] binding is the canonical
+          lane vector [1..P] this run.  Every interval or disjointness
+          claim may descend from the analysis' [iproc] seed, so no
+          claim-gated fast path fires while this is [false] *)
 }
 type cexpr = Frame.Mask.t -> rv
 type cstmt = Frame.Mask.t -> unit
@@ -642,6 +666,50 @@ let site_buffers env (scr : int) : int array * float array * bool array =
       Frame.scr_real env.frame scr,
       Frame.scr_bool env.frame scr )
   else (Array.make env.p 0, Array.make env.p 0.0, Array.make env.p false)
+
+(* ------------------------------------------------------------------ *)
+(* -O2 claim discharge                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Resolve one symbolic claim bound against the live frame.
+    [Sym (v, c)] means "value of front-end scalar [v] at the claim
+    site, plus [c]" — and the guard runs exactly at the claim site, so
+    reading the current binding is the right evaluation. *)
+let resolve_bound env (b : Range.bound) : int option =
+  match b with
+  | Range.Fin n -> Some n
+  | Range.Sym (v, c) -> (
+      match Frame.slot_index env.frame v with
+      | None -> None
+      | Some si -> (
+          match Frame.get env.frame si with
+          | Frame.Scalar { contents = VInt n } -> Some (Range.sat_add n c)
+          | _ -> None))
+  | Range.NegInf | Range.PosInf -> None
+
+(** Per-execution discharge test for one subscript dimension: the
+    optimizer's interval claim, resolved now, must sit inside [1..dn],
+    and the entry prologue must have validated [iproc] this run.  The
+    claim is advisory — an unresolvable bound just keeps the checked
+    loop, never changes behaviour. *)
+let discharges env (claim : Range.iv option) (dn : int) : bool =
+  env.entry_ok
+  &&
+  match claim with
+  | None -> false
+  | Some iv ->
+      (match resolve_bound env iv.Range.lo with
+      | Some l -> l >= 1
+      | None -> false)
+      && (match resolve_bound env iv.Range.hi with
+         | Some h -> h <= dn
+         | None -> false)
+
+let nocheck_stats m ndims =
+  if Stats.enabled () then begin
+    Stats.incr st_nocheck_runs;
+    Stats.add st_checks_discharged (ndims * Frame.Mask.active m)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Fused regions (-O1)                                                 *)
@@ -1720,6 +1788,14 @@ and compile_index env scr si name args : cexpr =
   let frame = env.frame in
   let cargs = List.map (compile_expr env) args in
   let nargs = List.length args in
+  (* [-O2] interval claims on the subscripts ([Opt.annotate_ranges]),
+     captured at compile time; [discharges] re-resolves them per
+     execution against the live frame *)
+  let claim0 =
+    match args with a :: _ -> a.Ir.x_range | [] -> None
+  and claim1 =
+    match args with _ :: a :: _ -> a.Ir.x_range | _ -> None
+  in
   let scratch = Array.make nargs 0 in
   let scratch1 = Array.make (nargs + 1) 0 in
   (* the name may turn out to be a function at run time (tree-walker
@@ -1748,67 +1824,121 @@ and compile_index env scr si name args : cexpr =
            ascending and the pool rethrows the lowest shard's error) *)
         | [ RI ix ], AInt d when Nd.rank d = 1 ->
             let d1 = Nd.size d in
-            run (fun _ lo hi ->
-                for i = lo to hi - 1 do
-                  if Frame.Mask.get m i then begin
-                    let j = Array.unsafe_get ix i in
-                    if j < 1 || j > d1 then
-                      Errors.runtime_error
-                        "index %d out of bounds 1..%d in dimension %d" j d1 1;
-                    Array.unsafe_set ri i (Nd.get_flat d (j - 1))
-                  end
-                done);
+            if discharges env claim0 d1 then begin
+              nocheck_stats m 1;
+              run (fun _ lo hi ->
+                  for i = lo to hi - 1 do
+                    if Frame.Mask.get m i then
+                      Array.unsafe_set ri i
+                        (Nd.get_flat d (Array.unsafe_get ix i - 1))
+                  done)
+            end
+            else
+              run (fun _ lo hi ->
+                  for i = lo to hi - 1 do
+                    if Frame.Mask.get m i then begin
+                      let j = Array.unsafe_get ix i in
+                      if j < 1 || j > d1 then
+                        Errors.runtime_error
+                          "index %d out of bounds 1..%d in dimension %d" j d1
+                          1;
+                      Array.unsafe_set ri i (Nd.get_flat d (j - 1))
+                    end
+                  done);
             RI ri
         | [ RI ix ], AReal d when Nd.rank d = 1 ->
             let d1 = Nd.size d in
-            run (fun _ lo hi ->
-                for i = lo to hi - 1 do
-                  if Frame.Mask.get m i then begin
-                    let j = Array.unsafe_get ix i in
-                    if j < 1 || j > d1 then
-                      Errors.runtime_error
-                        "index %d out of bounds 1..%d in dimension %d" j d1 1;
-                    Array.unsafe_set rr i (Nd.get_flat d (j - 1))
-                  end
-                done);
+            if discharges env claim0 d1 then begin
+              nocheck_stats m 1;
+              run (fun _ lo hi ->
+                  for i = lo to hi - 1 do
+                    if Frame.Mask.get m i then
+                      Array.unsafe_set rr i
+                        (Nd.get_flat d (Array.unsafe_get ix i - 1))
+                  done)
+            end
+            else
+              run (fun _ lo hi ->
+                  for i = lo to hi - 1 do
+                    if Frame.Mask.get m i then begin
+                      let j = Array.unsafe_get ix i in
+                      if j < 1 || j > d1 then
+                        Errors.runtime_error
+                          "index %d out of bounds 1..%d in dimension %d" j d1
+                          1;
+                      Array.unsafe_set rr i (Nd.get_flat d (j - 1))
+                    end
+                  done);
             RR rr
         | [ RI ix1; RI ix2 ], AInt d when Nd.rank d = 2 ->
             let dims = Nd.dims d in
             let d1 = dims.(0) and d2 = dims.(1) in
-            run (fun _ lo hi ->
-                for i = lo to hi - 1 do
-                  if Frame.Mask.get m i then begin
-                    let j1 = Array.unsafe_get ix1 i in
-                    if j1 < 1 || j1 > d1 then
-                      Errors.runtime_error
-                        "index %d out of bounds 1..%d in dimension %d" j1 d1 1;
-                    let j2 = Array.unsafe_get ix2 i in
-                    if j2 < 1 || j2 > d2 then
-                      Errors.runtime_error
-                        "index %d out of bounds 1..%d in dimension %d" j2 d2 2;
-                    Array.unsafe_set ri i
-                      (Nd.get_flat d (j1 - 1 + ((j2 - 1) * d1)))
-                  end
-                done);
+            (* all-or-nothing: both dimensions must discharge, or the
+               checked loop keeps its dimension-ordered error contract *)
+            if discharges env claim0 d1 && discharges env claim1 d2 then begin
+              nocheck_stats m 2;
+              run (fun _ lo hi ->
+                  for i = lo to hi - 1 do
+                    if Frame.Mask.get m i then begin
+                      let j1 = Array.unsafe_get ix1 i in
+                      let j2 = Array.unsafe_get ix2 i in
+                      Array.unsafe_set ri i
+                        (Nd.get_flat d (j1 - 1 + ((j2 - 1) * d1)))
+                    end
+                  done)
+            end
+            else
+              run (fun _ lo hi ->
+                  for i = lo to hi - 1 do
+                    if Frame.Mask.get m i then begin
+                      let j1 = Array.unsafe_get ix1 i in
+                      if j1 < 1 || j1 > d1 then
+                        Errors.runtime_error
+                          "index %d out of bounds 1..%d in dimension %d" j1
+                          d1 1;
+                      let j2 = Array.unsafe_get ix2 i in
+                      if j2 < 1 || j2 > d2 then
+                        Errors.runtime_error
+                          "index %d out of bounds 1..%d in dimension %d" j2
+                          d2 2;
+                      Array.unsafe_set ri i
+                        (Nd.get_flat d (j1 - 1 + ((j2 - 1) * d1)))
+                    end
+                  done);
             RI ri
         | [ RI ix1; RI ix2 ], AReal d when Nd.rank d = 2 ->
             let dims = Nd.dims d in
             let d1 = dims.(0) and d2 = dims.(1) in
-            run (fun _ lo hi ->
-                for i = lo to hi - 1 do
-                  if Frame.Mask.get m i then begin
-                    let j1 = Array.unsafe_get ix1 i in
-                    if j1 < 1 || j1 > d1 then
-                      Errors.runtime_error
-                        "index %d out of bounds 1..%d in dimension %d" j1 d1 1;
-                    let j2 = Array.unsafe_get ix2 i in
-                    if j2 < 1 || j2 > d2 then
-                      Errors.runtime_error
-                        "index %d out of bounds 1..%d in dimension %d" j2 d2 2;
-                    Array.unsafe_set rr i
-                      (Nd.get_flat d (j1 - 1 + ((j2 - 1) * d1)))
-                  end
-                done);
+            if discharges env claim0 d1 && discharges env claim1 d2 then begin
+              nocheck_stats m 2;
+              run (fun _ lo hi ->
+                  for i = lo to hi - 1 do
+                    if Frame.Mask.get m i then begin
+                      let j1 = Array.unsafe_get ix1 i in
+                      let j2 = Array.unsafe_get ix2 i in
+                      Array.unsafe_set rr i
+                        (Nd.get_flat d (j1 - 1 + ((j2 - 1) * d1)))
+                    end
+                  done)
+            end
+            else
+              run (fun _ lo hi ->
+                  for i = lo to hi - 1 do
+                    if Frame.Mask.get m i then begin
+                      let j1 = Array.unsafe_get ix1 i in
+                      if j1 < 1 || j1 > d1 then
+                        Errors.runtime_error
+                          "index %d out of bounds 1..%d in dimension %d" j1
+                          d1 1;
+                      let j2 = Array.unsafe_get ix2 i in
+                      if j2 < 1 || j2 > d2 then
+                        Errors.runtime_error
+                          "index %d out of bounds 1..%d in dimension %d" j2
+                          d2 2;
+                      Array.unsafe_set rr i
+                        (Nd.get_flat d (j1 - 1 + ((j2 - 1) * d1)))
+                    end
+                  done);
             RR rr
         | _ ->
         let sels = List.map rv_sel ivs in
@@ -1873,7 +2003,8 @@ and compile_index env scr si name args : cexpr =
 (* Assignment                                                          *)
 (* ------------------------------------------------------------------ *)
 
-and compile_assign env (l : Ir.lv) : Frame.Mask.t -> rv -> unit =
+and compile_assign env ?(par = false) (l : Ir.lv) : Frame.Mask.t -> rv -> unit
+    =
   let frame = env.frame in
   let si = l.Ir.l_slot in
   let name = l.Ir.l_name in
@@ -1911,6 +2042,10 @@ and compile_assign env (l : Ir.lv) : Frame.Mask.t -> rv -> unit =
       let p = env.p in
       let exec = env.exec in
       let run = exec.Pool.x_run in
+      (* [-O2] interval claim on the store subscript; [par] is the
+         statement's [Ir.s_par] (lane-disjoint index set), both gated
+         by the entry prologue per execution *)
+      let claim0 = match idxs with ix :: _ -> ix.Ir.x_range | [] -> None in
       let scatter a m rhs (fs : (int -> int) array) ~plural_arr =
         (* Several lanes may scatter to the {e same} element of a global
            array, and the machine model resolves the collision in lane
@@ -1959,69 +2094,132 @@ and compile_assign env (l : Ir.lv) : Frame.Mask.t -> rv -> unit =
             let ivs = List.map (fun c -> c m) cidx in
             match (ivs, a, rhs) with
             (* rank-1 int-vector scatter via flat offsets (bounds checks
-               as in [Nd.linear_index]) *)
+               as in [Nd.linear_index]).  A discharged claim drops the
+               per-lane check; a validated [Ir.s_par] claim lets the
+               store pass shard — the index sets are lane-disjoint, so
+               no shard order can differ from the serial lane order
+               (and shards check ascending with the pool rethrowing the
+               lowest shard, preserving the first-failing-lane error). *)
             | [ RI ix ], AInt d, (RI _ | RS (VInt _)) when Nd.rank d = 1 ->
                 let d1 = Nd.size d in
+                let nochk = discharges env claim0 d1 in
+                if nochk then nocheck_stats m 1;
                 let bp = m.Frame.Mask.bits in
                 let check j =
                   if j < 1 || j > d1 then
                     Errors.runtime_error
                       "index %d out of bounds 1..%d in dimension %d" j d1 1
                 in
-                (match rhs with
-                | RI s ->
-                    for i = 0 to p - 1 do
-                      if Bytes.unsafe_get bp i <> '\000' then begin
-                        let j = Array.unsafe_get ix i in
-                        check j;
-                        Nd.set_flat d (j - 1) (Array.unsafe_get s i)
-                      end
-                    done
-                | RS (VInt x) ->
-                    for i = 0 to p - 1 do
-                      if Bytes.unsafe_get bp i <> '\000' then begin
-                        let j = Array.unsafe_get ix i in
-                        check j;
-                        Nd.set_flat d (j - 1) x
-                      end
-                    done
-                | _ -> assert false)
+                let store : int -> int -> unit =
+                  match rhs with
+                  | RI s ->
+                      if nochk then fun lo hi ->
+                        for i = lo to hi - 1 do
+                          if Bytes.unsafe_get bp i <> '\000' then
+                            Nd.set_flat d
+                              (Array.unsafe_get ix i - 1)
+                              (Array.unsafe_get s i)
+                        done
+                      else fun lo hi ->
+                        for i = lo to hi - 1 do
+                          if Bytes.unsafe_get bp i <> '\000' then begin
+                            let j = Array.unsafe_get ix i in
+                            check j;
+                            Nd.set_flat d (j - 1) (Array.unsafe_get s i)
+                          end
+                        done
+                  | RS (VInt x) ->
+                      if nochk then fun lo hi ->
+                        for i = lo to hi - 1 do
+                          if Bytes.unsafe_get bp i <> '\000' then
+                            Nd.set_flat d (Array.unsafe_get ix i - 1) x
+                        done
+                      else fun lo hi ->
+                        for i = lo to hi - 1 do
+                          if Bytes.unsafe_get bp i <> '\000' then begin
+                            let j = Array.unsafe_get ix i in
+                            check j;
+                            Nd.set_flat d (j - 1) x
+                          end
+                        done
+                  | _ -> assert false
+                in
+                if par && env.entry_ok then begin
+                  Stats.incr st_par_scatter_runs;
+                  if Pool.nshards exec > 1 then
+                    run (fun _ lo hi -> store lo hi)
+                  else store 0 p
+                end
+                else store 0 p
             | [ RI ix ], AReal d, (RR _ | RI _ | RS (VReal _))
               when Nd.rank d = 1 ->
                 let d1 = Nd.size d in
+                let nochk = discharges env claim0 d1 in
+                if nochk then nocheck_stats m 1;
                 let bp = m.Frame.Mask.bits in
                 let check j =
                   if j < 1 || j > d1 then
                     Errors.runtime_error
                       "index %d out of bounds 1..%d in dimension %d" j d1 1
                 in
-                (match rhs with
-                | RR s ->
-                    for i = 0 to p - 1 do
-                      if Bytes.unsafe_get bp i <> '\000' then begin
-                        let j = Array.unsafe_get ix i in
-                        check j;
-                        Nd.set_flat d (j - 1) (Array.unsafe_get s i)
-                      end
-                    done
-                | RI s ->
-                    for i = 0 to p - 1 do
-                      if Bytes.unsafe_get bp i <> '\000' then begin
-                        let j = Array.unsafe_get ix i in
-                        check j;
-                        Nd.set_flat d (j - 1)
-                          (float_of_int (Array.unsafe_get s i))
-                      end
-                    done
-                | RS (VReal x) ->
-                    for i = 0 to p - 1 do
-                      if Bytes.unsafe_get bp i <> '\000' then begin
-                        let j = Array.unsafe_get ix i in
-                        check j;
-                        Nd.set_flat d (j - 1) x
-                      end
-                    done
-                | _ -> assert false)
+                let store : int -> int -> unit =
+                  match rhs with
+                  | RR s ->
+                      if nochk then fun lo hi ->
+                        for i = lo to hi - 1 do
+                          if Bytes.unsafe_get bp i <> '\000' then
+                            Nd.set_flat d
+                              (Array.unsafe_get ix i - 1)
+                              (Array.unsafe_get s i)
+                        done
+                      else fun lo hi ->
+                        for i = lo to hi - 1 do
+                          if Bytes.unsafe_get bp i <> '\000' then begin
+                            let j = Array.unsafe_get ix i in
+                            check j;
+                            Nd.set_flat d (j - 1) (Array.unsafe_get s i)
+                          end
+                        done
+                  | RI s ->
+                      if nochk then fun lo hi ->
+                        for i = lo to hi - 1 do
+                          if Bytes.unsafe_get bp i <> '\000' then
+                            Nd.set_flat d
+                              (Array.unsafe_get ix i - 1)
+                              (float_of_int (Array.unsafe_get s i))
+                        done
+                      else fun lo hi ->
+                        for i = lo to hi - 1 do
+                          if Bytes.unsafe_get bp i <> '\000' then begin
+                            let j = Array.unsafe_get ix i in
+                            check j;
+                            Nd.set_flat d (j - 1)
+                              (float_of_int (Array.unsafe_get s i))
+                          end
+                        done
+                  | RS (VReal x) ->
+                      if nochk then fun lo hi ->
+                        for i = lo to hi - 1 do
+                          if Bytes.unsafe_get bp i <> '\000' then
+                            Nd.set_flat d (Array.unsafe_get ix i - 1) x
+                        done
+                      else fun lo hi ->
+                        for i = lo to hi - 1 do
+                          if Bytes.unsafe_get bp i <> '\000' then begin
+                            let j = Array.unsafe_get ix i in
+                            check j;
+                            Nd.set_flat d (j - 1) x
+                          end
+                        done
+                  | _ -> assert false
+                in
+                if par && env.entry_ok then begin
+                  Stats.incr st_par_scatter_runs;
+                  if Pool.nshards exec > 1 then
+                    run (fun _ lo hi -> store lo hi)
+                  else store 0 p
+                end
+                else store 0 p
             | _ ->
                 let sels = List.map rv_sel ivs in
                 if List.exists snd sels || rv_is_plural rhs then
@@ -2189,21 +2387,27 @@ and compile_store_fused env ast (l : Ir.lv) e op ea eb : cstmt =
     it across the tick is invisible).  Shapes outside the typed
     rank-1 fast paths — and the scalar-subscript case, whose unfused
     tick is a front-end tick — run the factored unfused sequence. *)
-and compile_accum env ast (l : Ir.lv) scr g rest : cstmt =
+and compile_accum env ast (l : Ir.lv) ~par scr g rest : cstmt =
   let host = env.host in
   let loc = env.cur_loc in
   let frame = env.frame in
   let si = l.Ir.l_slot in
   let p = env.p in
+  let exec = env.exec in
+  let run = exec.Pool.x_run in
   let cg = compile_expr env g in
   let crest = compile_expr env rest in
   let cix =
     match l.Ir.l_index with [ ix ] -> compile_expr env ix | _ -> assert false
   in
+  (* [-O2] claims on the store subscript, as in [compile_assign] *)
+  let claim0 =
+    match l.Ir.l_index with [ ix ] -> ix.Ir.x_range | _ -> None
+  in
   (* the factored unfused add: same dispatch, its own buffer site *)
   let app = Scalar_ops.apply_binop Ast.Add in
   let fast = fast_binop ~buffers:(site_buffers env scr) env.exec Ast.Add in
-  let casgn = compile_assign env l in
+  let casgn = compile_assign env ~par l in
   let bounds j d1 =
     if j < 1 || j > d1 then
       Errors.runtime_error "index %d out of bounds 1..%d in dimension %d" j d1
@@ -2229,15 +2433,40 @@ and compile_accum env ast (l : Ir.lv) scr g rest : cstmt =
       else host.h_tick_frontend ();
       casgn m rhs
     in
-    let merged store =
+    (* the merged add-and-store pass.  [store i j] receives the lane
+       and its 1-based subscript; the bounds check stays here so a
+       discharged claim can drop it, and a validated [Ir.s_par] claim
+       shards the pass — each lane adds into its own element (the
+       gathered pre-statement values are already materialized in
+       [gv]), so shard order cannot show. *)
+    let merged d1 (store : int -> int -> unit) =
       host.h_tick_vector ~loc ~kind:Lf_obs.Trace.Assign m;
       match cix m with
       | RI ix ->
           let bp = m.Frame.Mask.bits in
-          for i = 0 to p - 1 do
-            if Bytes.unsafe_get bp i <> '\000' then
-              store i (Array.unsafe_get ix i)
-          done;
+          let nochk = discharges env claim0 d1 in
+          if nochk then nocheck_stats m 1;
+          let pass lo hi =
+            if nochk then
+              for i = lo to hi - 1 do
+                if Bytes.unsafe_get bp i <> '\000' then
+                  store i (Array.unsafe_get ix i)
+              done
+            else
+              for i = lo to hi - 1 do
+                if Bytes.unsafe_get bp i <> '\000' then begin
+                  let j = Array.unsafe_get ix i in
+                  bounds j d1;
+                  store i j
+                end
+              done
+          in
+          if par && env.entry_ok then begin
+            Stats.incr st_par_scatter_runs;
+            if Pool.nshards exec > 1 then run (fun _ lo hi -> pass lo hi)
+            else pass 0 p
+          end
+          else pass 0 p;
           Stats.incr st_accum_merged;
           true
       | _ -> false
@@ -2262,11 +2491,7 @@ and compile_accum env ast (l : Ir.lv) scr g rest : cstmt =
         in
         match fadd with
         | Some fadd ->
-            if
-              not
-                (merged (fun i j ->
-                     bounds j d1;
-                     Nd.set_flat d (j - 1) (fadd i)))
+            if not (merged d1 (fun i j -> Nd.set_flat d (j - 1) (fadd i)))
             then
               (* non-int-vector subscript: finish unfused (the vector
                  tick has fired — the unfused add result is plural) *)
@@ -2286,11 +2511,7 @@ and compile_accum env ast (l : Ir.lv) scr g rest : cstmt =
         in
         match iadd with
         | Some iadd ->
-            if
-              not
-                (merged (fun i j ->
-                     bounds j d1;
-                     Nd.set_flat d (j - 1) (iadd i)))
+            if not (merged d1 (fun i j -> Nd.set_flat d (j - 1) (iadd i)))
             then
               casgn m
                 (match fast m gv rv with
@@ -2325,7 +2546,7 @@ and compile_stmt env (s : Ir.stmt) : cstmt =
   | Ir.LAssign (l, e) when s.Ir.s_accum -> (
       match e.Ir.x_node with
       | Ir.XBin (Ast.Add, g, rest) ->
-          compile_accum env ast l e.Ir.x_scr g rest
+          compile_accum env ast l ~par:s.Ir.s_par e.Ir.x_scr g rest
       | _ -> assert false (* [Opt.mark_accum] only marks this shape *))
   | Ir.LAssign (l, e)
     when env.opt >= 1 && l.Ir.l_index = []
@@ -2343,7 +2564,7 @@ and compile_stmt env (s : Ir.stmt) : cstmt =
       | _ -> assert false)
   | Ir.LAssign (l, e) ->
       let ce = compile_expr env e in
-      let casgn = compile_assign env l in
+      let casgn = compile_assign env ~par:s.Ir.s_par l in
       fun m ->
         observe env m ast;
         let rhs = ce m in
@@ -2564,8 +2785,8 @@ let var_names (prog : program) : string list =
   blk prog.p_body;
   List.rev !order
 
-let compile ~host ~frame ~exec ?(opt = 1) (body : block) : Frame.Mask.t -> unit
-    =
+let compile ~host ~frame ~exec ?(opt = 1) ?(verify = false)
+    (body : block) : Frame.Mask.t -> unit =
   assert (exec.Pool.x_p = host.h_p);
   let env =
     {
@@ -2576,7 +2797,36 @@ let compile ~host ~frame ~exec ?(opt = 1) (body : block) : Frame.Mask.t -> unit
       cur_loc = Errors.no_pos;
       cur_full = false;
       opt;
+      entry_ok = false;
     }
   in
-  let ir = Opt.run ~level:opt (Ir.of_block frame body) in
-  compile_block env ir
+  let ir = Opt.run ~level:opt ~frame ~verify (Ir.of_block frame body) in
+  let cbody = compile_block env ir in
+  if opt < 2 then cbody
+  else begin
+    (* [-O2] entry prologue: every interval and disjointness claim may
+       descend from the analysis' [iproc = 1..P] seed, so each
+       application of the compiled body revalidates that the frame's
+       [iproc] binding is still the canonical lane vector before any
+       claim-gated fast path may fire.  The engines import the VM's
+       variable table before applying the body, so a caller-rebound
+       [iproc] is visible here; within a run, claims downstream of a
+       CALL never rely on [iproc] (the analysis havocs at calls). *)
+    let iproc = Frame.slot_index frame "iproc" in
+    fun m ->
+      env.entry_ok <-
+        (match iproc with
+        | None -> false
+        | Some si -> (
+            match Frame.get frame si with
+            | Frame.Plural (Frame.LInt a) ->
+                Array.length a = env.p
+                &&
+                let ok = ref true in
+                for i = 0 to env.p - 1 do
+                  if Array.unsafe_get a i <> i + 1 then ok := false
+                done;
+                !ok
+            | _ -> false));
+      cbody m
+  end

@@ -54,8 +54,13 @@ val var_names : Ast.program -> string list
     [opt] (default 1) selects the optimizer level applied to the
     slot-resolved IR ([Ir] / [Opt]) before emission: 0 compiles each AST
     node to its own lane loop; 1 fuses elementwise chains and reductions,
-    recycles scratch buffers and simplifies provably-full masks — with
-    the same bit-identity contract as the engine itself. *)
+    recycles scratch buffers and simplifies provably-full masks; 2 adds
+    range-analysis bounds-check discharge and parallel-scatter sharding
+    — all with the same bit-identity contract as the engine itself.
+
+    [verify] (default false) runs the independent IR verifier
+    ([Verify.check_ir]) after lowering and after every optimizer phase;
+    a broken invariant raises [Verify.Error] before emission. *)
 val compile :
-  host:host -> frame:Frame.t -> exec:Pool.exec -> ?opt:int -> Ast.block ->
-  Frame.Mask.t -> unit
+  host:host -> frame:Frame.t -> exec:Pool.exec -> ?opt:int -> ?verify:bool ->
+  Ast.block -> Frame.Mask.t -> unit

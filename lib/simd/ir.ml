@@ -64,6 +64,11 @@ type expr = {
   mutable x_fused : fuse option;  (** set by [Opt.run] at [-O1] *)
   mutable x_scr : int;
       (** scratch group for this site's result buffers; [-1] = private *)
+  mutable x_range : Lf_analysis.Range.iv option;
+      (** claimed interval containing every active-lane integer value of
+          this (subscript) expression, set by [Opt.run] at [-O2]; the
+          emitter revalidates the resolved bounds against the array
+          dimension before dropping per-lane checks *)
 }
 
 and xnode =
@@ -86,6 +91,11 @@ type stmt = {
   s_node : snode;
   mutable s_full : bool;  (** context mask provably full (set by [Opt]) *)
   mutable s_accum : bool;  (** scatter-accumulate peephole (set by [Opt]) *)
+  mutable s_par : bool;
+      (** scatter subscripts proven pairwise lane-disjoint (set by
+          [Opt.run] at [-O2]), so the store may be sharded across
+          domains; valid only while the entry [iproc] binding is
+          canonical, which the emitter validates once per run *)
 }
 
 and snode =
@@ -145,7 +155,7 @@ let rec lower_expr frame (e : Ast.expr) : expr =
     | Ast.EIdx (name, args) ->
         XIdx (slot_of frame name, name, List.map (lower_expr frame) args)
   in
-  { x_ast = e; x_node = node; x_fused = None; x_scr = -1 }
+  { x_ast = e; x_node = node; x_fused = None; x_scr = -1; x_range = None }
 
 let rec lower_stmt frame (s : Ast.stmt) : stmt =
   let node =
@@ -180,7 +190,7 @@ let rec lower_stmt frame (s : Ast.stmt) : stmt =
             lower_block frame b )
     | Ast.SGoto _ | Ast.SCondGoto _ -> LGoto
   in
-  { s_ast = s; s_node = node; s_full = false; s_accum = false }
+  { s_ast = s; s_node = node; s_full = false; s_accum = false; s_par = false }
 
 and lower_block frame (b : Ast.block) : block =
   Array.of_list (List.map (lower_stmt frame) b)
@@ -251,6 +261,12 @@ let with_annots e fields =
   in
   let fields =
     if e.x_scr >= 0 then fields @ [ ("scratch", J.Int e.x_scr) ] else fields
+  in
+  let fields =
+    match e.x_range with
+    | None -> fields
+    | Some iv ->
+        fields @ [ ("range", J.Str (Lf_analysis.Range.iv_to_string iv)) ]
   in
   J.Obj fields
 
@@ -353,6 +369,9 @@ let rec stmt_json s =
   in
   let base = if s.s_full then base @ [ ("full_mask", J.Bool true) ] else base in
   let base = if s.s_accum then base @ [ ("accum", J.Bool true) ] else base in
+  let base =
+    if s.s_par then base @ [ ("par_scatter", J.Bool true) ] else base
+  in
   J.Obj base
 
 and block_json b = J.List (Array.to_list (Array.map stmt_json b))

@@ -45,6 +45,9 @@ type expr = {
   mutable x_fused : fuse option;  (** set by [Opt.run] at [-O1] *)
   mutable x_scr : int;
       (** scratch group for this site's result buffers; [-1] = private *)
+  mutable x_range : Lf_analysis.Range.iv option;
+      (** claimed interval containing every active-lane integer value of
+          this (subscript) expression, set by [Opt.run] at [-O2] *)
 }
 
 and xnode =
@@ -67,6 +70,10 @@ type stmt = {
   s_node : snode;
   mutable s_full : bool;  (** context mask provably full (set by [Opt]) *)
   mutable s_accum : bool;  (** scatter-accumulate peephole (set by [Opt]) *)
+  mutable s_par : bool;
+      (** scatter subscripts proven pairwise lane-disjoint (set by
+          [Opt.run] at [-O2]); valid only while the entry [iproc]
+          binding is canonical *)
 }
 
 and snode =

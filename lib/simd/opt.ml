@@ -35,15 +35,27 @@
       simultaneously live share a group, so steady-state vector-op
       execution allocates nothing even for unfused residue.
 
+    At [-O2] two further phases run off a single value-range abstract
+    interpretation ([Lf_analysis.Range]): {b range claims} ([x_range])
+    on gather/scatter subscripts, letting the emitter discharge per-lane
+    bounds checks, and {b parallel-scatter marking} ([s_par]) on rank-1
+    stores with provably lane-disjoint subscripts, letting the parallel
+    engine shard global-array scatters it otherwise keeps serial.
+
     Every annotation is advisory: the emitter re-validates fusibility
-    against runtime operand shapes and falls back to the unoptimized
-    evaluation order whenever the typed plan does not apply, which is
-    what keeps [-O1] bit-identical to [-O0]. *)
+    against runtime operand shapes (and range/parallel claims against
+    resolved dimensions and the canonical entry [iproc] binding) and
+    falls back to the unoptimized evaluation order whenever the typed
+    plan does not apply, which is what keeps [-O1]/[-O2] bit-identical
+    to [-O0].  Under [?verify] every phase boundary additionally runs
+    the independent IR verifier ([Verify]); [?dump] receives each
+    phase's annotated IR by name. *)
 
 open Lf_lang
 open Ir
 module Dataflow = Lf_analysis.Dataflow
 module Cfg = Lf_analysis.Cfg
+module Range = Lf_analysis.Range
 
 (* ------------------------------------------------------------------ *)
 (* Constant folding                                                    *)
@@ -490,6 +502,109 @@ let plan_scratch (b : block) : int * int =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Range analysis and parallel scatters ([-O2])                        *)
+(* ------------------------------------------------------------------ *)
+
+(* At [-O2] the value-range abstract interpretation ([Range], over the
+   original AST the IR shares physically) runs once; its per-statement
+   environments feed two annotation passes:
+
+   - every gather/scatter {e subscript} whose derived interval is not
+     top gets an [x_range] claim.  The emitter resolves the claim's
+     (possibly symbolic) bounds against the target dimension at run time
+     and drops the per-lane bounds branch when [1 <= lo && hi <= dim] —
+     claimed ⊇ derived ⊇ concrete per-lane values, so a discharged check
+     can never have fired;
+   - every rank-1 store whose subscript is provably pairwise
+     lane-disjoint (the SIV prover over [iproc], or the flow-sensitive
+     lane-affine congruence) is marked [s_par], letting the parallel
+     engine shard a global-array scatter it otherwise keeps serial.
+
+   Both claims are advisory and revalidated: the verifier re-derives
+   them at the phase boundary, and the emitter additionally validates at
+   run time that the entry [iproc] binding is canonical ([1..p]) before
+   trusting any lane-indexed fact. *)
+
+let rec claim_ranges res count stmt_ast (e : expr) : unit =
+  (match e.x_node with
+  | XIdx (_, _, args) ->
+      List.iter
+        (fun (ix : expr) ->
+          match Range.eval_at res stmt_ast ix.x_ast with
+          | Some av when av.Range.a_iv <> Range.top_iv ->
+              ix.x_range <- Some av.Range.a_iv;
+              incr count
+          | _ -> ())
+        args
+  | _ -> ());
+  match e.x_node with
+  | XConst _ | XVar _ -> ()
+  | XRange (a, b) | XBin (_, a, b) ->
+      claim_ranges res count stmt_ast a;
+      claim_ranges res count stmt_ast b
+  | XUn (_, a) -> claim_ranges res count stmt_ast a
+  | XCall (_, args) | XIdx (_, _, args) ->
+      List.iter (claim_ranges res count stmt_ast) args
+
+let annotate_ranges res (b : block) : int =
+  let count = ref 0 in
+  let claim_store stmt_ast (ix : expr) =
+    match Range.eval_at res stmt_ast ix.x_ast with
+    | Some av when av.Range.a_iv <> Range.top_iv ->
+        ix.x_range <- Some av.Range.a_iv;
+        incr count
+    | _ -> ()
+  in
+  let rec st (s : stmt) : unit =
+    match s.s_node with
+    | LLoc (_, inner) -> st inner
+    | LNop | LGoto -> ()
+    | LAssign (l, e) ->
+        List.iter (claim_store s.s_ast) l.l_index;
+        claim_ranges res count s.s_ast e;
+        List.iter (claim_ranges res count s.s_ast) l.l_index
+    | LScall (_, args) ->
+        List.iter (fun (a, _) -> claim_ranges res count s.s_ast a) args
+    | LIf (c, t, f) | LWhere (c, t, f) ->
+        claim_ranges res count s.s_ast c;
+        Array.iter st t;
+        Array.iter st f
+    | LWhile (c, b) ->
+        claim_ranges res count s.s_ast c;
+        Array.iter st b
+    | LDoWhile (b, c) ->
+        Array.iter st b;
+        claim_ranges res count s.s_ast c
+    | LDo (_, _, lo, hi, step, b) ->
+        claim_ranges res count s.s_ast lo;
+        claim_ranges res count s.s_ast hi;
+        Option.iter (claim_ranges res count s.s_ast) step;
+        Array.iter st b
+  in
+  Array.iter st b;
+  !count
+
+let mark_par_scatters res ~p (b : block) : int =
+  let count = ref 0 in
+  let rec st (s : stmt) : unit =
+    match s.s_node with
+    | LLoc (_, inner) -> st inner
+    | LAssign ({ l_index = [ ix ]; _ }, _) ->
+        if Range.scatter_disjoint res ~p s.s_ast ix.x_ast then begin
+          s.s_par <- true;
+          incr count
+        end
+    | LIf (_, t, f) | LWhere (_, t, f) ->
+        Array.iter st t;
+        Array.iter st f
+    | LWhile (_, bl) | LDoWhile (bl, _) | LDo (_, _, _, _, _, bl) ->
+        Array.iter st bl
+    | LNop | LGoto | LAssign _ | LScall _ -> ()
+  in
+  Array.iter st b;
+  !count
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -511,6 +626,11 @@ let st_scratch_groups = Stats.counter ~section:Stats.Opt "opt.scratch_groups"
 
 let st_scratch_reused =
   Stats.counter ~section:Stats.Opt "opt.scratch_reused"
+
+let st_range_sites = Stats.counter ~section:Stats.Opt "opt.range_sites"
+
+let st_par_sites =
+  Stats.counter ~section:Stats.Opt "opt.par_scatter_sites"
 
 let record_stats (b : block) ~sites ~groups =
   let regions = ref 0 and reduces = ref 0 in
@@ -547,14 +667,40 @@ let record_stats (b : block) ~sites ~groups =
   Stats.add st_scratch_groups groups;
   Stats.add st_scratch_reused (sites - groups)
 
-let run ~level (b : block) : block =
-  if level <= 0 then b
-  else begin
-    Array.iter (walk_stmt_exprs fold_expr) b;
-    Array.iter (walk_stmt_exprs annotate_expr) b;
-    Array.iter (walk_stmts mark_accum) b;
-    Array.iter (mark_full true) b;
-    let sites, groups = plan_scratch b in
-    if Stats.enabled () then record_stats b ~sites ~groups;
-    b
-  end
+(** The named phase sequence: each entry is checked/dumped separately
+    under [?verify]/[?dump].  "lower" is the un-optimized input (the
+    only phase at [-O0]); "range"/"parscatter" only run at [-O2]. *)
+let phases = [ "lower"; "fold"; "fuse"; "accum"; "fullmask"; "scratch";
+               "range"; "parscatter" ]
+
+let run ~level ~(frame : Frame.t) ?(verify = false) ?dump (b : block) : block
+    =
+  let phase name f =
+    f ();
+    (match dump with Some d -> d name b | None -> ());
+    if verify then Verify.check_ir ~frame ~phase:name b
+  in
+  phase "lower" (fun () -> ());
+  if level >= 1 then begin
+    phase "fold" (fun () -> Array.iter (walk_stmt_exprs fold_expr) b);
+    phase "fuse" (fun () -> Array.iter (walk_stmt_exprs annotate_expr) b);
+    phase "accum" (fun () -> Array.iter (walk_stmts mark_accum) b);
+    phase "fullmask" (fun () -> Array.iter (mark_full true) b);
+    let sg = ref (0, 0) in
+    phase "scratch" (fun () -> sg := plan_scratch b);
+    if level >= 2 then begin
+      let ast = Array.to_list (Array.map (fun s -> s.s_ast) b) in
+      let res = Range.analyze ~p:frame.Frame.p ast in
+      let nranges = ref 0 and npar = ref 0 in
+      phase "range" (fun () -> nranges := annotate_ranges res b);
+      phase "parscatter" (fun () ->
+          npar := mark_par_scatters res ~p:frame.Frame.p b);
+      if Stats.enabled () then begin
+        Stats.add st_range_sites !nranges;
+        Stats.add st_par_sites !npar
+      end
+    end;
+    let sites, groups = !sg in
+    if Stats.enabled () then record_stats b ~sites ~groups
+  end;
+  b

@@ -1,18 +1,43 @@
 (** The optimizer pipeline over the slot-resolved IR ([Ir]).
 
     [run ~level] is the identity at level 0 ([-O0]).  At level 1 and
-    above it applies, in order: constant folding, elementwise fusion
-    ([Ir.FRegion], only for intrinsic-bearing subtrees — see the
-    rationale in the implementation), reduction fusion ([Ir.FReduce]),
-    scatter-accumulate marking ([Ir.s_accum]), mask simplification
-    ([Ir.s_full]) and scratch planning ([Ir.x_scr], a liveness analysis
-    over the linearized evaluation order reusing
+    above it applies, in named phases: constant folding ("fold"),
+    elementwise fusion ([Ir.FRegion], only for intrinsic-bearing
+    subtrees — see the rationale in the implementation) and reduction
+    fusion ([Ir.FReduce]) ("fuse"), scatter-accumulate marking
+    ([Ir.s_accum], "accum"), mask simplification ([Ir.s_full],
+    "fullmask") and scratch planning ([Ir.x_scr], "scratch", a liveness
+    analysis over the linearized evaluation order reusing
     [Lf_analysis.Dataflow]'s worklist solver).
 
-    Every annotation is advisory: the emitter ([Compile]) re-validates
-    fusibility against runtime operand shapes and falls back to the
-    unoptimized evaluation order whenever a typed plan does not apply,
-    which is what keeps [-O1] bit-identical to [-O0] on state, metrics,
-    error strings, first-failing-lane semantics and trace events. *)
+    At level 2 a value-range / lane-congruence abstract interpretation
+    ([Lf_analysis.Range]) feeds two more phases: "range" claims
+    intervals for gather/scatter subscripts ([Ir.x_range], letting the
+    emitter discharge per-lane bounds checks) and "parscatter" marks
+    rank-1 stores with provably pairwise lane-disjoint subscripts
+    ([Ir.s_par], letting the parallel engine shard global-array
+    scatters).
 
-val run : level:int -> Ir.block -> Ir.block
+    Every annotation is advisory: the emitter ([Compile]) re-validates
+    them against runtime shapes, resolved dimensions and the canonical
+    entry [iproc] binding, and falls back to checked/serial execution
+    whenever a claim does not apply — which is what keeps [-O1]/[-O2]
+    bit-identical to [-O0] on state, metrics, error strings,
+    first-failing-lane semantics and trace events. *)
+
+(** Phase names, in execution order ("lower" is the un-optimized
+    input). *)
+val phases : string list
+
+(** Run the pipeline.  [frame] is the frame the block was lowered with
+    (name resolution for the verifier, lane count for the range
+    analysis).  When [verify] is set, [Verify.check_ir] runs after every
+    phase (including "lower") and raises [Verify.Error] on a broken
+    invariant; [dump] receives each phase's annotated IR by name. *)
+val run :
+  level:int ->
+  frame:Frame.t ->
+  ?verify:bool ->
+  ?dump:(string -> Ir.block -> unit) ->
+  Ir.block ->
+  Ir.block

@@ -623,7 +623,7 @@ let frame_names vm (prog : program) =
     serial compiled engine, [Pool.parallel_exec] shards the lanes over
     the Domain pool while everything sequential — control flow, metrics,
     fuel, trace emission, front-end state — stays on this thread. *)
-let run_compiled vm ~(exec : Pool.exec) ?opt (prog : program) =
+let run_compiled vm ~(exec : Pool.exec) ?opt ?verify (prog : program) =
   let frame = Frame.create ~p:vm.p (frame_names vm prog) in
   let host =
     {
@@ -676,7 +676,7 @@ let run_compiled vm ~(exec : Pool.exec) ?opt (prog : program) =
       h_import = (fun () -> import_frame vm frame);
     }
   in
-  let compiled = Compile.compile ~host ~frame ~exec ?opt prog.p_body in
+  let compiled = Compile.compile ~host ~frame ~exec ?opt ?verify prog.p_body in
   import_frame vm frame;
   Fun.protect
     ~finally:(fun () -> flush_frame vm frame)
@@ -689,21 +689,22 @@ let run_compiled vm ~(exec : Pool.exec) ?opt (prog : program) =
     three produce bit-identical state, metrics and errors.  [jobs] (only
     meaningful — and only validated — with [`Parallel]) bounds the shard
     count; it defaults to [Pool.default_jobs ()]. *)
-let run ?fuel ?(engine = `Tree_walk) ?jobs ?opt ~p ?(setup = fun _ -> ())
-    (prog : program) : t =
+let run ?fuel ?(engine = `Tree_walk) ?jobs ?opt ?verify ~p
+    ?(setup = fun _ -> ()) (prog : program) : t =
   let vm = create ?fuel ~p () in
   setup vm;
   declare vm prog.p_decls;
   let exec_engine () =
     match engine with
     | `Tree_walk -> exec_block vm ~mask:(full_mask vm) prog.p_body
-    | `Compiled -> run_compiled vm ~exec:(Pool.serial_exec ~p) ?opt prog
+    | `Compiled ->
+        run_compiled vm ~exec:(Pool.serial_exec ~p) ?opt ?verify prog
     | `Parallel ->
         let jobs =
           match jobs with Some j -> j | None -> Pool.default_jobs ()
         in
         if jobs < 1 then invalid_arg "Vm.run: jobs must be >= 1";
-        run_compiled vm ~exec:(Pool.parallel_exec ~p ~jobs) ?opt prog
+        run_compiled vm ~exec:(Pool.parallel_exec ~p ~jobs) ?opt ?verify prog
   in
   (if not (Stats.enabled ()) then exec_engine ()
    else
@@ -737,7 +738,34 @@ let dump_ir ?(opt = 1) ~p ?(setup = fun _ -> ()) (prog : program) :
   setup vm;
   declare vm prog.p_decls;
   let frame = Frame.create ~p (frame_names vm prog) in
-  Ir.to_json ~opt (Opt.run ~level:opt (Ir.of_block frame prog.p_body))
+  Ir.to_json ~opt (Opt.run ~level:opt ~frame (Ir.of_block frame prog.p_body))
+
+let dump_ir_phases ?(opt = 1) ~p ?(setup = fun _ -> ()) (prog : program) :
+    (string * Lf_obs.Json.t) list =
+  let vm = create ~p () in
+  setup vm;
+  declare vm prog.p_decls;
+  let frame = Frame.create ~p (frame_names vm prog) in
+  let acc = ref [] in
+  (* the pipeline annotates one mutable tree in place; converting to
+     JSON inside the callback snapshots each phase's state *)
+  ignore
+    (Opt.run ~level:opt ~frame
+       ~dump:(fun name b -> acc := (name, Ir.to_json ~opt b) :: !acc)
+       (Ir.of_block frame prog.p_body));
+  List.rev !acc
+
+(** Standalone verification without executing: lower against the same
+    frame name table [run] would use and run the [Opt] pipeline at [opt]
+    with the IR verifier enabled at every phase boundary.
+    @raise Verify.Error on a broken invariant. *)
+let verify_ir ?(opt = 1) ~p ?(setup = fun _ -> ()) (prog : program) : unit =
+  let vm = create ~p () in
+  setup vm;
+  declare vm prog.p_decls;
+  let frame = Frame.create ~p (frame_names vm prog) in
+  ignore
+    (Opt.run ~level:opt ~frame ~verify:true (Ir.of_block frame prog.p_body))
 
 (* ------------------------------------------------------------------ *)
 (* Engine-equivalence checks                                           *)

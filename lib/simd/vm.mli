@@ -101,10 +101,13 @@ type engine = [ `Tree_walk | `Compiled | `Parallel ]
     [opt] is the compiled-engine optimizer level (see [Compile.compile];
     default 1, ignored by the tree-walker) — every level is bit-identical
     to every other, only the wall-clock changes.
+    [verify] runs the IR verifier after every optimizer phase (compiled
+    engines only; see [Compile.compile]); raises [Verify.Error] on a
+    broken invariant.
     @raise Invalid_argument when [engine] is [`Parallel] and [jobs < 1]. *)
 val run :
-  ?fuel:int -> ?engine:engine -> ?jobs:int -> ?opt:int -> p:int ->
-  ?setup:(t -> unit) -> Ast.program -> t
+  ?fuel:int -> ?engine:engine -> ?jobs:int -> ?opt:int -> ?verify:bool ->
+  p:int -> ?setup:(t -> unit) -> Ast.program -> t
 
 (** The compiled engine's annotated IR for [prog] as JSON (the
     [--dump-ir] payload), without executing anything: lower against the
@@ -112,6 +115,18 @@ val run :
     [opt] (default 1), render with [Ir.to_json]. *)
 val dump_ir :
   ?opt:int -> p:int -> ?setup:(t -> unit) -> Ast.program -> Lf_obs.Json.t
+
+(** Per-phase variant (the [--dump-ir-phase] payload): the annotated IR
+    after each named [Opt] phase, in execution order ("lower" first). *)
+val dump_ir_phases :
+  ?opt:int -> p:int -> ?setup:(t -> unit) -> Ast.program ->
+  (string * Lf_obs.Json.t) list
+
+(** Standalone verification without executing: lower against the same
+    frame name table [run] would use and run the [Opt] pipeline at [opt]
+    with [Verify.check_ir] at every phase boundary.
+    @raise Verify.Error on a broken invariant. *)
+val verify_ir : ?opt:int -> p:int -> ?setup:(t -> unit) -> Ast.program -> unit
 
 (** Same variable table: same names, same entry kinds, equal values.
     Together with [Metrics.equal] this is the engine-equivalence oracle

@@ -25,9 +25,11 @@ let fuel = 20_000
 let ps = [ 0; 1; 5; 64; 1024 ]
 let jobs_sweep = [ 1; 2; 3; 7 ]
 
-let run_one ?jobs ?opt engine ~p prog : (Vm.t, string) result =
+let run_one ?jobs ?opt ?verify engine ~p prog : (Vm.t, string) result =
   match
-    Vm.run ~fuel ~engine ?jobs ?opt ~p ~setup:(Gen.simd_prog_setup ~p) prog
+    Vm.run ~fuel ~engine ?jobs ?opt ?verify ~p
+      ~setup:(Gen.simd_prog_setup ~p)
+      prog
   with
   | vm -> Ok vm
   | exception ((Errors.Runtime_error _ | Errors.Runtime_error_at _) as e) ->
@@ -57,21 +59,28 @@ let pair_agrees ~what ~prog a b =
         (Pretty.program_to_string prog)
 
 (* the optimizer sweep crosses the tree-walker against the compiled
-   engine at both optimizer levels, the two levels against each other,
-   and the parallel engine at -O0 (the -O1 parallel legs run the full
-   jobs sweep below) — fusion, fused reductions, scatter-accumulate and
-   scratch reuse must all be unobservable *)
+   engine at every optimizer level, the levels against each other, and
+   the parallel engine at -O0 (the -O1/-O2 parallel legs run the full
+   jobs sweep below) — fusion, fused reductions, scatter-accumulate,
+   scratch reuse, discharged bounds checks and sharded scatters must
+   all be unobservable.  The -O2 compiled leg runs under the verifier,
+   so every random program also checks the optimizer never emits IR the
+   verifier rejects. *)
 let prop_engines_equivalent prog =
   List.for_all
     (fun p ->
       let tree = run_one `Tree_walk ~p prog in
       let compiled0 = run_one ~opt:0 `Compiled ~p prog in
       let compiled = run_one ~opt:1 `Compiled ~p prog in
+      let compiled2 = run_one ~opt:2 ~verify:true `Compiled ~p prog in
       pair_agrees ~what:(Fmt.str "tree vs compiled -O1, p=%d" p) ~prog tree
         compiled
       && pair_agrees
            ~what:(Fmt.str "compiled -O0 vs -O1, p=%d" p)
            ~prog compiled0 compiled
+      && pair_agrees
+           ~what:(Fmt.str "compiled -O1 vs -O2+verify, p=%d" p)
+           ~prog compiled compiled2
       && pair_agrees
            ~what:(Fmt.str "parallel -O0 vs tree, p=%d jobs=3" p)
            ~prog tree
@@ -79,9 +88,14 @@ let prop_engines_equivalent prog =
       && List.for_all
            (fun jobs ->
              let par = run_one ~jobs ~opt:1 `Parallel ~p prog in
+             let par2 = run_one ~jobs ~opt:2 `Parallel ~p prog in
              pair_agrees
                ~what:(Fmt.str "tree vs parallel -O1, p=%d jobs=%d" p jobs)
-               ~prog tree par)
+               ~prog tree par
+             && pair_agrees
+                  ~what:
+                    (Fmt.str "tree vs parallel -O2, p=%d jobs=%d" p jobs)
+                  ~prog tree par2)
            jobs_sweep)
     ps
 
@@ -128,7 +142,7 @@ let t_float_sum_bitwise () =
                     (Int64.equal reference
                        (bits_of ~jobs ~opt `Parallel p name)))
                 [ 1; 2; 3; 7; 16 ])
-            [ 0; 1 ])
+            [ 0; 1; 2 ])
         [ "s"; "t" ])
     [ 1; 5; 64; 65; 128; 1000; 1024 ]
 
@@ -204,9 +218,11 @@ let t_nbforce_corpus () =
     Lf_kernels.Nbforce_src.run_simd ~engine:`Tree_walk prog mol pl ~p
   in
   List.iter
-    (fun (what, engine, jobs) ->
+    (fun (what, engine, jobs, opt) ->
       let f, m =
-        Lf_kernels.Nbforce_src.run_simd ~engine ?jobs prog mol pl ~p
+        Lf_kernels.Nbforce_src.run_simd ~engine ?jobs ?opt
+          ~verify:(opt = Some 2 && engine = `Compiled)
+          prog mol pl ~p
       in
       checkb (Fmt.str "NBFORCE %s metrics" what) (Metrics.equal m_tree m);
       checki (Fmt.str "NBFORCE %s force count" what) (Array.length f_tree)
@@ -219,9 +235,11 @@ let t_nbforce_corpus () =
                (Int64.bits_of_float x)))
         f)
     [
-      ("compiled", `Compiled, None);
-      ("parallel j1", `Parallel, Some 1);
-      ("parallel j4", `Parallel, Some 4);
+      ("compiled", `Compiled, None, None);
+      ("compiled -O2+verify", `Compiled, None, Some 2);
+      ("parallel j1", `Parallel, Some 1, None);
+      ("parallel j4", `Parallel, Some 4, None);
+      ("parallel -O2 j4", `Parallel, Some 4, Some 2);
     ]
 
 let suite =

@@ -14,6 +14,7 @@ let () =
       ("depend", Test_depend.suite);
       ("cfg", Test_cfg.suite);
       ("dataflow", Test_dataflow.suite);
+      ("range", Test_range.suite);
       ("lint", Test_lint.suite);
       ("parallel", Test_parallel.suite);
       ("normalize", Test_normalize.suite);
@@ -22,6 +23,7 @@ let () =
       ("pipeline", Test_pipeline.suite);
       ("simd-vm", Test_simd_vm.suite);
       ("opt", Test_opt.suite);
+      ("verify", Test_verify.suite);
       ("pool", Test_pool.suite);
       ("engines-diff", Test_engines_diff.suite);
       ("vm-trace", Test_vm_trace.suite);

@@ -12,10 +12,10 @@ module Ir = Lf_simd.Ir
 module Opt = Lf_simd.Opt
 module Vm = Lf_simd.Vm
 
-let ir_of ?(level = 1) ?(p = 4) src =
+let ir_of ?(level = 1) ?(p = 4) ?verify src =
   let prog = parse_program src in
   let frame = Lf_simd.Frame.create ~p (Lf_simd.Compile.var_names prog) in
-  Opt.run ~level (Ir.of_block frame prog.Ast.p_body)
+  Opt.run ~level ~frame ?verify (Ir.of_block frame prog.Ast.p_body)
 
 let rec unloc (s : Ir.stmt) =
   match s.Ir.s_node with Ir.LLoc (_, inner) -> unloc inner | _ -> s
@@ -161,17 +161,67 @@ let t_scratch_plan () =
   checki "-O0 leaves every site private" (-1) (rhs_of (nth b0 0)).Ir.x_scr
 
 (* ------------------------------------------------------------------ *)
-(* Targeted -O0/-O1 behavioural equalities                             *)
+(* -O2 annotation placement                                            *)
+(* ------------------------------------------------------------------ *)
+
+let t_range_annotations () =
+  let src =
+    "PROGRAM t\n\
+    \  PLURAL INTEGER i\n\
+    \  PLURAL REAL r\n\
+    \  REAL x(8)\n\
+    \  i = iproc\n\
+    \  r = x(i)\n\
+    \  x(i) = r + 1.0\n\
+    \  x(2) = r\n\
+     END"
+  in
+  let sub_of_gather s =
+    match (rhs_of s).Ir.x_node with
+    | Ir.XIdx (_, _, [ sub ]) -> sub
+    | _ -> Alcotest.fail "not a rank-1 gather"
+  in
+  let store_sub s =
+    match (unloc s).Ir.s_node with
+    | Ir.LAssign ({ Ir.l_index = [ sub ]; _ }, _) -> sub
+    | _ -> Alcotest.fail "not a rank-1 scatter"
+  in
+  let b = ir_of ~level:2 ~p:8 src in
+  (match (sub_of_gather (nth b 1)).Ir.x_range with
+  | Some iv ->
+      checks "gather subscript claims the iproc interval" "[1, 8]"
+        (Lf_analysis.Range.iv_to_string iv)
+  | None -> Alcotest.fail "gather subscript carries no claim at -O2");
+  (match (store_sub b.(2)).Ir.x_range with
+  | Some iv ->
+      checks "store subscript claims the iproc interval" "[1, 8]"
+        (Lf_analysis.Range.iv_to_string iv)
+  | None -> Alcotest.fail "store subscript carries no claim at -O2");
+  checkb "iproc-indexed scatter marked lane-disjoint" (nth b 2).Ir.s_par;
+  checkb "constant-indexed scatter never marked" (not (nth b 3).Ir.s_par);
+  (* -O1 leaves the -O2 annotations unset *)
+  let b1 = ir_of ~level:1 ~p:8 src in
+  checkb "-O1 sets no range claims"
+    ((sub_of_gather (nth b1 1)).Ir.x_range = None
+    && (store_sub b1.(2)).Ir.x_range = None);
+  checkb "-O1 marks no parallel scatters" (not (nth b1 2).Ir.s_par)
+
+(* ------------------------------------------------------------------ *)
+(* Targeted -O0/-O1/-O2 behavioural equalities                         *)
 (* ------------------------------------------------------------------ *)
 
 let check_levels ?setup name src =
   let prog = parse_program src in
   let go opt = Vm.run ~engine:`Compiled ~opt ~p:8 ?setup prog in
-  let a = go 0 and b = go 1 in
+  let a = go 0 and b = go 1 and c = go 2 in
   checkb (name ^ ": state -O0 = -O1") (Vm.state_equal a b);
   checkb
     (name ^ ": metrics -O0 = -O1")
-    (Lf_simd.Metrics.equal a.Vm.metrics b.Vm.metrics)
+    (Lf_simd.Metrics.equal a.Vm.metrics b.Vm.metrics);
+  checkb (name ^ ": state -O1 = -O2") (Vm.state_equal b c);
+  checkb
+    (name ^ ": metrics -O1 = -O2")
+    (Lf_simd.Metrics.equal b.Vm.metrics c.Vm.metrics)
 
 (* the direct-store fast path (v = a op b over resolved leaves) and
    every documented fallback: mixed int/real promotion, in-place
@@ -256,6 +306,7 @@ let suite =
     case "scatter-accumulate marking" t_scatter_accumulate;
     case "full-mask marking" t_full_mask;
     case "scratch planning shares dead buffers" t_scratch_plan;
+    case "-O2 range claims and parallel-scatter marks" t_range_annotations;
     case "direct-store shapes and fallbacks" t_direct_store_shapes;
     case "raising fused reduction never short-circuits"
       t_reduction_raises_like_o0;

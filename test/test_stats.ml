@@ -182,9 +182,12 @@ let prop_counters_deterministic prog =
       ("tree-walk", run_config `Tree_walk prog);
       ("compiled -O0", run_config ~opt:0 `Compiled prog);
       ("compiled -O1", run_config ~opt:1 `Compiled prog);
+      ("compiled -O2", run_config ~opt:2 `Compiled prog);
       ("parallel -O1 j1", run_config ~jobs:1 ~opt:1 `Parallel prog);
       ("parallel -O1 j2", run_config ~jobs:2 ~opt:1 `Parallel prog);
       ("parallel -O1 j7", run_config ~jobs:7 ~opt:1 `Parallel prog);
+      ("parallel -O2 j2", run_config ~jobs:2 ~opt:2 `Parallel prog);
+      ("parallel -O2 j7", run_config ~jobs:7 ~opt:2 `Parallel prog);
     ]
   in
   let name_ref, (ok_ref, counters_ref, _) = List.hd configs in
@@ -201,17 +204,82 @@ let prop_counters_deterministic prog =
           (Pretty.program_to_string prog)
           counters_ref counters)
     configs;
-  (* the [opt] section is jobs-invariant at a fixed -O level *)
+  (* the [opt] section is jobs-invariant at a fixed -O level — at -O2
+     that includes the discharge counters [opt.nocheck_runs],
+     [opt.bounds_checks_discharged] and [opt.par_scatter_runs], whose
+     recording sites must count claim applications on the control
+     thread, never per shard *)
   let opt_of name = match List.assoc name configs with _, _, o -> o in
-  let o1 = opt_of "compiled -O1" in
-  List.iter
-    (fun name ->
-      if opt_of name <> o1 then
-        QCheck.Test.fail_reportf
-          "compiled -O1 vs %s: opt section diverged on@.%s" name
-          (Pretty.program_to_string prog))
+  let check_opt ref_name others =
+    let o_ref = opt_of ref_name in
+    List.iter
+      (fun name ->
+        if opt_of name <> o_ref then
+          QCheck.Test.fail_reportf "%s vs %s: opt section diverged on@.%s"
+            ref_name name
+            (Pretty.program_to_string prog))
+      others
+  in
+  check_opt "compiled -O1"
     [ "parallel -O1 j1"; "parallel -O1 j2"; "parallel -O1 j7" ];
+  check_opt "compiled -O2" [ "parallel -O2 j2"; "parallel -O2 j7" ];
   true
+
+(* ------------------------------------------------------------------ *)
+(* The -O2 discharge counters on the flattened-loop shape              *)
+(* ------------------------------------------------------------------ *)
+
+(* a stride-8 flattened loop whose store provably stays in [1, n]: the
+   range phase discharges its bounds checks and proves the scatter
+   lane-disjoint, so every new [opt] counter moves — and must move by
+   the same amount on every engine and jobs count *)
+let flat_src =
+  "at1 = 1 + (iproc - 1)\n\
+   WHILE (any(at1 <= n))\n\
+  \  WHERE (at1 <= n)\n\
+  \    f(at1) = f(at1) + 1.0\n\
+  \    at1 = at1 + 8\n\
+  \  ENDWHERE\n\
+   ENDWHILE"
+
+let t_opt2_counters () =
+  let prog = Ast.program "flat" (Parser.block_of_string flat_src) in
+  let setup vm =
+    Vm.bind_scalar vm "n" (Values.VInt 8);
+    Vm.bind_global vm "f" (Values.AReal (Nd.create [| 8 |] 0.0))
+  in
+  let snapshot ?jobs engine =
+    Stats.reset ();
+    Stats.enable ();
+    ignore (Vm.run ~engine ?jobs ~opt:2 ~verify:true ~p:8 ~setup prog : Vm.t);
+    let v name = Stats.counter_value (Stats.counter ~section:Stats.Opt name) in
+    let r =
+      ( v "opt.nocheck_runs",
+        v "opt.bounds_checks_discharged",
+        v "opt.par_scatter_runs",
+        v "opt.par_scatter_sites",
+        v "opt.range_sites",
+        v "verify.phases",
+        v "verify.checks" )
+    in
+    Stats.disable ();
+    r
+  in
+  let (nruns, nchecks, pruns, psites, rsites, vphases, vchecks) as compiled =
+    snapshot `Compiled
+  in
+  checkb "bounds checks discharged" (nruns > 0 && nchecks > 0);
+  checki "one scatter site proven lane-disjoint" 1 psites;
+  checkb "the proven scatter executed" (pruns > 0);
+  checkb "range claims annotated" (rsites > 0);
+  checkb "the verifier checked every phase boundary" (vphases >= 8);
+  checkb "the verifier discharged checks" (vchecks > 0);
+  List.iter
+    (fun jobs ->
+      checkb
+        (Fmt.str "opt counters jobs-invariant at jobs=%d" jobs)
+        (snapshot ~jobs `Parallel = compiled))
+    [ 1; 2; 7 ]
 
 let t_determinism =
   qcheck_case ~count:60
@@ -233,5 +301,7 @@ let suite =
     case "mask-density bucketing" t_mask_bucket;
     case "JSON dump shape and key order" (clean t_dump_shape);
     case "disabled path is a no-op" (clean t_disabled_noop);
+    case "-O2 discharge counters move and are jobs-invariant"
+      (clean t_opt2_counters);
     t_determinism;
   ]
