@@ -1,0 +1,332 @@
+(** Well-formedness-preserving AST mutations.
+
+    Mutation works at the AST level, never on source text, so every
+    mutant parses by construction.  The operators preserve the
+    round-trip invariants the oracle relies on:
+
+    - integer constants stay in [0, 9] and real constants stay
+      non-negative multiples of 0.125 (a leading minus would reparse as
+      [EUn (Neg, _)] and trip the pretty-print/parse round-trip oracle);
+    - operator swaps stay inside their type class (arith -> arith,
+      comparison -> comparison, logic -> logic);
+    - inserted statements and replacement expressions draw from the
+      dialect's own vocabulary ([Lf_testgen.Gen]), so names stay bound
+      by the standard environment.
+
+    Mutants are allowed to *error* at runtime (out-of-bounds subscripts,
+    division by zero, dropped labels): error paths must agree across
+    engines too, and the oracle treats identical failures as agreement. *)
+
+open Lf_lang
+open Ast
+
+(* ------------------------------------------------------------------ *)
+(* Statement slots                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Every non-comment statement, at every nesting level, is a numbered
+   slot.  [edit_nth k f b] applies [f] to slot [k]; [f] returns the
+   replacement list (deletion, rewrite, or insertion-before). *)
+
+let rec count_stmts (b : block) = List.fold_left (fun n s -> n + stmt_slots s) 0 b
+
+and stmt_slots s =
+  match strip_loc s with
+  | SComment _ -> 0
+  | SDo (_, b) | SWhile (_, b) | SDoWhile (b, _) | SForall (_, b) ->
+      1 + count_stmts b
+  | SIf (_, t, f) | SWhere (_, t, f) -> 1 + count_stmts t + count_stmts f
+  | _ -> 1
+
+let edit_nth k (f : stmt -> stmt list) (b : block) : block =
+  let i = ref (-1) in
+  let rec go_block b = List.concat_map go_stmt b
+  and go_stmt s =
+    match strip_loc s with
+    | SComment _ as s -> [ s ]
+    | s ->
+        incr i;
+        if !i = k then f s
+        else
+          [
+            (match s with
+            | SDo (c, b) -> SDo (c, go_block b)
+            | SWhile (e, b) -> SWhile (e, go_block b)
+            | SDoWhile (b, e) -> SDoWhile (go_block b, e)
+            | SForall (c, b) -> SForall (c, go_block b)
+            | SIf (e, t, fb) -> SIf (e, go_block t, go_block fb)
+            | SWhere (e, t, fb) -> SWhere (e, go_block t, go_block fb)
+            | s -> s);
+          ]
+  in
+  go_block b
+
+(* ------------------------------------------------------------------ *)
+(* Expression slots                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Every expression node (including subexpressions) anywhere in the
+   block is a numbered slot. *)
+
+let rec expr_nodes e =
+  match e with
+  | EInt _ | EReal _ | EBool _ | EVar _ -> 1
+  | EUn (_, a) -> 1 + expr_nodes a
+  | EBin (_, a, b) | ERange (a, b) -> 1 + expr_nodes a + expr_nodes b
+  | EIdx (_, es) | ECall (_, es) ->
+      1 + List.fold_left (fun n e -> n + expr_nodes e) 0 es
+
+let stmt_exprs s =
+  let rec go s =
+    match strip_loc s with
+    | SAssign (lv, e) -> lv.lv_index @ [ e ]
+    | SDo (c, b) | SForall (c, b) ->
+        (c.d_lo :: c.d_hi :: Option.to_list c.d_step) @ block_exprs b
+    | SWhile (e, b) -> e :: block_exprs b
+    | SDoWhile (b, e) -> block_exprs b @ [ e ]
+    | SIf (e, t, f) | SWhere (e, t, f) ->
+        (e :: block_exprs t) @ block_exprs f
+    | SCall (_, args) -> args
+    | SCondGoto (e, _) -> [ e ]
+    | SGoto _ | SLabel _ | SComment _ | SLoc _ -> []
+  and block_exprs b = List.concat_map go b
+  in
+  go s
+
+let count_exprs (b : block) =
+  List.fold_left
+    (fun n s ->
+      n + List.fold_left (fun n e -> n + expr_nodes e) 0 (stmt_exprs s))
+    0 b
+
+(* Rewrite expression slot [k] with [f], threading a counter through the
+   whole block in the same (pre-order) numbering [count_exprs] uses. *)
+let map_nth_expr k (f : expr -> expr) (b : block) : block =
+  let i = ref (-1) in
+  let rec go_e e =
+    incr i;
+    if !i = k then f e
+    else if !i > k then e
+    else
+      match e with
+      | EInt _ | EReal _ | EBool _ | EVar _ -> e
+      | EUn (u, a) -> EUn (u, go_e a)
+      | EBin (op, a, b) ->
+          let a = go_e a in
+          EBin (op, a, go_e b)
+      | ERange (a, b) ->
+          let a = go_e a in
+          ERange (a, go_e b)
+      | EIdx (v, es) -> EIdx (v, List.map go_e es)
+      | ECall (v, es) -> ECall (v, List.map go_e es)
+  in
+  let go_ctl c =
+    let lo = go_e c.d_lo in
+    let hi = go_e c.d_hi in
+    { c with d_lo = lo; d_hi = hi; d_step = Option.map go_e c.d_step }
+  in
+  let rec go_s s =
+    match strip_loc s with
+    | SAssign (lv, e) ->
+        let index = List.map go_e lv.lv_index in
+        SAssign ({ lv with lv_index = index }, go_e e)
+    | SDo (c, b) ->
+        let c = go_ctl c in
+        SDo (c, go_b b)
+    | SForall (c, b) ->
+        let c = go_ctl c in
+        SForall (c, go_b b)
+    | SWhile (e, b) ->
+        let e = go_e e in
+        SWhile (e, go_b b)
+    | SDoWhile (b, e) ->
+        let b = go_b b in
+        SDoWhile (b, go_e e)
+    | SIf (e, t, f) ->
+        let e = go_e e in
+        let t = go_b t in
+        SIf (e, t, go_b f)
+    | SWhere (e, t, f) ->
+        let e = go_e e in
+        let t = go_b t in
+        SWhere (e, t, go_b f)
+    | SCall (n, args) -> SCall (n, List.map go_e args)
+    | SCondGoto (e, l) -> SCondGoto (go_e e, l)
+    | (SGoto _ | SLabel _ | SComment _) as s -> s
+    | SLoc _ -> assert false
+  and go_b b = List.map go_s b in
+  go_b b
+
+(* ------------------------------------------------------------------ *)
+(* The operators                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let swap_binop = function
+  | Add -> Sub
+  | Sub -> Add
+  | Mul -> Add
+  | Div -> Mul
+  | Mod -> Add
+  | Pow -> Mul
+  | Lt -> Le
+  | Le -> Gt
+  | Gt -> Ge
+  | Ge -> Eq
+  | Eq -> Ne
+  | Ne -> Lt
+  | And -> Or
+  | Or -> And
+
+let tweak_const rand e =
+  match e with
+  | EInt n -> EInt ((n + 1 + Random.State.int rand 9) mod 10)
+  | EReal x ->
+      let x = if Random.State.bool rand then x +. 0.25 else x -. 0.25 in
+      EReal (Float.max 0.0 x)
+  | EBool b -> EBool (not b)
+  | e -> e
+
+let swap_op e = match e with EBin (op, a, b) -> EBin (swap_binop op, a, b) | e -> e
+
+(* Dialect vocabularies: replacement leaves, guard conditions for
+   wrapping, and fresh statements for insertion.  Guards test variables
+   the standard environments always bind ([iproc] / [k]), so a wrap
+   never introduces an unbound name. *)
+
+let gen1 rand g = QCheck.Gen.generate1 ~rand g
+
+let leaf_expr rand = function
+  | Input.Simd ->
+      gen1 rand
+        QCheck.Gen.(
+          frequency
+            [
+              (3, map (fun n -> EInt n) (0 -- 9));
+              (2, map (fun v -> EVar v) Lf_testgen.Gen.simd_ivar);
+              (1, return (EVar "iproc"));
+              (1, return (EVar "n"));
+            ])
+  | Input.Nest ->
+      gen1 rand
+        QCheck.Gen.(
+          frequency
+            [
+              (3, map (fun n -> EInt n) (0 -- 9));
+              (2, oneofl [ EVar "i"; EVar "j"; EVar "k"; EVar "acc" ]);
+              (1, return (EIdx ("l", [ EVar "i" ])));
+            ])
+
+let guard_cond rand = function
+  | Input.Simd ->
+      EBin (Lt, EVar "iproc", EInt (Random.State.int rand 10))
+  | Input.Nest -> EBin (Lt, EVar "k", EInt (Random.State.int rand 10))
+
+let fresh_stmt rand = function
+  | Input.Simd -> gen1 rand (Lf_testgen.Gen.simd_stmt_ext_sized 1)
+  | Input.Nest -> gen1 rand Lf_testgen.Gen.nest_leaf_stmt
+
+let wrap_stmt rand dialect s =
+  match dialect with
+  | Input.Simd -> SWhere (guard_cond rand dialect, [ s ], [])
+  | Input.Nest -> SIf (guard_cond rand dialect, [ s ], [])
+
+let unwrap_stmt s =
+  match s with
+  | SDo (_, b) | SWhile (_, b) | SDoWhile (b, _) | SForall (_, b) -> Some b
+  | SIf (_, t, f) | SWhere (_, t, f) -> Some (t @ f)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* One mutation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type op =
+  | Delete
+  | Duplicate
+  | Insert
+  | Wrap
+  | Unwrap
+  | TweakConst
+  | SwapOp
+  | ReplaceExpr
+  | GrowExpr
+
+let ops =
+  [|
+    Delete; Duplicate; Insert; Wrap; Unwrap; TweakConst; SwapOp; ReplaceExpr;
+    GrowExpr;
+  |]
+
+let pick_stmt rand b =
+  let n = count_stmts b in
+  if n = 0 then None else Some (Random.State.int rand n)
+
+let pick_expr rand b =
+  let n = count_exprs b in
+  if n = 0 then None else Some (Random.State.int rand n)
+
+(* Apply one operator; [None] when it does not apply to this program
+   (empty body, no compound to unwrap, ...), in which case the driver
+   falls through to [Insert], which always applies. *)
+let apply_op rand dialect op (b : block) : block option =
+  match op with
+  | Delete ->
+      (* keep at least one statement: the empty program is legal but a
+         coverage dead end *)
+      if count_stmts b <= 1 then None
+      else
+        Option.map (fun k -> edit_nth k (fun _ -> []) b) (pick_stmt rand b)
+  | Duplicate ->
+      Option.map (fun k -> edit_nth k (fun s -> [ s; s ]) b) (pick_stmt rand b)
+  | Insert -> (
+      let s = fresh_stmt rand dialect in
+      match pick_stmt rand b with
+      | None -> Some [ s ]
+      | Some k -> Some (edit_nth k (fun s0 -> [ s; s0 ]) b))
+  | Wrap ->
+      Option.map
+        (fun k -> edit_nth k (fun s -> [ wrap_stmt rand dialect s ]) b)
+        (pick_stmt rand b)
+  | Unwrap -> (
+      match pick_stmt rand b with
+      | None -> None
+      | Some k ->
+          let hit = ref false in
+          let b' =
+            edit_nth k
+              (fun s ->
+                match unwrap_stmt s with
+                | Some body ->
+                    hit := true;
+                    body
+                | None -> [ s ])
+              b
+          in
+          if !hit then Some b' else None)
+  | TweakConst | SwapOp | ReplaceExpr | GrowExpr -> (
+      match pick_expr rand b with
+      | None -> None
+      | Some k ->
+          let f =
+            match op with
+            | TweakConst -> tweak_const rand
+            | SwapOp -> swap_op
+            | ReplaceExpr -> fun _ -> leaf_expr rand dialect
+            | _ -> fun e -> EBin (Add, e, leaf_expr rand dialect)
+          in
+          Some (map_nth_expr k f b))
+
+let mutate_block rand dialect b =
+  let op = ops.(Random.State.int rand (Array.length ops)) in
+  match apply_op rand dialect op b with
+  | Some b' -> b'
+  | None -> (
+      match apply_op rand dialect Insert b with Some b' -> b' | None -> b)
+
+(** Apply [n] random mutation operators (default 1). *)
+let mutate ?(n = 1) ~rand (i : Input.t) : Input.t =
+  let body = ref i.Input.prog.p_body in
+  for _ = 1 to n do
+    body := mutate_block rand i.Input.dialect !body
+  done;
+  { i with Input.prog = { i.Input.prog with p_body = !body } }

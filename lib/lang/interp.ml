@@ -133,9 +133,15 @@ let rec eval ctx (e : expr) : value =
   | EBool b -> VBool b
   | EVar v -> Env.find ctx.env v
   | EUn (op, a) -> lift_unop op (eval ctx a)
-  | EBin (op, a, b) -> lift_binop op (eval ctx a) (eval ctx b)
+  | EBin (op, a, b) ->
+      (* operands evaluate left to right on every engine: error order
+         (e.g. which undefined variable is reported) is observable *)
+      let va = eval ctx a in
+      let vb = eval ctx b in
+      lift_binop op va vb
   | ERange (lo, hi) ->
-      let lo = as_int (eval ctx lo) and hi = as_int (eval ctx hi) in
+      let lo = as_int (eval ctx lo) in
+      let hi = as_int (eval ctx hi) in
       VArr (AInt (Nd.of_array (Array.init (max 0 (hi - lo + 1)) (fun i -> lo + i))))
   | ECall (name, args) -> eval_call ctx name args
   | EIdx (name, args) -> (
@@ -168,7 +174,9 @@ and eval_index ctx a args : value =
 
 and eval_sel ctx (e : expr) : index_sel =
   match e with
-  | ERange (lo, hi) -> `Range (as_int (eval ctx lo), as_int (eval ctx hi))
+  | ERange (lo, hi) ->
+      let lo = as_int (eval ctx lo) in
+      `Range (lo, as_int (eval ctx hi))
   | e -> `One (as_int (eval ctx e))
 
 (* ------------------------------------------------------------------ *)
@@ -346,12 +354,21 @@ let declare ctx (decls : decl list) =
 
 (** Run a program.  [params] are seeded into the environment before
     declaration processing, so they can appear in array bounds. *)
+(* A [Jump] that reaches the program's outermost block names a label
+   that is not visible from the GOTO (labels resolve in the executing
+   block and its enclosing blocks only); surface it as an ordinary
+   runtime error rather than leaking the internal control exception. *)
+let exec_top ctx (b : block) =
+  try exec_block ctx b
+  with Jump lbl ->
+    Errors.runtime_error "GOTO %s: label not visible from this statement" lbl
+
 let run ?(params = []) ?fuel ?(setup = fun _ -> ()) (p : program) =
   let ctx = create ?fuel () in
   List.iter (fun (k, v) -> Env.set ctx.env k v) params;
   setup ctx;
   declare ctx p.p_decls;
-  exec_block ctx p.p_body;
+  exec_top ctx p.p_body;
   ctx
 
 (** Run a bare block against a fresh context. *)
@@ -359,5 +376,5 @@ let run_block ?(params = []) ?fuel ?(setup = fun _ -> ()) (b : block) =
   let ctx = create ?fuel () in
   List.iter (fun (k, v) -> Env.set ctx.env k v) params;
   setup ctx;
-  exec_block ctx b;
+  exec_top ctx b;
   ctx

@@ -264,6 +264,19 @@ let section_members sec =
   Mutex.unlock reg_mu;
   List.sort (fun a b -> compare (metric_name a) (metric_name b)) ms
 
+let metric_int_value = function
+  | MCounter c -> c.c_v
+  | MGauge g -> int_of_float g.g_v
+  | MTimer t -> t.t_count
+  | MSharded s -> merged_value s
+
+let snapshot ?(sections = [ Counters; Opt ]) () =
+  List.concat_map
+    (fun sec ->
+      List.map (fun m -> (metric_name m, metric_int_value m))
+        (section_members sec))
+    sections
+
 let schema_version = 1
 
 let to_json () =

@@ -134,6 +134,16 @@ val mask_counter : active:int -> p:int -> counter
 (* Reporting                                                           *)
 (* ------------------------------------------------------------------ *)
 
+val snapshot : ?sections:section list -> unit -> (string * int) list
+(** A flat, name-sorted [(name, value)] view of the registry restricted
+    to [sections] (default [[Counters; Opt]], i.e. the deterministic
+    sections).  Values are the natural integer reading of each metric:
+    counter value, timer span count, sharded merged value, truncated
+    gauge.  This is the fuzzer's coverage signal: an input is
+    "interesting" when it makes a counter nonzero that no earlier input
+    reached (new opcode dispatched, new mask-density bucket, new
+    optimizer annotation or optimized path). *)
+
 val to_json : unit -> Json.t
 (** The full registry as one JSON object:
     [{"version": 1, "stability": {...}, "counters": {...},

@@ -673,10 +673,34 @@ let record_stats (b : block) ~sites ~groups =
 let phases = [ "lower"; "fold"; "fuse"; "accum"; "fullmask"; "scratch";
                "range"; "parscatter" ]
 
+(* Test-only fault injection (the fuzzer's acceptance check and the
+   verifier suite drive it): when set to a phase name, the pipeline
+   deliberately mis-annotates the IR right after that phase runs —
+   claiming every statement's context mask is full, the canonical
+   "buggy fullmask pass".  Under [?verify] the injected corruption is
+   caught at the same phase boundary; without it, the emitter trusts
+   the claim and the engines observably diverge under any non-full
+   WHERE mask.  Always [None] in production. *)
+let chaos_phase : string option ref = ref None
+
+let rec chaos_corrupt (s : stmt) =
+  s.s_full <- true;
+  match s.s_node with
+  | LLoc (_, inner) -> chaos_corrupt inner
+  | LIf (_, t, f) | LWhere (_, t, f) ->
+      Array.iter chaos_corrupt t;
+      Array.iter chaos_corrupt f
+  | LWhile (_, b) | LDoWhile (b, _) | LDo (_, _, _, _, _, b) ->
+      Array.iter chaos_corrupt b
+  | LNop | LAssign _ | LScall _ | LGoto -> ()
+
 let run ~level ~(frame : Frame.t) ?(verify = false) ?dump (b : block) : block
     =
   let phase name f =
     f ();
+    (match !chaos_phase with
+    | Some p when p = name -> Array.iter chaos_corrupt b
+    | _ -> ());
     (match dump with Some d -> d name b | None -> ());
     if verify then Verify.check_ir ~frame ~phase:name b
   in

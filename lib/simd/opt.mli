@@ -41,3 +41,11 @@ val run :
   ?dump:(string -> Ir.block -> unit) ->
   Ir.block ->
   Ir.block
+
+val chaos_phase : string option ref
+(** Test-only fault injection: when set to a phase name, [run]
+    deliberately mis-annotates the IR after that phase (it marks every
+    statement [Ir.s_full], the canonical buggy mask-simplification
+    pass).  The fuzzer's acceptance test sets this to prove the
+    differential oracles catch — and the reducer minimizes — a broken
+    optimizer phase.  Must be [None] outside tests. *)

@@ -200,7 +200,8 @@ let rec eval vm ~(mask : bool array) (e : expr) : Pval.t =
   | EReal f -> Pval.FScalar (VReal f)
   | EBool b -> Pval.FScalar (VBool b)
   | ERange (lo, hi) -> (
-      let lo = front_int vm ~mask lo and hi = front_int vm ~mask hi in
+      let lo = front_int vm ~mask lo in
+      let hi = front_int vm ~mask hi in
       (* [1:P]-style ranges of exactly P elements denote plural vectors
          (Figure 7's i = [1,5]); other ranges are front-end arrays *)
       let n = max 0 (hi - lo + 1) in
@@ -214,8 +215,11 @@ let rec eval vm ~(mask : bool array) (e : expr) : Pval.t =
   | EUn (op, a) ->
       Pval.lift1 ~mask (Interp.apply_unop op) (eval vm ~mask a)
   | EBin (op, a, b) ->
-      Pval.lift2 ~mask (Interp.apply_binop op) (eval vm ~mask a)
-        (eval vm ~mask b)
+      (* left to right, matching the compiled engine: error order (which
+         undefined variable is reported first) is observable *)
+      let va = eval vm ~mask a in
+      let vb = eval vm ~mask b in
+      Pval.lift2 ~mask (Interp.apply_binop op) va vb
   | ECall (name, args) -> eval_call vm ~mask name args
   | EIdx (name, args) -> (
       match find_opt vm name with

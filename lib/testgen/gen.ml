@@ -349,7 +349,16 @@ let simd_prog_setup ~p:_ vm =
   Lf_simd.Vm.bind_global vm "h"
     (Values.AReal
        (Nd.of_array (Array.init simd_global_n (fun i -> 0.5 *. float_of_int (i + 1)))));
-  Lf_simd.Vm.bind_plural_arr vm "f" Ast.TInt [| 3 |]
+  Lf_simd.Vm.bind_plural_arr vm "f" Ast.TInt [| 3 |];
+  (* the extended generators' external subroutine and pure function:
+     [tally] exercises the LScall path (kept serial by the parallel
+     engine), [sq] the pure per-lane call path *)
+  Lf_simd.Vm.register_proc vm "tally" (fun _vm ~mask:_ _args -> ());
+  Lf_simd.Vm.register_func vm ~pure:true "sq" (fun vs ->
+      match vs with
+      | [ Values.VInt n ] -> Values.VInt (n * n)
+      | [ v ] -> v
+      | _ -> Values.VInt 0)
 
 let exec_setup (en : exec_nest) ctx =
   let maxl = Array.fold_left max 1 en.l in
@@ -357,6 +366,168 @@ let exec_setup (en : exec_nest) ctx =
   Env.set ctx.Interp.env "acc" (Values.VInt 0);
   Env.set ctx.Interp.env "l" (Values.VArr (Values.AInt (Nd.of_array en.l)));
   Env.set ctx.Interp.env "x"
-    (Values.VArr (Values.AInt (Nd.create [| en.k; maxl |] 0)))
+    (Values.VArr (Values.AInt (Nd.create [| en.k; maxl |] 0)));
+  (* external subroutine used by CALL-bearing nests; its invocations are
+     recorded in the interpreter's observation trace *)
+  Interp.register_proc ctx "tick" (fun _ctx _args -> ())
 
 let exec_observables = [ "x"; "acc" ]
+
+(* ------------------------------------------------------------------ *)
+(* Extended front-end nests: GOTO loops and CALLs                      *)
+(* ------------------------------------------------------------------ *)
+
+(** The dusty-deck GOTO-loop rendering of the outer counted loop, in the
+    exact shape [Lf_analysis.Loop_info.restructure_gotos] recognizes:
+
+    {v
+      i = 1
+      10 IF (i > k) GOTO 20
+        <inner>
+        i = i + 1
+        GOTO 10
+      20 CONTINUE
+    v}
+
+    The current [exec_nest_gen] never emits labels, so GOTO programs
+    exercise the restructuring front of the pipeline (and the lint's
+    irregular-control rules) only through this generator. *)
+let goto_outer inner =
+  [
+    Ast.assign "i" (EInt 1);
+    SLabel "10";
+    SCondGoto (EBin (Gt, EVar "i", EVar "k"), "20");
+  ]
+  @ inner
+  @ [
+      Ast.assign "i" (EBin (Add, EVar "i", EInt 1));
+      SGoto "10";
+      SLabel "20";
+    ]
+
+(** A statement the plain generator never produces: an external CALL.
+    [exec_setup] registers the subroutine, and the interpreter records
+    every invocation in the observation trace, so translation validation
+    compares call sequences too. *)
+let call_stmt =
+  let* nargs = 0 -- 2 in
+  let args =
+    match nargs with
+    | 0 -> []
+    | 1 -> [ EVar "i" ]
+    | _ -> [ EVar "i"; EVar "j" ]
+  in
+  return (SCall ("tick", args))
+
+(** Leaf statements over the nest vocabulary (used by mutation inserts
+    as well as the extended bodies below). *)
+let nest_leaf_stmt =
+  frequency
+    [
+      ( 3,
+        return
+          (SAssign
+             ( { lv_name = "x"; lv_index = [ EVar "i"; EVar "j" ] },
+               EBin (Add, EVar "i", EVar "j") )) );
+      ( 2,
+        return
+          (SAssign
+             ( { lv_name = "acc"; lv_index = [] },
+               EBin (Add, EVar "acc", EVar "i") )) );
+      (1, call_stmt);
+    ]
+
+(** Extended executable nests: the [exec_nest_gen] class plus GOTO-loop
+    outer renderings and CALL-bearing bodies. *)
+let exec_nest_ext_gen =
+  let* en = exec_nest_gen in
+  let* style = 0 -- 2 in
+  match style with
+  | 0 -> return en (* plain, as before *)
+  | 1 ->
+      (* reroll the outer loop as a dusty-deck GOTO loop *)
+      let inner =
+        match en.src_block with
+        | [ SDo (_, inner) ] -> inner
+        | [ _; SWhile (_, body) ] ->
+            (* drop the explicit counter bump: the GOTO shape has its own *)
+            List.filter
+              (fun s ->
+                match s with
+                | SAssign ({ lv_name = "i"; _ }, _) -> false
+                | _ -> true)
+              body
+        | b -> b
+      in
+      return { en with src_block = goto_outer inner }
+  | _ ->
+      (* sprinkle a CALL into the innermost body *)
+      let* call = call_stmt in
+      let rec add_call = function
+        | SDo (c, b) -> SDo (c, inject b)
+        | SWhile (c, b) -> SWhile (c, inject b)
+        | SForall (c, b) -> SForall (c, inject b)
+        | s -> s
+      and inject b =
+        if List.exists (function SDo _ | SWhile _ | SForall _ -> true | _ -> false) b
+        then List.map add_call b
+        else call :: b
+      in
+      return { en with src_block = List.map add_call en.src_block }
+
+(* ------------------------------------------------------------------ *)
+(* Extended SIMD programs: CALLs, FORALL, deeper WHERE nesting         *)
+(* ------------------------------------------------------------------ *)
+
+(** Integer expressions that may also apply the registered pure function
+    [sq] (see [simd_prog_setup]). *)
+let iexpr_ext_sized n =
+  if n <= 0 then iexpr_sized 0
+  else
+    frequency
+      [
+        (4, iexpr_sized n);
+        (1, map (fun a -> ECall ("sq", [ a ])) (iexpr_sized (n - 1)));
+      ]
+
+(** One extended statement: everything [simd_stmt_sized] produces, plus
+    subroutine CALLs (the [LScall] path, serialized by the parallel
+    engine) and FORALL loops over a small constant range — constructs
+    the plain generator never emits. *)
+let rec simd_stmt_ext_sized n =
+  let leaf =
+    frequency
+      [
+        (6, simd_stmt_sized 0);
+        (1, map (fun e -> SCall ("tally", [ e ])) (iexpr_ext_sized 1));
+        (1, map2 (fun v e -> SAssign (simd_lv v [], e)) simd_ivar
+             (iexpr_ext_sized 2));
+      ]
+  in
+  if n <= 0 then leaf
+  else
+    let blk = list_size (1 -- 3) (simd_stmt_ext_sized (n - 1)) in
+    frequency
+      [
+        (4, leaf);
+        (2, map3 (fun c t f -> SWhere (c, t, f)) simd_bexpr blk blk);
+        (1, map3 (fun c t f -> SIf (c, t, f)) simd_bexpr blk blk);
+        ( 1,
+          map2
+            (fun c b -> SForall (do_control "e" (EInt 1) (EInt (1 + c)), b))
+            (0 -- 2) blk );
+        ( 1,
+          map2
+            (fun c b -> SDo (do_control "d" (EInt 1) (EInt (1 + c)), b))
+            (0 -- 3) blk );
+      ]
+
+(** Extended SIMD programs: the [simd_prog_gen] prologue and while-any
+    loops, with deeper ([<= 3] level) FORALL/WHERE nesting, CALLs and
+    [sq] applications mixed in. *)
+let simd_prog_ext_gen =
+  let* base = simd_prog_gen in
+  let* extra = list_size (1 -- 3) (simd_stmt_ext_sized 3) in
+  (* appended after the while-any epilogue: the extended statements never
+     touch the wcN counters, so loop termination is preserved *)
+  return { base with Ast.p_body = base.Ast.p_body @ extra }

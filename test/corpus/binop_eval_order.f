@@ -1,0 +1,11 @@
+! simdfuzz dialect=simd
+! Found by simdfuzz (seed 7 campaign): with several undefined variables
+! in one expression, the engines disagreed on WHICH one the runtime
+! error named.  The tree-walker and the scalar interpreter passed both
+! operands of a binary op as function arguments, which OCaml evaluates
+! right to left; the compiled engine evaluates left to right.  Operand
+! order is observable on the error path, so all engines now evaluate
+! left to right: every leg must report v, never u.
+PROGRAM repro
+  w = v * (v + u)
+END

@@ -1,0 +1,17 @@
+! simdfuzz dialect=simd
+! Historical bug: reductions evaluated under an everywhere-false WHERE
+! mask disagreed between the tree-walker and the compiled engine on the
+! witness value (empty MAXVAL/MINVAL) and on whether the assignment
+! happened at all.  iproc < 1 is false on every lane, so each reduction
+! below runs under the empty mask on every engine leg.
+PROGRAM repro
+  u = iproc
+  r = iproc * 0.5
+  s = 0
+  WHERE (iproc < 1)
+    s = maxval(u)
+    s = minval(u)
+    s = sum(u)
+    r = sum(r)
+  ENDWHERE
+END

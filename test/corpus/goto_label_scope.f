@@ -1,0 +1,19 @@
+! simdfuzz dialect=nest
+! Found by simdfuzz (statement-wrap mutation): a GOTO whose target
+! label sits inside another block's body.  Labels resolve in the
+! executing block and its enclosing blocks only, so the jump is
+! unresolvable — the interpreter used to leak its internal Jump
+! control exception out of Interp.run instead of reporting a runtime
+! error.  Keep replaying it: the verdict must stay an ordinary
+! located error, never a crash.
+PROGRAM repro
+  i = 0
+  IF (k < 1) THEN
+10  CONTINUE
+  ENDIF
+  IF (i > k) GOTO 20
+  j = 1
+  i = i + 1
+  GOTO 10
+20 CONTINUE
+END

@@ -1,0 +1,11 @@
+! simdfuzz dialect=simd
+! Historical bug: the -O2 value-range analysis scaled interval bounds
+! with a lower bound that was wrong for negated/descending affine
+! subscripts, so a bounds check was discharged that -O0 still (rightly)
+! failed: the engines then differed in error behavior.  10 - 2*iproc
+! walks out of g's [1..8] domain from below once p >= 5; the error must
+! be identical at every optimizer level.
+PROGRAM repro
+  u = iproc * 2
+  g(10 - u) = u
+END

@@ -1,0 +1,13 @@
+! simdfuzz dialect=simd
+! Historical bug: Values.equal_value compared REAL array elements by
+! |a - b| < eps only, so identical non-finite elements (inf, nan)
+! compared UNEQUAL (their difference is nan) and the differential
+! harness reported a phantom state divergence.  Fixed by trying
+! Float.equal first.  This input stores inf and nan into the global h
+! and reduces over them, so every engine-equivalence check walks the
+! non-finite comparison path.
+PROGRAM repro
+  r = 1.0 / 0.0
+  h(mod(iproc, 8) + 1) = r - r
+  s = sum(r)
+END

@@ -1,0 +1,7 @@
+      PROGRAM sweep
+      DO i = 1, n
+        DO j = 1, m
+          a(i) = a(i-1) + b(j)
+        ENDDO
+      ENDDO
+      END

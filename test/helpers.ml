@@ -2,6 +2,11 @@
 
 open Lf_lang
 
+(** The shared program generators now live in [lib/testgen] so the
+    fuzzer ([lib/fuzz]) can drive them too; this alias keeps the
+    suite's historical [Gen.*] references working unchanged. *)
+module Gen = Lf_testgen.Gen
+
 let check = Alcotest.check
 let checkb msg b = Alcotest.check Alcotest.bool msg true b
 let checki = Alcotest.check Alcotest.int

@@ -277,3 +277,229 @@ let suite =
       t_engines_agree_flat;
       t_engines_agree_naive;
     ]
+
+(* ------------------------------------------------------------------ *)
+(* The lf_fuzz subsystem itself: oracle battery, campaign driver,      *)
+(* reducer, fault injection and the persisted regression corpus        *)
+(* ------------------------------------------------------------------ *)
+
+module Input = Lf_fuzz.Input
+module Oracle = Lf_fuzz.Oracle
+module Fuzz = Lf_fuzz.Fuzz
+module Reduce = Lf_fuzz.Reduce
+
+let verdict_name = function
+  | Oracle.Pass -> "pass"
+  | Oracle.Fuel -> "fuel"
+  | Oracle.Fail { oracle; detail } -> Fmt.str "FAIL [%s] %s" oracle detail
+
+let contains_sub = Astring_contains.contains
+
+(* every checked-in reproducer must replay clean: these are minimized
+   witnesses of fixed bugs, so a Fail here is a regression *)
+let t_corpus_replay =
+  case "regression corpus replays clean" (fun () ->
+      let files =
+        Sys.readdir "corpus" |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".f")
+        |> List.sort compare
+      in
+      checkb "corpus has the seeded reproducers" (List.length files >= 4);
+      List.iter
+        (fun f ->
+          match Input.of_file (Filename.concat "corpus" f) with
+          | Error m -> Alcotest.failf "%s failed to parse: %s" f m
+          | Ok i -> (
+              match (Oracle.run i).Oracle.verdict with
+              | Oracle.Pass | Oracle.Fuel -> ()
+              | Oracle.Fail _ as v ->
+                  Alcotest.failf "%s regressed: %s" f (verdict_name v)))
+        files)
+
+(* a campaign is a pure function of its seed: same seed, same report *)
+let t_campaign_deterministic =
+  case "campaign is deterministic for a fixed seed" (fun () ->
+      let cfg = { Fuzz.default_config with seed = 11; count = 40 } in
+      let digest (r : Fuzz.report) =
+        ( r.Fuzz.r_executed,
+          r.Fuzz.r_coverage,
+          r.Fuzz.r_fuel_outs,
+          r.Fuzz.r_coverage_log,
+          List.map Input.to_string r.Fuzz.r_corpus,
+          List.map
+            (fun f -> (f.Fuzz.f_oracle, f.Fuzz.f_detail))
+            r.Fuzz.r_failures )
+      in
+      let r1 = digest (Fuzz.run cfg) and r2 = digest (Fuzz.run cfg) in
+      checkb "identical reports" (r1 = r2);
+      let _, cov, _, log, corpus, _ = r1 in
+      checkb "campaign accumulated coverage" (cov > 0);
+      checkb "campaign kept coverage-increasing inputs" (corpus <> []);
+      checkb "coverage log covers every step" (List.length log = 40))
+
+(* the ISSUE's acceptance test: with a deliberately broken optimizer
+   phase the campaign finds a failure and the reducer shrinks the
+   reproducer to at most 10 statements *)
+let t_chaos_phase_found_and_minimized =
+  case "broken optimizer phase is found and minimized" (fun () ->
+      let uninstall = Fuzz.install_chaos "fullmask" in
+      Fun.protect ~finally:uninstall (fun () ->
+          let cfg =
+            {
+              Fuzz.default_config with
+              seed = 7;
+              count = 60;
+              minimize = true;
+              dialects = [ Input.Simd ];
+            }
+          in
+          let r = Fuzz.run cfg in
+          let hits =
+            List.filter (fun f -> f.Fuzz.f_oracle = "verify-ir")
+              r.Fuzz.r_failures
+          in
+          checkb "the mis-annotation was caught within 60 inputs"
+            (hits <> []);
+          List.iter
+            (fun f ->
+              match f.Fuzz.f_minimized with
+              | None -> Alcotest.fail "failure was not minimized"
+              | Some m ->
+                  let n = Input.stmt_count m in
+                  checkb
+                    (Fmt.str "minimized to <= 10 statements (got %d)" n)
+                    (n <= 10))
+            hits);
+      (* with the fault removed the same campaign must come back clean *)
+      let r' =
+        Fuzz.run
+          {
+            Fuzz.default_config with
+            seed = 7;
+            count = 60;
+            dialects = [ Input.Simd ];
+          }
+      in
+      checkb "clean campaign after uninstalling the fault"
+        (r'.Fuzz.r_failures = []))
+
+(* same discipline for a broken oracle: a bad verdict — even from a
+   deliberately wrong oracle — is reported and minimized normally *)
+let t_chaos_oracle_found_and_minimized =
+  case "broken oracle verdicts are caught and minimized" (fun () ->
+      let uninstall = Fuzz.install_chaos "oracle" in
+      Fun.protect ~finally:uninstall (fun () ->
+          let cfg =
+            {
+              Fuzz.default_config with
+              seed = 7;
+              count = 60;
+              minimize = true;
+            }
+          in
+          let r = Fuzz.run cfg in
+          let hits =
+            List.filter (fun f -> f.Fuzz.f_oracle = "chaos-oracle")
+              r.Fuzz.r_failures
+          in
+          checkb "the broken oracle fired" (hits <> []);
+          List.iter
+            (fun f ->
+              match f.Fuzz.f_minimized with
+              | None -> Alcotest.fail "failure was not minimized"
+              | Some m ->
+                  checkb "shrunk to a bare WHERE skeleton"
+                    (Input.stmt_count m <= 2);
+                  checkb "the minimized repro still has the WHERE"
+                    (match Fuzz.broken_where_oracle m with
+                    | Oracle.Fail _ -> true
+                    | _ -> false))
+            hits))
+
+let t_chaos_unknown_target =
+  case "unknown chaos targets are rejected" (fun () ->
+      Alcotest.check_raises "invalid_arg"
+        (Invalid_argument "unknown chaos target: nonsense") (fun () ->
+          let _uninstall = Fuzz.install_chaos "nonsense" in
+          ()))
+
+(* a diverging input must yield the distinct Fuel verdict, not a
+   failure: non-termination of a random program is not a bug finding *)
+let t_fuel_guard =
+  case "diverging inputs get the Fuel verdict" (fun () ->
+      let src =
+        "! simdfuzz dialect=nest\n\
+         PROGRAM spin\n\
+         10 CONTINUE\n\
+         acc = acc + 1\n\
+         GOTO 10\n\
+         END\n"
+      in
+      match Input.of_string src with
+      | Error m -> Alcotest.fail m
+      | Ok i -> (
+          match (Oracle.run ~fuel:2_000 i).Oracle.verdict with
+          | Oracle.Fuel -> ()
+          | v -> Alcotest.failf "expected Fuel, got %s" (verdict_name v)))
+
+(* inputs survive the print/parse trip through the corpus format *)
+let t_input_roundtrip =
+  case "corpus serialization round-trips dialect and program" (fun () ->
+      let rand = Random.State.make [| 3 |] in
+      List.iter
+        (fun d ->
+          for _ = 1 to 20 do
+            let i = Fuzz.fresh_input rand d in
+            match Input.of_string (Input.to_string i) with
+            | Error m -> Alcotest.fail m
+            | Ok i' ->
+                checkb "dialect preserved" (i'.Input.dialect = d);
+                checks "program preserved"
+                  (Pretty.program_to_string i.Input.prog)
+                  (Pretty.program_to_string i'.Input.prog)
+          done)
+        [ Input.Simd; Input.Nest ])
+
+(* the reducer only ever shrinks, and its result still satisfies the
+   caller's predicate *)
+let t_reducer_shrinks =
+  case "reducer output is smaller and still failing" (fun () ->
+      let rand = Random.State.make [| 5 |] in
+      for _ = 1 to 15 do
+        let i = Fuzz.fresh_input rand Input.Simd in
+        (* an artificial predicate: program mentions iproc at all *)
+        let check i' = contains_sub (Input.to_string i') "iproc" in
+        if check i then begin
+          let m = Reduce.minimize ~check i in
+          checkb "still satisfies the predicate" (check m);
+          checkb "did not grow" (Input.stmt_count m <= Input.stmt_count i)
+        end
+      done)
+
+(* the dune fuzz-smoke rule ran the chaos campaign through the real CLI
+   before this binary started; its captured transcript must show the
+   failure being found and shrunk *)
+let t_chaos_cli_transcript =
+  case "chaos CLI transcript shows find + minimize" (fun () ->
+      let ic = open_in "fuzz_chaos.txt" in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      let mem = contains_sub s in
+      checkb "a chaos-oracle failure was reported" (mem "[chaos-oracle]");
+      checkb "the reducer ran" (mem "minimized to");
+      checkb "the summary line is present" (mem "simdfuzz:"))
+
+let suite =
+  suite
+  @ [
+      t_corpus_replay;
+      t_campaign_deterministic;
+      t_chaos_phase_found_and_minimized;
+      t_chaos_oracle_found_and_minimized;
+      t_chaos_unknown_target;
+      t_fuel_guard;
+      t_input_roundtrip;
+      t_reducer_shrinks;
+      t_chaos_cli_transcript;
+    ]

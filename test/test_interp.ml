@@ -115,10 +115,24 @@ let t_goto () =
 |}
   in
   checki "goto loop" 30 (geti ctx "s");
-  (* jump to an undefined label propagates *)
-  match run "GOTO 99" with
-  | exception Interp.Jump "99" -> ()
-  | _ -> Alcotest.fail "expected unresolved jump"
+  (* a jump to a label that is not visible from the executing statement
+     is an ordinary runtime error, never an escaped control exception *)
+  (match run "GOTO 99" with
+  | exception Errors.Runtime_error m ->
+      checkb "names the label" (Astring_contains.contains m "99")
+  | _ -> Alcotest.fail "expected a runtime error");
+  match
+    run
+      {|
+  i = 0
+  IF (i > 1) THEN
+30 CONTINUE
+  ENDIF
+  GOTO 30
+|}
+  with
+  | exception (Errors.Runtime_error _ | Errors.Runtime_error_at _) -> ()
+  | _ -> Alcotest.fail "expected a runtime error for an out-of-scope label"
 
 let t_procs () =
   let calls = ref [] in
