@@ -36,6 +36,32 @@ let example_nest_src =
   ENDDO
 |}
 
+(* The small repeat workload for the program-cache study: a handful of
+   vector statements, so the parse -> lower -> optimize front end
+   dominates a cold run and the cache's warm path has the most to
+   amortize — the shape of a fuzz/bench sweep re-running one source
+   across a grid. *)
+let small_src =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "PROGRAM resweep\n";
+  Buffer.add_string b "  u = iproc * 3\n";
+  Buffer.add_string b "  r = u * 0.5\n";
+  Buffer.add_string b "  s = u - u\n";
+  for i = 1 to 8 do
+    Buffer.add_string b
+      (Printf.sprintf "  t%d = (u + %d) * (u - %d) + iproc * %d\n" i i i
+         (i + 1));
+    Buffer.add_string b
+      (Printf.sprintf "  WHERE (t%d > %d * 2 + 1)\n" i i);
+    Buffer.add_string b (Printf.sprintf "    s = s + t%d - %d\n" i i);
+    Buffer.add_string b (Printf.sprintf "    r = r + t%d * 0.25\n" i);
+    Buffer.add_string b "  ENDWHERE\n"
+  done;
+  Buffer.add_string b "END\n";
+  Buffer.contents b
+
+let small_p = 64
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
@@ -245,6 +271,16 @@ let engine_tests () =
       (Staged.stage (run_example ~opt:0 `Compiled));
     Test.make ~name:"vm example naive (parallel j4)"
       (Staged.stage (run_example ~jobs:4 `Parallel));
+    (* the program cache: the same small source re-run from text, once
+       paying the full front end every iteration and once through a
+       shared cache (the first iteration fills it, the rest are warm) *)
+    Test.make ~name:"vm repeat small (run_src cold)"
+      (Staged.stage (fun () ->
+           Lf_simd.Vm.run_src ~engine:`Compiled ~p:small_p small_src));
+    (let cache = Lf_simd.Progcache.create () in
+     Test.make ~name:"vm repeat small (run_src warm)"
+       (Staged.stage (fun () ->
+            Lf_simd.Vm.run_src ~engine:`Compiled ~cache ~p:small_p small_src)));
   ]
 
 (* The --jobs sweep: flat NBFORCE at MasPar scale (p = 4096) on the
@@ -620,6 +656,49 @@ let run_rangeopt_overhead ppf ~rounds =
     (Printf.sprintf "scatter stride (parallel j4, p=%d)" engine_p)
     (fun ~opt () -> scatter ~jobs:4 ~opt `Parallel ())
 
+(* Paired cold-vs-warm measurement (--cache-overhead): same paired
+   interleaved best-of-N methodology.  Each round runs the small repeat
+   workload once from source with no cache (full parse -> lower ->
+   optimize front end) and once through a shared pre-filled cache (warm:
+   MD5 lookup + pooled frame + straight to emission).  Execution is
+   bit-identical between the arms, so the total-time ratio is a LOWER
+   bound on the front-end-overhead ratio: subtracting the common
+   execution time from both sides only increases it. *)
+let run_cache_overhead ppf ~rounds =
+  let time f =
+    let t0 = Lf_obs.Stats.now_ns () in
+    ignore (f ());
+    Int64.to_float (Int64.sub (Lf_obs.Stats.now_ns ()) t0)
+  in
+  let cold () = Lf_simd.Vm.run_src ~engine:`Compiled ~p:small_p small_src in
+  let cache = Lf_simd.Progcache.create () in
+  let warm () =
+    Lf_simd.Vm.run_src ~engine:`Compiled ~cache ~p:small_p small_src
+  in
+  (* warm-up: fault in code and heap, and fill the cache so every
+     measured warm run is a hit *)
+  ignore (cold ());
+  ignore (warm ());
+  ignore (warm ());
+  let best_cold = ref infinity and best_warm = ref infinity in
+  let ratios =
+    Array.init rounds (fun _ ->
+        let c = time cold in
+        let w = time warm in
+        if c < !best_cold then best_cold := c;
+        if w < !best_warm then best_warm := w;
+        c /. w)
+  in
+  Array.sort compare ratios;
+  let median = ratios.(rounds / 2) in
+  Fmt.pf ppf
+    "cold vs warm on the small repeat workload (compiled, p=%d), %d paired \
+     rounds:@.  median cold/warm ratio %.2fx   best-of-%d %.0f -> %.0f ns \
+     (%.2fx)@.  per-run front-end overhead saved by a warm hit: ~%.0f ns@."
+    small_p rounds median rounds !best_cold !best_warm
+    (!best_cold /. !best_warm)
+    (!best_cold -. !best_warm)
+
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -627,7 +706,8 @@ let run_rangeopt_overhead ppf ~rounds =
 let usage =
   "usage: bench [--experiment NAME] [--no-micro] [--quick] [--csv DIR] \
    [--json FILE] [--baseline FILE] [--check] [--tolerance PCT] \
-   [--jobs N[,N...]] [--stats-overhead] [--rangeopt-overhead]"
+   [--jobs N[,N...]] [--stats-overhead] [--rangeopt-overhead] \
+   [--cache-overhead]"
 
 (* Located usage error: name the offending option, print the usage line,
    exit 124 (the CLI-error convention simdsim inherits from cmdliner). *)
@@ -687,6 +767,7 @@ let () =
   let jobs = ref [ 1; 2; 4 ] in
   let stats_overhead = ref false in
   let rangeopt_overhead = ref false in
+  let cache_overhead = ref false in
   let parse_jobs s =
     String.split_on_char ',' s
     |> List.map (fun tok ->
@@ -737,6 +818,9 @@ let () =
     | "--rangeopt-overhead" :: rest ->
         rangeopt_overhead := true;
         parse rest
+    | "--cache-overhead" :: rest ->
+        cache_overhead := true;
+        parse rest
     | [ flag ]
       when List.mem flag
              [
@@ -754,6 +838,11 @@ let () =
   end;
   if !rangeopt_overhead then begin
     run_rangeopt_overhead ppf ~rounds:15;
+    Fmt.flush ppf ();
+    exit 0
+  end;
+  if !cache_overhead then begin
+    run_cache_overhead ppf ~rounds:25;
     Fmt.flush ppf ();
     exit 0
   end;

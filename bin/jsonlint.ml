@@ -11,8 +11,14 @@
    ("run") and scheduler-dependent ("volatile") parts.  Exit 1 when the
    stripped values differ.
 
+   --assert-positive PATH FILE walks the /-separated object path in
+   FILE and requires the value there to be a number > 0 — how the
+   cache-smoke alias asserts that a --stats-json dump recorded warm
+   cache traffic (e.g. --assert-positive opt/cache.hits stats.json).
+
    Usage: jsonlint [--jsonl] FILE...
-          jsonlint --cmp-ignoring KEYS FILE1 FILE2                      *)
+          jsonlint --cmp-ignoring KEYS FILE1 FILE2
+          jsonlint --assert-positive PATH FILE                          *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -67,9 +73,48 @@ let cmp_ignoring keys a b =
     exit 1
   end
 
+let assert_positive path_expr file =
+  let j =
+    match Lf_obs.Json.parse (read_file file) with
+    | Ok j -> j
+    | Error msg ->
+        Printf.eprintf "jsonlint: %s: %s\n" file msg;
+        exit 1
+  in
+  let keys = String.split_on_char '/' path_expr in
+  let v =
+    List.fold_left
+      (fun j k ->
+        match Lf_obs.Json.member k j with
+        | Some v -> v
+        | None ->
+            Printf.eprintf "jsonlint: %s: no value at %s (missing %S)\n" file
+              path_expr k;
+            exit 1)
+      j keys
+  in
+  let ok =
+    match v with
+    | Lf_obs.Json.Int n -> n > 0
+    | Lf_obs.Json.Float f -> f > 0.0
+    | _ -> false
+  in
+  if ok then begin
+    Printf.printf "jsonlint: %s: %s = %s > 0\n" file path_expr
+      (Lf_obs.Json.to_string v);
+    exit 0
+  end
+  else begin
+    Printf.eprintf "jsonlint: %s: %s = %s is not a positive number\n" file
+      path_expr
+      (Lf_obs.Json.to_string v);
+    exit 1
+  end
+
 let () =
   (match Sys.argv with
   | [| _; "--cmp-ignoring"; keys; a; b |] -> cmp_ignoring keys a b
+  | [| _; "--assert-positive"; path; file |] -> assert_positive path file
   | _ -> ());
   let jsonl = ref false in
   let files = ref [] in
@@ -80,6 +125,9 @@ let () =
         | "--jsonl" -> jsonl := true
         | "--cmp-ignoring" ->
             prerr_endline "usage: jsonlint --cmp-ignoring KEYS FILE1 FILE2";
+            exit 2
+        | "--assert-positive" ->
+            prerr_endline "usage: jsonlint --assert-positive PATH FILE";
             exit 2
         | f -> files := f :: !files)
     Sys.argv;

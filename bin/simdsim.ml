@@ -47,27 +47,18 @@ let read_source path =
 
 let parse_binding s =
   match String.index_opt s '=' with
-  | None -> failwith (s ^ ": expected name=value")
+  | None ->
+      raise (Lf_simd.Batch.Bad_value (s ^ ": expected name=value"))
   | Some i ->
       ( String.lowercase_ascii (String.sub s 0 i),
         String.sub s (i + 1) (String.length s - i - 1) )
 
-let scalar_value v =
-  match int_of_string_opt v with
-  | Some n -> Values.VInt n
-  | None -> (
-      match float_of_string_opt v with
-      | Some f -> Values.VReal f
-      | None -> Values.VBool (String.lowercase_ascii v = "true"))
-
-let fill_array v =
-  let items = String.split_on_char ',' v in
-  let ints = List.filter_map int_of_string_opt items in
-  if List.length ints = List.length items then
-    Values.AInt (Nd.of_array (Array.of_list ints))
-  else
-    Values.AReal
-      (Nd.of_array (Array.of_list (List.map float_of_string items)))
+(* Seed-value parsing is shared with the batch driver; a malformed
+   token raises [Batch.Bad_value] naming it, which the driver below
+   maps to the usage-error exit 124 (it used to escape as an uncaught
+   Failure backtrace from float_of_string). *)
+let scalar_value = Lf_simd.Batch.scalar_value
+let fill_array = Lf_simd.Batch.fill_array
 
 let write_json path json =
   let oc = open_out path in
@@ -117,8 +108,13 @@ let max_abs_err reference f =
 
 let run path seq engine jobs lanes olevel dump_ir dump_ir_phase verify_ir
     sets fills dumps kernel atoms trace_file profile metrics_json
-    occupancy_json chrome_file compare_mimd lint stats stats_json manifest =
+    occupancy_json chrome_file compare_mimd lint stats stats_json manifest
+    warm =
   try
+    if warm > 0 && seq then begin
+      Fmt.epr "simdsim: --warm requires a SIMD engine (drop --seq)@.";
+      raise Exit
+    end;
     if stats || Option.is_some stats_json || Option.is_some manifest then
       Lf_obs.Stats.enable ();
     if Option.is_some jobs && engine <> `Parallel then begin
@@ -278,25 +274,50 @@ let run path seq engine jobs lanes olevel dump_ir dump_ir_phase verify_ir
           Fmt.epr "simdsim: IR verification failed for %s@." path;
           raise Exit
       end;
+      let attach_sinks vm =
+        Option.iter
+          (fun p -> Lf_simd.Vm.add_trace_sink vm (Lf_obs.Profile.sink p))
+          prof;
+        Option.iter
+          (fun o -> Lf_simd.Vm.add_trace_sink vm (Lf_obs.Occupancy.sink o))
+          occ;
+        Option.iter
+          (fun c -> Lf_simd.Vm.add_trace_sink vm (Lf_obs.Chrome.sink c))
+          chrome;
+        Option.iter
+          (fun oc -> Lf_simd.Vm.add_trace_sink vm (Lf_obs.Trace.jsonl_sink oc))
+          trace_oc
+      in
       let t0 = Lf_obs.Stats.now_ns () in
       let c0 = Sys.time () in
       let vm =
-        Lf_simd.Vm.run ~engine ?jobs ~opt:olevel ~verify:verify_ir ~p:lanes
-          ~setup:(fun vm ->
-            bind_inputs vm;
-            Option.iter
-              (fun p -> Lf_simd.Vm.add_trace_sink vm (Lf_obs.Profile.sink p))
-              prof;
-            Option.iter
-              (fun o -> Lf_simd.Vm.add_trace_sink vm (Lf_obs.Occupancy.sink o))
-              occ;
-            Option.iter
-              (fun c -> Lf_simd.Vm.add_trace_sink vm (Lf_obs.Chrome.sink c))
-              chrome;
-            Option.iter
-              (fun oc -> Lf_simd.Vm.add_trace_sink vm (Lf_obs.Trace.jsonl_sink oc))
-              trace_oc)
-          prog
+        if warm = 0 then
+          Lf_simd.Vm.run ~engine ?jobs ~opt:olevel ~verify:verify_ir
+            ~p:lanes
+            ~setup:(fun vm ->
+              bind_inputs vm;
+              attach_sinks vm)
+            prog
+        else begin
+          (* --warm N: one cold run followed by N warm runs through a
+             process-local program cache; every artifact (metrics,
+             dumps, traces, profile) comes from the LAST — warm — run,
+             so byte-comparing against a cold run's artifacts checks
+             the cache's bit-identity contract end to end. *)
+          let cache = Lf_simd.Progcache.create () in
+          let last = ref None in
+          for i = 0 to warm do
+            last :=
+              Some
+                (Lf_simd.Vm.run_src ~engine ?jobs ~opt:olevel
+                   ~verify:verify_ir ~cache ~p:lanes
+                   ~setup:(fun vm ->
+                     bind_inputs vm;
+                     if i = warm then attach_sinks vm)
+                   src)
+          done;
+          Option.get !last
+        end
       in
       let wall_ns = Int64.sub (Lf_obs.Stats.now_ns ()) t0 in
       let cpu_s = Sys.time () -. c0 in
@@ -411,6 +432,11 @@ let run path seq engine jobs lanes olevel dump_ir dump_ir_phase verify_ir
     end
   with
   | Exit -> 1
+  | Lf_simd.Batch.Bad_value msg ->
+      (* malformed --set/--fill token: a usage error, same exit code as
+         cmdliner's own CLI errors *)
+      Fmt.epr "simdsim: %s@." msg;
+      124
   | Lf_simd.Verify.Error diags ->
       List.iter
         (fun d ->
@@ -673,6 +699,31 @@ let cmd =
              self-contained JSON record tying a result to the exact \
              configuration that produced it.")
   in
+  let warm =
+    let warm_conv =
+      let parse s =
+        match int_of_string_opt s with
+        | Some n when n >= 0 -> Ok n
+        | Some n -> Error (`Msg (Fmt.str "invalid warm count %d: must be >= 0" n))
+        | None -> Error (`Msg (Fmt.str "invalid warm count %S" s))
+      in
+      Arg.conv (parse, Fmt.int)
+    in
+    Arg.(
+      value
+      & opt warm_conv 0
+      & info [ "warm" ] ~docv:"N"
+          ~doc:
+            "Run the program $(docv)+1 times through a compiled-program \
+             cache: one cold run (parse, lower, optimize, remember the \
+             IR) and $(docv) warm runs that skip the front end and go \
+             straight to emission.  All outputs (metrics, dumps, traces, \
+             profile) come from the last — warm — run; warm runs are \
+             bit-identical to cold ones on every engine and $(b,-O) \
+             level.  With $(b,--stats), the cache.hits / cache.misses \
+             counters account the cache traffic.  Requires a SIMD \
+             engine (conflicts with $(b,--seq)).")
+  in
   Cmd.v
     (Cmd.info "simdsim" ~version:"1.0"
        ~doc:"run pseudo-Fortran programs on the simulated SIMD machine")
@@ -680,6 +731,6 @@ let cmd =
       const run $ path $ seq $ engine $ jobs $ lanes $ olevel $ dump_ir
       $ dump_ir_phase $ verify_ir $ sets $ fills $ dumps $ kernel $ atoms
       $ trace_file $ profile $ metrics_json $ occupancy_json $ chrome_file
-      $ compare_mimd $ lint $ stats $ stats_json $ manifest)
+      $ compare_mimd $ lint $ stats $ stats_json $ manifest $ warm)
 
 let () = exit (Cmd.eval' cmd)

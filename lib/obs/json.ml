@@ -37,10 +37,16 @@ let escape_string b s =
     s;
   Buffer.add_char b '"'
 
-(* JSON has no NaN/infinity literals; map them to null. *)
+(* JSON has no NaN/infinity literals.  Mapping them to null (the old
+   behavior) is lossy: the empty-mask reduction identities (minval =
+   +inf, maxval = -inf) stopped round-tripping through Manifest.of_json
+   and broke jsonlint --cmp-ignoring equality.  Encode them as the
+   string forms "inf"/"-inf"/"nan" instead; the parser maps exactly
+   those three strings back to Float. *)
 let float_literal f =
-  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
-    "null"
+  if Float.is_nan f then "\"nan\""
+  else if f = Float.infinity then "\"inf\""
+  else if f = Float.neg_infinity then "\"-inf\""
   else if Float.is_integer f && Float.abs f < 1e16 then
     Printf.sprintf "%.1f" f
   else Printf.sprintf "%.12g" f
@@ -230,7 +236,17 @@ let parse (s : string) : (t, string) result =
           items_loop ();
           List (List.rev !items)
         end
-    | Some '"' -> Str (parse_string ())
+    | Some '"' -> (
+        (* The string spellings of the non-finite floats parse back to
+           [Float], inverting [float_literal]; every other string stays
+           [Str].  A field whose value is genuinely the text "inf" is
+           indistinguishable by design — the encoding trades that corner
+           for lossless numeric round-trips. *)
+        match parse_string () with
+        | "inf" -> Float Float.infinity
+        | "-inf" -> Float Float.neg_infinity
+        | "nan" -> Float Float.nan
+        | s -> Str s)
     | Some 't' -> literal "true" (Bool true)
     | Some 'f' -> literal "false" (Bool false)
     | Some 'n' -> literal "null" Null

@@ -16,13 +16,15 @@ let transform log v = if log then Float.log10 v else v
     to the center.  Later series overwrite earlier marks on collisions. *)
 let render ?(width = 60) ?(height = 20) ?(logx = true) ?(logy = true) ppf
     (ss : series list) =
-  let pts =
-    List.concat_map
-      (fun s ->
-        List.filter (fun (x, y) -> x > 0.0 && y > 0.0) s.points)
-      ss
+  (* Only finite strictly-positive points are plottable: a NaN/±inf
+     coordinate would survive the positivity filter, poison the min/max
+     folds below into infinite bounds and turn [place]'s scale into
+     garbage (int_of_float nan/inf is unspecified). *)
+  let plottable (x, y) =
+    Float.is_finite x && Float.is_finite y && x > 0.0 && y > 0.0
   in
-  if pts = [] then Fmt.pf ppf "(no data)@."
+  let pts = List.concat_map (fun s -> List.filter plottable s.points) ss in
+  if pts = [] then Fmt.pf ppf "(empty)@."
   else begin
     let xs = List.map (fun (x, _) -> transform logx x) pts in
     let ys = List.map (fun (_, y) -> transform logy y) pts in
@@ -41,7 +43,7 @@ let render ?(width = 60) ?(height = 20) ?(logx = true) ?(logy = true) ppf
       (fun s ->
         List.iter
           (fun (x, y) ->
-            if x > 0.0 && y > 0.0 then begin
+            if plottable (x, y) then begin
               let cx = place (transform logx x) x0 x1 width in
               let cy = place (transform logy y) y0 y1 height in
               grid.(height - 1 - cy).(cx) <- s.mark

@@ -2785,8 +2785,18 @@ let var_names (prog : program) : string list =
   blk prog.p_body;
   List.rev !order
 
-let compile ~host ~frame ~exec ?(opt = 1) ?(verify = false)
-    (body : block) : Frame.Mask.t -> unit =
+(* The front half of [compile]: lower to slot-resolved IR and run the
+   optimizer/verifier.  Split out so the program cache can pay this once
+   per (source, opt, verify, p) and feed the annotated IR back through
+   [emit] on every warm run — emission never mutates the IR (annotation
+   writes live in [Opt] only), so one lowered block may be re-emitted
+   against any frame sharing the layout it was lowered with. *)
+let lower ~frame ?(opt = 1) ?(verify = false) (body : block) : Ir.block =
+  Opt.run ~level:opt ~frame ~verify (Ir.of_block frame body)
+
+(* The back half: emit OCaml closures from an already-lowered IR. *)
+let emit ~host ~frame ~exec ?(opt = 1) (ir : Ir.block) :
+    Frame.Mask.t -> unit =
   assert (exec.Pool.x_p = host.h_p);
   let env =
     {
@@ -2800,7 +2810,6 @@ let compile ~host ~frame ~exec ?(opt = 1) ?(verify = false)
       entry_ok = false;
     }
   in
-  let ir = Opt.run ~level:opt ~frame ~verify (Ir.of_block frame body) in
   let cbody = compile_block env ir in
   if opt < 2 then cbody
   else begin
@@ -2830,3 +2839,7 @@ let compile ~host ~frame ~exec ?(opt = 1) ?(verify = false)
             | _ -> false));
       cbody m
   end
+
+let compile ~host ~frame ~exec ?(opt = 1) ?(verify = false)
+    (body : block) : Frame.Mask.t -> unit =
+  emit ~host ~frame ~exec ~opt (lower ~frame ~opt ~verify body)

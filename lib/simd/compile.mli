@@ -64,3 +64,17 @@ val var_names : Ast.program -> string list
 val compile :
   host:host -> frame:Frame.t -> exec:Pool.exec -> ?opt:int -> ?verify:bool ->
   Ast.block -> Frame.Mask.t -> unit
+
+(** The two halves of [compile], exposed for the program cache
+    ([Progcache]): [lower] pays the front end (AST -> slot-resolved IR ->
+    [Opt.run] at [opt], with [Verify.check_ir] at every phase boundary
+    when [verify] is set); [emit] turns an already-lowered IR into the
+    executable closure.  Emission never mutates the IR, so one lowered
+    block may be emitted repeatedly — against the lowering frame or any
+    other frame created with the identical name list and [p] (slot
+    numbering is a function of the name list alone). *)
+val lower : frame:Frame.t -> ?opt:int -> ?verify:bool -> Ast.block -> Ir.block
+
+val emit :
+  host:host -> frame:Frame.t -> exec:Pool.exec -> ?opt:int ->
+  Ir.block -> Frame.Mask.t -> unit

@@ -58,6 +58,15 @@ let create ~p names =
     scr_b = [||];
   }
 
+(* Return a frame to its just-created slot state while keeping the name
+   table and the lazily-grown scratch pools.  The program cache reuses
+   frames across warm runs: slots must be re-imported per run (they
+   alias VM storage), but scratch lane vectors may keep stale garbage —
+   the engine's documented relaxation already allows computed-temporary
+   lanes to hold garbage until (re)written, so reuse cannot change
+   observable results. *)
+let reset f = Array.fill f.slots 0 (Array.length f.slots) Unbound
+
 let slot_index f name = Hashtbl.find_opt f.index name
 let name_of f i = f.names.(i)
 let n_slots f = Array.length f.slots

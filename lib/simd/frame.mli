@@ -34,6 +34,14 @@ type t = {
 }
 
 val create : p:int -> string list -> t
+
+(** Reset every slot to [Unbound] while keeping the name table and the
+    lazily-grown scratch pools, so a cached frame can be reused across
+    warm runs without reallocating.  Stale scratch contents are safe by
+    the engine's documented relaxation (inactive computed-temporary lanes
+    may hold garbage until rewritten). *)
+val reset : t -> unit
+
 val slot_index : t -> string -> int option
 val name_of : t -> int -> string
 val n_slots : t -> int

@@ -617,20 +617,23 @@ let frame_names vm (prog : program) =
   in
   from_ast @ List.sort compare extra
 
-(** Compile [prog.p_body] against a frame covering the program's names
-    plus anything pre-seeded in [vm.vars], then run it under a full mask.
-    State is imported at the start and after every external CALL, and
-    flushed back at the end (also on the error path, so a failing compiled
-    run leaves the same partial state as a failing tree-walk).
+(* Compile [prog.p_body] against a frame covering the program's names
+   plus anything pre-seeded in [vm.vars] — or, on the cache's warm path
+   ([prepared]), re-emit an already-lowered IR against a frame built
+   with the layout it was lowered for — then run it under a full mask.
+   State is imported at the start and after every external CALL, and
+   flushed back at the end (also on the error path, so a failing
+   compiled run leaves the same partial state as a failing tree-walk).
 
-    [exec] dispatches the per-lane loops: [Pool.serial_exec] is the
-    serial compiled engine, [Pool.parallel_exec] shards the lanes over
-    the Domain pool while everything sequential — control flow, metrics,
-    fuel, trace emission, front-end state — stays on this thread. *)
-let run_compiled vm ~(exec : Pool.exec) ?opt ?verify (prog : program) =
-  let frame = Frame.create ~p:vm.p (frame_names vm prog) in
-  let host =
-    {
+   [exec] dispatches the per-lane loops: [Pool.serial_exec] is the
+   serial compiled engine, [Pool.parallel_exec] shards the lanes over
+   the Domain pool while everything sequential — control flow, metrics,
+   fuel, trace emission, front-end state — stays on this thread. *)
+(** The host callback record tying a compiled body to this VM and
+    [frame] (shared by the cold compile path and the cache's re-emission
+    path). *)
+let make_host vm (frame : Frame.t) =
+  {
       Compile.h_p = vm.p;
       h_tick_vector =
         (fun ~loc ~kind m ->
@@ -678,37 +681,55 @@ let run_compiled vm ~(exec : Pool.exec) ?opt ?verify (prog : program) =
           | None -> None);
       h_flush = (fun () -> flush_frame vm frame);
       h_import = (fun () -> import_frame vm frame);
-    }
+  }
+
+let run_compiled vm ~(exec : Pool.exec) ?opt ?verify ?prepared
+    (prog : program) =
+  let frame, compiled =
+    match prepared with
+    | Some (frame, ir) ->
+        (* Warm path: the front end already ran when the cache entry was
+           built; re-emit the cached IR against a (pooled) frame created
+           with the exact layout it was lowered for.  [verify] is
+           irrelevant here — it gates [Opt.run], which is skipped. *)
+        (frame, Compile.emit ~host:(make_host vm frame) ~frame ~exec ?opt ir)
+    | None ->
+        let frame = Frame.create ~p:vm.p (frame_names vm prog) in
+        ( frame,
+          Compile.compile ~host:(make_host vm frame) ~frame ~exec ?opt
+            ?verify prog.p_body )
   in
-  let compiled = Compile.compile ~host ~frame ~exec ?opt ?verify prog.p_body in
   import_frame vm frame;
   Fun.protect
     ~finally:(fun () -> flush_frame vm frame)
     (fun () -> compiled (Frame.Mask.create_full vm.p))
 
-(** Run a program on the VM.  [setup] may pre-bind globals and parameters
-    (problem sizes, input arrays) before declarations are processed.
-    [engine] selects the tree-walking interpreter (default), the serial
-    compiled closure engine, or the lane-sharded parallel engine; all
-    three produce bit-identical state, metrics and errors.  [jobs] (only
-    meaningful — and only validated — with [`Parallel]) bounds the shard
-    count; it defaults to [Pool.default_jobs ()]. *)
-let run ?fuel ?(engine = `Tree_walk) ?jobs ?opt ?verify ~p
-    ?(setup = fun _ -> ()) (prog : program) : t =
-  let vm = create ?fuel ~p () in
-  setup vm;
-  declare vm prog.p_decls;
+(* Run a program on the VM.  [setup] may pre-bind globals and parameters
+   (problem sizes, input arrays) before declarations are processed.
+   [engine] selects the tree-walking interpreter (default), the serial
+   compiled closure engine, or the lane-sharded parallel engine; all
+   three produce bit-identical state, metrics and errors.  [jobs] (only
+   meaningful — and only validated — with [`Parallel]) bounds the shard
+   count; it defaults to [Pool.default_jobs ()]. *)
+(** Engine dispatch plus the telemetry bracket, on an already-created,
+    already-declared VM ([run] and [run_src] both funnel here). *)
+let run_on vm ?(engine = `Tree_walk) ?jobs ?opt ?verify ?prepared
+    (prog : program) : unit =
+  let p = vm.p in
   let exec_engine () =
     match engine with
     | `Tree_walk -> exec_block vm ~mask:(full_mask vm) prog.p_body
     | `Compiled ->
-        run_compiled vm ~exec:(Pool.serial_exec ~p) ?opt ?verify prog
+        run_compiled vm ~exec:(Pool.serial_exec ~p) ?opt ?verify ?prepared
+          prog
     | `Parallel ->
         let jobs =
           match jobs with Some j -> j | None -> Pool.default_jobs ()
         in
         if jobs < 1 then invalid_arg "Vm.run: jobs must be >= 1";
-        run_compiled vm ~exec:(Pool.parallel_exec ~p ~jobs) ?opt ?verify prog
+        run_compiled vm
+          ~exec:(Pool.parallel_exec ~p ~jobs)
+          ?opt ?verify ?prepared prog
   in
   (if not (Stats.enabled ()) then exec_engine ()
    else
@@ -733,8 +754,87 @@ let run ?fuel ?(engine = `Tree_walk) ?jobs ?opt ?verify ~p
            (g1.minor_collections - g0.minor_collections);
          Stats.add st_major_colls
            (g1.major_collections - g0.major_collections))
-       exec_engine);
+       exec_engine)
+
+let run ?fuel ?engine ?jobs ?opt ?verify ~p ?(setup = fun _ -> ())
+    (prog : program) : t =
+  let vm = create ?fuel ~p () in
+  setup vm;
+  declare vm prog.p_decls;
+  run_on vm ?engine ?jobs ?opt ?verify prog;
   vm
+
+(* ------------------------------------------------------------------ *)
+(* Source-level entry with the program cache                           *)
+(* ------------------------------------------------------------------ *)
+
+(** [frame_names] reusing the entry's precomputed AST name list (the
+    warm path must not re-walk the AST). *)
+let layout_of vm (entry : Progcache.entry) =
+  let from_ast = entry.Progcache.e_ast_names in
+  let seen = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.replace seen n ()) from_ast;
+  let extra =
+    Hashtbl.fold
+      (fun n _ acc -> if Hashtbl.mem seen n then acc else n :: acc)
+      vm.vars []
+  in
+  from_ast @ List.sort compare extra
+
+let run_src ?fuel ?(engine = `Tree_walk) ?jobs ?(opt = 1) ?(verify = false)
+    ?cache ?(dialect = "simd") ~p ?(setup = fun _ -> ()) (src : string) : t =
+  match cache with
+  | None ->
+      run ?fuel ~engine ?jobs ~opt ~verify ~p ~setup
+        (Lf_lang.Parser.program_of_string src)
+  | Some cache ->
+      let entry, hit =
+        match Progcache.find cache ~src ~dialect ~opt ~verify ~p with
+        | Some e -> (e, true)
+        | None ->
+            let t0 = Stats.now_ns () in
+            let prog = Lf_lang.Parser.program_of_string src in
+            let front_ns = Int64.sub (Stats.now_ns ()) t0 in
+            ( Progcache.insert cache ~src ~dialect ~opt ~verify ~p ~front_ns
+                prog,
+              false )
+      in
+      let prog = entry.Progcache.e_prog in
+      let vm = create ?fuel ~p () in
+      setup vm;
+      declare vm prog.p_decls;
+      (match engine with
+      | `Tree_walk ->
+          if hit then Progcache.credit_warm entry;
+          run_on vm ~engine ?jobs ~opt ~verify prog
+      | `Compiled | `Parallel ->
+          let layout = layout_of vm entry in
+          let ir, warm =
+            match entry.Progcache.e_lowered with
+            | Some (lay, ir) when lay = layout -> (ir, true)
+            | _ ->
+                (* First compiled-engine run under this key (or the
+                   setup seeded a different extras set): pay the front
+                   end once, against a frame created with this exact
+                   layout, and remember it.  A [Verify.Error] or type
+                   error propagates before anything is stored, so every
+                   warm retry fails with the identical message. *)
+                let t0 = Stats.now_ns () in
+                let f = Frame.create ~p layout in
+                let ir = Compile.lower ~frame:f ~opt ~verify prog.p_body in
+                Progcache.add_front_ns entry (Int64.sub (Stats.now_ns ()) t0);
+                entry.Progcache.e_lowered <- Some (layout, ir);
+                entry.Progcache.e_frames <- [ f ];
+                (ir, false)
+          in
+          if hit && warm then Progcache.credit_warm entry;
+          let frame = Progcache.take_frame entry ~p layout in
+          Fun.protect
+            ~finally:(fun () -> Progcache.release_frame entry frame)
+            (fun () ->
+              run_on vm ~engine ?jobs ~opt ~verify ~prepared:(frame, ir)
+                prog));
+      vm
 
 let dump_ir ?(opt = 1) ~p ?(setup = fun _ -> ()) (prog : program) :
     Lf_obs.Json.t =

@@ -109,6 +109,25 @@ val run :
   ?fuel:int -> ?engine:engine -> ?jobs:int -> ?opt:int -> ?verify:bool ->
   p:int -> ?setup:(t -> unit) -> Ast.program -> t
 
+(** [run_src] is [run] from source text, optionally through a program
+    cache ([Progcache]).  Without [cache] it parses and delegates to
+    [run].  With [cache], the run is keyed by [(MD5 of the source,
+    dialect, opt, verify, p)]: a cold run parses, lowers and optimizes
+    exactly as [run] would and stores the parse plus the post-[Opt] IR
+    and its frame layout; a warm run skips the whole front end and goes
+    straight to emission (compiled engines) or straight to the parsed
+    AST (tree-walk), reusing a pooled frame.  Warm and cold runs are
+    bit-identical — state, [Metrics], error strings, trace/profile
+    events — on every engine at every [-O] level; only the [opt.*]
+    compile-time telemetry (and the wall clock) can differ, because the
+    optimizer genuinely does not run again.  [dialect] (default
+    ["simd"]) namespaces keys for callers that cache several source
+    languages in one cache. *)
+val run_src :
+  ?fuel:int -> ?engine:engine -> ?jobs:int -> ?opt:int -> ?verify:bool ->
+  ?cache:Progcache.t -> ?dialect:string ->
+  p:int -> ?setup:(t -> unit) -> string -> t
+
 (** The compiled engine's annotated IR for [prog] as JSON (the
     [--dump-ir] payload), without executing anything: lower against the
     same frame name table [run] would use, run the [Opt] pipeline at

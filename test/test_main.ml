@@ -43,4 +43,5 @@ let () =
       ("e2e", Test_e2e.suite);
       ("fuzz", Test_fuzz.suite);
       ("report", Test_report.suite);
+      ("progcache", Test_progcache.suite);
     ]

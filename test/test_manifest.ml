@@ -89,9 +89,49 @@ let t_rejects () =
       "manifest: missing field \"program\"" e
   | Ok _ -> Alcotest.fail "manifest with only a schema accepted"
 
+(* Regression: non-finite metric values used to serialize as [null],
+   so a manifest whose metrics held an inf/nan payload failed its own
+   round trip.  They now print as the strings "inf"/"-inf"/"nan", which
+   the parser maps back to floats.  NaN never compares equal to itself
+   (structural [=]), so equality here is on the serialized form. *)
+let t_non_finite () =
+  List.iter
+    (fun (label, f) ->
+      let j = Json.Float f in
+      let text = Json.to_string j in
+      checkb (label ^ " does not serialize as null")
+        (not (String.equal text "null"));
+      match Json.parse text with
+      | Error e -> Alcotest.fail (label ^ " does not re-parse: " ^ e)
+      | Ok j' ->
+          checks (label ^ " round-trips") text (Json.to_string j'))
+    [
+      ("inf", Float.infinity);
+      ("-inf", Float.neg_infinity);
+      ("nan", Float.nan);
+    ];
+  let m =
+    Manifest.make ~program:"bench.f" ~source:"x = x\n" ~engine:"compiled"
+      ~opt:2 ~jobs:1 ~p:8 ~wall_ns:1L ~cpu_s:0.0
+      ~metrics:
+        (Json.Obj
+           [
+             ("ratio", Json.Float Float.infinity);
+             ("skew", Json.Float Float.nan);
+           ])
+      ~stats:(Json.Obj [])
+  in
+  match Manifest.of_json (Manifest.to_json m) with
+  | Error e -> Alcotest.fail ("non-finite manifest rejected: " ^ e)
+  | Ok m' ->
+      checks "manifest with non-finite metrics round-trips"
+        (Json.to_string (Manifest.to_json m))
+        (Json.to_string (Manifest.to_json m'))
+
 let suite =
   [
     case "JSON round trip" t_round_trip;
+    case "non-finite floats survive the round trip" t_non_finite;
     case "program identity: md5 + byte count" t_md5;
     case "disk write/read round trip" t_write_read;
     case "malformed input rejected" t_rejects;

@@ -1,0 +1,389 @@
+(** The program cache ([Lf_simd.Progcache] / [Vm.run_src]) and the
+    batch driver ([Lf_simd.Batch]).
+
+    Units: content keying (identical bytes under different dialect/-O/
+    verify/p are distinct entries), LRU eviction order, both budget
+    axes, and frame-pool layout safety.  The QCheck property is the
+    tentpole contract: warm (cache-hit) runs are bit-identical to cold
+    runs — state, [Metrics], error strings — on tree-walk/compiled/
+    parallel at -O0/-O1/-O2.  Batch cases: failing-item isolation, the
+    any-failed flag the CLI turns into exit 1, JSONL record schema, and
+    malformed work lists / seed tokens. *)
+
+open Helpers
+open Lf_lang
+module Vm = Lf_simd.Vm
+module Metrics = Lf_simd.Metrics
+module Progcache = Lf_simd.Progcache
+module Batch = Lf_simd.Batch
+module Stats = Lf_obs.Stats
+module Json = Lf_obs.Json
+
+let fuel = 20_000
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Record cache counters around [f]: the registry only records while
+   enabled, and other suites expect it off, so bracket and reset. *)
+let with_stats f =
+  Stats.reset ();
+  Stats.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Stats.disable ();
+      Stats.reset ())
+    f
+
+let cache_counters () =
+  let snap = Stats.snapshot ~sections:[ Stats.Opt ] () in
+  let get k = Option.value ~default:0 (List.assoc_opt k snap) in
+  (get "cache.hits", get "cache.misses", get "cache.evictions")
+
+(* ------------------------------------------------------------------ *)
+(* Keying / LRU units                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let src_a = "PROGRAM a\n  PLURAL INTEGER u\n  u = iproc * 2\nEND\n"
+let src_b = "PROGRAM b\n  PLURAL INTEGER v\n  v = iproc + 1\nEND\n"
+let src_c = "PROGRAM c\n  PLURAL INTEGER w\n  w = iproc - 1\nEND\n"
+
+let insert c ~src ?(dialect = "simd") ?(opt = 1) ?(verify = false) ?(p = 4) ()
+    =
+  Progcache.insert c ~src ~dialect ~opt ~verify ~p ~front_ns:1L
+    (parse_program src)
+
+let find c ~src ?(dialect = "simd") ?(opt = 1) ?(verify = false) ?(p = 4) () =
+  Progcache.find c ~src ~dialect ~opt ~verify ~p
+
+let t_content_keys () =
+  with_stats (fun () ->
+      let c = Progcache.create () in
+      ignore (insert c ~src:src_a ());
+      (* identical bytes under a different dialect, -O, verify flag or p
+         are different programs as far as the cache is concerned *)
+      checkb "other dialect misses" (find c ~src:src_a ~dialect:"nest" () = None);
+      checkb "other -O misses" (find c ~src:src_a ~opt:2 () = None);
+      checkb "verify flag misses" (find c ~src:src_a ~verify:true () = None);
+      checkb "other p misses" (find c ~src:src_a ~p:8 () = None);
+      checkb "exact key hits" (find c ~src:src_a () <> None);
+      ignore (insert c ~src:src_a ~dialect:"nest" ());
+      ignore (insert c ~src:src_a ~opt:2 ());
+      ignore (insert c ~src:src_a ~p:8 ());
+      checki "distinct entries per key" 4 (Progcache.length c);
+      (* and the key is the content, not the identity, of the bytes *)
+      checkb "fresh equal bytes hit"
+        (find c ~src:(String.concat "" [ src_a ]) () <> None);
+      let hits, misses, _ = cache_counters () in
+      checki "hits counted" 2 hits;
+      checki "misses counted" 4 misses)
+
+let t_lru_eviction () =
+  with_stats (fun () ->
+      let c = Progcache.create ~max_entries:2 () in
+      ignore (insert c ~src:src_a ());
+      ignore (insert c ~src:src_b ());
+      (* touch A so B becomes the LRU victim *)
+      checkb "A hits" (find c ~src:src_a () <> None);
+      ignore (insert c ~src:src_c ());
+      checki "capacity respected" 2 (Progcache.length c);
+      checkb "recently-used survived" (find c ~src:src_a () <> None);
+      checkb "LRU evicted" (find c ~src:src_b () = None);
+      let _, _, evictions = cache_counters () in
+      checki "eviction counted" 1 evictions;
+      (* re-inserting an existing key replaces, never duplicates *)
+      ignore (insert c ~src:src_a ());
+      checki "replacement keeps length" 2 (Progcache.length c))
+
+let t_byte_budget () =
+  (* each entry is estimated at 512 + 8 * |src| ≈ 900 bytes, so a 1000
+     byte budget admits exactly one of them *)
+  let c = Progcache.create ~max_bytes:1000 () in
+  ignore (insert c ~src:src_a ());
+  checki "first entry fits" 1 (Progcache.length c);
+  ignore (insert c ~src:src_b ());
+  (* the budget only holds one entry of this size: A must have been
+     evicted to admit B *)
+  checki "budget enforced" 1 (Progcache.length c);
+  checkb "newest survives" (find c ~src:src_b () <> None);
+  checkb "bytes tracked" (Progcache.bytes c > 0)
+
+let t_frame_pool () =
+  let c = Progcache.create () in
+  let e = insert c ~src:src_a ~p:4 () in
+  let layout = [ "u"; "iproc" ] in
+  let f1 = Progcache.take_frame e ~p:4 layout in
+  Progcache.release_frame e f1;
+  let f2 = Progcache.take_frame e ~p:4 layout in
+  checkb "pooled frame reused" (f1 == f2);
+  Progcache.release_frame e f2;
+  (* a different layout must never receive the pooled frame: slot
+     numbering is positional *)
+  let f3 = Progcache.take_frame e ~p:4 [ "u"; "iproc"; "extra" ] in
+  checkb "layout mismatch gets a fresh frame" (f3 != f2);
+  (* reset cleared the slots of the reused frame *)
+  checkb "reused frame slots unbound"
+    (Lf_simd.Frame.get f2 0 = Lf_simd.Frame.Unbound)
+
+(* ------------------------------------------------------------------ *)
+(* Warm = cold (the tentpole contract)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_src_one ?cache ?jobs ?opt ?verify engine ~p src :
+    (Vm.t, string) result =
+  match
+    Vm.run_src ~fuel ~engine ?jobs ?opt ?verify ?cache ~p
+      ~setup:(Gen.simd_prog_setup ~p) src
+  with
+  | vm -> Ok vm
+  | exception ((Errors.Runtime_error _ | Errors.Runtime_error_at _) as e) ->
+      Error (Errors.to_message e)
+
+let agrees ~what ~src a b =
+  match (a, b) with
+  | Ok vm_a, Ok vm_b ->
+      (Vm.state_equal vm_a vm_b
+      && Metrics.equal vm_a.Vm.metrics vm_b.Vm.metrics)
+      || QCheck.Test.fail_reportf "%s: state/metrics diverged on@.%s" what src
+  | Error m_a, Error m_b ->
+      m_a = m_b
+      || QCheck.Test.fail_reportf "%s: errors differ (%S vs %S) on@.%s" what
+           m_a m_b src
+  | Ok _, Error m ->
+      QCheck.Test.fail_reportf "%s: only warm failed (%S) on@.%s" what m src
+  | Error m, Ok _ ->
+      QCheck.Test.fail_reportf "%s: only cold failed (%S) on@.%s" what m src
+
+let prop_warm_equals_cold prog =
+  let src = Pretty.program_to_string prog in
+  List.for_all
+    (fun p ->
+      List.for_all
+        (fun (engine, jobs, opts) ->
+          List.for_all
+            (fun opt ->
+              let what =
+                Fmt.str "warm vs cold, %s -O%d p=%d"
+                  (match engine with
+                  | `Tree_walk -> "tree-walk"
+                  | `Compiled -> "compiled"
+                  | `Parallel -> "parallel")
+                  opt p
+              in
+              (* a plain (cache-less) run is the reference; then a cold
+                 run through a fresh cache, then two warm runs — the
+                 second warm run additionally exercises the pooled
+                 frame released by the first *)
+              let plain = run_src_one ?jobs ~opt engine ~p src in
+              let cache = Progcache.create () in
+              let cold = run_src_one ~cache ?jobs ~opt engine ~p src in
+              let warm1 = run_src_one ~cache ?jobs ~opt engine ~p src in
+              let warm2 = run_src_one ~cache ?jobs ~opt engine ~p src in
+              agrees ~what:(what ^ " (cold vs plain)") ~src cold plain
+              && agrees ~what:(what ^ " (warm1)") ~src warm1 cold
+              && agrees ~what:(what ^ " (warm2)") ~src warm2 cold)
+            opts)
+        [
+          (`Tree_walk, None, [ 0 ]);
+          (`Compiled, None, [ 0; 1; 2 ]);
+          (`Parallel, Some 2, [ 0; 1; 2 ]);
+        ])
+    [ 0; 3; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* Batch driver                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let batch_item ?(program = "good.f") ?(p = 4) ?(engine = `Compiled)
+    ?(opt = 1) ?jobs ?(verify = false) ?bfuel ?timeout_ms ?(repeat = 1)
+    ?kernel ?(sets = []) ?(fills = []) () =
+  {
+    Batch.bi_program = program;
+    bi_p = p;
+    bi_engine = engine;
+    bi_opt = opt;
+    bi_jobs = jobs;
+    bi_verify = verify;
+    bi_fuel = bfuel;
+    bi_timeout_ms = timeout_ms;
+    bi_repeat = repeat;
+    bi_kernel = kernel;
+    bi_sets = sets;
+    bi_fills = fills;
+  }
+
+let batch_read path =
+  match path with
+  | "good.f" -> src_a
+  | "loop.f" ->
+      (* long enough that a 1 ms deadline fires mid-run, short enough to
+         stay inside the default fuel if the deadline machinery broke *)
+      "PROGRAM loop\n  PLURAL INTEGER u\n  u = 0\n\
+      \  WHILE (any(u < 10000000))\n    u = u + 1\n  ENDWHILE\nEND\n"
+  | "bad-parse.f" -> "PROGRAM bad\n  u = (\nEND\n"
+  | "div0.f" ->
+      "PROGRAM div\n  PLURAL INTEGER u\n  u = 1 / (iproc - iproc)\nEND\n"
+  | p -> raise (Sys_error (p ^ ": No such file or directory"))
+
+let run_batch items =
+  let records = ref [] in
+  let any_failed =
+    Batch.run ~read:batch_read ~emit:(fun j -> records := j :: !records) items
+  in
+  (any_failed, List.rev !records)
+
+let str_field r k =
+  match Json.member k r with Some (Json.Str s) -> Some s | _ -> None
+
+let t_batch_isolation () =
+  let any_failed, records =
+    run_batch
+      [
+        batch_item ();
+        batch_item ~program:"bad-parse.f" ();
+        batch_item ~program:"div0.f" ();
+        batch_item ~program:"missing.f" ();
+        batch_item ~program:"loop.f" ~engine:`Tree_walk ~bfuel:10 ();
+        (* and a healthy item AFTER the failures proves isolation *)
+        batch_item ~engine:`Parallel ~jobs:2 ~opt:2 ~repeat:2 ();
+      ]
+  in
+  checkb "any_failed set" any_failed;
+  checki "one record per item" 6 (List.length records);
+  let statuses = List.filter_map (fun r -> str_field r "status") records in
+  checkb "statuses"
+    (statuses = [ "ok"; "error"; "error"; "error"; "error"; "ok" ]);
+  (* every failure message is carried in the record *)
+  List.iteri
+    (fun i r ->
+      match str_field r "status" with
+      | Some "error" ->
+          checkb
+            (Fmt.str "item %d has an error message" i)
+            (match str_field r "error" with
+            | Some m -> String.length m > 0
+            | None -> false)
+      | _ -> ())
+    records
+
+let t_batch_ok_all () =
+  let any_failed, records =
+    run_batch [ batch_item (); batch_item ~engine:`Tree_walk () ]
+  in
+  checkb "no failures" (not any_failed);
+  checki "records" 2 (List.length records)
+
+let t_batch_schema () =
+  let _, records = run_batch [ batch_item ~repeat:3 () ] in
+  let r = List.hd records in
+  let has k = Json.member k r <> None in
+  List.iter
+    (fun k -> checkb ("record has " ^ k) (has k))
+    [
+      "schema"; "index"; "program"; "program_md5"; "program_bytes";
+      "engine"; "opt"; "jobs"; "p"; "repeat"; "wall_ns"; "status";
+      "metrics";
+    ];
+  checkb "repeat echoed" (Json.member "repeat" r = Some (Json.Int 3));
+  (* the record must itself be jsonlint-valid JSON *)
+  match Json.parse (Json.to_string r) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("record does not re-parse: " ^ e)
+
+let t_batch_timeout () =
+  let _, records =
+    run_batch [ batch_item ~program:"loop.f" ~engine:`Tree_walk ~timeout_ms:1 () ]
+  in
+  match records with
+  | [ r ] -> (
+      checkb "timeout fails the item" (str_field r "status" = Some "error");
+      match str_field r "error" with
+      | Some m -> checkb "message names the timeout" (contains_sub m "timeout")
+      | None -> Alcotest.fail "no error message")
+  | _ -> Alcotest.fail "expected one record"
+
+let t_batch_warm_metrics () =
+  (* repeats run warm through the shared cache; the driver's metrics
+     must come out identical to a fresh cold driver's *)
+  let _, cold = run_batch [ batch_item () ] in
+  let _, warm = run_batch [ batch_item ~repeat:4 () ] in
+  let metrics r = Json.member "metrics" (List.hd r) in
+  checkb "warm metrics identical"
+    (Option.map Json.to_string (metrics cold)
+    = Option.map Json.to_string (metrics warm))
+
+let t_items_of_json () =
+  let ok_json =
+    {|[{"program": "a.f", "p": 4},
+       {"program": "b.f", "p": 8, "engine": "parallel", "jobs": 2,
+        "opt": 2, "verify": true, "repeat": 3, "timeout_ms": 100,
+        "set": {"k": 8}, "fill": {"l": "1,2,3"}}]|}
+  in
+  (match Json.parse ok_json with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+      match Batch.items_of_json j with
+      | [ a; b ] ->
+          checkb "defaults" (a.Batch.bi_engine = `Compiled && a.Batch.bi_opt = 1 && a.Batch.bi_repeat = 1);
+          checkb "fields"
+            (b.Batch.bi_engine = `Parallel && b.Batch.bi_jobs = Some 2
+           && b.Batch.bi_verify
+            && b.Batch.bi_sets = [ ("k", "8") ]
+            && b.Batch.bi_fills = [ ("l", "1,2,3") ]);
+          (* the wrapped form parses to the same list *)
+          checkb "wrapped form"
+            (match Json.parse ({|{"jobs": |} ^ ok_json ^ "}") with
+            | Ok j' -> Batch.items_of_json j' = [ a; b ]
+            | Error _ -> false)
+      | _ -> Alcotest.fail "expected two items"));
+  let rejects what text =
+    match Json.parse text with
+    | Error _ -> Alcotest.fail (what ^ ": test JSON malformed")
+    | Ok j -> (
+        match Batch.items_of_json j with
+        | exception Batch.Bad_jobs m ->
+            checkb (what ^ ": message set") (String.length m > 0)
+        | _ -> Alcotest.fail (what ^ ": accepted"))
+  in
+  rejects "non-list" {|"zap"|};
+  rejects "missing program" {|[{"p": 4}]|};
+  rejects "missing p" {|[{"program": "a.f"}]|};
+  rejects "bad engine" {|[{"program": "a.f", "p": 4, "engine": "warp"}]|};
+  rejects "bad opt" {|[{"program": "a.f", "p": 4, "opt": 7}]|};
+  rejects "jobs without parallel" {|[{"program": "a.f", "p": 4, "jobs": 2}]|};
+  rejects "bad repeat" {|[{"program": "a.f", "p": 4, "repeat": 0}]|}
+
+let t_seed_tokens () =
+  checkb "int" (Batch.scalar_value "8" = Values.VInt 8);
+  checkb "real" (Batch.scalar_value "0.5" = Values.VReal 0.5);
+  checkb "bool" (Batch.scalar_value "TRUE" = Values.VBool true);
+  (match Batch.scalar_value "yes" with
+  | exception Batch.Bad_value m ->
+      checkb "scalar message names token" (contains_sub m "yes")
+  | _ -> Alcotest.fail "bad scalar accepted");
+  (match Batch.fill_array "1,2,bogus" with
+  | exception Batch.Bad_value m ->
+      checkb "fill message names token" (contains_sub m "bogus")
+  | _ -> Alcotest.fail "bad fill accepted");
+  match Batch.fill_array "1,2.5,3" with
+  | Values.AReal _ -> ()
+  | _ -> Alcotest.fail "mixed fill should be real"
+
+let suite =
+  [
+    case "content-addressed keys" t_content_keys;
+    case "LRU eviction" t_lru_eviction;
+    case "byte budget" t_byte_budget;
+    case "frame pool layout safety" t_frame_pool;
+    qcheck_case ~count:60 "warm runs bit-identical to cold"
+      Gen.simd_prog_gen prop_warm_equals_cold;
+    case "batch: failing-item isolation" t_batch_isolation;
+    case "batch: all-green returns false" t_batch_ok_all;
+    case "batch: JSONL record schema" t_batch_schema;
+    case "batch: per-item timeout" t_batch_timeout;
+    case "batch: warm repeats keep metrics" t_batch_warm_metrics;
+    case "batch: work-list parsing" t_items_of_json;
+    case "seed-token parsing" t_seed_tokens;
+  ]

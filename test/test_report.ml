@@ -63,7 +63,7 @@ let t_ascii_plot () =
   let ppf2 = Fmt.with_buffer buf2 in
   Lf_report.Ascii_plot.render ppf2 [];
   Fmt.flush ppf2 ();
-  checkb "empty handled" (Astring_contains.contains (Buffer.contents buf2) "no data");
+  checkb "empty handled" (Astring_contains.contains (Buffer.contents buf2) "(empty)");
   (* non-positive points dropped under log scales *)
   let buf3 = Buffer.create 16 in
   let ppf3 = Fmt.with_buffer buf3 in
@@ -71,7 +71,32 @@ let t_ascii_plot () =
     [ Lf_report.Ascii_plot.series ~label:"z" ~mark:'z' [ (0.0, -1.0) ] ];
   Fmt.flush ppf3 ();
   checkb "all-invalid handled"
-    (Astring_contains.contains (Buffer.contents buf3) "no data")
+    (Astring_contains.contains (Buffer.contents buf3) "(empty)");
+  (* non-finite coordinates must not poison the axis bounds: a +inf
+     point passes a naive positivity filter, makes the max fold return
+     inf and the scale garbage.  All-non-finite renders "(empty)"; a
+     mixed series plots only the finite points with finite bounds. *)
+  let buf4 = Buffer.create 16 in
+  let ppf4 = Fmt.with_buffer buf4 in
+  Lf_report.Ascii_plot.render ppf4
+    [
+      Lf_report.Ascii_plot.series ~label:"w" ~mark:'w'
+        [ (Float.infinity, 1.0); (1.0, Float.nan) ];
+    ];
+  Fmt.flush ppf4 ();
+  checkb "all-non-finite handled"
+    (Astring_contains.contains (Buffer.contents buf4) "(empty)");
+  let buf5 = Buffer.create 256 in
+  let ppf5 = Fmt.with_buffer buf5 in
+  Lf_report.Ascii_plot.render ~width:20 ~height:5 ppf5
+    [
+      Lf_report.Ascii_plot.series ~label:"v" ~mark:'v'
+        [ (1.0, 2.0); (Float.infinity, 4.0); (8.0, Float.neg_infinity) ];
+    ];
+  Fmt.flush ppf5 ();
+  let s5 = Buffer.contents buf5 in
+  checkb "finite points still plotted" (Astring_contains.contains s5 "v = v");
+  checkb "axis stays finite" (not (Astring_contains.contains s5 "inf"))
 
 let suite =
   [
